@@ -1,0 +1,139 @@
+//! One Criterion benchmark group per table/figure of the DEP+BURST paper.
+//!
+//! Each group exercises the code path that regenerates its artefact, at a
+//! reduced work scale so `cargo bench` completes quickly. The full-scale
+//! regenerations are the `harness` binaries (`table1`, `table2`, `fig1`,
+//! `fig3`, `fig4`, `fig6`, `fig7`).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use depburst::{paper_roster, Dep, DvfsPredictor};
+use dvfs_trace::{ExecutionTrace, Freq};
+use harness::experiments::{fig3, fig6, table2};
+use harness::{run_benchmark, RunConfig};
+use simx::MachineConfig;
+
+/// Work scale for in-bench simulation runs.
+const SCALE: f64 = 0.01;
+
+/// Captures one small trace to feed the predictor benches.
+fn captured_trace(name: &str) -> (ExecutionTrace, f64) {
+    let bench = dacapo_sim::benchmark(name).expect("known benchmark");
+    let r = run_benchmark(bench, RunConfig::at_ghz(1.0).scaled(0.05));
+    (r.trace, r.exec.as_secs())
+}
+
+/// Table I: simulating one managed benchmark run at 1 GHz.
+fn bench_table1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1_benchmark_run");
+    g.sample_size(10);
+    for name in ["lusearch", "sunflow"] {
+        g.bench_function(name, |b| {
+            let bench = dacapo_sim::benchmark(name).expect("known");
+            b.iter(|| {
+                let r = run_benchmark(bench, RunConfig::at_ghz(1.0).scaled(SCALE));
+                std::hint::black_box(r.exec)
+            });
+        });
+    }
+    g.finish();
+}
+
+/// Table II: rendering the machine configuration.
+fn bench_table2(c: &mut Criterion) {
+    c.bench_function("table2_render", |b| {
+        let config = MachineConfig::haswell_quad();
+        b.iter(|| std::hint::black_box(table2::render(&config)));
+    });
+}
+
+/// Fig. 1: the headline M+CRIT vs DEP+BURST prediction on a real trace.
+fn bench_fig1(c: &mut Criterion) {
+    let (trace, _) = captured_trace("lusearch");
+    let mut g = c.benchmark_group("fig1_headline_predictions");
+    for model in paper_roster() {
+        g.bench_function(model.name(), |b| {
+            b.iter(|| std::hint::black_box(model.predict(&trace, Freq::from_ghz(4.0))));
+        });
+    }
+    g.finish();
+}
+
+/// Fig. 3: collecting one benchmark's full model-error row (runs the
+/// simulations and all six predictors).
+fn bench_fig3(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3_error_collection");
+    g.sample_size(10);
+    g.bench_function("low_to_high_one_seed", |b| {
+        b.iter(|| {
+            std::hint::black_box(fig3::collect(fig3::Direction::LowToHigh, SCALE, &[1]))
+        });
+    });
+    g.finish();
+}
+
+/// Fig. 4: Algorithm 1 (across-epoch CTP) vs per-epoch CTP on a captured
+/// trace — the predictor-side cost of the paper's key mechanism.
+fn bench_fig4(c: &mut Criterion) {
+    let (trace, _) = captured_trace("xalan");
+    let mut g = c.benchmark_group("fig4_ctp_modes");
+    g.bench_function("across_epoch", |b| {
+        let p = Dep::dep_burst();
+        b.iter(|| std::hint::black_box(p.predict(&trace, Freq::from_ghz(4.0))));
+    });
+    g.bench_function("per_epoch", |b| {
+        let p = Dep::dep_burst_per_epoch();
+        b.iter(|| std::hint::black_box(p.predict(&trace, Freq::from_ghz(4.0))));
+    });
+    g.finish();
+}
+
+/// Fig. 6: one managed run under the energy manager.
+fn bench_fig6(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6_energy_manager");
+    g.sample_size(10);
+    g.bench_function("pmd-scale_5pct", |b| {
+        let bench = dacapo_sim::benchmark("pmd-scale").expect("known");
+        b.iter(|| std::hint::black_box(fig6::managed(bench, SCALE, 1, 0.05)));
+    });
+    g.finish();
+}
+
+/// Fig. 7: one static-sweep point (constant-frequency run + energy).
+fn bench_fig7(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7_static_sweep_point");
+    g.sample_size(10);
+    g.bench_function("sunflow_2ghz", |b| {
+        let bench = dacapo_sim::benchmark("sunflow").expect("known");
+        let power = energy_model();
+        b.iter_batched(
+            || (),
+            |()| {
+                let r = run_benchmark(bench, RunConfig::at_ghz(2.0).scaled(SCALE));
+                std::hint::black_box(power.energy_of_run(
+                    Freq::from_ghz(2.0),
+                    r.exec,
+                    r.stats.total_active(),
+                    4,
+                ))
+            },
+            BatchSize::PerIteration,
+        );
+    });
+    g.finish();
+}
+
+fn energy_model() -> energyx::PowerModel {
+    energyx::PowerModel::haswell_22nm()
+}
+
+criterion_group!(
+    paper,
+    bench_table1,
+    bench_table2,
+    bench_fig1,
+    bench_fig3,
+    bench_fig4,
+    bench_fig6,
+    bench_fig7
+);
+criterion_main!(paper);

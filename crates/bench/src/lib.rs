@@ -1,0 +1,5 @@
+//! `depburst-bench` — Criterion benchmarks, one per table/figure of the
+//! paper (see `benches/paper.rs`). The full-scale regeneration binaries
+//! live in the `harness` crate; these benches exercise the same code paths
+//! at reduced scale so `cargo bench` finishes in minutes and tracks
+//! performance regressions of the simulator and the predictors.

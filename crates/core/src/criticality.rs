@@ -1,0 +1,178 @@
+//! Criticality stacks: a per-thread decomposition of execution time.
+//!
+//! Du Bois et al. \[13\] (cited in the paper's related work, §VII-B)
+//! identify critical threads by monitoring synchronization behaviour.
+//! Our synchronization epochs make the same analysis direct: during an
+//! epoch with `n` active threads, each active thread accounts for `1/n`
+//! of the epoch's wall time; time with no active thread is charged to an
+//! idle bucket. A thread with a large share is one the application was
+//! most often *waiting on* — the natural acceleration target, and a good
+//! diagnostic companion to the DEP predictor (whose accuracy hinges on
+//! identifying exactly these threads).
+
+use std::collections::BTreeMap;
+
+use dvfs_trace::{ExecutionTrace, ThreadId, TimeDelta};
+
+/// A per-thread criticality decomposition of a trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CriticalityStack {
+    /// Each thread's share of wall-clock time (seconds), following the
+    /// equal-share rule: an epoch's duration divides evenly among its
+    /// active threads.
+    pub shares: BTreeMap<ThreadId, TimeDelta>,
+    /// Wall time during which no thread was active.
+    pub idle: TimeDelta,
+    /// The trace's total wall time.
+    pub total: TimeDelta,
+}
+
+impl CriticalityStack {
+    /// Computes the stack for a trace.
+    #[must_use]
+    pub fn compute(trace: &ExecutionTrace) -> Self {
+        let mut shares: BTreeMap<ThreadId, TimeDelta> = BTreeMap::new();
+        let mut idle = TimeDelta::ZERO;
+        for epoch in &trace.epochs {
+            let n = epoch.threads.len();
+            if n == 0 {
+                idle += epoch.duration;
+                continue;
+            }
+            let share = epoch.duration / n as f64;
+            for slice in &epoch.threads {
+                *shares.entry(slice.thread).or_insert(TimeDelta::ZERO) += share;
+            }
+        }
+        CriticalityStack {
+            shares,
+            idle,
+            total: trace.total,
+        }
+    }
+
+    /// A thread's share as a fraction of total wall time.
+    #[must_use]
+    pub fn fraction(&self, thread: ThreadId) -> f64 {
+        let total = self.total.as_secs();
+        if total <= 0.0 {
+            return 0.0;
+        }
+        self.shares
+            .get(&thread)
+            .map(|s| s.as_secs() / total)
+            .unwrap_or(0.0)
+    }
+
+    /// The most critical thread (largest share), if any thread ran.
+    #[must_use]
+    pub fn most_critical(&self) -> Option<ThreadId> {
+        self.shares
+            .iter()
+            .max_by(|a, b| {
+                a.1.as_secs()
+                    .partial_cmp(&b.1.as_secs())
+                    .expect("finite times")
+            })
+            .map(|(&t, _)| t)
+    }
+
+    /// Shares sorted descending, as `(thread, fraction)` pairs.
+    #[must_use]
+    pub fn ranked(&self) -> Vec<(ThreadId, f64)> {
+        let mut v: Vec<(ThreadId, f64)> = self
+            .shares
+            .keys()
+            .map(|&t| (t, self.fraction(t)))
+            .collect();
+        v.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite fractions"));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvfs_trace::{
+        DvfsCounters, EpochEnd, EpochRecord, Freq, ThreadSlice, Time,
+    };
+
+    fn slice(id: u32, active: f64) -> ThreadSlice {
+        ThreadSlice {
+            thread: ThreadId(id),
+            counters: DvfsCounters {
+                active: TimeDelta::from_secs(active),
+                ..DvfsCounters::zero()
+            },
+        }
+    }
+
+    fn trace() -> ExecutionTrace {
+        ExecutionTrace {
+            base: Freq::from_ghz(1.0),
+            start: Time::ZERO,
+            total: TimeDelta::from_secs(1.0),
+            epochs: vec![
+                // Both threads active for 0.6 s: 0.3 each.
+                EpochRecord {
+                    start: Time::ZERO,
+                    duration: TimeDelta::from_secs(0.6),
+                    threads: vec![slice(0, 0.6), slice(1, 0.6)],
+                    end: EpochEnd::Stall(ThreadId(1)),
+                },
+                // Thread 0 alone for 0.3 s.
+                EpochRecord {
+                    start: Time::from_secs(0.6),
+                    duration: TimeDelta::from_secs(0.3),
+                    threads: vec![slice(0, 0.3)],
+                    end: EpochEnd::Wake(ThreadId(1)),
+                },
+                // Nobody for 0.1 s (timer wait).
+                EpochRecord {
+                    start: Time::from_secs(0.9),
+                    duration: TimeDelta::from_secs(0.1),
+                    threads: vec![],
+                    end: EpochEnd::TraceEnd,
+                },
+            ],
+            markers: vec![],
+            threads: vec![],
+        }
+    }
+
+    #[test]
+    fn equal_share_decomposition() {
+        let stack = CriticalityStack::compute(&trace());
+        assert!((stack.fraction(ThreadId(0)) - 0.6).abs() < 1e-12);
+        assert!((stack.fraction(ThreadId(1)) - 0.3).abs() < 1e-12);
+        assert!((stack.idle.as_secs() - 0.1).abs() < 1e-12);
+        // Shares + idle tile the run.
+        let sum: f64 = stack.shares.values().map(|s| s.as_secs()).sum();
+        assert!((sum + stack.idle.as_secs() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ranking_and_most_critical() {
+        let stack = CriticalityStack::compute(&trace());
+        assert_eq!(stack.most_critical(), Some(ThreadId(0)));
+        let ranked = stack.ranked();
+        assert_eq!(ranked[0].0, ThreadId(0));
+        assert!(ranked[0].1 > ranked[1].1);
+    }
+
+    #[test]
+    fn empty_trace_is_all_idle() {
+        let t = ExecutionTrace {
+            base: Freq::from_ghz(1.0),
+            start: Time::ZERO,
+            total: TimeDelta::ZERO,
+            epochs: vec![],
+            markers: vec![],
+            threads: vec![],
+        };
+        let stack = CriticalityStack::compute(&t);
+        assert!(stack.shares.is_empty());
+        assert_eq!(stack.most_critical(), None);
+        assert_eq!(stack.fraction(ThreadId(0)), 0.0);
+    }
+}

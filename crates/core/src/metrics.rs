@@ -1,0 +1,83 @@
+//! Prediction-error metrics, matching the paper's reporting (§V-A):
+//! relative error `estimated/actual - 1`, negative = underestimated
+//! execution time (overestimated performance), and mean absolute error
+//! across benchmarks.
+
+use dvfs_trace::TimeDelta;
+
+/// Signed relative prediction error: `estimated / actual - 1`.
+///
+/// Returns 0 when `actual` is zero.
+#[must_use]
+pub fn relative_error(estimated: TimeDelta, actual: TimeDelta) -> f64 {
+    let a = actual.as_secs();
+    if a == 0.0 {
+        0.0
+    } else {
+        estimated.as_secs() / a - 1.0
+    }
+}
+
+/// Mean of absolute errors (the paper's "average absolute error").
+#[must_use]
+pub fn mean_absolute_error(errors: &[f64]) -> f64 {
+    if errors.is_empty() {
+        0.0
+    } else {
+        errors.iter().map(|e| e.abs()).sum::<f64>() / errors.len() as f64
+    }
+}
+
+/// Summary statistics over a set of signed errors.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ErrorStats {
+    /// Mean of absolute errors.
+    pub mean_abs: f64,
+    /// Mean of signed errors (bias).
+    pub mean_signed: f64,
+    /// Largest absolute error.
+    pub max_abs: f64,
+}
+
+impl ErrorStats {
+    /// Computes the statistics.
+    #[must_use]
+    pub fn from_errors(errors: &[f64]) -> Self {
+        if errors.is_empty() {
+            return ErrorStats::default();
+        }
+        let n = errors.len() as f64;
+        ErrorStats {
+            mean_abs: errors.iter().map(|e| e.abs()).sum::<f64>() / n,
+            mean_signed: errors.iter().sum::<f64>() / n,
+            max_abs: errors.iter().map(|e| e.abs()).fold(0.0, f64::max),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relative_error_signs() {
+        let actual = TimeDelta::from_millis(100.0);
+        assert!((relative_error(TimeDelta::from_millis(90.0), actual) + 0.1).abs() < 1e-12);
+        assert!((relative_error(TimeDelta::from_millis(120.0), actual) - 0.2).abs() < 1e-12);
+        assert_eq!(relative_error(TimeDelta::from_millis(5.0), TimeDelta::ZERO), 0.0);
+    }
+
+    #[test]
+    fn mean_absolute() {
+        assert!((mean_absolute_error(&[0.1, -0.3, 0.2]) - 0.2).abs() < 1e-12);
+        assert_eq!(mean_absolute_error(&[]), 0.0);
+    }
+
+    #[test]
+    fn stats() {
+        let s = ErrorStats::from_errors(&[0.1, -0.3, 0.2]);
+        assert!((s.mean_abs - 0.2).abs() < 1e-12);
+        assert!((s.mean_signed - 0.0).abs() < 1e-12);
+        assert!((s.max_abs - 0.3).abs() < 1e-12);
+    }
+}

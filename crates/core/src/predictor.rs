@@ -1,0 +1,59 @@
+//! The predictor interface.
+
+use dvfs_trace::{ExecutionTrace, Freq, TimeDelta};
+
+/// A DVFS performance predictor: estimates how long the work captured in a
+/// trace (measured at `trace.base`) would take at a different frequency.
+pub trait DvfsPredictor: std::fmt::Debug {
+    /// Predicted wall-clock duration of the traced work at `target`.
+    fn predict(&self, trace: &ExecutionTrace, target: Freq) -> TimeDelta;
+
+    /// Display name (e.g. `"DEP+BURST"`).
+    fn name(&self) -> String;
+
+    /// Predicted slowdown (>1 means slower) at `target` relative to
+    /// `reference` — used by the energy manager to check a tolerable-
+    /// slowdown constraint against the highest frequency.
+    fn predict_slowdown(&self, trace: &ExecutionTrace, target: Freq, reference: Freq) -> f64 {
+        let at_target = self.predict(trace, target).as_secs();
+        let at_reference = self.predict(trace, reference).as_secs();
+        if at_reference <= 0.0 {
+            1.0
+        } else {
+            at_target / at_reference
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvfs_trace::Time;
+
+    #[derive(Debug)]
+    struct Linear;
+
+    impl DvfsPredictor for Linear {
+        fn predict(&self, trace: &ExecutionTrace, target: Freq) -> TimeDelta {
+            trace.total * trace.base.scaling_ratio_to(target)
+        }
+        fn name(&self) -> String {
+            "LINEAR".into()
+        }
+    }
+
+    #[test]
+    fn default_slowdown_uses_two_predictions() {
+        let trace = ExecutionTrace {
+            base: Freq::from_ghz(2.0),
+            start: Time::ZERO,
+            total: TimeDelta::from_millis(8.0),
+            epochs: vec![],
+            markers: vec![],
+            threads: vec![],
+        };
+        let p = Linear;
+        let s = p.predict_slowdown(&trace, Freq::from_ghz(2.0), Freq::from_ghz(4.0));
+        assert!((s - 2.0).abs() < 1e-12);
+    }
+}

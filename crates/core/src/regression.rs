@@ -1,0 +1,331 @@
+//! An offline-trained regression predictor — the *other* family of DVFS
+//! models the paper's related work surveys (§VII-A): instead of analytical
+//! counter semantics, fit coefficients over observed (counters, frequency
+//! ratio) → slowdown samples.
+//!
+//! The model predicts the execution-time ratio `T_target / T_base` from a
+//! small feature vector by ordinary least squares:
+//!
+//! ```text
+//! ratio_hat = w · [1, crit_frac, sq_frac, scaling_frac·r, r]
+//! ```
+//!
+//! where `r = f_base/f_target`, `crit_frac` is the CRIT fraction of active
+//! time and `sq_frac` the store-queue-full fraction. Trained on a set of
+//! runs, it generalises only as far as its training distribution — the
+//! weakness the paper's analytical approach avoids, and exactly what the
+//! leave-one-benchmark-out ablation in the harness quantifies.
+
+use dvfs_trace::{ExecutionTrace, Freq, TimeDelta};
+
+use crate::DvfsPredictor;
+
+/// Number of regression features.
+const FEATURES: usize = 5;
+
+/// Feature vector for one (trace, target) pair.
+fn features(trace: &ExecutionTrace, target: Freq) -> [f64; FEATURES] {
+    let r = trace.base.scaling_ratio_to(target);
+    let totals = trace.thread_totals();
+    let mut active = 0.0;
+    let mut crit = 0.0;
+    let mut sq = 0.0;
+    for t in totals.values() {
+        active += t.counters.active.as_secs();
+        crit += t.counters.crit.as_secs();
+        sq += t.counters.sq_full.as_secs();
+    }
+    let (crit_frac, sq_frac) = if active > 0.0 {
+        (crit / active, sq / active)
+    } else {
+        (0.0, 0.0)
+    };
+    let scaling_frac = (1.0 - crit_frac - sq_frac).max(0.0);
+    [1.0, crit_frac, sq_frac, scaling_frac * r, r]
+}
+
+/// Training-set accumulator.
+#[derive(Debug, Default, Clone)]
+pub struct RegressionTrainer {
+    rows: Vec<[f64; FEATURES]>,
+    targets: Vec<f64>,
+}
+
+impl RegressionTrainer {
+    /// An empty trainer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one observation: a base-frequency trace, a target frequency,
+    /// and the measured execution time at that target.
+    pub fn observe(&mut self, trace: &ExecutionTrace, target: Freq, actual: TimeDelta) {
+        if trace.total.as_secs() <= 0.0 {
+            return;
+        }
+        self.rows.push(features(trace, target));
+        self.targets.push(actual.as_secs() / trace.total.as_secs());
+    }
+
+    /// Number of observations so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if no observations were added.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Fits the model by ordinary least squares (normal equations with a
+    /// small ridge term for numerical safety). Needs at least as many
+    /// observations as features.
+    pub fn fit(&self) -> Result<RegressionPredictor, RegressionError> {
+        let n = self.rows.len();
+        if n < FEATURES {
+            return Err(RegressionError::TooFewSamples {
+                have: n,
+                need: FEATURES,
+            });
+        }
+        // Normal equations: (XᵀX + λI) w = Xᵀy.
+        let mut ata = [[0.0f64; FEATURES]; FEATURES];
+        let mut aty = [0.0f64; FEATURES];
+        for (x, &y) in self.rows.iter().zip(&self.targets) {
+            for i in 0..FEATURES {
+                aty[i] += x[i] * y;
+                for j in 0..FEATURES {
+                    ata[i][j] += x[i] * x[j];
+                }
+            }
+        }
+        let ridge = 1e-9 * n as f64;
+        for (i, row) in ata.iter_mut().enumerate() {
+            row[i] += ridge;
+        }
+        let weights = solve(ata, aty).ok_or(RegressionError::Singular)?;
+        Ok(RegressionPredictor { weights })
+    }
+}
+
+/// Gaussian elimination with partial pivoting for the tiny normal system.
+fn solve(
+    mut a: [[f64; FEATURES]; FEATURES],
+    mut b: [f64; FEATURES],
+) -> Option<[f64; FEATURES]> {
+    for col in 0..FEATURES {
+        let pivot = (col..FEATURES).max_by(|&i, &j| {
+            a[i][col]
+                .abs()
+                .partial_cmp(&a[j][col].abs())
+                .expect("finite")
+        })?;
+        if a[pivot][col].abs() < 1e-14 {
+            return None;
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        for row in (col + 1)..FEATURES {
+            let f = a[row][col] / a[col][col];
+            for k in col..FEATURES {
+                a[row][k] -= f * a[col][k];
+            }
+            b[row] -= f * b[col];
+        }
+    }
+    let mut x = [0.0f64; FEATURES];
+    for col in (0..FEATURES).rev() {
+        let mut acc = b[col];
+        for k in (col + 1)..FEATURES {
+            acc -= a[col][k] * x[k];
+        }
+        x[col] = acc / a[col][col];
+    }
+    Some(x)
+}
+
+/// Training failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegressionError {
+    /// Not enough observations to fit the feature count.
+    TooFewSamples {
+        /// Observations available.
+        have: usize,
+        /// Observations required.
+        need: usize,
+    },
+    /// The normal equations were singular (degenerate training set).
+    Singular,
+}
+
+impl std::fmt::Display for RegressionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegressionError::TooFewSamples { have, need } => {
+                write!(f, "regression needs {need} samples, got {have}")
+            }
+            RegressionError::Singular => write!(f, "singular normal equations"),
+        }
+    }
+}
+
+impl std::error::Error for RegressionError {}
+
+/// The fitted offline-regression predictor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RegressionPredictor {
+    weights: [f64; FEATURES],
+}
+
+impl RegressionPredictor {
+    /// The fitted weights (for inspection).
+    #[must_use]
+    pub fn weights(&self) -> &[f64; FEATURES] {
+        &self.weights
+    }
+}
+
+impl DvfsPredictor for RegressionPredictor {
+    fn predict(&self, trace: &ExecutionTrace, target: Freq) -> TimeDelta {
+        let x = features(trace, target);
+        let ratio: f64 = self
+            .weights
+            .iter()
+            .zip(&x)
+            .map(|(w, f)| w * f)
+            .sum::<f64>()
+            .max(0.0);
+        trace.total * ratio
+    }
+
+    fn name(&self) -> String {
+        "REGRESSION".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvfs_trace::{
+        DvfsCounters, EpochEnd, EpochRecord, ThreadId, ThreadInfo, ThreadRole, ThreadSlice, Time,
+    };
+
+    /// A single-epoch trace with a given crit/sq decomposition.
+    fn trace(total_s: f64, crit_frac: f64, sq_frac: f64) -> ExecutionTrace {
+        let counters = DvfsCounters {
+            active: TimeDelta::from_secs(total_s),
+            crit: TimeDelta::from_secs(total_s * crit_frac),
+            sq_full: TimeDelta::from_secs(total_s * sq_frac),
+            ..DvfsCounters::zero()
+        };
+        ExecutionTrace {
+            base: Freq::from_ghz(1.0),
+            start: Time::ZERO,
+            total: TimeDelta::from_secs(total_s),
+            epochs: vec![EpochRecord {
+                start: Time::ZERO,
+                duration: TimeDelta::from_secs(total_s),
+                threads: vec![ThreadSlice {
+                    thread: ThreadId(0),
+                    counters,
+                }],
+                end: EpochEnd::TraceEnd,
+            }],
+            markers: vec![],
+            threads: vec![ThreadInfo {
+                id: ThreadId(0),
+                role: ThreadRole::Application,
+                name: "t0".into(),
+                spawn: Time::ZERO,
+                exit: None,
+            }],
+        }
+    }
+
+    /// Ground truth for the synthetic world the tests train in.
+    fn truth(total_s: f64, crit_frac: f64, sq_frac: f64, target: Freq) -> TimeDelta {
+        let r = Freq::from_ghz(1.0).scaling_ratio_to(target);
+        TimeDelta::from_secs(
+            total_s * (crit_frac + sq_frac) + total_s * (1.0 - crit_frac - sq_frac) * r,
+        )
+    }
+
+    fn trained() -> RegressionPredictor {
+        let mut trainer = RegressionTrainer::new();
+        for &cf in &[0.0, 0.2, 0.4, 0.6] {
+            for &sf in &[0.0, 0.1, 0.3] {
+                for &ghz in &[2.0, 3.0, 4.0] {
+                    let t = trace(1.0, cf, sf);
+                    let target = Freq::from_ghz(ghz);
+                    trainer.observe(&t, target, truth(1.0, cf, sf, target));
+                }
+            }
+        }
+        assert_eq!(trainer.len(), 36);
+        trainer.fit().expect("fits")
+    }
+
+    #[test]
+    fn learns_the_linear_world_exactly() {
+        let model = trained();
+        // In-distribution prediction is near-exact (the world is linear in
+        // the features).
+        for &(cf, sf, ghz) in &[(0.3, 0.2, 4.0), (0.5, 0.05, 2.0)] {
+            let t = trace(1.0, cf, sf);
+            let target = Freq::from_ghz(ghz);
+            let p = model.predict(&t, target).as_secs();
+            let y = truth(1.0, cf, sf, target).as_secs();
+            assert!(
+                (p - y).abs() / y < 0.02,
+                "cf={cf} sf={sf} ghz={ghz}: {p} vs {y}"
+            );
+        }
+    }
+
+    #[test]
+    fn too_few_samples_is_an_error() {
+        let mut trainer = RegressionTrainer::new();
+        trainer.observe(
+            &trace(1.0, 0.2, 0.1),
+            Freq::from_ghz(2.0),
+            TimeDelta::from_secs(0.6),
+        );
+        assert!(matches!(
+            trainer.fit(),
+            Err(RegressionError::TooFewSamples { .. })
+        ));
+        assert!(!trainer.is_empty());
+    }
+
+    #[test]
+    fn degenerate_training_set_is_singular_or_fits_ridge() {
+        // All-identical samples: the ridge keeps it solvable, and the
+        // prediction at the training point is still right.
+        let mut trainer = RegressionTrainer::new();
+        for _ in 0..8 {
+            trainer.observe(
+                &trace(1.0, 0.2, 0.1),
+                Freq::from_ghz(2.0),
+                TimeDelta::from_secs(0.65),
+            );
+        }
+        if let Ok(model) = trainer.fit() {
+            let p = model
+                .predict(&trace(1.0, 0.2, 0.1), Freq::from_ghz(2.0))
+                .as_secs();
+            assert!((p - 0.65).abs() < 0.05, "got {p}");
+        }
+    }
+
+    #[test]
+    fn prediction_is_clamped_non_negative() {
+        let model = RegressionPredictor {
+            weights: [-10.0, 0.0, 0.0, 0.0, 0.0],
+        };
+        let p = model.predict(&trace(1.0, 0.2, 0.1), Freq::from_ghz(2.0));
+        assert_eq!(p, TimeDelta::ZERO);
+    }
+}

@@ -1,0 +1,280 @@
+//! The energy manager (paper §VI-A, Fig. 5).
+//!
+//! The application always starts at the highest frequency. At the end of
+//! every scheduling quantum the manager harvests the interval's DVFS
+//! counters, asks the performance predictor for the interval's duration at
+//! every DVFS state *and* at the maximum frequency, and selects the lowest
+//! frequency whose predicted slowdown relative to the maximum frequency is
+//! within the user-specified `tolerable_slowdown`. A `hold_off` parameter
+//! suppresses re-decisions for a number of quanta. If each interval keeps
+//! its slowdown within x%, the whole run is within x% of always running at
+//! the maximum frequency.
+
+use depburst::DvfsPredictor;
+use dvfs_trace::{Freq, TimeDelta};
+use simx::{Machine, MachineError, RunOutcome};
+
+use crate::power::{EnergyAccount, PowerModel};
+
+/// Manager parameters (paper defaults: 5 ms quantum, hold-off 1).
+#[derive(Debug, Clone, Copy)]
+pub struct ManagerConfig {
+    /// Maximum tolerated slowdown vs. always-max-frequency (0.05 = 5%).
+    pub tolerable_slowdown: f64,
+    /// Scheduling quantum.
+    pub quantum: TimeDelta,
+    /// Quanta to wait between frequency decisions.
+    pub hold_off: u32,
+    /// The chip power model (provides the DVFS ladder and V/f curve).
+    pub power: PowerModel,
+}
+
+impl ManagerConfig {
+    /// Paper defaults with the given slowdown threshold.
+    #[must_use]
+    pub fn with_threshold(tolerable_slowdown: f64) -> Self {
+        ManagerConfig {
+            tolerable_slowdown,
+            quantum: TimeDelta::from_millis(5.0),
+            hold_off: 1,
+            power: PowerModel::haswell_22nm(),
+        }
+    }
+}
+
+/// What a managed run produced.
+#[derive(Debug, Clone)]
+pub struct ManagerReport {
+    /// Wall-clock execution time under management.
+    pub exec: TimeDelta,
+    /// Total energy consumed (joules).
+    pub energy_j: f64,
+    /// Time spent at each frequency, for analysis.
+    pub freq_time: Vec<(Freq, TimeDelta)>,
+    /// Number of frequency decisions taken.
+    pub decisions: u64,
+    /// Number of decisions that changed the frequency.
+    pub switches: u64,
+}
+
+impl ManagerReport {
+    /// Time-weighted mean frequency (GHz).
+    #[must_use]
+    pub fn mean_ghz(&self) -> f64 {
+        let total: f64 = self.freq_time.iter().map(|(_, t)| t.as_secs()).sum();
+        if total == 0.0 {
+            return 0.0;
+        }
+        self.freq_time
+            .iter()
+            .map(|(f, t)| f.ghz() * t.as_secs())
+            .sum::<f64>()
+            / total
+    }
+}
+
+/// The quantum-based DVFS energy manager.
+pub struct EnergyManager {
+    config: ManagerConfig,
+    predictor: Box<dyn DvfsPredictor>,
+}
+
+impl std::fmt::Debug for EnergyManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EnergyManager")
+            .field("config", &self.config)
+            .field("predictor", &self.predictor.name())
+            .finish()
+    }
+}
+
+impl EnergyManager {
+    /// Creates a manager around a performance predictor.
+    #[must_use]
+    pub fn new(config: ManagerConfig, predictor: Box<dyn DvfsPredictor>) -> Self {
+        EnergyManager { config, predictor }
+    }
+
+    /// Runs the already-installed application on `machine` under
+    /// management, to completion.
+    pub fn run(&self, machine: &mut Machine) -> Result<ManagerReport, MachineError> {
+        let ladder = *self.config.power.vf().ladder();
+        let f_max = ladder.max();
+        let cores = machine.config().cores;
+        machine.set_frequency(f_max)?;
+
+        let mut account = EnergyAccount::new();
+        let mut freq_time: Vec<(Freq, TimeDelta)> = Vec::new();
+        let mut decisions = 0u64;
+        let mut switches = 0u64;
+        let mut held = self.config.hold_off; // decide after the 1st quantum
+        let start = machine.now();
+
+        loop {
+            let interval_start = machine.now();
+            let outcome = machine.run_for(self.config.quantum)?;
+            let duration = machine.now().since(interval_start);
+            let freq = machine.frequency();
+            let trace = machine.harvest_trace();
+
+            // Energy accounting: aggregate activity over the interval.
+            let busy: f64 = trace
+                .epochs
+                .iter()
+                .flat_map(|e| e.threads.iter())
+                .map(|s| s.counters.active.as_secs())
+                .sum();
+            let activity = if duration.as_secs() > 0.0 {
+                (busy / (cores as f64 * duration.as_secs())).clamp(0.0, 1.0)
+            } else {
+                0.0
+            };
+            account.add(
+                &self.config.power,
+                freq,
+                duration,
+                &vec![activity; cores],
+            );
+            match freq_time.iter_mut().find(|(f, _)| *f == freq) {
+                Some((_, t)) => *t += duration,
+                None => freq_time.push((freq, duration)),
+            }
+
+            if let RunOutcome::Completed(end) = outcome {
+                return Ok(ManagerReport {
+                    exec: end.since(start),
+                    energy_j: account.joules(),
+                    freq_time,
+                    decisions,
+                    switches,
+                });
+            }
+
+            held += 1;
+            if held < self.config.hold_off {
+                continue;
+            }
+            held = 0;
+            decisions += 1;
+            let chosen = self.choose_frequency(&trace, f_max, &ladder);
+            if chosen != freq {
+                switches += 1;
+            }
+            machine.set_frequency(chosen)?;
+        }
+    }
+
+    /// The lowest frequency whose predicted slowdown vs. `f_max` is within
+    /// the threshold (paper: of all states satisfying the constraint, the
+    /// lowest frequency minimises energy).
+    fn choose_frequency(
+        &self,
+        trace: &dvfs_trace::ExecutionTrace,
+        f_max: Freq,
+        ladder: &dvfs_trace::FreqLadder,
+    ) -> Freq {
+        let at_max = self.predictor.predict(trace, f_max).as_secs();
+        if at_max <= 0.0 {
+            return f_max;
+        }
+        let budget = at_max * (1.0 + self.config.tolerable_slowdown);
+        for f in ladder.iter() {
+            let predicted = self.predictor.predict(trace, f).as_secs();
+            if predicted <= budget {
+                return f;
+            }
+        }
+        f_max
+    }
+
+    /// The time the manager's machine started from (for tests).
+    #[must_use]
+    pub fn config(&self) -> &ManagerConfig {
+        &self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvfs_trace::{ExecutionTrace, ThreadRole};
+    use simx::program::ScriptProgram;
+    use simx::{Action, MachineConfig, SpawnRequest, WorkItem};
+
+    /// A predictor that scales the whole trace perfectly (pure compute).
+    #[derive(Debug)]
+    struct PerfectScaling;
+
+    impl DvfsPredictor for PerfectScaling {
+        fn predict(&self, trace: &ExecutionTrace, target: Freq) -> TimeDelta {
+            trace.total * trace.base.scaling_ratio_to(target)
+        }
+        fn name(&self) -> String {
+            "PERFECT-SCALING".into()
+        }
+    }
+
+    fn compute_machine() -> Machine {
+        let mut mc = MachineConfig::haswell_quad();
+        mc.initial_freq = Freq::from_ghz(1.0);
+        let mut m = Machine::new(mc);
+        m.spawn(SpawnRequest::new(
+            "app",
+            ThreadRole::Application,
+            Box::new(ScriptProgram::new(vec![Action::Work(WorkItem::Compute {
+                instructions: 200_000_000,
+                ipc: 2.0,
+            })])),
+        ));
+        m
+    }
+
+    #[test]
+    fn pure_compute_under_perfect_predictor_respects_threshold() {
+        // Baseline: always max frequency.
+        let mut base = compute_machine();
+        base.set_frequency(Freq::from_ghz(4.0)).expect("clean");
+        let t_max = match base.run().expect("runs") {
+            RunOutcome::Completed(t) => t.as_secs(),
+            RunOutcome::DeadlineReached => unreachable!(),
+        };
+
+        let threshold = 0.10;
+        let manager = EnergyManager::new(
+            ManagerConfig::with_threshold(threshold),
+            Box::new(PerfectScaling),
+        );
+        let mut m = compute_machine();
+        let report = manager.run(&mut m).expect("managed run");
+        let slowdown = report.exec.as_secs() / t_max - 1.0;
+        assert!(
+            slowdown <= threshold + 0.02,
+            "slowdown {slowdown} must respect threshold {threshold}"
+        );
+        // For pure compute the manager should sit just under the bound
+        // (frequency ≈ 4/1.1 ≈ 3.625 GHz).
+        let mean = report.mean_ghz();
+        assert!(
+            (3.3..4.0).contains(&mean),
+            "mean frequency {mean} GHz should sit near 4/(1+threshold)"
+        );
+        assert!(report.energy_j > 0.0);
+        assert!(report.decisions > 0);
+    }
+
+    #[test]
+    fn zero_threshold_stays_at_max() {
+        let manager = EnergyManager::new(
+            ManagerConfig::with_threshold(0.0),
+            Box::new(PerfectScaling),
+        );
+        let mut m = compute_machine();
+        let report = manager.run(&mut m).expect("managed run");
+        let mean = report.mean_ghz();
+        assert!(
+            (mean - 4.0).abs() < 1e-9,
+            "zero tolerance must pin max frequency, got {mean}"
+        );
+        assert_eq!(report.switches, 0);
+    }
+}

@@ -1,0 +1,130 @@
+//! Energy-efficiency metrics: energy, EDP, ED²P.
+//!
+//! The paper's manager minimises energy under a performance bound; the
+//! wider literature also compares operating points by energy-delay
+//! product (EDP) and energy-delay-squared (ED²P), which fold performance
+//! into the objective instead of constraining it. These helpers make the
+//! static sweep reusable for those objectives.
+
+use dvfs_trace::TimeDelta;
+
+/// An operating point's efficiency figures.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Efficiency {
+    /// Energy in joules.
+    pub energy_j: f64,
+    /// Execution time.
+    pub exec: TimeDelta,
+}
+
+impl Efficiency {
+    /// Creates the figures.
+    #[must_use]
+    pub fn new(energy_j: f64, exec: TimeDelta) -> Self {
+        Efficiency { energy_j, exec }
+    }
+
+    /// Energy-delay product (J·s).
+    #[must_use]
+    pub fn edp(&self) -> f64 {
+        self.energy_j * self.exec.as_secs()
+    }
+
+    /// Energy-delay-squared product (J·s²).
+    #[must_use]
+    pub fn ed2p(&self) -> f64 {
+        self.energy_j * self.exec.as_secs() * self.exec.as_secs()
+    }
+}
+
+/// What a frequency-selection policy optimises.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Objective {
+    /// Minimum energy subject to a slowdown bound vs. the fastest point
+    /// (the paper's §VI objective).
+    EnergyWithSlowdownBound(f64),
+    /// Minimum energy-delay product, unconstrained.
+    MinEdp,
+    /// Minimum energy-delay-squared product, unconstrained.
+    MinEd2p,
+}
+
+/// Picks the best point of a sweep under an objective. Points are
+/// `(point, efficiency)` pairs; `baseline_exec` is the fastest point's
+/// execution time (for the slowdown bound).
+pub fn select_best<'a, T>(
+    points: impl IntoIterator<Item = (&'a T, Efficiency)>,
+    baseline_exec: TimeDelta,
+    objective: Objective,
+) -> Option<&'a T> {
+    let mut best: Option<(&T, f64)> = None;
+    for (p, eff) in points {
+        let score = match objective {
+            Objective::EnergyWithSlowdownBound(bound) => {
+                let slowdown = eff.exec.as_secs() / baseline_exec.as_secs() - 1.0;
+                if slowdown > bound + 1e-9 {
+                    continue;
+                }
+                eff.energy_j
+            }
+            Objective::MinEdp => eff.edp(),
+            Objective::MinEd2p => eff.ed2p(),
+        };
+        match best {
+            Some((_, s)) if s <= score => {}
+            _ => best = Some((p, score)),
+        }
+    }
+    best.map(|(p, _)| p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edp_and_ed2p() {
+        let e = Efficiency::new(10.0, TimeDelta::from_secs(2.0));
+        assert!((e.edp() - 20.0).abs() < 1e-12);
+        assert!((e.ed2p() - 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn objectives_pick_different_points() {
+        // Three points: fast/hungry, balanced, slow/frugal.
+        let labels = ["fast", "mid", "slow"];
+        let effs = [
+            Efficiency::new(10.0, TimeDelta::from_secs(1.0)),
+            Efficiency::new(7.0, TimeDelta::from_secs(1.3)),
+            Efficiency::new(6.0, TimeDelta::from_secs(2.5)),
+        ];
+        let base = TimeDelta::from_secs(1.0);
+        let pairs = || labels.iter().zip(effs.iter().copied());
+
+        // 10% bound: only "fast" qualifies.
+        let pick = select_best(pairs(), base, Objective::EnergyWithSlowdownBound(0.10));
+        assert_eq!(pick, Some(&"fast"));
+        // 35% bound: "mid" wins on energy.
+        let pick = select_best(pairs(), base, Objective::EnergyWithSlowdownBound(0.35));
+        assert_eq!(pick, Some(&"mid"));
+        // EDP: fast 10, mid 9.1, slow 15 -> mid.
+        let pick = select_best(pairs(), base, Objective::MinEdp);
+        assert_eq!(pick, Some(&"mid"));
+        // ED2P: fast 10, mid 11.8, slow 37.5 -> fast.
+        let pick = select_best(pairs(), base, Objective::MinEd2p);
+        assert_eq!(pick, Some(&"fast"));
+    }
+
+    #[test]
+    fn empty_sweep_selects_nothing() {
+        let none: Vec<(&str, Efficiency)> = vec![];
+        assert_eq!(
+            select_best(
+                none.iter().map(|(l, e)| (l, *e)),
+                TimeDelta::from_secs(1.0),
+                Objective::MinEdp
+            ),
+            None
+        );
+    }
+}

@@ -1,0 +1,111 @@
+//! The static-optimal oracle (paper §VI-B, Fig. 7).
+//!
+//! Static-optimal is determined by "running the application multiple
+//! times and selecting the optimal frequency that minimizes energy
+//! consumption across the entire run" — an oracle, because it uses the
+//! very runs it is judged on. The comparison is made at the same slowdown
+//! budget the dynamic manager honours.
+
+use dvfs_trace::{Freq, TimeDelta};
+
+/// One constant-frequency run of the sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StaticPoint {
+    /// The fixed frequency of the run.
+    pub freq: Freq,
+    /// Measured execution time.
+    pub exec: TimeDelta,
+    /// Measured energy (joules).
+    pub energy_j: f64,
+}
+
+/// A full sweep over the DVFS ladder.
+#[derive(Debug, Clone, Default)]
+pub struct StaticSweep {
+    /// The sweep's points, any order.
+    pub points: Vec<StaticPoint>,
+}
+
+impl StaticSweep {
+    /// The point at the highest frequency (the baseline the paper
+    /// normalises energy savings to).
+    #[must_use]
+    pub fn baseline(&self) -> Option<&StaticPoint> {
+        self.points.iter().max_by(|a, b| a.freq.cmp(&b.freq))
+    }
+}
+
+/// Picks the static-optimal point: minimum energy among points whose
+/// measured slowdown vs. the maximum-frequency baseline is within
+/// `max_slowdown` (`None` = unconstrained).
+#[must_use]
+pub fn static_optimal(sweep: &StaticSweep, max_slowdown: Option<f64>) -> Option<&StaticPoint> {
+    let base = sweep.baseline()?;
+    sweep
+        .points
+        .iter()
+        .filter(|p| match max_slowdown {
+            Some(bound) => {
+                p.exec.as_secs() / base.exec.as_secs() - 1.0 <= bound + 1e-9
+            }
+            None => true,
+        })
+        .min_by(|a, b| {
+            a.energy_j
+                .partial_cmp(&b.energy_j)
+                .expect("energies are finite")
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point(ghz: f64, exec_ms: f64, energy: f64) -> StaticPoint {
+        StaticPoint {
+            freq: Freq::from_ghz(ghz),
+            exec: TimeDelta::from_millis(exec_ms),
+            energy_j: energy,
+        }
+    }
+
+    fn sweep() -> StaticSweep {
+        StaticSweep {
+            points: vec![
+                point(1.0, 250.0, 9.0),
+                point(2.0, 140.0, 7.0),
+                point(3.0, 110.0, 8.0),
+                point(4.0, 100.0, 10.0),
+            ],
+        }
+    }
+
+    #[test]
+    fn baseline_is_max_frequency() {
+        let s = sweep();
+        assert_eq!(s.baseline().expect("nonempty").freq, Freq::from_ghz(4.0));
+    }
+
+    #[test]
+    fn unconstrained_picks_global_minimum() {
+        let s = sweep();
+        let best = static_optimal(&s, None).expect("found");
+        assert_eq!(best.freq, Freq::from_ghz(2.0));
+    }
+
+    #[test]
+    fn slowdown_bound_filters() {
+        let s = sweep();
+        // 10% budget: only 4 GHz (0%) and 3 GHz (10%) qualify.
+        let best = static_optimal(&s, Some(0.10)).expect("found");
+        assert_eq!(best.freq, Freq::from_ghz(3.0));
+        // 0% budget: only the baseline itself.
+        let best = static_optimal(&s, Some(0.0)).expect("found");
+        assert_eq!(best.freq, Freq::from_ghz(4.0));
+    }
+
+    #[test]
+    fn empty_sweep_yields_none() {
+        assert!(static_optimal(&StaticSweep::default(), None).is_none());
+    }
+}

@@ -1,0 +1,237 @@
+//! The analytical chip power model (McPAT substitute).
+//!
+//! `P = Σ_cores [ C_eff · V² · f · activity + idle_dyn ] + leakage(V) +
+//! uncore(V)`. Absolute watts are calibrated loosely to a 22 nm quad-core
+//! Haswell (≈ 85 W fully busy at 4 GHz / 1.05 V); the experiments only use
+//! power *ratios*, which depend on the dynamic/static split and the V/f
+//! curve, not on the absolute scale.
+
+use dvfs_trace::{Freq, TimeDelta};
+
+use crate::vf::VfCurve;
+
+/// Instantaneous chip power decomposition, in watts.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PowerBreakdown {
+    /// Switching power of busy cores.
+    pub core_dynamic: f64,
+    /// Leakage of all cores (voltage-dependent, frequency-independent).
+    pub core_static: f64,
+    /// Uncore/L3/memory-controller power.
+    pub uncore: f64,
+}
+
+impl PowerBreakdown {
+    /// Total watts.
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.core_dynamic + self.core_static + self.uncore
+    }
+}
+
+/// The chip power model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerModel {
+    vf: VfCurve,
+    /// Effective switched capacitance per core (farads).
+    c_eff: f64,
+    /// Leakage current coefficient per core: `P = k · V` (watts per volt).
+    core_leak_per_volt: f64,
+    /// Uncore power at nominal voltage: `P = k · V` (watts per volt).
+    uncore_per_volt: f64,
+}
+
+impl PowerModel {
+    /// The default 22 nm quad-core model. At 4 GHz / 1.05 V, fully busy:
+    /// ≈ 62 W dynamic + 27 W core leakage + 10 W uncore ≈ 99 W — a ~62/38
+    /// dynamic/static split (22 nm leakage is substantial in McPAT).
+    #[must_use]
+    pub fn haswell_22nm() -> Self {
+        PowerModel {
+            vf: VfCurve::haswell(),
+            c_eff: 3.5e-9,
+            core_leak_per_volt: 6.5,
+            uncore_per_volt: 9.5,
+        }
+    }
+
+    /// The V/f curve in use.
+    #[must_use]
+    pub fn vf(&self) -> &VfCurve {
+        &self.vf
+    }
+
+    /// Chip power at `freq` with the given per-core activity factors
+    /// (0 = idle, 1 = fully busy).
+    #[must_use]
+    pub fn power(&self, freq: Freq, core_activity: &[f64]) -> PowerBreakdown {
+        let v = self.vf.voltage(freq);
+        let dyn_per_busy_core = self.c_eff * v * v * freq.hz();
+        let core_dynamic: f64 = core_activity
+            .iter()
+            .map(|&a| dyn_per_busy_core * a.clamp(0.0, 1.0))
+            .sum();
+        PowerBreakdown {
+            core_dynamic,
+            core_static: self.core_leak_per_volt * v * core_activity.len() as f64,
+            uncore: self.uncore_per_volt * v,
+        }
+    }
+
+    /// Energy (joules) of an interval of `duration` at `freq` with the
+    /// given mean per-core activity.
+    #[must_use]
+    pub fn energy(&self, freq: Freq, duration: TimeDelta, core_activity: &[f64]) -> f64 {
+        self.power(freq, core_activity).total() * duration.as_secs()
+    }
+
+    /// Energy of a whole constant-frequency run. Power is linear in
+    /// activity, so only the run's total busy (scheduled) core time
+    /// matters, not its distribution over intervals.
+    #[must_use]
+    pub fn energy_of_run(
+        &self,
+        freq: Freq,
+        exec: TimeDelta,
+        total_busy: TimeDelta,
+        cores: usize,
+    ) -> f64 {
+        let idle = self.power(freq, &vec![0.0; cores]).total();
+        let v = self.vf.voltage(freq);
+        let dyn_rate = self.c_eff * v * v * freq.hz();
+        idle * exec.as_secs() + dyn_rate * total_busy.as_secs()
+    }
+
+    /// Energy of a run with *per-core* frequencies (the per-core DVFS
+    /// extension): each core contributes its own leakage and dynamic
+    /// energy; the uncore runs at the fastest core's voltage.
+    #[must_use]
+    pub fn energy_of_heterogeneous_run(
+        &self,
+        core_freqs: &[Freq],
+        exec: TimeDelta,
+        core_busy: &[TimeDelta],
+    ) -> f64 {
+        assert_eq!(core_freqs.len(), core_busy.len());
+        let mut joules = 0.0;
+        let mut v_max: f64 = 0.0;
+        for (f, busy) in core_freqs.iter().zip(core_busy) {
+            let v = self.vf.voltage(*f);
+            v_max = v_max.max(v);
+            let dyn_rate = self.c_eff * v * v * f.hz();
+            joules += self.core_leak_per_volt * v * exec.as_secs();
+            joules += dyn_rate * busy.as_secs();
+        }
+        joules + self.uncore_per_volt * v_max * exec.as_secs()
+    }
+}
+
+/// Accumulates energy over a run's intervals.
+#[derive(Debug, Clone, Default)]
+pub struct EnergyAccount {
+    joules: f64,
+    elapsed: TimeDelta,
+}
+
+impl EnergyAccount {
+    /// An empty account.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one interval.
+    pub fn add(&mut self, model: &PowerModel, freq: Freq, duration: TimeDelta, activity: &[f64]) {
+        self.joules += model.energy(freq, duration, activity);
+        self.elapsed += duration;
+    }
+
+    /// Total joules so far.
+    #[must_use]
+    pub fn joules(&self) -> f64 {
+        self.joules
+    }
+
+    /// Total time accounted.
+    #[must_use]
+    pub fn elapsed(&self) -> TimeDelta {
+        self.elapsed
+    }
+
+    /// Mean power (watts).
+    #[must_use]
+    pub fn mean_power(&self) -> f64 {
+        if self.elapsed.as_secs() > 0.0 {
+            self.joules / self.elapsed.as_secs()
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn busy_chip_at_4ghz_is_haswell_class() {
+        let m = PowerModel::haswell_22nm();
+        let p = m.power(Freq::from_ghz(4.0), &[1.0; 4]).total();
+        assert!((60.0..110.0).contains(&p), "got {p} W");
+    }
+
+    #[test]
+    fn power_decreases_with_frequency_and_activity() {
+        let m = PowerModel::haswell_22nm();
+        let hi = m.power(Freq::from_ghz(4.0), &[1.0; 4]).total();
+        let lo = m.power(Freq::from_ghz(2.0), &[1.0; 4]).total();
+        assert!(lo < 0.6 * hi, "V² f scaling should bite: {lo} vs {hi}");
+        let idle = m.power(Freq::from_ghz(4.0), &[0.0; 4]).total();
+        assert!(idle < 0.45 * hi, "idle power is mostly static: {idle}");
+        assert!(idle > 0.0);
+    }
+
+    #[test]
+    fn energy_per_op_favours_lower_frequency_for_compute() {
+        // A fixed amount of compute: T ∝ 1/f; E = P·T.
+        let m = PowerModel::haswell_22nm();
+        let e = |ghz: f64| {
+            m.energy(
+                Freq::from_ghz(ghz),
+                TimeDelta::from_secs(1.0 / ghz),
+                &[1.0; 4],
+            )
+        };
+        // Dynamic energy ∝ V² falls with f, but leakage time rises: the
+        // curve must not be monotone all the way down.
+        let e4 = e(4.0);
+        let e3 = e(3.0);
+        let e1 = e(1.0);
+        assert!(e3 < e4, "mid frequency should beat max: {e3} vs {e4}");
+        assert!(
+            e1 > 0.5 * e4,
+            "leakage must punish the lowest frequency: {e1} vs {e4}"
+        );
+    }
+
+    #[test]
+    fn account_accumulates() {
+        let m = PowerModel::haswell_22nm();
+        let mut acc = EnergyAccount::new();
+        acc.add(
+            &m,
+            Freq::from_ghz(4.0),
+            TimeDelta::from_millis(10.0),
+            &[1.0; 4],
+        );
+        acc.add(
+            &m,
+            Freq::from_ghz(1.0),
+            TimeDelta::from_millis(10.0),
+            &[1.0; 4],
+        );
+        assert!(acc.joules() > 0.0);
+        assert!((acc.elapsed().as_millis() - 20.0).abs() < 1e-9);
+        assert!(acc.mean_power() > 0.0);
+    }
+}

@@ -1,0 +1,85 @@
+//! The voltage/frequency operating curve.
+
+use dvfs_trace::{Freq, FreqLadder};
+
+/// A linear V/f curve over a frequency ladder, mirroring the Intel
+/// i7-4770K (22 nm Haswell) settings the paper uses (§IV): low frequencies
+/// run near the transistor threshold, the top frequency needs just over a
+/// volt.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VfCurve {
+    ladder: FreqLadder,
+    v_min: f64,
+    v_max: f64,
+}
+
+impl VfCurve {
+    /// The paper's curve: 1.0 GHz @ 0.65 V to 4.0 GHz @ 1.05 V in
+    /// 125 MHz steps.
+    #[must_use]
+    pub fn haswell() -> Self {
+        VfCurve {
+            ladder: FreqLadder::paper_default(),
+            v_min: 0.65,
+            v_max: 1.05,
+        }
+    }
+
+    /// Builds a custom curve.
+    #[must_use]
+    pub fn new(ladder: FreqLadder, v_min: f64, v_max: f64) -> Self {
+        VfCurve {
+            ladder,
+            v_min,
+            v_max,
+        }
+    }
+
+    /// The operating-point ladder.
+    #[must_use]
+    pub fn ladder(&self) -> &FreqLadder {
+        &self.ladder
+    }
+
+    /// The supply voltage at `freq` (linear interpolation, clamped to the
+    /// ladder's range).
+    #[must_use]
+    pub fn voltage(&self, freq: Freq) -> f64 {
+        let lo = self.ladder.min().hz();
+        let hi = self.ladder.max().hz();
+        let t = ((freq.hz() - lo) / (hi - lo)).clamp(0.0, 1.0);
+        self.v_min + t * (self.v_max - self.v_min)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoint_voltages() {
+        let vf = VfCurve::haswell();
+        assert!((vf.voltage(Freq::from_ghz(1.0)) - 0.65).abs() < 1e-12);
+        assert!((vf.voltage(Freq::from_ghz(4.0)) - 1.05).abs() < 1e-12);
+        let mid = vf.voltage(Freq::from_ghz(2.5));
+        assert!((mid - 0.85).abs() < 1e-12);
+    }
+
+    #[test]
+    fn voltage_is_monotone_on_ladder() {
+        let vf = VfCurve::haswell();
+        let mut last = 0.0;
+        for f in vf.ladder().iter() {
+            let v = vf.voltage(f);
+            assert!(v > last);
+            last = v;
+        }
+    }
+
+    #[test]
+    fn clamping_outside_range() {
+        let vf = VfCurve::haswell();
+        assert_eq!(vf.voltage(Freq::from_mhz(500)), 0.65);
+        assert_eq!(vf.voltage(Freq::from_ghz(5.0)), 1.05);
+    }
+}

@@ -1,0 +1,31 @@
+//! Regenerates Figure 3: per-benchmark prediction errors, both directions.
+//!
+//! Usage: `cargo run --release -p harness --bin fig3 -- [low-to-high|high-to-low|both] [scale] [seeds]`
+
+use harness::experiments::fig3::{collect, render, Direction};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let which = args.get(1).map(String::as_str).unwrap_or("both");
+    let scale: f64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(1.0);
+    let nseeds: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(1);
+    let seeds: Vec<u64> = (1..=nseeds as u64).collect();
+    let mut all = Vec::new();
+    if which != "high-to-low" {
+        eprintln!("fig 3(a): base 1 GHz, scale {scale}, {nseeds} seed(s)...");
+        let cells = collect(Direction::LowToHigh, scale, &seeds);
+        for t in [2.0, 3.0, 4.0] {
+            println!("{}", render(&cells, t));
+        }
+        all.extend(cells);
+    }
+    if which != "low-to-high" {
+        eprintln!("fig 3(b): base 4 GHz, scale {scale}, {nseeds} seed(s)...");
+        let cells = collect(Direction::HighToLow, scale, &seeds);
+        for t in [3.0, 2.0, 1.0] {
+            println!("{}", render(&cells, t));
+        }
+        all.extend(cells);
+    }
+    println!("{}", serde_json::to_string_pretty(&all).expect("json"));
+}

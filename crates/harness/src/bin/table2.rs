@@ -1,0 +1,8 @@
+//! Prints Table II: the simulated system parameters.
+
+use harness::experiments::table2;
+use simx::MachineConfig;
+
+fn main() {
+    println!("{}", table2::render(&MachineConfig::haswell_quad()));
+}

@@ -1,0 +1,122 @@
+//! Figure 7: the dynamic energy manager vs the static-optimal oracle.
+//!
+//! The oracle sweeps fixed frequencies over the whole ladder, measures
+//! energy with the same power model, and picks the minimum-energy point
+//! whose measured slowdown stays within the same threshold the manager
+//! honours. The dynamic manager can beat it on phase-y (memory-intensive)
+//! applications because it adapts per quantum.
+
+use dacapo_sim::{all_benchmarks, BenchClass, Benchmark};
+use dvfs_trace::{Freq, FreqLadder};
+use energyx::{static_optimal, PowerModel, StaticPoint, StaticSweep};
+use serde::Serialize;
+use simx::MachineConfig;
+
+use super::fig6;
+use crate::report::{pct, TextTable};
+use crate::run::{run_benchmark, RunConfig};
+
+/// One benchmark's Fig. 7 comparison.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig7Row {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// "M" or "C".
+    pub class: String,
+    /// The slowdown threshold both policies honour.
+    pub threshold: f64,
+    /// Dynamic manager savings vs. 4 GHz.
+    pub dynamic_savings: f64,
+    /// Static-optimal savings vs. 4 GHz.
+    pub static_savings: f64,
+    /// The static-optimal frequency (GHz).
+    pub static_ghz: f64,
+}
+
+/// Sweeps constant frequencies for one benchmark. `step_mhz` coarsens the
+/// ladder to bound the sweep's cost.
+#[must_use]
+pub fn sweep(bench: &Benchmark, scale: f64, seed: u64, power: &PowerModel, step_mhz: u32) -> StaticSweep {
+    let ladder = FreqLadder::new(Freq::from_ghz(1.0), Freq::from_ghz(4.0), step_mhz)
+        .expect("valid ladder");
+    let cores = MachineConfig::haswell_quad().cores;
+    let points = ladder
+        .iter()
+        .map(|freq| {
+            let r = run_benchmark(bench, RunConfig { freq, scale, seed });
+            StaticPoint {
+                freq,
+                exec: r.exec,
+                energy_j: power.energy_of_run(freq, r.exec, r.stats.total_active(), cores),
+            }
+        })
+        .collect();
+    StaticSweep { points }
+}
+
+/// Runs the comparison for all benchmarks at one threshold.
+#[must_use]
+pub fn collect(threshold: f64, scale: f64, seed: u64, step_mhz: u32) -> Vec<Fig7Row> {
+    let power = PowerModel::haswell_22nm();
+    all_benchmarks()
+        .iter()
+        .map(|bench| {
+            let dynamic = fig6::managed(bench, scale, seed, threshold);
+            let s = sweep(bench, scale, seed, &power, step_mhz);
+            let base = s.baseline().expect("sweep nonempty");
+            let best =
+                static_optimal(&s, Some(threshold)).expect("baseline always qualifies");
+            Fig7Row {
+                benchmark: bench.name.to_owned(),
+                class: match bench.class {
+                    BenchClass::Memory => "M".to_owned(),
+                    BenchClass::Compute => "C".to_owned(),
+                },
+                threshold,
+                dynamic_savings: dynamic.savings,
+                static_savings: 1.0 - best.energy_j / base.energy_j,
+                static_ghz: best.freq.ghz(),
+            }
+        })
+        .collect()
+}
+
+/// Renders the table.
+#[must_use]
+pub fn render(rows: &[Fig7Row]) -> String {
+    let Some(first) = rows.first() else {
+        return String::new();
+    };
+    let mut t = TextTable::new(&[
+        "benchmark",
+        "type",
+        "dynamic savings",
+        "static-optimal savings",
+        "static f*",
+    ]);
+    for r in rows {
+        t.row(vec![
+            r.benchmark.clone(),
+            r.class.clone(),
+            pct(r.dynamic_savings),
+            pct(r.static_savings),
+            format!("{:.3} GHz", r.static_ghz),
+        ]);
+    }
+    let mem_dyn: Vec<f64> = rows
+        .iter()
+        .filter(|r| r.class == "M")
+        .map(|r| r.dynamic_savings - r.static_savings)
+        .collect();
+    let adv = if mem_dyn.is_empty() {
+        0.0
+    } else {
+        mem_dyn.iter().sum::<f64>() / mem_dyn.len() as f64
+    };
+    format!(
+        "dynamic vs static-optimal, threshold {:.0}% (memory-intensive dynamic advantage {})\n{}",
+        first.threshold * 100.0,
+        pct(adv),
+        t.render()
+    )
+}

@@ -1,0 +1,12 @@
+//! One module per table/figure of the paper.
+
+pub mod ablation;
+pub mod table1;
+pub mod table2;
+
+pub mod fig1;
+pub mod fig3;
+pub mod fig4;
+pub mod fig6;
+pub mod fig7;
+pub mod percore;

@@ -1,0 +1,85 @@
+//! Table II: the simulated system parameters.
+
+use simx::MachineConfig;
+
+use crate::report::TextTable;
+
+/// Renders the machine configuration as the paper's Table II.
+#[must_use]
+pub fn render(config: &MachineConfig) -> String {
+    let mut t = TextTable::new(&["component", "parameters"]);
+    t.row(vec![
+        "Processor".into(),
+        format!("{} cores, 1.0 GHz to 4.0 GHz", config.cores),
+    ]);
+    t.row(vec![
+        "Cache hierarchy".into(),
+        format!(
+            "L1-I/L1-D/L2 private, shared L3 ({})",
+            config.uncore_freq
+        ),
+    ]);
+    t.row(vec![
+        "Capacity".into(),
+        format!(
+            "{} KB / {} KB / {} KB / {} MB",
+            config.l1d.capacity / 1024,
+            config.l1d.capacity / 1024,
+            config.l2.capacity / 1024,
+            config.l3.capacity / (1 << 20)
+        ),
+    ]);
+    t.row(vec![
+        "Latency".into(),
+        format!(
+            "{} / {} / {} / {} cycles",
+            config.l1d.latency_cycles,
+            config.l1d.latency_cycles,
+            config.l2.latency_cycles,
+            config.l3.latency_cycles
+        ),
+    ]);
+    t.row(vec![
+        "Set-associativity".into(),
+        format!(
+            "{} / {} / {}",
+            config.l1d.associativity, config.l2.associativity, config.l3.associativity
+        ),
+    ]);
+    t.row(vec![
+        "Line size / replacement".into(),
+        format!("{} B lines, LRU replacement", config.l1d.line_size),
+    ]);
+    t.row(vec![
+        "DRAM".into(),
+        format!(
+            "{} banks, CAS {:.2} ns, row-miss +{:.1} ns",
+            config.dram.banks,
+            config.dram.cas.as_nanos(),
+            config.dram.row_miss_penalty.as_nanos()
+        ),
+    ]);
+    t.row(vec![
+        "Store queue".into(),
+        format!("{} entries", config.store_queue_entries),
+    ]);
+    t.row(vec![
+        "DVFS transition".into(),
+        format!("{:.1} us", config.dvfs_transition.as_micros()),
+    ]);
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_ii_mentions_key_parameters() {
+        let s = render(&MachineConfig::haswell_quad());
+        assert!(s.contains("4 cores"));
+        assert!(s.contains("4 MB"));
+        assert!(s.contains("LRU"));
+        assert!(s.contains("42 entries"));
+    }
+}

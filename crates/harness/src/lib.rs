@@ -1,0 +1,23 @@
+//! `harness` — experiment runners regenerating every table and figure of
+//! the DEP+BURST paper.
+//!
+//! | Experiment | Module | Binary |
+//! |---|---|---|
+//! | Table I (benchmarks) | [`experiments::table1`] | `table1` |
+//! | Table II (system parameters) | [`experiments::table2`] | `table2` |
+//! | Fig. 1 (M+CRIT vs DEP+BURST headline) | [`experiments::fig1`] | `fig1` |
+//! | Fig. 3a/3b (per-benchmark model errors) | [`experiments::fig3`] | `fig3` |
+//! | Fig. 4 (per- vs across-epoch CTP) | [`experiments::fig4`] | `fig4` |
+//! | Fig. 6a/6b (energy manager) | [`experiments::fig6`] | `fig6` |
+//! | Fig. 7 (dynamic vs static-optimal) | [`experiments::fig7`] | `fig7` |
+//!
+//! The [`run`] module holds the single-run plumbing shared by everything.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod experiments;
+pub mod report;
+pub mod run;
+
+pub use run::{run_benchmark, RunConfig, RunResult};

@@ -1,0 +1,103 @@
+//! Plain-text table rendering and JSON export for experiment results.
+
+use std::fmt::Write as _;
+
+/// A simple left-aligned text table.
+#[derive(Debug, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    #[must_use]
+    pub fn new(header: &[&str]) -> Self {
+        TextTable {
+            header: header.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header width).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders the table.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let line = |cells: &[String], out: &mut String| {
+            for (i, cell) in cells.iter().enumerate() {
+                let _ = write!(out, "{:<width$}  ", cell, width = widths[i]);
+            }
+            out.push('\n');
+        };
+        line(&self.header, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + widths.len() * 2;
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            line(row, &mut out);
+        }
+        out
+    }
+}
+
+/// Formats a fraction as a signed percentage.
+#[must_use]
+pub fn pct(x: f64) -> String {
+    format!("{:+.1}%", x * 100.0)
+}
+
+/// Formats a fraction as an unsigned percentage.
+#[must_use]
+pub fn pct_abs(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+/// Formats seconds as milliseconds.
+#[must_use]
+pub fn ms(secs: f64) -> String {
+    format!("{:.0} ms", secs * 1e3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = TextTable::new(&["name", "value"]);
+        t.row(vec!["a".into(), "1".into()]);
+        t.row(vec!["longer".into(), "22".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[3].starts_with("longer"));
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(pct(0.123), "+12.3%");
+        assert_eq!(pct(-0.06), "-6.0%");
+        assert_eq!(pct_abs(0.061), "6.1%");
+        assert_eq!(ms(1.4), "1400 ms");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        let mut t = TextTable::new(&["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+}

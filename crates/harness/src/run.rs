@@ -1,0 +1,109 @@
+//! Single-run plumbing: install a benchmark, run it at a frequency, and
+//! harvest everything the experiments need.
+
+use dacapo_sim::Benchmark;
+use dvfs_trace::{ExecutionTrace, Freq, TimeDelta};
+use simx::{Machine, MachineConfig, RunOutcome, RunStats};
+
+/// Parameters of one benchmark run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunConfig {
+    /// Chip frequency for the whole run.
+    pub freq: Freq,
+    /// Work scale (1.0 = the paper's full run; tests use small values).
+    pub scale: f64,
+    /// Workload RNG seed (the paper averages 4 runs; vary this).
+    pub seed: u64,
+}
+
+impl RunConfig {
+    /// A full-scale run at `ghz`.
+    #[must_use]
+    pub fn at_ghz(ghz: f64) -> Self {
+        RunConfig {
+            freq: Freq::from_ghz(ghz),
+            scale: 1.0,
+            seed: 1,
+        }
+    }
+
+    /// Returns a copy at a different scale.
+    #[must_use]
+    pub fn scaled(mut self, scale: f64) -> Self {
+        self.scale = scale;
+        self
+    }
+
+    /// Returns a copy with a different seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Everything a completed run yields.
+#[derive(Debug)]
+pub struct RunResult {
+    /// Wall-clock execution time.
+    pub exec: TimeDelta,
+    /// Time inside stop-the-world collections.
+    pub gc_time: TimeDelta,
+    /// Nursery collections performed.
+    pub gc_count: u64,
+    /// Bytes allocated by the application.
+    pub allocated: u64,
+    /// The full execution trace (input to the predictors).
+    pub trace: ExecutionTrace,
+    /// Machine statistics.
+    pub stats: RunStats,
+}
+
+/// Runs `bench` to completion under `config` and returns the results.
+///
+/// # Panics
+/// Panics if the simulated program deadlocks (a bug in the runtime or
+/// workload model).
+#[must_use]
+pub fn run_benchmark(bench: &Benchmark, config: RunConfig) -> RunResult {
+    let mut mc = MachineConfig::haswell_quad();
+    mc.initial_freq = config.freq;
+    let mut machine = Machine::new(mc);
+    let runtime = bench.install(&mut machine, config.scale, config.seed);
+    let outcome = machine
+        .run()
+        .unwrap_or_else(|e| panic!("{}: {e}", bench.name));
+    let RunOutcome::Completed(end) = outcome else {
+        unreachable!("run() only returns at completion");
+    };
+    let trace = machine.harvest_trace();
+    debug_assert!(trace.validate().is_ok(), "{:?}", trace.validate());
+    RunResult {
+        exec: end.since(dvfs_trace::Time::ZERO),
+        gc_time: trace.gc_time(),
+        gc_count: runtime.gc_count(),
+        allocated: runtime.total_allocated(),
+        trace,
+        stats: machine.stats(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dacapo_sim::benchmark;
+
+    #[test]
+    fn small_scale_run_completes_and_collects() {
+        let bench = benchmark("lusearch").expect("exists");
+        let result = run_benchmark(
+            bench,
+            RunConfig::at_ghz(2.0).scaled(0.03),
+        );
+        assert!(result.exec > TimeDelta::ZERO);
+        assert!(result.gc_count > 0, "lusearch must GC even at small scale");
+        assert!(result.gc_time > TimeDelta::ZERO);
+        assert!(result.allocated > 0);
+        result.trace.validate().expect("valid trace");
+    }
+}

@@ -1,0 +1,506 @@
+//! The stop-the-world parallel copying collector.
+//!
+//! One GC thread (worker 0) doubles as the *coordinator*: it owns the
+//! doorbell, stops the world, builds the work-packet queue, participates in
+//! collection, and restarts the world. The remaining workers park on a
+//! start futex between collections. Packets are pulled from a shared queue
+//! under a futex mutex — the fine-grained service-thread synchronisation
+//! the paper identifies as a key obstacle for naive DVFS predictors.
+
+use std::rc::Rc;
+
+use dvfs_trace::PhaseKind;
+use simx::mem::AccessPattern;
+use simx::program::{Action, ProgContext, ThreadProgram};
+use simx::WorkItem;
+
+use crate::config::AddressMap;
+use crate::control::{GcPacket, GcPhase, RuntimeShared};
+
+/// Builds the packet queue for one collection. Returns whether this is a
+/// full-heap collection.
+fn build_packets(shared: &RuntimeShared) -> bool {
+    let cfg = &shared.config;
+    let heap = shared.heap.borrow();
+    let survivors = (heap.nursery_used as f64 * cfg.survivor_fraction) as u64;
+    let full = (heap.gc_count + 1).is_multiple_of(u64::from(cfg.full_heap_period)) || heap.mature_pressure();
+
+    let mut packets = shared.packets.borrow_mut();
+    packets.clear();
+    let packet_bytes = cfg.packet_bytes.max(4096);
+    let n = survivors.div_ceil(packet_bytes).max(1);
+    let per_packet = survivors / n;
+    for i in 0..n {
+        let copy = if i == n - 1 {
+            survivors - per_packet * (n - 1)
+        } else {
+            per_packet
+        };
+        packets.push_back(GcPacket {
+            copy_bytes: copy.max(1024),
+            trace_reads: ((copy.max(1024) / 64) as f64 * cfg.trace_reads_per_line) as u64,
+            trace_base: AddressMap::NURSERY,
+            trace_span: heap.nursery_size.max(4096),
+            copy_dest: AddressMap::MATURE + heap.mature_used + i * per_packet,
+        });
+    }
+    if full && heap.mature_used > 0 {
+        // Full-heap trace: walk the mature space; compaction copies a
+        // fraction of it.
+        let mature = heap.mature_used;
+        let m = mature.div_ceil(packet_bytes * 4).max(1);
+        let per = mature / m;
+        for i in 0..m {
+            packets.push_back(GcPacket {
+                copy_bytes: (per / 8).max(1024),
+                trace_reads: ((per / 64) as f64 * cfg.trace_reads_per_line) as u64,
+                trace_base: AddressMap::MATURE,
+                trace_span: mature.max(4096),
+                copy_dest: AddressMap::MATURE + mature + i * (per / 8),
+            });
+        }
+    }
+    full
+}
+
+/// The shared packet-pulling state machine embedded in both the
+/// coordinator and plain workers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum PullMode {
+    /// Try the queue-lock fast path.
+    TryLock,
+    /// Parked on the contended queue lock.
+    LockParked,
+    /// Lock held: charge the critical-section cycles.
+    Locked,
+    /// Release the lock (pop already done); then trace the packet if any.
+    Release { packet: Option<GcPacket>, wake: bool },
+    /// Walk the packet's pointer graph.
+    Trace { packet: GcPacket },
+    /// Copy the packet's survivors.
+    Copy { packet: GcPacket },
+    /// Queue drained: check in.
+    Drained,
+}
+
+/// Advances the pull machine by one step. Returns `Ok(action)` to emit,
+/// or `Err(())` once the queue is drained and the caller checked in.
+fn pull_step(
+    shared: &RuntimeShared,
+    mode: &mut PullMode,
+    seed: &mut u64,
+) -> Result<Option<Action>, ()> {
+    match *mode {
+        PullMode::TryLock => {
+            if shared.queue_lock.try_acquire() {
+                *mode = PullMode::Locked;
+                Ok(None)
+            } else {
+                let expected = shared.queue_lock.mark_contended();
+                *mode = PullMode::LockParked;
+                Ok(Some(Action::FutexWait {
+                    futex: shared.queue_lock.futex,
+                    expected,
+                }))
+            }
+        }
+        PullMode::LockParked => {
+            // Contended re-acquire: keep the word at 2 so the next release
+            // wakes any remaining waiters.
+            if shared.queue_lock.acquire_contended() {
+                *mode = PullMode::Locked;
+                Ok(None)
+            } else {
+                let expected = shared.queue_lock.mark_contended();
+                Ok(Some(Action::FutexWait {
+                    futex: shared.queue_lock.futex,
+                    expected,
+                }))
+            }
+        }
+        PullMode::Locked => {
+            let packet = shared.packets.borrow_mut().pop_front();
+            let wake_needed_later = true; // decided at release from the word
+            let _ = wake_needed_later;
+            *mode = PullMode::Release {
+                packet,
+                wake: false, // filled at release
+            };
+            // Hold the lock for the modelled critical-section length.
+            Ok(Some(Action::Work(WorkItem::Compute {
+                instructions: shared.config.queue_lock_hold_cycles,
+                ipc: 1.0,
+            })))
+        }
+        PullMode::Release { packet, .. } => {
+            let wake = shared.queue_lock.release();
+            let next = match packet {
+                Some(p) => PullMode::Trace { packet: p },
+                None => PullMode::Drained,
+            };
+            *mode = next;
+            if wake {
+                Ok(Some(Action::FutexWake {
+                    futex: shared.queue_lock.futex,
+                    count: 1,
+                }))
+            } else {
+                Ok(None)
+            }
+        }
+        PullMode::Trace { packet } => {
+            *mode = PullMode::Copy { packet };
+            *seed += 1;
+            Ok(Some(Action::Work(WorkItem::Memory {
+                accesses: packet.trace_reads.max(16),
+                pattern: AccessPattern::Random {
+                    base: packet.trace_base,
+                    working_set: packet.trace_span,
+                },
+                mlp: 2.0,
+                compute_per_access: 8.0,
+                ipc: 2.0,
+                seed: *seed,
+            })))
+        }
+        PullMode::Copy { packet } => {
+            *mode = PullMode::TryLock;
+            *seed += 1;
+            Ok(Some(Action::Work(WorkItem::StoreBurst {
+                bytes: packet.copy_bytes,
+                pattern: AccessPattern::Streaming {
+                    base: packet.copy_dest,
+                },
+                seed: *seed,
+            })))
+        }
+        PullMode::Drained => {
+            shared
+                .workers_done
+                .set(shared.workers_done.get() + 1);
+            Err(())
+        }
+    }
+}
+
+/// Coordinator top-level mode.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum CoordMode {
+    /// Park on the doorbell.
+    Doorbell,
+    /// Doorbell rang: inspect the phase.
+    Inspect,
+    /// Emit the `GcStart` marker.
+    BeginGc,
+    /// Build packets, open the collection, wake the workers.
+    StartWorkers { full: bool },
+    /// Participate in collection.
+    Pull(PullMode),
+    /// Wait for the remaining workers to drain.
+    AwaitWorkers,
+    /// Workers done: apply heap effects, close the collection.
+    Finish,
+    /// Emit the `GcEnd` marker.
+    MarkEnd,
+    /// Restart the world.
+    WakeWorld,
+}
+
+/// The GC coordinator program (worker 0).
+pub struct CoordinatorProgram {
+    shared: Rc<RuntimeShared>,
+    mode: CoordMode,
+    full_gc: bool,
+    seed: u64,
+}
+
+impl std::fmt::Debug for CoordinatorProgram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CoordinatorProgram")
+            .field("mode", &self.mode)
+            .finish_non_exhaustive()
+    }
+}
+
+impl CoordinatorProgram {
+    /// Creates the coordinator.
+    pub fn new(shared: Rc<RuntimeShared>) -> Self {
+        CoordinatorProgram {
+            shared,
+            mode: CoordMode::Doorbell,
+            full_gc: false,
+            seed: 0xC0,
+        }
+    }
+}
+
+impl ThreadProgram for CoordinatorProgram {
+    fn next(&mut self, _ctx: &mut ProgContext) -> Action {
+        loop {
+            match self.mode {
+                CoordMode::Doorbell => {
+                    let snapshot = self.shared.coord_word.get();
+                    self.mode = CoordMode::Inspect;
+                    if self.shared.phase.get() == GcPhase::Requested
+                        || (self.shared.phase.get() == GcPhase::Stopping
+                            && self.shared.world_is_stopped())
+                    {
+                        continue; // work already pending; skip the park
+                    }
+                    return Action::FutexWait {
+                        futex: self.shared.coord_futex,
+                        expected: snapshot,
+                    };
+                }
+                CoordMode::Inspect => {
+                    match self.shared.phase.get() {
+                        GcPhase::Requested => {
+                            self.shared.phase.set(GcPhase::Stopping);
+                            if self.shared.world_is_stopped() {
+                                self.mode = CoordMode::BeginGc;
+                            } else {
+                                self.mode = CoordMode::Doorbell;
+                            }
+                        }
+                        GcPhase::Stopping => {
+                            if self.shared.world_is_stopped() {
+                                self.mode = CoordMode::BeginGc;
+                            } else {
+                                self.mode = CoordMode::Doorbell;
+                            }
+                        }
+                        GcPhase::Running | GcPhase::Collecting => {
+                            self.mode = CoordMode::Doorbell;
+                        }
+                    };
+                }
+                CoordMode::BeginGc => {
+                    self.mode = CoordMode::StartWorkers { full: false };
+                    return Action::MarkPhase(PhaseKind::GcStart);
+                }
+                CoordMode::StartWorkers { .. } => {
+                    let full = build_packets(&self.shared);
+                    self.full_gc = full;
+                    self.shared.workers_done.set(0);
+                    self.shared.phase.set(GcPhase::Collecting);
+                    self.shared
+                        .worker_word
+                        .set(self.shared.worker_word.get().wrapping_add(1));
+                    self.mode = CoordMode::Pull(PullMode::TryLock);
+                    return Action::FutexWake {
+                        futex: self.shared.worker_futex,
+                        count: u32::MAX,
+                    };
+                }
+                CoordMode::Pull(mut pull) => {
+                    match pull_step(&self.shared, &mut pull, &mut self.seed) {
+                        Ok(Some(action)) => {
+                            self.mode = CoordMode::Pull(pull);
+                            return action;
+                        }
+                        Ok(None) => {
+                            self.mode = CoordMode::Pull(pull);
+                        }
+                        Err(()) => {
+                            self.mode = CoordMode::AwaitWorkers;
+                        }
+                    }
+                }
+                CoordMode::AwaitWorkers => {
+                    let workers = self.shared.config.gc_workers as u32;
+                    if self.shared.workers_done.get() >= workers {
+                        self.mode = CoordMode::Finish;
+                        continue;
+                    }
+                    let snapshot = self.shared.done_word.get();
+                    // Re-check after snapshotting to close the race.
+                    if self.shared.workers_done.get() >= workers {
+                        self.mode = CoordMode::Finish;
+                        continue;
+                    }
+                    self.mode = CoordMode::AwaitWorkers;
+                    return Action::FutexWait {
+                        futex: self.shared.done_futex,
+                        expected: snapshot,
+                    };
+                }
+                CoordMode::Finish => {
+                    let cfg = &self.shared.config;
+                    let mut heap = self.shared.heap.borrow_mut();
+                    let survivors = heap.nursery_collected(cfg.survivor_fraction);
+                    if self.full_gc {
+                        heap.full_heap_collected(cfg.full_heap_reclaim);
+                    }
+                    drop(heap);
+                    self.shared
+                        .bytes_copied
+                        .set(self.shared.bytes_copied.get() + survivors);
+                    self.shared.phase.set(GcPhase::Running);
+                    self.shared
+                        .world_word
+                        .set(self.shared.world_word.get().wrapping_add(1));
+                    self.mode = CoordMode::MarkEnd;
+                }
+                CoordMode::MarkEnd => {
+                    self.mode = CoordMode::WakeWorld;
+                    return Action::MarkPhase(PhaseKind::GcEnd);
+                }
+                CoordMode::WakeWorld => {
+                    self.mode = CoordMode::Doorbell;
+                    return Action::FutexWake {
+                        futex: self.shared.world_futex,
+                        count: u32::MAX,
+                    };
+                }
+            }
+        }
+    }
+}
+
+/// Worker top-level mode.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum WorkerMode {
+    /// Park until the next collection.
+    Idle,
+    /// Woken: check the phase.
+    Woken,
+    /// Collect.
+    Pull(PullMode),
+    /// Drained: if last, wake the coordinator.
+    CheckIn,
+}
+
+/// A plain GC worker program (workers 1..n).
+pub struct WorkerProgram {
+    shared: Rc<RuntimeShared>,
+    mode: WorkerMode,
+    seed: u64,
+    /// Collection generation (worker_word value) this worker last served —
+    /// guards against rejoining a collection it already drained.
+    served_gen: u32,
+}
+
+impl std::fmt::Debug for WorkerProgram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerProgram")
+            .field("mode", &self.mode)
+            .finish_non_exhaustive()
+    }
+}
+
+impl WorkerProgram {
+    /// Creates worker `ordinal` (1-based).
+    pub fn new(shared: Rc<RuntimeShared>, ordinal: u32) -> Self {
+        WorkerProgram {
+            shared,
+            mode: WorkerMode::Idle,
+            seed: u64::from(ordinal) << 40,
+            served_gen: 0,
+        }
+    }
+}
+
+impl ThreadProgram for WorkerProgram {
+    fn next(&mut self, _ctx: &mut ProgContext) -> Action {
+        loop {
+            match self.mode {
+                WorkerMode::Idle => {
+                    let snapshot = self.shared.worker_word.get();
+                    self.mode = WorkerMode::Woken;
+                    if self.shared.phase.get() == GcPhase::Collecting
+                        && snapshot != self.served_gen
+                    {
+                        continue; // an unserved collection is already open
+                    }
+                    return Action::FutexWait {
+                        futex: self.shared.worker_futex,
+                        expected: snapshot,
+                    };
+                }
+                WorkerMode::Woken => {
+                    let gen = self.shared.worker_word.get();
+                    if self.shared.phase.get() == GcPhase::Collecting
+                        && gen != self.served_gen
+                    {
+                        self.served_gen = gen;
+                        self.mode = WorkerMode::Pull(PullMode::TryLock);
+                    } else {
+                        self.mode = WorkerMode::Idle;
+                    }
+                }
+                WorkerMode::Pull(mut pull) => {
+                    match pull_step(&self.shared, &mut pull, &mut self.seed) {
+                        Ok(Some(action)) => {
+                            self.mode = WorkerMode::Pull(pull);
+                            return action;
+                        }
+                        Ok(None) => {
+                            self.mode = WorkerMode::Pull(pull);
+                        }
+                        Err(()) => {
+                            self.mode = WorkerMode::CheckIn;
+                        }
+                    }
+                }
+                WorkerMode::CheckIn => {
+                    let workers = self.shared.config.gc_workers as u32;
+                    self.mode = WorkerMode::Idle;
+                    if self.shared.workers_done.get() >= workers {
+                        // Last to finish: wake the coordinator.
+                        self.shared
+                            .done_word
+                            .set(self.shared.done_word.get().wrapping_add(1));
+                        return Action::FutexWake {
+                            futex: self.shared.done_futex,
+                            count: 1,
+                        };
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RuntimeConfig;
+    use simx::{Machine, MachineConfig};
+
+    #[test]
+    fn packet_building_covers_survivors() {
+        let mut machine = Machine::new(MachineConfig::haswell_quad());
+        let config = RuntimeConfig::with_heap(64 << 20);
+        let shared = RuntimeShared::new(&mut machine, config, 4, 0, &[]);
+        shared.heap.borrow_mut().try_alloc(8 << 20);
+        let full = build_packets(&shared);
+        assert!(!full);
+        let packets = shared.packets.borrow();
+        let survivors = (8 << 20) as f64 * shared.config.survivor_fraction;
+        let total: u64 = packets.iter().map(|p| p.copy_bytes).sum();
+        assert!(
+            (total as f64 - survivors).abs() / survivors < 0.1,
+            "copy bytes {total} should approximate survivors {survivors}"
+        );
+        assert!(packets.len() > 1, "survivors should split into packets");
+        assert!(packets.iter().all(|p| p.trace_reads > 0));
+    }
+
+    #[test]
+    fn periodic_full_heap_collection() {
+        let mut machine = Machine::new(MachineConfig::haswell_quad());
+        let mut config = RuntimeConfig::with_heap(64 << 20);
+        config.full_heap_period = 2;
+        let shared = RuntimeShared::new(&mut machine, config, 4, 0, &[]);
+        shared.heap.borrow_mut().try_alloc(4 << 20);
+        shared.heap.borrow_mut().mature_used = 16 << 20;
+        // gc_count = 1 -> next is the 2nd -> full.
+        shared.heap.borrow_mut().gc_count = 1;
+        let full = build_packets(&shared);
+        assert!(full);
+        let packets = shared.packets.borrow();
+        assert!(packets
+            .iter()
+            .any(|p| p.trace_base == AddressMap::MATURE));
+    }
+}

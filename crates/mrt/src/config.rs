@@ -1,0 +1,116 @@
+//! Managed-runtime configuration.
+
+use dvfs_trace::TimeDelta;
+
+/// Configuration of the managed runtime (heap sizing, collector shape,
+/// JIT). Defaults mirror the paper's setup: Jikes RVM's default
+/// stop-the-world generational collector with four GC threads and
+/// moderate heap pressure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuntimeConfig {
+    /// Total heap size in bytes (Table I gives per-benchmark values).
+    pub heap_size: u64,
+    /// Nursery size in bytes. Jikes RVM's default nursery is a fraction of
+    /// the heap; collections trigger when it fills.
+    pub nursery_size: u64,
+    /// Number of parallel GC worker threads (including the coordinator).
+    pub gc_workers: usize,
+    /// Fraction of the nursery that survives a nursery collection and is
+    /// copied to the mature space.
+    pub survivor_fraction: f64,
+    /// Every n-th collection also traces the mature space (a full-heap
+    /// collection — substantially more work).
+    pub full_heap_period: u32,
+    /// Fraction of the mature space reclaimed by a full-heap collection.
+    pub full_heap_reclaim: f64,
+    /// Bytes of survivor data per GC work packet (packet granularity
+    /// controls GC-internal lock contention).
+    pub packet_bytes: u64,
+    /// Pointer-graph reads per copied cache line during tracing.
+    pub trace_reads_per_line: f64,
+    /// Cycles held inside the packet-queue lock per pop.
+    pub queue_lock_hold_cycles: u64,
+    /// Whether to run a JIT service thread.
+    pub jit: bool,
+    /// Total compute the JIT burns over the run (instructions).
+    pub jit_budget_instructions: u64,
+    /// JIT wake period.
+    pub jit_period: TimeDelta,
+    /// Core-affinity bitmask for service threads (GC workers + JIT);
+    /// `None` = run anywhere. Used by the per-core DVFS extension to pin
+    /// service threads to a dedicated core set (cf. Sartor et al. \[35\]).
+    pub service_affinity: Option<u8>,
+    /// Core-affinity bitmask for application (mutator) threads.
+    pub mutator_affinity: Option<u8>,
+}
+
+impl RuntimeConfig {
+    /// A runtime with the given heap, nursery defaulted to a quarter of
+    /// the heap, four GC workers, and the JIT enabled.
+    #[must_use]
+    pub fn with_heap(heap_size: u64) -> Self {
+        RuntimeConfig {
+            heap_size,
+            nursery_size: heap_size / 4,
+            gc_workers: 4,
+            survivor_fraction: 0.10,
+            full_heap_period: 8,
+            full_heap_reclaim: 0.8,
+            packet_bytes: 64 * 1024,
+            trace_reads_per_line: 8.0,
+            queue_lock_hold_cycles: 2500,
+            jit: true,
+            jit_budget_instructions: 40_000_000,
+            jit_period: TimeDelta::from_millis(20.0),
+            service_affinity: None,
+            mutator_affinity: None,
+        }
+    }
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        Self::with_heap(96 * 1024 * 1024)
+    }
+}
+
+/// Virtual address map of the simulated heap (purely for cache/DRAM
+/// behaviour; there is no functional memory).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AddressMap;
+
+impl AddressMap {
+    /// Base address of the nursery.
+    pub const NURSERY: u64 = 1 << 33;
+    /// Base address of the mature space.
+    pub const MATURE: u64 = 1 << 34;
+    /// Base address of non-heap application data (indexed per region).
+    pub const APP_DATA: u64 = 1 << 35;
+
+    /// Base address of the `i`-th application data region (1 GB apart).
+    #[must_use]
+    pub fn app_region(i: u64) -> u64 {
+        Self::APP_DATA + i * (1 << 30)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_nursery_is_quarter_heap() {
+        let c = RuntimeConfig::with_heap(100 << 20);
+        assert_eq!(c.nursery_size, 25 << 20);
+        assert_eq!(c.gc_workers, 4);
+    }
+
+    #[test]
+    fn app_regions_do_not_overlap_heap() {
+        assert!(AddressMap::app_region(0) > AddressMap::MATURE);
+        assert_eq!(
+            AddressMap::app_region(2) - AddressMap::app_region(1),
+            1 << 30
+        );
+    }
+}

@@ -1,0 +1,154 @@
+//! Heap accounting: bump-pointer nursery + mature space.
+
+use crate::config::AddressMap;
+
+/// Result of a nursery allocation attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllocResult {
+    /// Space granted; the payload is the base address of the fresh region
+    /// (to be zero-initialised).
+    Fits {
+        /// Base address of the allocated region.
+        base: u64,
+    },
+    /// The nursery cannot hold the request: a collection is needed.
+    NeedsGc,
+}
+
+/// Heap occupancy state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HeapState {
+    /// Nursery capacity in bytes.
+    pub nursery_size: u64,
+    /// Bytes currently allocated in the nursery.
+    pub nursery_used: u64,
+    /// Bytes live in the mature space.
+    pub mature_used: u64,
+    /// Total heap budget.
+    pub heap_size: u64,
+    /// Nursery collections completed.
+    pub gc_count: u64,
+    /// Full-heap collections completed.
+    pub full_gc_count: u64,
+    /// Total bytes ever allocated (statistics).
+    pub total_allocated: u64,
+}
+
+impl HeapState {
+    /// A fresh heap.
+    #[must_use]
+    pub fn new(heap_size: u64, nursery_size: u64) -> Self {
+        HeapState {
+            nursery_size,
+            nursery_used: 0,
+            mature_used: 0,
+            heap_size,
+            gc_count: 0,
+            full_gc_count: 0,
+            total_allocated: 0,
+        }
+    }
+
+    /// Attempts a bump allocation of `bytes`.
+    pub fn try_alloc(&mut self, bytes: u64) -> AllocResult {
+        assert!(
+            bytes <= self.nursery_size / 2,
+            "allocation of {bytes} B too large for a {} B nursery",
+            self.nursery_size
+        );
+        if self.nursery_used + bytes > self.nursery_size {
+            AllocResult::NeedsGc
+        } else {
+            let base = AddressMap::NURSERY + self.nursery_used;
+            self.nursery_used += bytes;
+            self.total_allocated += bytes;
+            AllocResult::Fits { base }
+        }
+    }
+
+    /// Applies the heap effects of a nursery collection: survivors move to
+    /// the mature space, the nursery resets. Returns the survivor bytes.
+    pub fn nursery_collected(&mut self, survivor_fraction: f64) -> u64 {
+        let survivors = (self.nursery_used as f64 * survivor_fraction) as u64;
+        self.mature_used += survivors;
+        self.nursery_used = 0;
+        self.gc_count += 1;
+        survivors
+    }
+
+    /// Applies a full-heap collection: reclaims a fraction of the mature
+    /// space. Returns the mature bytes that were traced.
+    pub fn full_heap_collected(&mut self, reclaim_fraction: f64) -> u64 {
+        let traced = self.mature_used;
+        self.mature_used = (self.mature_used as f64 * (1.0 - reclaim_fraction)) as u64;
+        self.full_gc_count += 1;
+        traced
+    }
+
+    /// True when mature occupancy threatens the heap budget and the next
+    /// collection should trace the full heap.
+    #[must_use]
+    pub fn mature_pressure(&self) -> bool {
+        self.mature_used + self.nursery_size > self.heap_size
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bump_allocation_until_full() {
+        let mut h = HeapState::new(64 << 20, 16 << 20);
+        let AllocResult::Fits { base } = h.try_alloc(1 << 20) else {
+            panic!("first alloc fits");
+        };
+        assert_eq!(base, AddressMap::NURSERY);
+        let AllocResult::Fits { base } = h.try_alloc(1 << 20) else {
+            panic!("second alloc fits");
+        };
+        assert_eq!(base, AddressMap::NURSERY + (1 << 20));
+        // Fill the nursery.
+        while let AllocResult::Fits { .. } = h.try_alloc(1 << 20) {}
+        assert_eq!(h.try_alloc(1 << 20), AllocResult::NeedsGc);
+        assert_eq!(h.total_allocated, 16 << 20);
+    }
+
+    #[test]
+    fn collection_moves_survivors_and_resets() {
+        let mut h = HeapState::new(64 << 20, 16 << 20);
+        for _ in 0..10 {
+            h.try_alloc(1 << 20);
+        }
+        let survivors = h.nursery_collected(0.2);
+        assert_eq!(survivors, 2 << 20);
+        assert_eq!(h.nursery_used, 0);
+        assert_eq!(h.mature_used, 2 << 20);
+        assert_eq!(h.gc_count, 1);
+    }
+
+    #[test]
+    fn full_heap_collection_reclaims() {
+        let mut h = HeapState::new(64 << 20, 16 << 20);
+        h.mature_used = 40 << 20;
+        let traced = h.full_heap_collected(0.5);
+        assert_eq!(traced, 40 << 20);
+        assert_eq!(h.mature_used, 20 << 20);
+        assert_eq!(h.full_gc_count, 1);
+    }
+
+    #[test]
+    fn mature_pressure_threshold() {
+        let mut h = HeapState::new(64 << 20, 16 << 20);
+        assert!(!h.mature_pressure());
+        h.mature_used = 50 << 20;
+        assert!(h.mature_pressure());
+    }
+
+    #[test]
+    #[should_panic(expected = "too large")]
+    fn oversized_allocation_panics() {
+        let mut h = HeapState::new(64 << 20, 16 << 20);
+        h.try_alloc(9 << 20);
+    }
+}

@@ -1,0 +1,98 @@
+//! The just-in-time compilation service thread.
+//!
+//! With replay compilation the paper measures steady-state behaviour, so
+//! the JIT's role here is deliberately modest: it wakes periodically early
+//! in the run, burns a slice of compute (method compilation), and exits
+//! once its budget is spent. Its timer wakeups still create the
+//! application/service-thread epoch boundaries DEP must handle.
+
+use std::rc::Rc;
+
+use simx::program::{Action, ProgContext, ThreadProgram};
+use simx::WorkItem;
+
+use crate::control::RuntimeShared;
+
+/// Per-wake compilation slice, as a fraction of the total budget.
+const SLICES: u64 = 24;
+
+/// The JIT service-thread program.
+pub struct JitProgram {
+    shared: Rc<RuntimeShared>,
+    remaining: u64,
+    sleeping: bool,
+}
+
+impl std::fmt::Debug for JitProgram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JitProgram")
+            .field("remaining", &self.remaining)
+            .finish_non_exhaustive()
+    }
+}
+
+impl JitProgram {
+    /// Creates the JIT thread program.
+    pub fn new(shared: Rc<RuntimeShared>) -> Self {
+        let remaining = shared.config.jit_budget_instructions;
+        JitProgram {
+            shared,
+            remaining,
+            sleeping: false,
+        }
+    }
+}
+
+impl ThreadProgram for JitProgram {
+    fn next(&mut self, _ctx: &mut ProgContext) -> Action {
+        if self.remaining == 0 {
+            return Action::Exit;
+        }
+        if !self.sleeping {
+            self.sleeping = true;
+            return Action::SleepFor(self.shared.config.jit_period);
+        }
+        self.sleeping = false;
+        let slice = (self.shared.config.jit_budget_instructions / SLICES).max(1);
+        let work = slice.min(self.remaining);
+        self.remaining -= work;
+        Action::Work(WorkItem::Compute {
+            instructions: work,
+            ipc: 1.6,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RuntimeConfig;
+    use dvfs_trace::{ThreadId, Time};
+    use simx::program::WaitOutcome;
+    use simx::{Machine, MachineConfig};
+
+    #[test]
+    fn jit_alternates_sleep_and_work_until_budget_spent() {
+        let mut machine = Machine::new(MachineConfig::haswell_quad());
+        let mut config = RuntimeConfig::with_heap(64 << 20);
+        config.jit_budget_instructions = 100;
+        let shared = Rc::new(RuntimeShared::new(&mut machine, config, 1, 0, &[]));
+        let mut jit = JitProgram::new(shared);
+        let mut ctx = ProgContext {
+            now: Time::ZERO,
+            tid: ThreadId(0),
+            last_wait: WaitOutcome::None,
+            last_spawned: None,
+        };
+        let mut worked = 0u64;
+        loop {
+            match jit.next(&mut ctx) {
+                Action::SleepFor(_) => {}
+                Action::Work(WorkItem::Compute { instructions, .. }) => worked += instructions,
+                Action::Exit => break,
+                other => panic!("unexpected action {other:?}"),
+            }
+        }
+        assert_eq!(worked, 100);
+    }
+}

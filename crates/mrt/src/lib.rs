@@ -1,0 +1,39 @@
+//! `mrt` — a managed-runtime (JVM-like) simulator on top of [`simx`].
+//!
+//! This crate is the reproduction's substitute for Jikes RVM 3.1.2 (paper
+//! §IV). It provides the managed-language execution behaviours the
+//! DEP+BURST predictor is sensitive to:
+//!
+//! * **mutator threads** that allocate from a bump-pointer nursery, paying
+//!   the Java **zero-initialisation store burst** on every allocation;
+//! * a **stop-the-world parallel copying collector**: when the nursery
+//!   fills, all mutators are stopped at safepoints (via futexes), GC worker
+//!   threads pull work packets from a lock-protected shared queue (more
+//!   futex traffic), copy survivors (**GC-copy store bursts**), and the
+//!   world is restarted — emitting the `GcStart`/`GcEnd` phase markers the
+//!   COOP baseline listens for;
+//! * an optional **JIT service thread** that periodically wakes and burns
+//!   compute early in the run;
+//! * safepoint-aware application synchronisation (locks, barriers, timed
+//!   sleeps) so a blocked mutator never deadlocks a collection.
+//!
+//! Workloads implement [`WorkSource`] to describe application behaviour as
+//! a stream of [`Step`]s; [`ManagedRuntime`] wires everything onto a
+//! [`simx::Machine`].
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod collector;
+mod config;
+mod control;
+mod heap;
+mod jit;
+mod mutator;
+mod runtime;
+
+pub use config::{AddressMap, RuntimeConfig};
+pub use control::{GcPhase, RuntimeShared};
+pub use heap::HeapState;
+pub use mutator::{Step, StepContext, WorkSource};
+pub use runtime::ManagedRuntime;

@@ -1,0 +1,440 @@
+//! Mutator (application) threads: safepoint-aware execution of a workload's
+//! step stream, nursery allocation with zero-initialisation, and
+//! futex-based locks/barriers/sleeps.
+
+use std::rc::Rc;
+
+use dvfs_trace::{Time, TimeDelta};
+use simx::mem::AccessPattern;
+use simx::program::{Action, ProgContext, ThreadProgram};
+use simx::WorkItem;
+
+use crate::control::RuntimeShared;
+use crate::heap::AllocResult;
+
+/// Context handed to a [`WorkSource`] when it is asked for its next step.
+#[derive(Debug, Clone, Copy)]
+pub struct StepContext {
+    /// Current simulated time.
+    pub now: Time,
+    /// Collections completed so far (lets sources react to GC pressure).
+    pub gc_count: u64,
+}
+
+/// One application-level step of a workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Step {
+    /// Timed work (compute / loads / stores), passed straight through.
+    Work(WorkItem),
+    /// Allocate `bytes` from the nursery (zero-initialising them),
+    /// triggering a stop-the-world collection if it does not fit.
+    Alloc {
+        /// Bytes to allocate.
+        bytes: u64,
+    },
+    /// Acquire application lock `Step::Lock(i)` (futex mutex, uncontended
+    /// fast path in user space).
+    Lock(usize),
+    /// Release application lock `i`.
+    Unlock(usize),
+    /// Arrive at application barrier `i` and wait for all parties.
+    Barrier(usize),
+    /// Sleep for a fixed duration (timers, actor-style idling).
+    Sleep(TimeDelta),
+}
+
+/// A workload's behaviour on one mutator thread: a stream of steps.
+///
+/// Returning `None` ends the thread. Steps should be short (≲ 1 ms of
+/// simulated work) — the mutator polls safepoints between steps, so very
+/// long steps delay collections, just like missing safepoint polls in a
+/// real VM.
+pub trait WorkSource: 'static {
+    /// The next step, or `None` when the thread is done.
+    fn next_step(&mut self, ctx: &StepContext) -> Option<Step>;
+}
+
+impl<F: FnMut(&StepContext) -> Option<Step> + 'static> WorkSource for F {
+    fn next_step(&mut self, ctx: &StepContext) -> Option<Step> {
+        self(ctx)
+    }
+}
+
+/// Micro-state of the mutator's protocol machinery.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Mode {
+    /// Poll safepoint, then dispatch the pending/fetched step.
+    Normal,
+    /// Stopped at a safepoint and the world became fully stopped: ring the
+    /// coordinator's doorbell, then park.
+    StopRing { gen: u32 },
+    /// Park on the world futex until the collection finishes.
+    StopWait { gen: u32 },
+    /// Woken from a world park: un-count and re-poll.
+    StopWoken,
+    /// Park on a contended lock (safe-blocked).
+    LockSleep { idx: usize },
+    /// Woken from a lock park: un-count, re-poll, retry the acquire.
+    LockWoken { idx: usize },
+    /// Park on a barrier (safe-blocked).
+    BarrierSleep { idx: usize, expected: u32 },
+    /// Woken from a barrier park.
+    BarrierWoken,
+    /// A timed sleep was issued (safe-blocked).
+    SleepDone,
+    /// Ring the coordinator before parking safe (we completed the stop).
+    SafeRing { then: SafeKind },
+    /// Thread finished: emit any owed wakes, then exit.
+    Exiting,
+}
+
+/// What a [`Mode::SafeRing`] continues into.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum SafeKind {
+    Lock { idx: usize },
+    Barrier { idx: usize, expected: u32 },
+    Sleep { duration: TimeDelta },
+}
+
+/// The program driving one application thread.
+pub struct MutatorProgram {
+    shared: Rc<RuntimeShared>,
+    source: Box<dyn WorkSource>,
+    mode: Mode,
+    pending: Option<Step>,
+    seed: u64,
+    exit_wakes: Vec<simx::FutexId>,
+}
+
+impl std::fmt::Debug for MutatorProgram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MutatorProgram")
+            .field("mode", &self.mode)
+            .field("pending", &self.pending)
+            .finish_non_exhaustive()
+    }
+}
+
+impl MutatorProgram {
+    /// Creates the program. `ordinal` distinguishes this mutator's seeds.
+    pub fn new(shared: Rc<RuntimeShared>, source: Box<dyn WorkSource>, ordinal: u32) -> Self {
+        MutatorProgram {
+            shared,
+            source,
+            mode: Mode::Normal,
+            pending: None,
+            seed: u64::from(ordinal) << 32,
+            exit_wakes: Vec::new(),
+        }
+    }
+
+    fn next_seed(&mut self) -> u64 {
+        self.seed += 1;
+        self.seed
+    }
+
+    /// Enters the stop-at-safepoint protocol. Returns the next mode.
+    fn enter_stop(&self) -> Mode {
+        let s = &self.shared;
+        s.mutators_stopped.set(s.mutators_stopped.get() + 1);
+        let gen = s.world_word.get();
+        if s.world_is_stopped() {
+            Mode::StopRing { gen }
+        } else {
+            Mode::StopWait { gen }
+        }
+    }
+
+    /// Marks this thread safe-blocked; returns `true` if the coordinator
+    /// must be rung (this block completed the world stop).
+    fn enter_safe(&self) -> bool {
+        let s = &self.shared;
+        s.mutators_safe.set(s.mutators_safe.get() + 1);
+        s.stop_requested() && s.world_is_stopped()
+    }
+
+    fn leave_safe(&self) {
+        let s = &self.shared;
+        s.mutators_safe.set(s.mutators_safe.get() - 1);
+    }
+
+    /// Prepares the thread's exit: withdraw from barriers, un-count from
+    /// the mutator roster, and collect any wakes that are now owed.
+    fn prepare_exit(&mut self) {
+        let s = &self.shared;
+        for b in &s.app_barriers {
+            if b.withdraw() {
+                self.exit_wakes.push(b.futex);
+            }
+        }
+        s.mutators_total.set(s.mutators_total.get() - 1);
+        if s.stop_requested() && s.world_is_stopped() {
+            s.ring_coordinator();
+            self.exit_wakes.push(s.coord_futex);
+        }
+        self.mode = Mode::Exiting;
+    }
+
+    /// Dispatches the pending step. Returns an action to emit, or `None`
+    /// to loop (the step completed instantly or changed mode).
+    fn dispatch(&mut self, step: Step, _now: Time) -> Option<Action> {
+        let shared = self.shared.clone();
+        match step {
+            Step::Work(item) => {
+                self.pending = None;
+                Some(Action::Work(item))
+            }
+            Step::Alloc { bytes } => {
+                let result = shared.heap.borrow_mut().try_alloc(bytes);
+                match result {
+                    AllocResult::Fits { base } => {
+                        self.pending = None;
+                        let seed = self.next_seed();
+                        Some(Action::Work(WorkItem::StoreBurst {
+                            bytes,
+                            pattern: AccessPattern::Streaming { base },
+                            seed,
+                        }))
+                    }
+                    AllocResult::NeedsGc => {
+                        // Keep the step pending; request a collection and
+                        // stop. The retry happens after the world restarts.
+                        shared.request_gc();
+                        self.mode = self.enter_stop();
+                        None
+                    }
+                }
+            }
+            Step::Lock(idx) => {
+                let lock = &shared.app_locks[idx];
+                if lock.try_acquire() {
+                    self.pending = None;
+                    None
+                } else {
+                    let expected = lock.mark_contended();
+                    debug_assert_eq!(expected, 2);
+                    if self.enter_safe() {
+                        shared.ring_coordinator();
+                        self.mode = Mode::SafeRing {
+                            then: SafeKind::Lock { idx },
+                        };
+                        Some(Action::FutexWake {
+                            futex: shared.coord_futex,
+                            count: 1,
+                        })
+                    } else {
+                        self.mode = Mode::LockSleep { idx };
+                        None
+                    }
+                }
+            }
+            Step::Unlock(idx) => {
+                let lock = &shared.app_locks[idx];
+                self.pending = None;
+                if lock.release() {
+                    Some(Action::FutexWake {
+                        futex: lock.futex,
+                        count: 1,
+                    })
+                } else {
+                    None
+                }
+            }
+            Step::Barrier(idx) => {
+                let barrier = &shared.app_barriers[idx];
+                let expected = barrier.word.get();
+                if barrier.arrive() {
+                    // Last arriver releases everyone.
+                    self.pending = None;
+                    Some(Action::FutexWake {
+                        futex: barrier.futex,
+                        count: u32::MAX,
+                    })
+                } else if self.enter_safe() {
+                    shared.ring_coordinator();
+                    self.mode = Mode::SafeRing {
+                        then: SafeKind::Barrier { idx, expected },
+                    };
+                    Some(Action::FutexWake {
+                        futex: shared.coord_futex,
+                        count: 1,
+                    })
+                } else {
+                    self.mode = Mode::BarrierSleep { idx, expected };
+                    None
+                }
+            }
+            Step::Sleep(duration) => {
+                if self.enter_safe() {
+                    shared.ring_coordinator();
+                    self.mode = Mode::SafeRing {
+                        then: SafeKind::Sleep { duration },
+                    };
+                    Some(Action::FutexWake {
+                        futex: shared.coord_futex,
+                        count: 1,
+                    })
+                } else {
+                    self.mode = Mode::SleepDone;
+                    self.pending = None;
+                    Some(Action::SleepFor(duration))
+                }
+            }
+        }
+    }
+}
+
+impl ThreadProgram for MutatorProgram {
+    fn next(&mut self, ctx: &mut ProgContext) -> Action {
+        loop {
+            match self.mode {
+                Mode::Normal => {
+                    // Safepoint poll.
+                    if self.shared.stop_requested() {
+                        self.mode = self.enter_stop();
+                        continue;
+                    }
+                    let step = match self.pending {
+                        Some(step) => step,
+                        None => {
+                            let step_ctx = StepContext {
+                                now: ctx.now,
+                                gc_count: self.shared.heap.borrow().gc_count,
+                            };
+                            match self.source.next_step(&step_ctx) {
+                                Some(step) => {
+                                    self.pending = Some(step);
+                                    step
+                                }
+                                None => {
+                                    self.prepare_exit();
+                                    continue;
+                                }
+                            }
+                        }
+                    };
+                    if let Some(action) = self.dispatch(step, ctx.now) {
+                        return action;
+                    }
+                }
+                Mode::StopRing { gen } => {
+                    self.shared.ring_coordinator();
+                    self.mode = Mode::StopWait { gen };
+                    return Action::FutexWake {
+                        futex: self.shared.coord_futex,
+                        count: 1,
+                    };
+                }
+                Mode::StopWait { gen } => {
+                    self.mode = Mode::StopWoken;
+                    return Action::FutexWait {
+                        futex: self.shared.world_futex,
+                        expected: gen,
+                    };
+                }
+                Mode::StopWoken => {
+                    let s = &self.shared;
+                    s.mutators_stopped.set(s.mutators_stopped.get() - 1);
+                    self.mode = Mode::Normal;
+                }
+                Mode::SafeRing { then } => {
+                    // The doorbell wake was just emitted; now actually park.
+                    match then {
+                        SafeKind::Lock { idx } => {
+                            self.mode = Mode::LockSleep { idx };
+                        }
+                        SafeKind::Barrier { idx, expected } => {
+                            self.mode = Mode::BarrierSleep { idx, expected };
+                        }
+                        SafeKind::Sleep { duration } => {
+                            self.mode = Mode::SleepDone;
+                            self.pending = None;
+                            return Action::SleepFor(duration);
+                        }
+                    }
+                }
+                Mode::LockSleep { idx } => {
+                    self.mode = Mode::LockWoken { idx };
+                    return Action::FutexWait {
+                        futex: self.shared.app_locks[idx].futex,
+                        expected: 2,
+                    };
+                }
+                Mode::LockWoken { idx } => {
+                    self.leave_safe();
+                    let shared = self.shared.clone();
+                    let lock = &shared.app_locks[idx];
+                    // Contended re-acquire: on success the word stays 2 so
+                    // the next release wakes any remaining waiters.
+                    if lock.acquire_contended() {
+                        self.pending = None;
+                        self.mode = Mode::Normal;
+                    } else {
+                        let _ = lock.mark_contended();
+                        if self.enter_safe() {
+                            shared.ring_coordinator();
+                            self.mode = Mode::SafeRing {
+                                then: SafeKind::Lock { idx },
+                            };
+                            return Action::FutexWake {
+                                futex: shared.coord_futex,
+                                count: 1,
+                            };
+                        }
+                        self.mode = Mode::LockSleep { idx };
+                    }
+                }
+                Mode::BarrierSleep { idx, expected } => {
+                    self.mode = Mode::BarrierWoken;
+                    return Action::FutexWait {
+                        futex: self.shared.app_barriers[idx].futex,
+                        expected,
+                    };
+                }
+                Mode::BarrierWoken => {
+                    self.leave_safe();
+                    self.pending = None; // the arrival is consumed
+                    self.mode = Mode::Normal;
+                }
+                Mode::SleepDone => {
+                    self.leave_safe();
+                    self.mode = Mode::Normal;
+                }
+                Mode::Exiting => match self.exit_wakes.pop() {
+                    Some(futex) => {
+                        return Action::FutexWake {
+                            futex,
+                            count: u32::MAX,
+                        }
+                    }
+                    None => return Action::Exit,
+                },
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closure_sources_work() {
+        let mut emitted = 0;
+        let mut src = move |_ctx: &StepContext| {
+            emitted += 1;
+            if emitted <= 2 {
+                Some(Step::Alloc { bytes: 1024 })
+            } else {
+                None
+            }
+        };
+        let ctx = StepContext {
+            now: Time::ZERO,
+            gc_count: 0,
+        };
+        assert!(matches!(src.next_step(&ctx), Some(Step::Alloc { .. })));
+        assert!(matches!(src.next_step(&ctx), Some(Step::Alloc { .. })));
+        assert!(src.next_step(&ctx).is_none());
+    }
+}

@@ -1,0 +1,117 @@
+//! Wiring the managed runtime onto a machine.
+
+use std::rc::Rc;
+
+use dvfs_trace::ThreadRole;
+use simx::{Machine, SpawnRequest};
+
+use crate::collector::{CoordinatorProgram, WorkerProgram};
+use crate::config::RuntimeConfig;
+use crate::control::RuntimeShared;
+use crate::jit::JitProgram;
+use crate::mutator::{MutatorProgram, WorkSource};
+
+/// A managed runtime installed on a machine: mutator threads running the
+/// given work sources, GC coordinator + workers, and (optionally) a JIT
+/// thread.
+#[derive(Debug)]
+pub struct ManagedRuntime {
+    shared: Rc<RuntimeShared>,
+}
+
+impl ManagedRuntime {
+    /// Installs the runtime: registers all futexes and spawns every thread.
+    ///
+    /// `sources` defines the application: one [`WorkSource`] per mutator
+    /// thread. `app_locks` is the number of application mutexes available
+    /// to `Step::Lock`; `app_barriers` gives the party count of each
+    /// application barrier.
+    pub fn install(
+        machine: &mut Machine,
+        config: RuntimeConfig,
+        sources: Vec<Box<dyn WorkSource>>,
+        app_locks: usize,
+        app_barriers: &[u32],
+    ) -> Self {
+        let mutators = sources.len() as u32;
+        let shared = Rc::new(RuntimeShared::new(
+            machine,
+            config,
+            mutators,
+            app_locks,
+            app_barriers,
+        ));
+
+        let pin = |req: SpawnRequest, mask: Option<u8>| match mask {
+            Some(m) => req.with_affinity(m),
+            None => req,
+        };
+        let service = shared.config.service_affinity;
+        let mutator = shared.config.mutator_affinity;
+
+        // Service threads first so they park before the application starts.
+        machine.spawn(pin(
+            SpawnRequest::new(
+                "gc-0",
+                ThreadRole::GcWorker,
+                Box::new(CoordinatorProgram::new(shared.clone())),
+            ),
+            service,
+        ));
+        for w in 1..shared.config.gc_workers {
+            machine.spawn(pin(
+                SpawnRequest::new(
+                    format!("gc-{w}"),
+                    ThreadRole::GcWorker,
+                    Box::new(WorkerProgram::new(shared.clone(), w as u32)),
+                ),
+                service,
+            ));
+        }
+        if shared.config.jit {
+            machine.spawn(pin(
+                SpawnRequest::new(
+                    "jit",
+                    ThreadRole::Jit,
+                    Box::new(JitProgram::new(shared.clone())),
+                ),
+                service,
+            ));
+        }
+        for (i, source) in sources.into_iter().enumerate() {
+            machine.spawn(pin(
+                SpawnRequest::new(
+                    format!("app-{i}"),
+                    ThreadRole::Application,
+                    Box::new(MutatorProgram::new(shared.clone(), source, i as u32)),
+                ),
+                mutator,
+            ));
+        }
+        ManagedRuntime { shared }
+    }
+
+    /// The shared runtime state (heap statistics, GC counters).
+    #[must_use]
+    pub fn shared(&self) -> &Rc<RuntimeShared> {
+        &self.shared
+    }
+
+    /// Collections completed so far.
+    #[must_use]
+    pub fn gc_count(&self) -> u64 {
+        self.shared.heap.borrow().gc_count
+    }
+
+    /// Bytes allocated so far across all mutators.
+    #[must_use]
+    pub fn total_allocated(&self) -> u64 {
+        self.shared.heap.borrow().total_allocated
+    }
+
+    /// Survivor bytes copied by the collector so far.
+    #[must_use]
+    pub fn bytes_copied(&self) -> u64 {
+        self.shared.bytes_copied.get()
+    }
+}

@@ -1,0 +1,311 @@
+//! End-to-end managed-runtime tests: mutators allocating, the world
+//! stopping, parallel collection, and trace emission.
+
+use dvfs_trace::{Freq, PhaseKind, ThreadRole, TimeDelta};
+use mrt::{ManagedRuntime, RuntimeConfig, Step, StepContext, WorkSource};
+use simx::mem::AccessPattern;
+use simx::{Machine, MachineConfig, RunOutcome, WorkItem};
+
+/// A mutator that alternates compute and allocation `rounds` times.
+struct AllocLoop {
+    rounds: u32,
+    done: u32,
+    alloc_bytes: u64,
+    lock_every: Option<u32>,
+    barrier_every: Option<u32>,
+}
+
+impl AllocLoop {
+    fn new(rounds: u32, alloc_bytes: u64) -> Self {
+        AllocLoop {
+            rounds,
+            done: 0,
+            alloc_bytes,
+            lock_every: None,
+            barrier_every: None,
+        }
+    }
+}
+
+impl WorkSource for AllocLoop {
+    fn next_step(&mut self, _ctx: &StepContext) -> Option<Step> {
+        // Each round: [lock, compute, unlock]? -> compute -> alloc.
+        let round = self.done / 4;
+        if round >= self.rounds {
+            return None;
+        }
+        let phase = self.done % 4;
+        self.done += 1;
+        match phase {
+            0 => {
+                if let Some(k) = self.lock_every {
+                    if round.is_multiple_of(k) {
+                        return Some(Step::Lock(0));
+                    }
+                }
+                Some(Step::Work(WorkItem::Compute {
+                    instructions: 100_000,
+                    ipc: 2.0,
+                }))
+            }
+            1 => Some(Step::Work(WorkItem::Compute {
+                instructions: 200_000,
+                ipc: 2.0,
+            })),
+            2 => {
+                if let Some(k) = self.lock_every {
+                    if round.is_multiple_of(k) {
+                        return Some(Step::Unlock(0));
+                    }
+                }
+                if let Some(k) = self.barrier_every {
+                    if round % k == k - 1 {
+                        return Some(Step::Barrier(0));
+                    }
+                }
+                Some(Step::Work(WorkItem::Memory {
+                    accesses: 2_000,
+                    pattern: AccessPattern::Random {
+                        base: 1 << 40,
+                        working_set: 64 << 20,
+                    },
+                    mlp: 4.0,
+                    compute_per_access: 4.0,
+                    ipc: 2.0,
+                    seed: u64::from(self.done),
+                }))
+            }
+            _ => Some(Step::Alloc {
+                bytes: self.alloc_bytes,
+            }),
+        }
+    }
+}
+
+fn small_runtime_config() -> RuntimeConfig {
+    let mut config = RuntimeConfig::with_heap(16 << 20); // 4 MB nursery
+    config.jit_budget_instructions = 2_000_000;
+    config.jit_period = TimeDelta::from_millis(2.0);
+    config
+}
+
+fn run_alloc_workload(
+    ghz: f64,
+    threads: usize,
+    rounds: u32,
+    customize: impl Fn(&mut AllocLoop),
+) -> (Machine, ManagedRuntime, f64) {
+    let mut mc = MachineConfig::haswell_quad();
+    mc.initial_freq = Freq::from_ghz(ghz);
+    let mut machine = Machine::new(mc);
+    let sources: Vec<Box<dyn WorkSource>> = (0..threads)
+        .map(|_| {
+            let mut s = AllocLoop::new(rounds, 256 << 10);
+            customize(&mut s);
+            Box::new(s) as Box<dyn WorkSource>
+        })
+        .collect();
+    let runtime = ManagedRuntime::install(
+        &mut machine,
+        small_runtime_config(),
+        sources,
+        1,
+        &[threads as u32],
+    );
+    let outcome = machine.run().expect("no deadlock");
+    let RunOutcome::Completed(end) = outcome else {
+        panic!("must complete");
+    };
+    (machine, runtime, end.as_secs())
+}
+
+#[test]
+fn allocation_triggers_stop_the_world_gc() {
+    let (mut machine, runtime, _end) = run_alloc_workload(2.0, 4, 40, |_| {});
+    // 4 threads x 40 rounds x 256 KB = 40 MB allocated into a 4 MB nursery:
+    // several collections must have happened.
+    assert!(
+        runtime.gc_count() >= 5,
+        "expected several GCs, got {}",
+        runtime.gc_count()
+    );
+    assert!(runtime.bytes_copied() > 0);
+    assert_eq!(runtime.total_allocated(), 4 * 40 * (256 << 10));
+
+    let trace = machine.harvest_trace();
+    trace.validate().expect("valid trace");
+    // GC markers must pair up.
+    let starts = trace
+        .markers
+        .iter()
+        .filter(|m| m.kind == PhaseKind::GcStart)
+        .count();
+    let ends = trace
+        .markers
+        .iter()
+        .filter(|m| m.kind == PhaseKind::GcEnd)
+        .count();
+    assert_eq!(starts as u64, runtime.gc_count());
+    assert_eq!(ends as u64, runtime.gc_count());
+    // GC workers accumulated real work.
+    let totals = trace.thread_totals();
+    let gc_active: f64 = trace
+        .threads
+        .iter()
+        .filter(|t| t.role == ThreadRole::GcWorker)
+        .map(|t| totals[&t.id].counters.active.as_secs())
+        .sum();
+    assert!(gc_active > 0.0, "GC workers must run");
+    // Collector copies produce store-queue pressure.
+    let gc_sq: f64 = trace
+        .threads
+        .iter()
+        .filter(|t| t.role == ThreadRole::GcWorker)
+        .map(|t| totals[&t.id].counters.sq_full.as_secs())
+        .sum();
+    assert!(gc_sq > 0.0, "GC copy must stall the store queue");
+    // GC time is a meaningful fraction of the run.
+    let gc_time = trace.gc_time().as_secs();
+    assert!(gc_time > 0.0);
+}
+
+#[test]
+fn world_stop_blocks_mutators_during_collection() {
+    let (mut machine, _runtime, _end) = run_alloc_workload(2.0, 4, 30, |_| {});
+    let trace = machine.harvest_trace();
+    // During GC windows, application threads must accumulate (almost) no
+    // active time.
+    let windows = trace.phase_windows();
+    let mut app_active_in_gc = 0.0;
+    let mut gc_window_time = 0.0;
+    for w in windows.iter().filter(|w| w.is_gc) {
+        gc_window_time += w.duration().as_secs();
+        let totals = trace.totals_in_window(w.start, w.end);
+        for info in trace
+            .threads
+            .iter()
+            .filter(|t| t.role == ThreadRole::Application)
+        {
+            if let Some(c) = totals.get(&info.id) {
+                app_active_in_gc += c.active.as_secs();
+            }
+        }
+    }
+    assert!(gc_window_time > 0.0, "must have GC windows");
+    // Mutators may overlap the stop ramp slightly (threads finishing their
+    // current step) but must be essentially idle inside GC windows.
+    assert!(
+        app_active_in_gc < 0.25 * gc_window_time * 4.0,
+        "mutators should be stopped during GC: active {app_active_in_gc} vs windows {gc_window_time}"
+    );
+}
+
+#[test]
+fn locks_and_barriers_do_not_deadlock_with_gc() {
+    let (mut machine, runtime, _end) = run_alloc_workload(2.0, 4, 32, |s| {
+        s.lock_every = Some(2);
+        s.barrier_every = Some(8);
+    });
+    assert!(runtime.gc_count() >= 3);
+    let trace = machine.harvest_trace();
+    trace.validate().expect("valid");
+    let stats = machine.stats();
+    assert!(
+        stats.futex_sleeps > runtime.gc_count() * 4,
+        "app + GC synchronization should sleep often: {}",
+        stats.futex_sleeps
+    );
+}
+
+#[test]
+fn memory_bound_managed_run_scales_sublinearly() {
+    let (_m1, r1, t1) = run_alloc_workload(1.0, 4, 25, |_| {});
+    let (_m4, r4, t4) = run_alloc_workload(4.0, 4, 25, |_| {});
+    // Same work performed.
+    assert_eq!(r1.total_allocated(), r4.total_allocated());
+    let speedup = t1 / t4;
+    assert!(
+        speedup > 1.3 && speedup < 3.9,
+        "allocation-heavy run should scale sublinearly: {speedup}"
+    );
+}
+
+#[test]
+fn single_mutator_runtime_works() {
+    let (mut machine, runtime, _end) = run_alloc_workload(3.0, 1, 60, |_| {});
+    assert!(runtime.gc_count() >= 3);
+    let trace = machine.harvest_trace();
+    trace.validate().expect("valid");
+}
+
+/// Threads that exit while a GC is being requested must not deadlock the
+/// collector (the exiting thread is removed from the stop count).
+#[test]
+fn exit_during_gc_request_does_not_deadlock() {
+    let mut mc = MachineConfig::haswell_quad();
+    mc.initial_freq = Freq::from_ghz(2.0);
+    let mut machine = Machine::new(mc);
+    // Thread 0 allocates aggressively (triggers GCs); threads 1-3 finish
+    // almost immediately.
+    let sources: Vec<Box<dyn WorkSource>> = (0..4)
+        .map(|t| {
+            let rounds = if t == 0 { 120 } else { 1 };
+            Box::new(AllocLoop::new(rounds, 512 << 10)) as Box<dyn WorkSource>
+        })
+        .collect();
+    let mut config = RuntimeConfig::with_heap(16 << 20);
+    config.jit = false;
+    let runtime = ManagedRuntime::install(&mut machine, config, sources, 1, &[4]);
+    machine.run().expect("no deadlock");
+    assert!(runtime.gc_count() >= 2);
+}
+
+/// A nursery of minimal survivors still completes collections.
+#[test]
+fn near_zero_survivors_collection_completes() {
+    let mut mc = MachineConfig::haswell_quad();
+    mc.initial_freq = Freq::from_ghz(2.0);
+    let mut machine = Machine::new(mc);
+    let sources: Vec<Box<dyn WorkSource>> = (0..2)
+        .map(|_| Box::new(AllocLoop::new(30, 512 << 10)) as Box<dyn WorkSource>)
+        .collect();
+    let mut config = RuntimeConfig::with_heap(16 << 20);
+    config.survivor_fraction = 0.0001;
+    config.jit = false;
+    let runtime = ManagedRuntime::install(&mut machine, config, sources, 1, &[2]);
+    machine.run().expect("no deadlock");
+    assert!(runtime.gc_count() >= 1);
+}
+
+/// Service-thread affinity pins GC workers to their core mask.
+#[test]
+fn service_affinity_confines_gc_to_one_core() {
+    let mut mc = MachineConfig::haswell_quad();
+    mc.initial_freq = Freq::from_ghz(2.0);
+    let mut machine = Machine::new(mc);
+    let sources: Vec<Box<dyn WorkSource>> = (0..3)
+        .map(|_| Box::new(AllocLoop::new(40, 512 << 10)) as Box<dyn WorkSource>)
+        .collect();
+    let mut config = RuntimeConfig::with_heap(16 << 20);
+    config.service_affinity = Some(0b1000);
+    config.mutator_affinity = Some(0b0111);
+    config.jit = false;
+    let runtime = ManagedRuntime::install(&mut machine, config, sources, 1, &[3]);
+    machine.run().expect("no deadlock");
+    assert!(runtime.gc_count() >= 2, "GCs happened");
+    // GC is serialised on core 3: compare GC-window wall time against GC
+    // threads' active time; with 4 workers on 1 core they cannot overlap.
+    let trace = machine.harvest_trace();
+    let gc_wall = trace.gc_time().as_secs();
+    let totals = trace.thread_totals();
+    let gc_active: f64 = trace
+        .threads
+        .iter()
+        .filter(|t| t.role == dvfs_trace::ThreadRole::GcWorker)
+        .map(|t| totals[&t.id].counters.active.as_secs())
+        .sum();
+    assert!(
+        gc_active <= gc_wall * 1.25 + 1e-4,
+        "pinned GC cannot exceed one core's time: active {gc_active} vs wall {gc_wall}"
+    );
+}

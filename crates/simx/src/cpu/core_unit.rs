@@ -1,0 +1,198 @@
+//! A hardware core: executes at most one thread's chunk at a time.
+
+use dvfs_trace::{CoreId, DvfsCounters, ThreadId, Time};
+
+use super::Chunk;
+
+/// The chunk currently in flight on a core.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Running {
+    /// The software thread executing.
+    pub thread: ThreadId,
+    /// The chunk being executed.
+    pub chunk: Chunk,
+    /// When the chunk started.
+    pub started: Time,
+}
+
+impl Running {
+    /// When the chunk will complete (absent interruptions).
+    #[must_use]
+    pub fn finish_time(&self) -> Time {
+        self.started + self.chunk.duration
+    }
+
+    /// Fraction of the chunk elapsed at `now`, clamped to [0, 1].
+    /// (`now` may precede `started` during a DVFS transition stall.)
+    #[must_use]
+    pub fn fraction_at(&self, now: Time) -> f64 {
+        let d = self.chunk.duration.as_secs();
+        if d <= 0.0 {
+            1.0
+        } else {
+            ((now - self.started).as_secs() / d).clamp(0.0, 1.0)
+        }
+    }
+
+    /// Counter increments accrued by `now` (linear interpolation).
+    #[must_use]
+    pub fn counters_at(&self, now: Time) -> DvfsCounters {
+        self.chunk.counters_at_fraction(self.fraction_at(now))
+    }
+}
+
+/// One core of the simulated chip.
+#[derive(Debug)]
+pub struct Core {
+    /// The core's identity.
+    pub id: CoreId,
+    /// The in-flight chunk, if the core is busy.
+    pub running: Option<Running>,
+    /// A thread that occupies the core *between* chunks (its chunk just
+    /// finished and the machine is deciding what it does next). Keeps the
+    /// core from being handed to another thread mid-decision.
+    pub reserved: Option<ThreadId>,
+    /// Monotone stamp guarding against stale `ChunkDone`/`TimeSlice`
+    /// events: bumped every time the core's occupancy changes.
+    pub generation: u64,
+    /// When the running thread was last scheduled onto this core
+    /// (time-slice accounting).
+    pub slice_start: Time,
+}
+
+impl Core {
+    /// An idle core.
+    #[must_use]
+    pub fn new(id: CoreId) -> Self {
+        Core {
+            id,
+            running: None,
+            reserved: None,
+            generation: 0,
+            slice_start: Time::ZERO,
+        }
+    }
+
+    /// True if no thread occupies the core.
+    #[must_use]
+    pub fn is_idle(&self) -> bool {
+        self.running.is_none() && self.reserved.is_none()
+    }
+
+    /// The thread currently occupying the core (running or reserved).
+    #[must_use]
+    pub fn occupant(&self) -> Option<ThreadId> {
+        self.running.as_ref().map(|r| r.thread).or(self.reserved)
+    }
+
+    /// Starts `chunk` for `thread`; returns the new generation stamp to
+    /// attach to the completion event.
+    pub fn start_chunk(&mut self, thread: ThreadId, chunk: Chunk, now: Time) -> u64 {
+        debug_assert!(self.running.is_none(), "core {} already busy", self.id);
+        debug_assert!(
+            self.reserved.is_none() || self.reserved == Some(thread),
+            "core {} reserved for another thread",
+            self.id
+        );
+        self.reserved = None;
+        self.generation += 1;
+        self.running = Some(Running {
+            thread,
+            chunk,
+            started: now,
+        });
+        self.generation
+    }
+
+    /// Completes the in-flight chunk; the core stays reserved for the
+    /// thread until it starts another chunk or releases the core.
+    pub fn finish_chunk(&mut self) -> Running {
+        self.generation += 1;
+        let running = self.running.take().expect("finish_chunk on idle core");
+        self.reserved = Some(running.thread);
+        running
+    }
+
+    /// Releases the core entirely (thread blocked or exited).
+    pub fn release(&mut self) {
+        self.generation += 1;
+        self.running = None;
+        self.reserved = None;
+    }
+
+    /// Interrupts the in-flight chunk at `now`; returns the completed part
+    /// (for counter accounting) and the remaining part (to resume later).
+    /// The core is left fully idle.
+    pub fn interrupt(&mut self, now: Time) -> Option<(ThreadId, Chunk, Chunk)> {
+        let running = self.running.take()?;
+        self.reserved = None;
+        self.generation += 1;
+        let frac = running.fraction_at(now);
+        let (done, rest) = running.chunk.split(frac);
+        Some((running.thread, done, rest))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvfs_trace::TimeDelta;
+
+    fn chunk_us(us: f64) -> Chunk {
+        Chunk::compute(TimeDelta::from_micros(us), (us * 1000.0) as u64)
+    }
+
+    #[test]
+    fn lifecycle_start_finish() {
+        let mut core = Core::new(CoreId(0));
+        assert!(core.is_idle());
+        let g1 = core.start_chunk(ThreadId(5), chunk_us(10.0), Time::ZERO);
+        assert!(!core.is_idle());
+        let running = core.running.expect("busy");
+        assert_eq!(running.thread, ThreadId(5));
+        assert!((running.finish_time().as_secs() - 10e-6).abs() < 1e-15);
+        let done = core.finish_chunk();
+        assert_eq!(done.thread, ThreadId(5));
+        // Between chunks the core stays reserved for the thread.
+        assert!(!core.is_idle());
+        assert_eq!(core.occupant(), Some(ThreadId(5)));
+        core.release();
+        assert!(core.is_idle());
+        assert!(core.generation > g1);
+    }
+
+    #[test]
+    fn interpolation_midway() {
+        let mut core = Core::new(CoreId(1));
+        core.start_chunk(ThreadId(1), chunk_us(10.0), Time::ZERO);
+        let r = core.running.expect("busy");
+        let mid = Time::from_secs(5e-6);
+        assert!((r.fraction_at(mid) - 0.5).abs() < 1e-12);
+        let c = r.counters_at(mid);
+        assert!((c.active.as_micros() - 5.0).abs() < 1e-9);
+        assert_eq!(c.instructions, 5000);
+    }
+
+    #[test]
+    fn interrupt_splits_chunk() {
+        let mut core = Core::new(CoreId(2));
+        core.start_chunk(ThreadId(7), chunk_us(20.0), Time::ZERO);
+        let (tid, done, rest) = core
+            .interrupt(Time::from_secs(15e-6))
+            .expect("was running");
+        assert_eq!(tid, ThreadId(7));
+        assert!((done.duration.as_micros() - 15.0).abs() < 1e-9);
+        assert!((rest.duration.as_micros() - 5.0).abs() < 1e-9);
+        assert!(core.is_idle());
+        assert!(core.interrupt(Time::ZERO).is_none());
+    }
+
+    #[test]
+    fn fraction_clamps_outside_chunk() {
+        let mut core = Core::new(CoreId(3));
+        core.start_chunk(ThreadId(1), chunk_us(10.0), Time::from_secs(1.0));
+        let r = core.running.expect("busy");
+        assert_eq!(r.fraction_at(Time::from_secs(0.5)), 0.0);
+        assert_eq!(r.fraction_at(Time::from_secs(2.0)), 1.0);
+    }
+}

@@ -1,0 +1,14 @@
+//! The core timing model: interval-style chunked execution of work items,
+//! the store-queue model, and the DVFS counter estimation algorithms.
+
+mod chunk;
+mod core_unit;
+mod counters;
+mod storeq;
+mod work;
+
+pub use chunk::Chunk;
+pub use counters::{CritEstimator, LeadingLoadsEstimator};
+pub use core_unit::{Core, Running};
+pub use storeq::{AbsorbResult, StoreQueue};
+pub use work::{ChunkEnv, WorkCursor};

@@ -1,0 +1,164 @@
+//! Discrete-event simulation engine: a deterministic time-ordered event
+//! queue with FIFO tie-breaking.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use dvfs_trace::{CoreId, ThreadId, Time};
+
+/// Events dispatched by the simulation loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// A core finished its current work chunk. The generation stamp guards
+    /// against stale events after preemption or a DVFS transition
+    /// re-timed the chunk.
+    ChunkDone {
+        /// The core that finished.
+        core: CoreId,
+        /// The core's chunk generation at scheduling time.
+        generation: u64,
+    },
+    /// A sleeping thread's timer expired.
+    TimerFire {
+        /// The thread to wake.
+        thread: ThreadId,
+    },
+    /// The scheduler time slice of a core expired (round-robin among
+    /// oversubscribed runnable threads).
+    TimeSlice {
+        /// The core whose slice expired.
+        core: CoreId,
+        /// The core's generation at scheduling time.
+        generation: u64,
+    },
+}
+
+/// A scheduled event with deterministic ordering: earliest time first,
+/// FIFO among equal times.
+#[derive(Debug, Clone, Copy)]
+struct Scheduled {
+    time: Time,
+    seq: u64,
+    event: Event,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl Eq for Scheduled {}
+
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event pops first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Deterministic discrete-event queue.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Scheduled>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    /// An empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `event` at `time`. Events scheduled for the same instant
+    /// pop in scheduling order.
+    pub fn push(&mut self, time: Time, event: Event) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { time, seq, event });
+    }
+
+    /// Removes and returns the earliest event.
+    pub fn pop(&mut self) -> Option<(Time, Event)> {
+        self.heap.pop().map(|s| (s.time, s.event))
+    }
+
+    /// The time of the earliest pending event.
+    #[must_use]
+    pub fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|s| s.time)
+    }
+
+    /// Number of pending events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> Time {
+        Time::from_secs(s)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(t(3.0), Event::TimerFire { thread: ThreadId(3) });
+        q.push(t(1.0), Event::TimerFire { thread: ThreadId(1) });
+        q.push(t(2.0), Event::TimerFire { thread: ThreadId(2) });
+        let order: Vec<_> = std::iter::from_fn(|| q.pop())
+            .map(|(_, e)| match e {
+                Event::TimerFire { thread } => thread.0,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn equal_times_pop_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..10 {
+            q.push(t(1.0), Event::TimerFire { thread: ThreadId(i) });
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop())
+            .map(|(_, e)| match e {
+                Event::TimerFire { thread } => thread.0,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = EventQueue::new();
+        q.push(t(5.0), Event::TimerFire { thread: ThreadId(0) });
+        assert_eq!(q.peek_time(), Some(t(5.0)));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+        q.pop();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+    }
+}

@@ -1,0 +1,683 @@
+//! The machine: cores + memory + OS + tracer, driven by a discrete-event
+//! loop.
+
+use core::fmt;
+
+use dvfs_trace::{
+    DvfsCounters, EpochEnd, ExecutionTrace, Freq, ThreadId, ThreadRole, Time, TimeDelta,
+};
+
+use crate::config::MachineConfig;
+use crate::cpu::{ChunkEnv, Core, StoreQueue, WorkCursor};
+use crate::engine::{Event, EventQueue};
+use crate::mem::{Dram, MemoryHierarchy};
+use crate::os::{FutexTable, Scheduler, SleepKind, Thread, ThreadState};
+use crate::program::{Action, FutexId, SharedWord, SpawnRequest, WaitOutcome};
+use crate::stats::RunStats;
+use crate::tracebuild::TraceBuilder;
+
+/// Why a run stopped.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RunOutcome {
+    /// Every application thread exited; the field is the completion time.
+    Completed(Time),
+    /// The requested deadline was reached with application threads alive.
+    DeadlineReached,
+}
+
+/// Machine-level failures.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MachineError {
+    /// No runnable work remains but application threads have not exited:
+    /// every live thread is blocked with nothing to wake it.
+    Deadlock {
+        /// When the deadlock was detected.
+        at: Time,
+    },
+    /// `set_frequency` was called with un-harvested trace data measured at
+    /// a different frequency (harvest first; a trace segment must have a
+    /// single base frequency).
+    DirtyTrace,
+    /// An operation referenced a thread id that does not exist.
+    UnknownThread(ThreadId),
+}
+
+impl fmt::Display for MachineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MachineError::Deadlock { at } => {
+                write!(f, "deadlock: all threads blocked at {at}")
+            }
+            MachineError::DirtyTrace => write!(
+                f,
+                "cannot change frequency with un-harvested trace epochs; call harvest_trace first"
+            ),
+            MachineError::UnknownThread(t) => write!(f, "unknown thread {t}"),
+        }
+    }
+}
+
+impl std::error::Error for MachineError {}
+
+/// The simulated machine. See the crate docs for the modelling approach.
+pub struct Machine {
+    config: MachineConfig,
+    now: Time,
+    /// Per-core frequency (the paper's scheme is chip-wide DVFS; the
+    /// per-core extension lets experiments scale core subsets).
+    freqs: Vec<Freq>,
+    queue: EventQueue,
+    cores: Vec<Core>,
+    /// Per-core slice generation (survives chunk boundaries; bumped when
+    /// the core's *thread* changes).
+    slice_gens: Vec<u64>,
+    /// Per-core accumulated busy time (for per-core energy accounting).
+    core_busy: Vec<TimeDelta>,
+    store_queues: Vec<StoreQueue>,
+    threads: Vec<Thread>,
+    sched: Scheduler,
+    futexes: FutexTable,
+    hierarchy: MemoryHierarchy,
+    dram: Dram,
+    tracer: TraceBuilder,
+    app_live: usize,
+    futex_sleeps: u64,
+    futex_wakes: u64,
+    preemptions: u64,
+    dvfs_transitions: u64,
+    epochs_harvested: usize,
+}
+
+impl fmt::Debug for Machine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Machine")
+            .field("now", &self.now)
+            .field("freqs", &self.freqs)
+            .field("threads", &self.threads.len())
+            .field("app_live", &self.app_live)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Machine {
+    /// Builds an idle machine.
+    #[must_use]
+    pub fn new(config: MachineConfig) -> Self {
+        let cores = (0..config.cores)
+            .map(|i| Core::new(dvfs_trace::CoreId(i as u8)))
+            .collect();
+        let store_queues = (0..config.cores)
+            .map(|_| StoreQueue::new(config.store_queue_entries))
+            .collect();
+        Machine {
+            freqs: vec![config.initial_freq; config.cores],
+            hierarchy: MemoryHierarchy::new(&config),
+            dram: Dram::new(config.dram),
+            cores,
+            slice_gens: vec![0; config.cores],
+            core_busy: vec![TimeDelta::ZERO; config.cores],
+            store_queues,
+            config,
+            now: Time::ZERO,
+            queue: EventQueue::new(),
+            threads: Vec::new(),
+            sched: Scheduler::new(),
+            futexes: FutexTable::new(),
+            tracer: TraceBuilder::new(Time::ZERO),
+            app_live: 0,
+            futex_sleeps: 0,
+            futex_wakes: 0,
+            preemptions: 0,
+            dvfs_transitions: 0,
+            epochs_harvested: 0,
+        }
+    }
+
+    /// Current simulated time.
+    #[must_use]
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Current chip-wide frequency. With the per-core DVFS extension in
+    /// use (heterogeneous frequencies), this reports core 0's frequency.
+    #[must_use]
+    pub fn frequency(&self) -> Freq {
+        self.freqs[0]
+    }
+
+    /// Current frequency of one core.
+    #[must_use]
+    pub fn core_frequency(&self, core: dvfs_trace::CoreId) -> Freq {
+        self.freqs[core.index()]
+    }
+
+    /// The machine configuration.
+    #[must_use]
+    pub fn config(&self) -> &MachineConfig {
+        &self.config
+    }
+
+    /// Registers a futex word with an initial value. Programs share the
+    /// returned [`SharedWord`] for their user-space fast paths.
+    pub fn register_futex(&mut self, initial: u32) -> (FutexId, SharedWord) {
+        self.futexes.register(initial)
+    }
+
+    /// Current value of a futex word.
+    #[must_use]
+    pub fn futex_value(&self, futex: FutexId) -> u32 {
+        self.futexes.value(futex)
+    }
+
+    /// Spawns a root thread (programs spawn further threads with
+    /// [`Action::Spawn`]). Returns the new thread's id.
+    pub fn spawn(&mut self, request: SpawnRequest) -> ThreadId {
+        let tid = self.create_thread(request);
+        self.epoch_boundary(EpochEnd::Wake(tid));
+        self.dispatch_idle_cores();
+        tid
+    }
+
+    /// Runs until every application thread has exited.
+    pub fn run(&mut self) -> Result<RunOutcome, MachineError> {
+        self.run_until(Time::from_secs(f64::MAX))
+    }
+
+    /// Runs until `deadline` or application completion, whichever is first.
+    pub fn run_until(&mut self, deadline: Time) -> Result<RunOutcome, MachineError> {
+        loop {
+            if self.app_live == 0 {
+                return Ok(RunOutcome::Completed(self.now));
+            }
+            let Some(next) = self.queue.peek_time() else {
+                return Err(MachineError::Deadlock { at: self.now });
+            };
+            if next > deadline {
+                self.now = deadline;
+                return Ok(RunOutcome::DeadlineReached);
+            }
+            let (t, event) = self.queue.pop().expect("peeked");
+            self.now = t;
+            self.dispatch_event(event);
+        }
+    }
+
+    /// Runs for `delta` of simulated time (or to completion).
+    pub fn run_for(&mut self, delta: TimeDelta) -> Result<RunOutcome, MachineError> {
+        let deadline = self.now + delta;
+        self.run_until(deadline)
+    }
+
+    /// Changes the chip-wide frequency (the paper's DVFS scheme). All
+    /// busy cores stall for the DVFS transition latency and their
+    /// in-flight work is re-timed.
+    ///
+    /// # Errors
+    /// Returns [`MachineError::DirtyTrace`] if trace epochs recorded at the
+    /// old frequency have not been harvested.
+    pub fn set_frequency(&mut self, freq: Freq) -> Result<(), MachineError> {
+        if self.freqs.iter().all(|&f| f == freq) {
+            return Ok(());
+        }
+        if !self.tracer.clean_at(self.now) {
+            return Err(MachineError::DirtyTrace);
+        }
+        for c in 0..self.cores.len() {
+            self.retime_core(c, freq);
+        }
+        self.dvfs_transitions += 1;
+        Ok(())
+    }
+
+    /// Changes one core's frequency (the per-core DVFS extension the
+    /// paper leaves as future work). Traces harvested while cores run at
+    /// different frequencies carry core 0's frequency as their base and
+    /// are not meaningful inputs for the chip-wide predictors; per-core
+    /// experiments measure ground-truth timing instead.
+    ///
+    /// # Errors
+    /// Returns [`MachineError::DirtyTrace`] if trace epochs recorded at
+    /// the old frequencies have not been harvested.
+    pub fn set_core_frequency(
+        &mut self,
+        core: dvfs_trace::CoreId,
+        freq: Freq,
+    ) -> Result<(), MachineError> {
+        let c = core.index();
+        if self.freqs[c] == freq {
+            return Ok(());
+        }
+        if !self.tracer.clean_at(self.now) {
+            return Err(MachineError::DirtyTrace);
+        }
+        self.retime_core(c, freq);
+        self.dvfs_transitions += 1;
+        Ok(())
+    }
+
+    /// Applies a frequency change to one core: interrupt, re-time, restart
+    /// after the transition stall.
+    fn retime_core(&mut self, c: usize, freq: Freq) {
+        let ratio = self.freqs[c].scaling_ratio_to(freq);
+        self.freqs[c] = freq;
+        let stall = self.config.dvfs_transition;
+        let Some((tid, done, rest)) = self.cores[c].interrupt(self.now) else {
+            return;
+        };
+        self.core_busy[c] += done.duration;
+        self.threads[tid.index()].counters += done.counters;
+        let retimed = rest.retimed(ratio);
+        let restart = self.now + stall;
+        let generation = self.cores[c].start_chunk(tid, retimed, restart);
+        self.queue.push(
+            restart + retimed.duration,
+            Event::ChunkDone {
+                core: self.cores[c].id,
+                generation,
+            },
+        );
+    }
+
+    /// Closes the current trace segment and returns it. The segment covers
+    /// everything since the previous harvest (or machine start) and was
+    /// measured entirely at one frequency.
+    pub fn harvest_trace(&mut self) -> ExecutionTrace {
+        let threads = &self.threads;
+        let cores = &self.cores;
+        let base = self.freqs[0];
+        let trace = self
+            .tracer
+            .harvest(self.now, base, |tid| cumulative(threads, cores, self.now, tid));
+        self.epochs_harvested += trace.epochs.len();
+        trace
+    }
+
+    /// Aggregate statistics so far.
+    #[must_use]
+    pub fn stats(&self) -> RunStats {
+        let mut thread_counters = std::collections::BTreeMap::new();
+        for t in &self.threads {
+            thread_counters.insert(t.id, cumulative(&self.threads, &self.cores, self.now, t.id));
+        }
+        RunStats {
+            elapsed: self.now.since(Time::ZERO),
+            core_busy: {
+                // Include in-flight chunk progress.
+                let mut busy = self.core_busy.clone();
+                for (c, core) in self.cores.iter().enumerate() {
+                    if let Some(r) = &core.running {
+                        busy[c] += r.counters_at(self.now).active;
+                    }
+                }
+                busy
+            },
+            thread_counters,
+            dram: self.dram.stats(),
+            epochs: self.epochs_harvested,
+            futex_sleeps: self.futex_sleeps,
+            futex_wakes: self.futex_wakes,
+            preemptions: self.preemptions,
+            dvfs_transitions: self.dvfs_transitions,
+        }
+    }
+
+    /// Number of live (not yet exited) application threads.
+    #[must_use]
+    pub fn live_app_threads(&self) -> usize {
+        self.app_live
+    }
+
+    // ----- internals -------------------------------------------------
+
+    fn create_thread(&mut self, request: SpawnRequest) -> ThreadId {
+        let tid = ThreadId(self.threads.len() as u32);
+        let mut thread = Thread::new(tid, request.name, request.role, request.program, self.now);
+        thread.affinity = request.affinity;
+        self.tracer
+            .register_thread(tid, &thread.name, thread.role, self.now);
+        if thread.role == ThreadRole::Application {
+            self.app_live += 1;
+        }
+        self.threads.push(thread);
+        self.sched.enqueue(tid);
+        tid
+    }
+
+    fn dispatch_event(&mut self, event: Event) {
+        match event {
+            Event::ChunkDone { core, generation } => {
+                let c = core.index();
+                if self.cores[c].generation != generation || self.cores[c].is_idle() {
+                    return;
+                }
+                let running = self.cores[c].finish_chunk();
+                self.core_busy[c] += running.chunk.duration;
+                self.threads[running.thread.index()].counters += running.chunk.counters;
+                self.continue_thread(running.thread);
+            }
+            Event::TimerFire { thread } => {
+                let t = &mut self.threads[thread.index()];
+                if t.state != ThreadState::Sleeping(SleepKind::Timer) {
+                    return;
+                }
+                t.last_wait = WaitOutcome::TimerFired;
+                self.wake_thread(thread);
+            }
+            Event::TimeSlice { core, generation } => {
+                self.handle_timeslice(core.index(), generation);
+            }
+        }
+    }
+
+    fn handle_timeslice(&mut self, c: usize, generation: u64) {
+        if self.slice_gens[c] != generation || self.cores[c].is_idle() {
+            return;
+        }
+        let threads = &self.threads;
+        let can_use_core = self
+            .sched
+            .has_waiting_matching(|t| threads[t.index()].allowed_on(c));
+        if !can_use_core {
+            // Nothing eligible to rotate in; re-arm.
+            self.queue.push(
+                self.now + self.config.timeslice,
+                Event::TimeSlice {
+                    core: self.cores[c].id,
+                    generation,
+                },
+            );
+            return;
+        }
+        let Some((tid, done, rest)) = self.cores[c].interrupt(self.now) else {
+            return; // between chunks; the thread is about to decide anyway
+        };
+        self.core_busy[c] += done.duration;
+        self.preemptions += 1;
+        let freq = self.freqs[c];
+        {
+            let t = &mut self.threads[tid.index()];
+            t.counters += done.counters;
+            if rest.duration > TimeDelta::ZERO {
+                t.resume_chunk = Some((rest, freq));
+            }
+            t.state = ThreadState::Runnable;
+        }
+        self.epoch_boundary(EpochEnd::Stall(tid));
+        self.sched.enqueue(tid);
+        self.slice_gens[c] += 1;
+        self.dispatch_idle_cores();
+    }
+
+    /// Ensures the thread (which must be Running on a core with no
+    /// in-flight chunk) makes progress: resume work, continue the cursor,
+    /// or ask the program for its next action.
+    fn continue_thread(&mut self, tid: ThreadId) {
+        loop {
+            let ThreadState::Running(core_id) = self.threads[tid.index()].state else {
+                return;
+            };
+            let c = core_id.index();
+
+            // 1. A preempted chunk to resume?
+            if let Some((chunk, old_freq)) = self.threads[tid.index()].resume_chunk.take() {
+                let retimed = chunk.retimed(old_freq.scaling_ratio_to(self.freqs[c]));
+                self.begin_chunk(c, tid, retimed);
+                return;
+            }
+
+            // 2. More chunks in the current work item?
+            let has_cursor = self.threads[tid.index()].cursor.is_some();
+            if has_cursor {
+                let chunk = {
+                    let mut env = ChunkEnv {
+                        now: self.now,
+                        freq: self.freqs[c],
+                        core: self.cores[c].id,
+                        config: &self.config,
+                        hierarchy: &mut self.hierarchy,
+                        dram: &mut self.dram,
+                        store_queue: &mut self.store_queues[c],
+                    };
+                    self.threads[tid.index()]
+                        .cursor
+                        .as_mut()
+                        .expect("checked")
+                        .next_chunk(&mut env)
+                };
+                match chunk {
+                    Some(chunk) => {
+                        self.begin_chunk(c, tid, chunk);
+                        return;
+                    }
+                    None => {
+                        self.threads[tid.index()].cursor = None;
+                    }
+                }
+            }
+
+            // 3. Ask the program.
+            let action = {
+                let t = &mut self.threads[tid.index()];
+                let mut ctx = t.context(self.now);
+                let action = t.program.next(&mut ctx);
+                t.last_wait = WaitOutcome::None;
+                t.last_spawned = None;
+                action
+            };
+            if self.apply_action(tid, action) == Flow::Blocked {
+                return;
+            }
+        }
+    }
+
+    fn begin_chunk(&mut self, c: usize, tid: ThreadId, chunk: crate::cpu::Chunk) {
+        let generation = self.cores[c].start_chunk(tid, chunk, self.now);
+        self.queue.push(
+            self.now + chunk.duration,
+            Event::ChunkDone {
+                core: self.cores[c].id,
+                generation,
+            },
+        );
+    }
+
+    fn apply_action(&mut self, tid: ThreadId, action: Action) -> Flow {
+        let syscall = self.config.core_model.syscall_cycles;
+        match action {
+            Action::Work(item) => {
+                self.threads[tid.index()].cursor = Some(WorkCursor::new(item));
+                Flow::Continue
+            }
+            Action::FutexWait { futex, expected } => {
+                match self.futexes.wait(tid, futex, expected) {
+                    crate::os::FutexWaitResult::Sleep => {
+                        self.futex_sleeps += 1;
+                        // Kernel-exit cost is paid when the thread wakes.
+                        self.threads[tid.index()].cursor =
+                            Some(WorkCursor::syscall(syscall));
+                        self.block_thread(tid, SleepKind::Futex(futex));
+                        Flow::Blocked
+                    }
+                    crate::os::FutexWaitResult::ValueMismatch => {
+                        self.threads[tid.index()].last_wait = WaitOutcome::ValueMismatch;
+                        self.threads[tid.index()].cursor =
+                            Some(WorkCursor::syscall(syscall));
+                        Flow::Continue
+                    }
+                }
+            }
+            Action::FutexWake { futex, count } => {
+                self.futex_wakes += 1;
+                let woken = self.futexes.wake(futex, count);
+                for w in woken {
+                    let t = &mut self.threads[w.index()];
+                    t.last_wait = WaitOutcome::Woken;
+                    self.wake_thread(w);
+                }
+                self.threads[tid.index()].cursor = Some(WorkCursor::syscall(syscall));
+                Flow::Continue
+            }
+            Action::SleepFor(delta) => {
+                self.block_thread(tid, SleepKind::Timer);
+                self.queue
+                    .push(self.now + delta, Event::TimerFire { thread: tid });
+                Flow::Blocked
+            }
+            Action::Spawn(request) => {
+                let new_tid = self.create_thread(request);
+                self.threads[tid.index()].last_spawned = Some(new_tid);
+                self.epoch_boundary(EpochEnd::Wake(new_tid));
+                self.dispatch_idle_cores();
+                self.threads[tid.index()].cursor = Some(WorkCursor::syscall(syscall * 8));
+                Flow::Continue
+            }
+            Action::MarkPhase(kind) => {
+                self.tracer.mark_phase(self.now, kind);
+                self.threads[tid.index()].cursor = Some(WorkCursor::syscall(syscall / 4));
+                Flow::Continue
+            }
+            Action::Exit => {
+                {
+                    let t = &mut self.threads[tid.index()];
+                    t.state = ThreadState::Exited;
+                    t.exit = Some(self.now);
+                }
+                self.tracer.note_exit(tid, self.now);
+                if self.threads[tid.index()].role == ThreadRole::Application {
+                    self.app_live -= 1;
+                }
+                self.epoch_boundary(EpochEnd::Exit(tid));
+                self.free_core_of(tid);
+                self.dispatch_idle_cores();
+                Flow::Blocked
+            }
+        }
+    }
+
+    fn block_thread(&mut self, tid: ThreadId, kind: SleepKind) {
+        self.threads[tid.index()].state = ThreadState::Sleeping(kind);
+        self.epoch_boundary(EpochEnd::Stall(tid));
+        self.free_core_of(tid);
+        self.dispatch_idle_cores();
+    }
+
+    /// Marks the core the thread was occupying idle (the thread has
+    /// already changed state).
+    fn free_core_of(&mut self, tid: ThreadId) {
+        for c in 0..self.cores.len() {
+            if self.cores[c].occupant() == Some(tid) {
+                // Threads block between chunks, so normally only the
+                // reservation is held; commit any in-flight work
+                // defensively.
+                if let Some((_, done, _)) = self.cores[c].interrupt(self.now) {
+                    self.core_busy[c] += done.duration;
+                    self.threads[tid.index()].counters += done.counters;
+                }
+                self.cores[c].release();
+                self.slice_gens[c] += 1;
+                return;
+            }
+        }
+    }
+
+    fn wake_thread(&mut self, tid: ThreadId) {
+        debug_assert!(matches!(
+            self.threads[tid.index()].state,
+            ThreadState::Sleeping(_)
+        ));
+        self.threads[tid.index()].state = ThreadState::Runnable;
+        self.epoch_boundary(EpochEnd::Wake(tid));
+        self.sched.enqueue(tid);
+        self.dispatch_idle_cores();
+    }
+
+    fn dispatch_idle_cores(&mut self) {
+        loop {
+            if !self.sched.has_waiting() {
+                return;
+            }
+            // Find an (idle core, eligible thread) pair, FIFO per core.
+            let mut assignment = None;
+            for c in 0..self.cores.len() {
+                if !self.cores[c].is_idle() {
+                    continue;
+                }
+                let threads = &self.threads;
+                if let Some(tid) = self
+                    .sched
+                    .dequeue_matching(|t| threads[t.index()].allowed_on(c))
+                {
+                    assignment = Some((tid, c));
+                    break;
+                }
+            }
+            let Some((tid, c)) = assignment else {
+                return; // no idle core can serve any queued thread
+            };
+            self.schedule_in(tid, c);
+            self.continue_thread(tid);
+        }
+    }
+
+    fn schedule_in(&mut self, tid: ThreadId, c: usize) {
+        let core_id = self.cores[c].id;
+        self.threads[tid.index()].state = ThreadState::Running(core_id);
+        // Claim the core immediately so nested dispatches cannot hand it to
+        // another thread before this one starts its first chunk.
+        self.cores[c].reserved = Some(tid);
+        self.cores[c].slice_start = self.now;
+        self.slice_gens[c] += 1;
+        let generation = self.slice_gens[c];
+        self.queue.push(
+            self.now + self.config.timeslice,
+            Event::TimeSlice {
+                core: core_id,
+                generation,
+            },
+        );
+        let snapshot = cumulative(&self.threads, &self.cores, self.now, tid);
+        self.tracer.note_running(tid, snapshot);
+    }
+
+    /// Closes the current epoch and re-seeds still-running threads as
+    /// participants of the next one.
+    fn epoch_boundary(&mut self, end: EpochEnd) {
+        {
+            let threads = &self.threads;
+            let cores = &self.cores;
+            let now = self.now;
+            self.tracer
+                .boundary(now, end, |tid| cumulative(threads, cores, now, tid));
+        }
+        for c in 0..self.cores.len() {
+            if let Some(tid) = self.cores[c].occupant() {
+                let snapshot = cumulative(&self.threads, &self.cores, self.now, tid);
+                self.tracer.note_running(tid, snapshot);
+            }
+        }
+    }
+}
+
+/// Cumulative counters for a thread: committed chunks plus interpolated
+/// progress of any in-flight chunk.
+fn cumulative(threads: &[Thread], cores: &[Core], now: Time, tid: ThreadId) -> DvfsCounters {
+    let mut total = threads[tid.index()].counters;
+    for core in cores {
+        if let Some(r) = &core.running {
+            if r.thread == tid {
+                total += r.counters_at(now);
+            }
+        }
+    }
+    total
+}
+
+/// Control flow after applying an action.
+#[derive(Debug, PartialEq, Eq)]
+enum Flow {
+    /// The thread keeps running (a cursor may have been installed).
+    Continue,
+    /// The thread blocked or exited; its core was released.
+    Blocked,
+}

@@ -1,0 +1,234 @@
+//! A banked DRAM model with row-buffer locality, per-bank queueing, and a
+//! shared write-drain path.
+//!
+//! The point of this model (vs. a fixed latency) is the paper's §II-A
+//! observation: the leading-loads predictor assumes every long-latency miss
+//! costs the same, while real memory latency varies with bank conflicts,
+//! row-buffer state, scheduling, and write interference. CRIT was designed
+//! to survive that variability; this model supplies it.
+//!
+//! All DRAM timing is expressed in wall-clock time and therefore does not
+//! scale with core frequency — it is the physical source of every
+//! "non-scaling" component the predictors estimate.
+
+use dvfs_trace::{Time, TimeDelta};
+
+use crate::config::DramConfig;
+
+/// Aggregate DRAM statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct DramStats {
+    /// Read (line-fill) requests serviced.
+    pub reads: u64,
+    /// Row-buffer hits among reads.
+    pub read_row_hits: u64,
+    /// Line writes drained.
+    pub writes: u64,
+    /// Total read latency accumulated (for mean-latency reporting).
+    pub total_read_latency: TimeDelta,
+    /// Portion of read latency spent queued behind earlier requests.
+    pub total_queue_delay: TimeDelta,
+}
+
+/// The DRAM device shared by all cores.
+#[derive(Debug, Clone)]
+pub struct Dram {
+    config: DramConfig,
+    /// Per-bank time at which the bank becomes free.
+    bank_free: Vec<Time>,
+    /// Per-bank currently open row.
+    open_row: Vec<u64>,
+    /// Time at which the shared write-drain path becomes free.
+    write_free: Time,
+    stats: DramStats,
+}
+
+impl Dram {
+    /// Builds the device.
+    #[must_use]
+    pub fn new(config: DramConfig) -> Self {
+        let banks = config.banks as usize;
+        Dram {
+            config,
+            bank_free: vec![Time::ZERO; banks],
+            open_row: vec![u64::MAX; banks],
+            write_free: Time::ZERO,
+            stats: DramStats::default(),
+        }
+    }
+
+    fn bank_and_row(&self, line_addr: u64) -> (usize, u64) {
+        let banks = u64::from(self.config.banks);
+        let bank = (line_addr % banks) as usize;
+        // 64 lines (4 KB) per row page.
+        let row = (line_addr / banks / 64) % u64::from(self.config.rows_per_bank);
+        (bank, row)
+    }
+
+    /// Services a read (line fill) for the line containing `line_addr`
+    /// issued at `now`; returns the request's total latency, including any
+    /// time queued behind earlier requests to the same bank and a bounded
+    /// penalty for in-progress write drains (controllers prioritise reads,
+    /// so a read waits for at most the write burst currently on the bus,
+    /// not the whole write backlog).
+    pub fn read(&mut self, now: Time, line_addr: u64) -> TimeDelta {
+        let (bank, row) = self.bank_and_row(line_addr);
+        let write_penalty = if self.write_free > now {
+            // Proportional to write-path pressure, capped at one write
+            // burst's worth of bus occupancy.
+            let backlog = self.write_free.since(now).as_secs();
+            TimeDelta::from_secs(backlog.min(4.0 * self.config.write_line_service.as_secs()))
+        } else {
+            TimeDelta::ZERO
+        };
+        // Bank queueing, bounded at a few service times: the simulator
+        // times whole chunks in one batch, so `bank_free` may hold
+        // reservations from a concurrent chunk's *future* requests that a
+        // real out-of-order controller would interleave around. The cap
+        // keeps genuine contention (a couple of queued services) while
+        // clipping the batch artifact.
+        let service_cap = 3.0
+            * (self.config.cas + self.config.row_miss_penalty + self.config.line_transfer)
+                .as_secs();
+        let queue = if self.bank_free[bank] > now {
+            TimeDelta::from_secs(self.bank_free[bank].since(now).as_secs().min(service_cap))
+        } else {
+            TimeDelta::ZERO
+        };
+        let start = now + queue + write_penalty;
+        self.stats.total_queue_delay += start.since(now);
+        let row_hit = self.open_row[bank] == row;
+        let access = if row_hit {
+            self.config.cas
+        } else {
+            self.config.cas + self.config.row_miss_penalty
+        };
+        let done = start + access + self.config.line_transfer;
+        self.bank_free[bank] = done;
+        self.open_row[bank] = row;
+
+        let latency = self.config.controller_overhead + done.since(now);
+        self.stats.reads += 1;
+        if row_hit {
+            self.stats.read_row_hits += 1;
+        }
+        self.stats.total_read_latency += latency;
+        latency
+    }
+
+    /// Reserves write-drain bandwidth for `lines` line writes starting at
+    /// `now`; returns the time the last line has drained. Write drains
+    /// occupy the shared write path and delay subsequent reads, but do not
+    /// block the issuing core (the store queue does that).
+    pub fn drain_writes(&mut self, now: Time, lines: u64) -> Time {
+        let start = now.max(self.write_free);
+        let done = start + self.config.write_line_service * lines as f64;
+        self.write_free = done;
+        self.stats.writes += lines;
+        done
+    }
+
+    /// The earliest time a new write drain could begin.
+    #[must_use]
+    pub fn write_path_free_at(&self) -> Time {
+        self.write_free
+    }
+
+    /// Statistics so far.
+    #[must_use]
+    pub fn stats(&self) -> DramStats {
+        self.stats
+    }
+
+    /// Mean read latency so far.
+    #[must_use]
+    pub fn mean_read_latency(&self) -> TimeDelta {
+        if self.stats.reads == 0 {
+            TimeDelta::ZERO
+        } else {
+            self.stats.total_read_latency / self.stats.reads as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dram() -> Dram {
+        Dram::new(crate::MachineConfig::haswell_quad().dram)
+    }
+
+    #[test]
+    fn row_hit_is_faster_than_row_miss() {
+        let mut d = dram();
+        let cold = d.read(Time::ZERO, 0);
+        // Same line again, bank now free in the future; issue after it frees.
+        let t1 = Time::from_secs(1.0);
+        let warm = d.read(t1, 0);
+        assert!(
+            warm < cold,
+            "row hit {warm} should beat row miss {cold}"
+        );
+    }
+
+    #[test]
+    fn same_bank_requests_queue() {
+        let mut d = dram();
+        let banks = u64::from(crate::MachineConfig::haswell_quad().dram.banks);
+        let first = d.read(Time::ZERO, 0);
+        // Immediately issue to the same bank (line_addr multiple of banks).
+        let second = d.read(Time::ZERO, banks * 64);
+        assert!(
+            second > first,
+            "queued request {second} must see more latency than {first}"
+        );
+    }
+
+    #[test]
+    fn different_banks_do_not_queue() {
+        let mut d = dram();
+        let a = d.read(Time::ZERO, 0); // bank 0
+        let b = d.read(Time::ZERO, 1); // bank 1
+        // Both are cold row misses with no queueing: equal latency.
+        assert!((a.as_nanos() - b.as_nanos()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn writes_delay_reads() {
+        let mut d = dram();
+        let quiet = d.read(Time::ZERO, 2);
+        let mut d2 = dram();
+        d2.drain_writes(Time::ZERO, 100);
+        let busy = d2.read(Time::ZERO, 2);
+        assert!(
+            busy > quiet,
+            "read behind write drain ({busy}) must exceed quiet read ({quiet})"
+        );
+    }
+
+    #[test]
+    fn write_drain_accumulates_bandwidth() {
+        let mut d = dram();
+        let done1 = d.drain_writes(Time::ZERO, 10);
+        let done2 = d.drain_writes(Time::ZERO, 10);
+        assert!(done2 > done1);
+        let per_line = crate::MachineConfig::haswell_quad()
+            .dram
+            .write_line_service;
+        assert!((done2.since(Time::ZERO).as_secs() - 20.0 * per_line.as_secs()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_track_requests() {
+        let mut d = dram();
+        d.read(Time::ZERO, 0);
+        d.read(Time::from_secs(1.0), 0);
+        d.drain_writes(Time::ZERO, 5);
+        let s = d.stats();
+        assert_eq!(s.reads, 2);
+        assert_eq!(s.writes, 5);
+        assert_eq!(s.read_row_hits, 1);
+        assert!(d.mean_read_latency() > TimeDelta::ZERO);
+    }
+}

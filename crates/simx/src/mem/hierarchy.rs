@@ -1,0 +1,348 @@
+//! The cache hierarchy: private L1D/L2 per core, shared L3.
+//!
+//! Work items do not simulate every access individually; instead the
+//! hierarchy samples **one access in K** (`MachineConfig::sample_ratio`)
+//! and classifies it against caches whose capacity is scaled down by the
+//! same factor K, with addresses compressed by K so spatial structure is
+//! preserved. Scaling both the access stream and the capacities keeps
+//! footprint-to-capacity ratios — and therefore hit rates — faithful,
+//! while paying per-access cost for only a bounded sample. The cache
+//! structures themselves are real (sets, associativity, LRU, a shared L3),
+//! so cross-thread L3 interference emerges naturally.
+
+use dvfs_trace::CoreId;
+
+use super::{AccessPattern, AddressStream, Cache};
+use crate::config::MachineConfig;
+
+/// Which level serviced an access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessClass {
+    /// L1 data cache hit.
+    L1,
+    /// L2 hit.
+    L2,
+    /// Shared L3 hit (fixed uncore clock — non-scaling!).
+    L3,
+    /// DRAM access.
+    Dram,
+}
+
+/// Outcome of classifying one sampled access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessOutcome {
+    /// The servicing level.
+    pub class: AccessClass,
+    /// The line address (byte address >> 6), for DRAM bank mapping.
+    pub line_addr: u64,
+}
+
+/// Fractions of accesses serviced per level. Sums to 1 (within fp noise)
+/// whenever at least one access was sampled.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SampledMix {
+    /// Fraction hitting L1.
+    pub l1: f64,
+    /// Fraction hitting L2.
+    pub l2: f64,
+    /// Fraction hitting the shared L3.
+    pub l3: f64,
+    /// Fraction going to DRAM.
+    pub dram: f64,
+    /// Representative DRAM line addresses observed in the sample (used by
+    /// the DRAM model for bank/row assignment).
+    pub dram_lines: SampleLines,
+}
+
+/// A small fixed buffer of sampled DRAM line addresses.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SampleLines {
+    lines: [u64; 8],
+    len: u8,
+}
+
+impl SampleLines {
+    /// Records a line address if space remains.
+    pub fn push(&mut self, line: u64) {
+        if (self.len as usize) < self.lines.len() {
+            self.lines[self.len as usize] = line;
+            self.len += 1;
+        }
+    }
+
+    /// The `i`-th representative line, cycling if fewer were sampled.
+    #[must_use]
+    pub fn get_cyclic(&self, i: u64) -> u64 {
+        if self.len == 0 {
+            // No DRAM access sampled: derive a line from the index.
+            i
+        } else {
+            self.lines[(i % u64::from(self.len)) as usize]
+        }
+    }
+
+    /// Number of recorded lines.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// True if no lines were recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// Private L1/L2 per core plus the shared L3, in sampled form.
+#[derive(Debug)]
+pub struct MemoryHierarchy {
+    l1d: Vec<Cache>,
+    l2: Vec<Cache>,
+    l3: Cache,
+    sample_cap: u32,
+    sample_ratio: u64,
+}
+
+/// Scales a cache's capacity down by the sampling ratio, keeping at least
+/// one set.
+fn scaled(config: &crate::config::CacheConfig, k: u64) -> crate::config::CacheConfig {
+    let min_capacity = u64::from(config.line_size) * u64::from(config.associativity);
+    crate::config::CacheConfig {
+        capacity: (config.capacity / k).max(min_capacity),
+        ..*config
+    }
+}
+
+impl MemoryHierarchy {
+    /// Builds the hierarchy for `config.cores` cores.
+    #[must_use]
+    pub fn new(config: &MachineConfig) -> Self {
+        let k = u64::from(config.sample_ratio.max(1));
+        MemoryHierarchy {
+            l1d: (0..config.cores)
+                .map(|_| Cache::new(&scaled(&config.l1d, k)))
+                .collect(),
+            l2: (0..config.cores)
+                .map(|_| Cache::new(&scaled(&config.l2, k)))
+                .collect(),
+            l3: Cache::new(&scaled(&config.l3, k)),
+            sample_cap: config.cache_sample_cap,
+            sample_ratio: k,
+        }
+    }
+
+    /// Classifies one access from `core`, updating all levels touched.
+    pub fn access(&mut self, core: CoreId, addr: u64) -> AccessOutcome {
+        let line_addr = addr >> 6;
+        let c = core.index();
+        if self.l1d[c].access(addr) {
+            return AccessOutcome {
+                class: AccessClass::L1,
+                line_addr,
+            };
+        }
+        if self.l2[c].access(addr) {
+            return AccessOutcome {
+                class: AccessClass::L2,
+                line_addr,
+            };
+        }
+        if self.l3.access(addr) {
+            return AccessOutcome {
+                class: AccessClass::L3,
+                line_addr,
+            };
+        }
+        AccessOutcome {
+            class: AccessClass::Dram,
+            line_addr,
+        }
+    }
+
+    /// Samples one access in `sample_ratio` of the `accesses`-long stream
+    /// described by `pattern` and returns the per-level service mix.
+    /// Sampled addresses are compressed by the same ratio before probing
+    /// the capacity-scaled caches, preserving footprint/capacity ratios.
+    pub fn sample_mix(
+        &mut self,
+        core: CoreId,
+        pattern: AccessPattern,
+        seed: u64,
+        accesses: u64,
+    ) -> SampledMix {
+        if accesses == 0 {
+            return SampledMix::default();
+        }
+        let k = self.sample_ratio;
+        let n = accesses
+            .div_ceil(k)
+            .clamp(1, u64::from(self.sample_cap));
+        // Sample every k-th access of the stream so the sample spans the
+        // same footprint as the full stream.
+        let mut stream = AddressStream::new(scaled_pattern(pattern, k), seed);
+        let mut mix = SampledMix::default();
+        for _ in 0..n {
+            let addr = stream.next_addr() / k;
+            let outcome = self.access(core, addr);
+            match outcome.class {
+                AccessClass::L1 => mix.l1 += 1.0,
+                AccessClass::L2 => mix.l2 += 1.0,
+                AccessClass::L3 => mix.l3 += 1.0,
+                AccessClass::Dram => {
+                    mix.dram += 1.0;
+                    mix.dram_lines.push(outcome.line_addr);
+                }
+            }
+        }
+        let total = n as f64;
+        mix.l1 /= total;
+        mix.l2 /= total;
+        mix.l3 /= total;
+        mix.dram /= total;
+        mix
+    }
+
+    /// L3 miss count so far (reads that reached DRAM).
+    #[must_use]
+    pub fn l3_misses(&self) -> u64 {
+        self.l3.misses()
+    }
+}
+
+/// When only every k-th access is sampled, widen sequential patterns so the
+/// sample covers the same address footprint as the full stream (random
+/// patterns are self-similar and need no adjustment).
+fn scaled_pattern(pattern: AccessPattern, k: u64) -> AccessPattern {
+    match pattern {
+        AccessPattern::Streaming { base } => AccessPattern::Strided {
+            base,
+            stride: 64 * k,
+            working_set: u64::MAX,
+        },
+        AccessPattern::Strided {
+            base,
+            stride,
+            working_set,
+        } => AccessPattern::Strided {
+            base,
+            stride: stride.saturating_mul(k),
+            working_set,
+        },
+        random @ AccessPattern::Random { .. } => random,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hierarchy() -> MemoryHierarchy {
+        MemoryHierarchy::new(&MachineConfig::haswell_quad())
+    }
+
+    /// Warm the hierarchy with `rounds` passes, then measure one more.
+    fn warmed_mix(
+        h: &mut MemoryHierarchy,
+        core: CoreId,
+        p: AccessPattern,
+        accesses: u64,
+        rounds: u64,
+    ) -> SampledMix {
+        for r in 0..rounds {
+            h.sample_mix(core, p, 100 + r, accesses);
+        }
+        h.sample_mix(core, p, 999, accesses)
+    }
+
+    #[test]
+    fn small_working_set_hits_l1() {
+        let mut h = hierarchy();
+        let p = AccessPattern::Random {
+            base: 0,
+            working_set: 8 * 1024, // fits in 32 KB L1
+        };
+        let mix = warmed_mix(&mut h, CoreId(0), p, 50_000, 4);
+        assert!(mix.l1 > 0.8, "expected mostly L1 hits, got {mix:?}");
+    }
+
+    #[test]
+    fn huge_working_set_goes_to_dram() {
+        let mut h = hierarchy();
+        let p = AccessPattern::Random {
+            base: 0,
+            working_set: 512 * 1024 * 1024, // 512 MB >> 4 MB L3
+        };
+        let mix = warmed_mix(&mut h, CoreId(0), p, 100_000, 2);
+        assert!(mix.dram > 0.9, "expected mostly DRAM, got {mix:?}");
+        assert!(!mix.dram_lines.is_empty());
+    }
+
+    #[test]
+    fn medium_working_set_hits_l3() {
+        let mut h = hierarchy();
+        let p = AccessPattern::Random {
+            base: 0,
+            working_set: 2 * 1024 * 1024, // fits in 4 MB L3, exceeds 256 KB L2
+        };
+        let mix = warmed_mix(&mut h, CoreId(0), p, 100_000, 8);
+        assert!(
+            mix.l1 + mix.l2 + mix.l3 > 0.7,
+            "expected mostly on-chip hits, got {mix:?}"
+        );
+        assert!(mix.l3 > 0.3, "expected substantial L3 fraction, got {mix:?}");
+    }
+
+    #[test]
+    fn l3_is_shared_between_cores() {
+        let mut h = hierarchy();
+        let p = AccessPattern::Random {
+            base: 0,
+            working_set: 2 * 1024 * 1024,
+        };
+        // Core 0 warms the (shared) L3 thoroughly.
+        for r in 0..12 {
+            h.sample_mix(CoreId(0), p, r, 100_000);
+        }
+        // Core 1 misses its private caches but hits the warmed L3.
+        let mix = h.sample_mix(CoreId(1), p, 999, 100_000);
+        assert!(
+            mix.l3 > mix.dram,
+            "core 1 should reuse core 0's L3 contents: {mix:?}"
+        );
+    }
+
+    #[test]
+    fn mix_fractions_sum_to_one() {
+        let mut h = hierarchy();
+        let p = AccessPattern::Strided {
+            base: 0,
+            stride: 64,
+            working_set: 1 << 20,
+        };
+        let mix = h.sample_mix(CoreId(2), p, 7, 5_000);
+        let sum = mix.l1 + mix.l2 + mix.l3 + mix.dram;
+        assert!((sum - 1.0).abs() < 1e-9, "sum {sum}");
+    }
+
+    #[test]
+    fn zero_accesses_yield_default_mix() {
+        let mut h = hierarchy();
+        let p = AccessPattern::Streaming { base: 0 };
+        let mix = h.sample_mix(CoreId(0), p, 1, 0);
+        assert_eq!(mix.l1 + mix.l2 + mix.l3 + mix.dram, 0.0);
+    }
+
+    #[test]
+    fn sample_lines_cycle() {
+        let mut s = SampleLines::default();
+        s.push(10);
+        s.push(20);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.get_cyclic(0), 10);
+        assert_eq!(s.get_cyclic(1), 20);
+        assert_eq!(s.get_cyclic(2), 10);
+        let empty = SampleLines::default();
+        assert_eq!(empty.get_cyclic(5), 5);
+    }
+}

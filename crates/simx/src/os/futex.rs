@@ -1,0 +1,167 @@
+//! Fast user-space mutex (futex) kernel support (paper §III-B).
+//!
+//! Programs synchronise through user-space words ([`SharedWord`]) and only
+//! enter the kernel on contention, exactly like pthreads on Linux. The
+//! kernel's `futex_wait` re-checks the word against the caller's expected
+//! value before sleeping, which rules out lost wakeups. Every sleep and
+//! wake transition here is what delimits the DEP predictor's
+//! synchronization epochs.
+
+use std::collections::{HashMap, VecDeque};
+
+use dvfs_trace::ThreadId;
+
+use crate::program::{FutexId, SharedWord};
+
+/// Result of a `futex_wait` call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FutexWaitResult {
+    /// The word still held the expected value: the caller must sleep.
+    Sleep,
+    /// The word changed before the kernel could sleep the caller: return
+    /// immediately (EAGAIN in Linux terms).
+    ValueMismatch,
+}
+
+/// Kernel-side futex state: registered words and per-futex wait queues.
+#[derive(Debug, Default)]
+pub struct FutexTable {
+    words: HashMap<FutexId, SharedWord>,
+    waiters: HashMap<FutexId, VecDeque<ThreadId>>,
+    next_id: u32,
+}
+
+impl FutexTable {
+    /// An empty table.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a new futex word with an initial value; returns its id and
+    /// the shared word programs read/write directly.
+    pub fn register(&mut self, initial: u32) -> (FutexId, SharedWord) {
+        let id = FutexId(self.next_id);
+        self.next_id += 1;
+        let word = SharedWord::new(std::cell::Cell::new(initial));
+        self.words.insert(id, word.clone());
+        (id, word)
+    }
+
+    /// Current value of a futex word.
+    ///
+    /// # Panics
+    /// Panics if the futex was never registered.
+    #[must_use]
+    pub fn value(&self, futex: FutexId) -> u32 {
+        self.words[&futex].get()
+    }
+
+    /// Kernel `futex_wait`: if the word still equals `expected`, enqueue
+    /// the caller and report [`FutexWaitResult::Sleep`]; otherwise report
+    /// a mismatch and do not enqueue.
+    pub fn wait(&mut self, thread: ThreadId, futex: FutexId, expected: u32) -> FutexWaitResult {
+        let word = self.words.get(&futex).expect("futex not registered");
+        if word.get() != expected {
+            return FutexWaitResult::ValueMismatch;
+        }
+        self.waiters.entry(futex).or_default().push_back(thread);
+        FutexWaitResult::Sleep
+    }
+
+    /// Kernel `futex_wake`: dequeues up to `count` waiters in FIFO order
+    /// and returns them (the caller makes them runnable).
+    pub fn wake(&mut self, futex: FutexId, count: u32) -> Vec<ThreadId> {
+        let Some(queue) = self.waiters.get_mut(&futex) else {
+            return Vec::new();
+        };
+        let n = (count as usize).min(queue.len());
+        queue.drain(..n).collect()
+    }
+
+    /// Number of threads currently blocked on `futex`.
+    #[must_use]
+    pub fn waiter_count(&self, futex: FutexId) -> usize {
+        self.waiters.get(&futex).map_or(0, VecDeque::len)
+    }
+
+    /// Total threads blocked on any futex.
+    #[must_use]
+    pub fn total_waiters(&self) -> usize {
+        self.waiters.values().map(VecDeque::len).sum()
+    }
+
+    /// Removes a specific thread from a futex queue (used when a sleeping
+    /// thread is killed).
+    pub fn remove_waiter(&mut self, thread: ThreadId, futex: FutexId) -> bool {
+        if let Some(q) = self.waiters.get_mut(&futex) {
+            if let Some(pos) = q.iter().position(|&t| t == thread) {
+                q.remove(pos);
+                return true;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wait_sleeps_only_when_value_matches() {
+        let mut t = FutexTable::new();
+        let (id, word) = t.register(0);
+        assert_eq!(t.wait(ThreadId(1), id, 0), FutexWaitResult::Sleep);
+        word.set(1);
+        assert_eq!(t.wait(ThreadId(2), id, 0), FutexWaitResult::ValueMismatch);
+        assert_eq!(t.waiter_count(id), 1);
+    }
+
+    #[test]
+    fn wake_is_fifo_and_bounded() {
+        let mut t = FutexTable::new();
+        let (id, _) = t.register(0);
+        for i in 0..5 {
+            assert_eq!(t.wait(ThreadId(i), id, 0), FutexWaitResult::Sleep);
+        }
+        let woken = t.wake(id, 2);
+        assert_eq!(woken, vec![ThreadId(0), ThreadId(1)]);
+        let rest = t.wake(id, 10);
+        assert_eq!(rest, vec![ThreadId(2), ThreadId(3), ThreadId(4)]);
+        assert_eq!(t.wake(id, 1), Vec::<ThreadId>::new());
+    }
+
+    #[test]
+    fn no_lost_wakeup_with_value_protocol() {
+        // Classic race: waker flips the word before the waiter calls wait.
+        let mut t = FutexTable::new();
+        let (id, word) = t.register(0);
+        word.set(1); // waker already signalled
+        // Waiter's wait(expected=0) must not sleep.
+        assert_eq!(t.wait(ThreadId(1), id, 0), FutexWaitResult::ValueMismatch);
+        assert_eq!(t.total_waiters(), 0);
+    }
+
+    #[test]
+    fn remove_waiter_works() {
+        let mut t = FutexTable::new();
+        let (id, _) = t.register(0);
+        t.wait(ThreadId(1), id, 0);
+        t.wait(ThreadId(2), id, 0);
+        assert!(t.remove_waiter(ThreadId(1), id));
+        assert!(!t.remove_waiter(ThreadId(1), id));
+        assert_eq!(t.wake(id, 5), vec![ThreadId(2)]);
+    }
+
+    #[test]
+    fn distinct_futexes_are_independent() {
+        let mut t = FutexTable::new();
+        let (a, _) = t.register(0);
+        let (b, _) = t.register(0);
+        t.wait(ThreadId(1), a, 0);
+        t.wait(ThreadId(2), b, 0);
+        assert_eq!(t.wake(a, 10), vec![ThreadId(1)]);
+        assert_eq!(t.wake(b, 10), vec![ThreadId(2)]);
+    }
+}

@@ -1,0 +1,9 @@
+//! The simulated operating system: threads, futexes, and the scheduler.
+
+mod futex;
+mod sched;
+mod thread;
+
+pub use futex::{FutexTable, FutexWaitResult};
+pub use sched::Scheduler;
+pub use thread::{SleepKind, Thread, ThreadState};

@@ -1,0 +1,105 @@
+//! A simple FIFO run-queue scheduler with round-robin time slicing.
+//!
+//! Threads are dispatched to idle cores in wake order. When more threads
+//! are runnable than cores exist, each running thread is preempted after a
+//! time slice — a preemption is a "scheduled out" event and therefore also
+//! a synchronization-epoch boundary (paper §III-B).
+
+use std::collections::VecDeque;
+
+use dvfs_trace::ThreadId;
+
+/// FIFO run queue.
+#[derive(Debug, Default)]
+pub struct Scheduler {
+    run_queue: VecDeque<ThreadId>,
+}
+
+impl Scheduler {
+    /// An empty scheduler.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a thread to the back of the run queue.
+    pub fn enqueue(&mut self, thread: ThreadId) {
+        debug_assert!(
+            !self.run_queue.contains(&thread),
+            "{thread} enqueued twice"
+        );
+        self.run_queue.push_back(thread);
+    }
+
+    /// Takes the next thread to dispatch.
+    pub fn dequeue(&mut self) -> Option<ThreadId> {
+        self.run_queue.pop_front()
+    }
+
+    /// True if any thread is waiting for a core.
+    #[must_use]
+    pub fn has_waiting(&self) -> bool {
+        !self.run_queue.is_empty()
+    }
+
+    /// Number of threads waiting for a core.
+    #[must_use]
+    pub fn waiting(&self) -> usize {
+        self.run_queue.len()
+    }
+
+    /// Removes a thread from the queue (e.g. killed while runnable).
+    pub fn remove(&mut self, thread: ThreadId) -> bool {
+        if let Some(pos) = self.run_queue.iter().position(|&t| t == thread) {
+            self.run_queue.remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Takes the first queued thread satisfying `eligible` (affinity-aware
+    /// dispatch: FIFO among the threads allowed on a given core).
+    pub fn dequeue_matching(&mut self, mut eligible: impl FnMut(ThreadId) -> bool) -> Option<ThreadId> {
+        let pos = self.run_queue.iter().position(|&t| eligible(t))?;
+        self.run_queue.remove(pos)
+    }
+
+    /// True if any queued thread satisfies `eligible`.
+    #[must_use]
+    pub fn has_waiting_matching(&self, mut eligible: impl FnMut(ThreadId) -> bool) -> bool {
+        self.run_queue.iter().any(|&t| eligible(t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order() {
+        let mut s = Scheduler::new();
+        s.enqueue(ThreadId(1));
+        s.enqueue(ThreadId(2));
+        s.enqueue(ThreadId(3));
+        assert_eq!(s.waiting(), 3);
+        assert_eq!(s.dequeue(), Some(ThreadId(1)));
+        assert_eq!(s.dequeue(), Some(ThreadId(2)));
+        assert!(s.has_waiting());
+        assert_eq!(s.dequeue(), Some(ThreadId(3)));
+        assert_eq!(s.dequeue(), None);
+        assert!(!s.has_waiting());
+    }
+
+    #[test]
+    fn remove_mid_queue() {
+        let mut s = Scheduler::new();
+        s.enqueue(ThreadId(1));
+        s.enqueue(ThreadId(2));
+        s.enqueue(ThreadId(3));
+        assert!(s.remove(ThreadId(2)));
+        assert!(!s.remove(ThreadId(2)));
+        assert_eq!(s.dequeue(), Some(ThreadId(1)));
+        assert_eq!(s.dequeue(), Some(ThreadId(3)));
+    }
+}

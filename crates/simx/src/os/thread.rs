@@ -1,0 +1,152 @@
+//! Simulated software threads.
+
+use std::fmt;
+
+use dvfs_trace::{CoreId, DvfsCounters, Freq, ThreadId, ThreadRole, Time};
+
+use crate::cpu::{Chunk, WorkCursor};
+use crate::program::{FutexId, ProgContext, ThreadProgram, WaitOutcome};
+
+/// Why a thread is asleep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SleepKind {
+    /// Blocked in `futex_wait`.
+    Futex(FutexId),
+    /// Blocked on a timer.
+    Timer,
+}
+
+/// Scheduling state of a thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ThreadState {
+    /// Ready to run, waiting for a core.
+    Runnable,
+    /// Executing on a core.
+    Running(CoreId),
+    /// Asleep in the kernel.
+    Sleeping(SleepKind),
+    /// Finished.
+    Exited,
+}
+
+/// A simulated software thread: program, scheduling state, committed
+/// counters, and any partially-executed work to resume.
+pub struct Thread {
+    /// The thread's id.
+    pub id: ThreadId,
+    /// Display name.
+    pub name: String,
+    /// Role (application / GC worker / JIT).
+    pub role: ThreadRole,
+    /// The behaviour state machine.
+    pub program: Box<dyn ThreadProgram>,
+    /// Scheduling state.
+    pub state: ThreadState,
+    /// Counters committed by finished chunks (in-flight chunk counters are
+    /// interpolated separately by the tracer).
+    pub counters: DvfsCounters,
+    /// The current work item's remaining chunks.
+    pub cursor: Option<WorkCursor>,
+    /// A partially-executed chunk to resume first, with the frequency it
+    /// was timed at (set on preemption; retimed to the current frequency
+    /// before resuming).
+    pub resume_chunk: Option<(Chunk, Freq)>,
+    /// Outcome to report to the program on its next `next()` call.
+    pub last_wait: WaitOutcome,
+    /// Thread id produced by the program's most recent `Spawn`.
+    pub last_spawned: Option<ThreadId>,
+    /// Spawn time.
+    pub spawn: Time,
+    /// Exit time, once exited.
+    pub exit: Option<Time>,
+    /// Core-affinity bitmask (bit `c` = may run on core `c`); `None` = any.
+    pub affinity: Option<u8>,
+}
+
+impl Thread {
+    /// Creates a runnable thread.
+    pub fn new(
+        id: ThreadId,
+        name: String,
+        role: ThreadRole,
+        program: Box<dyn ThreadProgram>,
+        now: Time,
+    ) -> Self {
+        Thread {
+            id,
+            name,
+            role,
+            program,
+            state: ThreadState::Runnable,
+            counters: DvfsCounters::zero(),
+            cursor: None,
+            resume_chunk: None,
+            last_wait: WaitOutcome::None,
+            last_spawned: None,
+            spawn: now,
+            exit: None,
+            affinity: None,
+        }
+    }
+
+    /// True if the thread may run on core `c`.
+    #[must_use]
+    pub fn allowed_on(&self, c: usize) -> bool {
+        match self.affinity {
+            None => true,
+            Some(mask) => c < 8 && (mask >> c) & 1 == 1,
+        }
+    }
+
+    /// Builds the context handed to the program.
+    #[must_use]
+    pub fn context(&self, now: Time) -> ProgContext {
+        ProgContext {
+            now,
+            tid: self.id,
+            last_wait: self.last_wait,
+            last_spawned: self.last_spawned,
+        }
+    }
+
+    /// True if the thread has ended.
+    #[must_use]
+    pub fn is_exited(&self) -> bool {
+        matches!(self.state, ThreadState::Exited)
+    }
+}
+
+impl fmt::Debug for Thread {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Thread")
+            .field("id", &self.id)
+            .field("name", &self.name)
+            .field("role", &self.role)
+            .field("state", &self.state)
+            .field("counters", &self.counters)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::ScriptProgram;
+
+    #[test]
+    fn new_thread_is_runnable_with_zero_counters() {
+        let t = Thread::new(
+            ThreadId(3),
+            "app-3".into(),
+            ThreadRole::Application,
+            Box::new(ScriptProgram::new(vec![])),
+            Time::from_secs(1.0),
+        );
+        assert_eq!(t.state, ThreadState::Runnable);
+        assert!(t.counters.is_zero());
+        assert!(!t.is_exited());
+        let ctx = t.context(Time::from_secs(2.0));
+        assert_eq!(ctx.tid, ThreadId(3));
+        assert_eq!(ctx.last_wait, WaitOutcome::None);
+    }
+}

@@ -1,0 +1,287 @@
+//! The program abstraction: what simulated threads execute.
+//!
+//! A [`ThreadProgram`] is a state machine that yields [`Action`]s — timed
+//! work items or OS interactions (futex wait/wake, sleep, spawn, exit).
+//! The managed-runtime crate (`mrt`) builds mutator and GC-worker programs
+//! out of these primitives; the workload crate builds benchmarks on top of
+//! `mrt`.
+
+use std::cell::Cell;
+use std::fmt;
+use std::rc::Rc;
+
+use dvfs_trace::{PhaseKind, ThreadId, ThreadRole, Time, TimeDelta};
+
+use crate::mem::AccessPattern;
+
+/// Identifier of a futex word registered with the machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FutexId(pub u32);
+
+/// A user-space word a futex is keyed on. Programs mutate it directly
+/// (compare-and-swap style logic is modelled in program code); the kernel
+/// reads it under `futex_wait` to decide whether to sleep, exactly like the
+/// real futex contract — so lost-wakeup races cannot occur.
+pub type SharedWord = Rc<Cell<u32>>;
+
+/// A timed unit of execution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WorkItem {
+    /// Pure core work: `instructions` executed at `ipc` instructions per
+    /// cycle. Time scales perfectly with frequency.
+    Compute {
+        /// Instructions to execute.
+        instructions: u64,
+        /// Sustained instructions per cycle.
+        ipc: f64,
+    },
+    /// A load-dominated region: `accesses` loads drawn from `pattern`,
+    /// with `compute_per_access` instructions of work interleaved.
+    Memory {
+        /// Number of loads.
+        accesses: u64,
+        /// Where the loads go.
+        pattern: AccessPattern,
+        /// Memory-level parallelism: average number of independent miss
+        /// chains outstanding together (1 = pointer chasing, 8 = streaming).
+        mlp: f64,
+        /// Instructions of compute per load.
+        compute_per_access: f64,
+        /// IPC of the interleaved compute.
+        ipc: f64,
+        /// Seed for the deterministic address stream.
+        seed: u64,
+    },
+    /// A burst of stores (zero-initialisation, GC copy): `bytes` written
+    /// through the store queue to `pattern` addresses.
+    StoreBurst {
+        /// Bytes written.
+        bytes: u64,
+        /// Where the stores go.
+        pattern: AccessPattern,
+        /// Seed for the deterministic address stream.
+        seed: u64,
+    },
+}
+
+/// What a program asks the machine to do next.
+pub enum Action {
+    /// Execute a timed work item.
+    Work(WorkItem),
+    /// Kernel futex wait: sleep if the futex word still holds `expected`,
+    /// otherwise return immediately with [`WaitOutcome::ValueMismatch`].
+    FutexWait {
+        /// The futex to wait on.
+        futex: FutexId,
+        /// The expected word value (sleep only if it still matches).
+        expected: u32,
+    },
+    /// Kernel futex wake: make up to `count` waiters runnable.
+    FutexWake {
+        /// The futex to wake.
+        futex: FutexId,
+        /// Maximum number of waiters to wake.
+        count: u32,
+    },
+    /// Sleep for a fixed duration (timer).
+    SleepFor(TimeDelta),
+    /// Spawn a new thread.
+    Spawn(SpawnRequest),
+    /// Emit a runtime phase marker into the execution trace (the "JVM
+    /// signal" COOP listens to).
+    MarkPhase(PhaseKind),
+    /// Terminate this thread.
+    Exit,
+}
+
+impl fmt::Debug for Action {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Action::Work(w) => f.debug_tuple("Work").field(w).finish(),
+            Action::FutexWait { futex, expected } => f
+                .debug_struct("FutexWait")
+                .field("futex", futex)
+                .field("expected", expected)
+                .finish(),
+            Action::FutexWake { futex, count } => f
+                .debug_struct("FutexWake")
+                .field("futex", futex)
+                .field("count", count)
+                .finish(),
+            Action::SleepFor(d) => f.debug_tuple("SleepFor").field(d).finish(),
+            Action::Spawn(r) => f.debug_tuple("Spawn").field(&r.name).finish(),
+            Action::MarkPhase(k) => f.debug_tuple("MarkPhase").field(k).finish(),
+            Action::Exit => write!(f, "Exit"),
+        }
+    }
+}
+
+/// A request to create a new thread.
+pub struct SpawnRequest {
+    /// Human-readable thread name.
+    pub name: String,
+    /// The thread's role (application / GC worker / JIT).
+    pub role: ThreadRole,
+    /// The program the thread runs.
+    pub program: Box<dyn ThreadProgram>,
+    /// Core-affinity bitmask: bit `c` set = the thread may run on core
+    /// `c`. `None` = any core. Used by the per-core DVFS extension to pin
+    /// application and service threads to disjoint core sets.
+    pub affinity: Option<u8>,
+}
+
+impl SpawnRequest {
+    /// Convenience constructor (no affinity).
+    #[must_use]
+    pub fn new(
+        name: impl Into<String>,
+        role: ThreadRole,
+        program: Box<dyn ThreadProgram>,
+    ) -> Self {
+        SpawnRequest {
+            name: name.into(),
+            role,
+            program,
+            affinity: None,
+        }
+    }
+
+    /// Restricts the thread to the cores set in `mask`.
+    #[must_use]
+    pub fn with_affinity(mut self, mask: u8) -> Self {
+        self.affinity = Some(mask);
+        self
+    }
+}
+
+impl fmt::Debug for SpawnRequest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SpawnRequest")
+            .field("name", &self.name)
+            .field("role", &self.role)
+            .finish_non_exhaustive()
+    }
+}
+
+/// The result of the most recent blocking action, visible to the program on
+/// its next `next()` call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WaitOutcome {
+    /// No wait has happened yet (or the last action was not a wait).
+    #[default]
+    None,
+    /// The thread slept on a futex and was woken.
+    Woken,
+    /// `futex_wait` found the word already changed and did not sleep.
+    ValueMismatch,
+    /// A timer sleep completed.
+    TimerFired,
+}
+
+/// Execution context handed to [`ThreadProgram::next`].
+#[derive(Debug)]
+pub struct ProgContext {
+    /// Current simulated time.
+    pub now: Time,
+    /// This thread's id.
+    pub tid: ThreadId,
+    /// Outcome of the immediately preceding blocking action.
+    pub last_wait: WaitOutcome,
+    /// Thread id created by the immediately preceding `Spawn`, if any.
+    pub last_spawned: Option<ThreadId>,
+}
+
+/// A simulated thread's behaviour.
+///
+/// `next` is called whenever the thread needs something to do: at spawn, and
+/// after each completed action. Returning [`Action::Exit`] ends the thread.
+pub trait ThreadProgram: 'static {
+    /// Produce the next action.
+    fn next(&mut self, ctx: &mut ProgContext) -> Action;
+}
+
+/// A program defined by a boxed closure — convenient for tests and simple
+/// workloads.
+pub struct FnProgram<F>(pub F);
+
+impl<F: FnMut(&mut ProgContext) -> Action + 'static> ThreadProgram for FnProgram<F> {
+    fn next(&mut self, ctx: &mut ProgContext) -> Action {
+        (self.0)(ctx)
+    }
+}
+
+impl<F> fmt::Debug for FnProgram<F> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "FnProgram")
+    }
+}
+
+/// A program that plays a fixed script of actions, then exits.
+#[derive(Debug, Default)]
+pub struct ScriptProgram {
+    actions: std::collections::VecDeque<Action>,
+}
+
+impl ScriptProgram {
+    /// Builds a script from a list of actions ( `Exit` is appended
+    /// automatically when the script drains).
+    #[must_use]
+    pub fn new(actions: Vec<Action>) -> Self {
+        ScriptProgram {
+            actions: actions.into(),
+        }
+    }
+}
+
+impl ThreadProgram for ScriptProgram {
+    fn next(&mut self, _ctx: &mut ProgContext) -> Action {
+        self.actions.pop_front().unwrap_or(Action::Exit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn script_program_drains_then_exits() {
+        let mut p = ScriptProgram::new(vec![
+            Action::Work(WorkItem::Compute {
+                instructions: 10,
+                ipc: 1.0,
+            }),
+            Action::MarkPhase(PhaseKind::GcStart),
+        ]);
+        let mut ctx = ProgContext {
+            now: Time::ZERO,
+            tid: ThreadId(0),
+            last_wait: WaitOutcome::None,
+            last_spawned: None,
+        };
+        assert!(matches!(p.next(&mut ctx), Action::Work(_)));
+        assert!(matches!(p.next(&mut ctx), Action::MarkPhase(_)));
+        assert!(matches!(p.next(&mut ctx), Action::Exit));
+        assert!(matches!(p.next(&mut ctx), Action::Exit));
+    }
+
+    #[test]
+    fn fn_program_invokes_closure() {
+        let mut calls = 0;
+        let mut p = FnProgram(move |_ctx: &mut ProgContext| {
+            calls += 1;
+            if calls > 1 {
+                Action::Exit
+            } else {
+                Action::SleepFor(TimeDelta::from_micros(1.0))
+            }
+        });
+        let mut ctx = ProgContext {
+            now: Time::ZERO,
+            tid: ThreadId(0),
+            last_wait: WaitOutcome::None,
+            last_spawned: None,
+        };
+        assert!(matches!(p.next(&mut ctx), Action::SleepFor(_)));
+        assert!(matches!(p.next(&mut ctx), Action::Exit));
+    }
+}

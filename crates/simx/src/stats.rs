@@ -1,0 +1,44 @@
+//! Aggregate run statistics.
+
+use std::collections::BTreeMap;
+
+use dvfs_trace::{DvfsCounters, ThreadId, TimeDelta};
+
+use crate::mem::DramStats;
+
+/// Machine-level statistics for a run (or the portion of a run so far).
+#[derive(Debug, Clone, Default)]
+pub struct RunStats {
+    /// Wall-clock time simulated.
+    pub elapsed: TimeDelta,
+    /// Per-core accumulated busy time.
+    pub core_busy: Vec<TimeDelta>,
+    /// Per-thread cumulative counters.
+    pub thread_counters: BTreeMap<ThreadId, DvfsCounters>,
+    /// DRAM statistics.
+    pub dram: DramStats,
+    /// Synchronization epochs recorded.
+    pub epochs: usize,
+    /// Futex wait calls that actually slept.
+    pub futex_sleeps: u64,
+    /// Futex wake calls.
+    pub futex_wakes: u64,
+    /// Scheduler preemptions (time-slice expiries).
+    pub preemptions: u64,
+    /// DVFS transitions applied.
+    pub dvfs_transitions: u64,
+}
+
+impl RunStats {
+    /// Total committed instructions across all threads.
+    #[must_use]
+    pub fn total_instructions(&self) -> u64 {
+        self.thread_counters.values().map(|c| c.instructions).sum()
+    }
+
+    /// Total busy (scheduled) time across all threads.
+    #[must_use]
+    pub fn total_active(&self) -> TimeDelta {
+        self.thread_counters.values().map(|c| c.active).sum()
+    }
+}

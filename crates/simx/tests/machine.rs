@@ -1,0 +1,447 @@
+//! End-to-end tests of the machine: threads, futexes, scheduling, DVFS,
+//! and trace emission.
+
+use dvfs_trace::{EpochEnd, Freq, ThreadRole, TimeDelta};
+use simx::mem::AccessPattern;
+use simx::program::ScriptProgram;
+use simx::{Action, Machine, MachineConfig, MachineError, RunOutcome, SpawnRequest, WorkItem};
+
+fn compute(instructions: u64) -> Action {
+    Action::Work(WorkItem::Compute {
+        instructions,
+        ipc: 2.0,
+    })
+}
+
+fn dram_loads(accesses: u64) -> Action {
+    Action::Work(WorkItem::Memory {
+        accesses,
+        pattern: AccessPattern::Random {
+            base: 0,
+            working_set: 512 << 20,
+        },
+        mlp: 2.0,
+        compute_per_access: 2.0,
+        ipc: 2.0,
+        seed: 42,
+    })
+}
+
+fn machine_at(ghz: f64) -> Machine {
+    let mut config = MachineConfig::haswell_quad();
+    config.initial_freq = Freq::from_ghz(ghz);
+    Machine::new(config)
+}
+
+#[test]
+fn single_compute_thread_timing_is_exact() {
+    let mut m = machine_at(1.0);
+    m.spawn(SpawnRequest::new(
+        "app-0",
+        ThreadRole::Application,
+        Box::new(ScriptProgram::new(vec![compute(2_000_000)])),
+    ));
+    let outcome = m.run().expect("runs");
+    let RunOutcome::Completed(end) = outcome else {
+        panic!("should complete");
+    };
+    // 2e6 instructions at ipc 2 and 1 GHz = 1 ms.
+    assert!(
+        (end.as_secs() - 1e-3).abs() < 1e-9,
+        "expected 1 ms, got {end}"
+    );
+}
+
+#[test]
+fn compute_scales_linearly_memory_does_not() {
+    let run = |ghz: f64, action_builder: fn() -> Action| {
+        let mut m = machine_at(ghz);
+        m.spawn(SpawnRequest::new(
+            "app-0",
+            ThreadRole::Application,
+            Box::new(ScriptProgram::new(vec![action_builder()])),
+        ));
+        match m.run().expect("runs") {
+            RunOutcome::Completed(t) => t.as_secs(),
+            RunOutcome::DeadlineReached => panic!("no deadline set"),
+        }
+    };
+    let c1 = run(1.0, || compute(8_000_000));
+    let c4 = run(4.0, || compute(8_000_000));
+    assert!((c1 / c4 - 4.0).abs() < 1e-6, "compute speedup {}", c1 / c4);
+
+    let m1 = run(1.0, || dram_loads(200_000));
+    let m4 = run(4.0, || dram_loads(200_000));
+    let speedup = m1 / m4;
+    assert!(
+        speedup < 2.0,
+        "DRAM-bound work must not scale with frequency: {speedup}"
+    );
+}
+
+#[test]
+fn futex_handoff_creates_epochs_and_valid_trace() {
+    let mut m = machine_at(2.0);
+    let (futex, word) = m.register_futex(0);
+
+    // Waiter: sleeps until the word flips to 1.
+    m.spawn(SpawnRequest::new(
+        "waiter",
+        ThreadRole::Application,
+        Box::new(ScriptProgram::new(vec![
+            compute(100_000),
+            Action::FutexWait { futex, expected: 0 },
+            compute(100_000),
+        ])),
+    ));
+    // Waker: computes, flips the word, wakes.
+    let word2 = word.clone();
+    m.spawn(SpawnRequest::new(
+        "waker",
+        ThreadRole::Application,
+        Box::new(simx::program::FnProgram({
+            let mut step = 0;
+            move |_ctx: &mut simx::ProgContext| {
+                step += 1;
+                match step {
+                    1 => compute(2_000_000),
+                    2 => {
+                        word2.set(1);
+                        Action::FutexWake { futex, count: 1 }
+                    }
+                    _ => Action::Exit,
+                }
+            }
+        })),
+    ));
+
+    m.run().expect("runs");
+    let trace = m.harvest_trace();
+    trace.validate().expect("trace invariants hold");
+    assert!(
+        trace.epochs.len() >= 3,
+        "expected several epochs, got {}",
+        trace.epochs.len()
+    );
+    // There must be a stall boundary (the waiter sleeping) and wake
+    // boundaries.
+    assert!(trace
+        .epochs
+        .iter()
+        .any(|e| matches!(e.end, EpochEnd::Stall(_))));
+    assert!(trace
+        .epochs
+        .iter()
+        .any(|e| matches!(e.end, EpochEnd::Wake(_) | EpochEnd::Exit(_))));
+    // The waiter slept, so its total active time is well below the trace
+    // total.
+    let totals = trace.thread_totals();
+    let waiter = totals
+        .iter()
+        .find(|(_, t)| t.presence > TimeDelta::ZERO)
+        .expect("some thread");
+    let _ = waiter;
+    let stats = m.stats();
+    assert!(stats.futex_sleeps >= 1);
+    assert!(stats.futex_wakes >= 1);
+}
+
+#[test]
+fn futex_value_mismatch_does_not_sleep() {
+    let mut m = machine_at(1.0);
+    let (futex, word) = m.register_futex(0);
+    word.set(7); // already signalled
+    m.spawn(SpawnRequest::new(
+        "app",
+        ThreadRole::Application,
+        Box::new(ScriptProgram::new(vec![
+            Action::FutexWait { futex, expected: 0 },
+            compute(1000),
+        ])),
+    ));
+    m.run().expect("must not deadlock");
+    assert_eq!(m.stats().futex_sleeps, 0);
+}
+
+#[test]
+fn oversubscription_round_robins_with_preemptions() {
+    let mut m = machine_at(1.0);
+    for i in 0..6 {
+        m.spawn(SpawnRequest::new(
+            format!("app-{i}"),
+            ThreadRole::Application,
+            Box::new(ScriptProgram::new(vec![compute(20_000_000)])),
+        ));
+    }
+    let outcome = m.run().expect("runs");
+    assert!(matches!(outcome, RunOutcome::Completed(_)));
+    let stats = m.stats();
+    assert!(
+        stats.preemptions > 0,
+        "6 threads on 4 cores must preempt, stats: {stats:?}"
+    );
+    // Every thread must have executed all its instructions.
+    for (tid, c) in &stats.thread_counters {
+        assert_eq!(c.instructions, 20_000_000, "thread {tid}");
+    }
+    let trace = m.harvest_trace();
+    trace.validate().expect("valid trace");
+}
+
+#[test]
+fn spawned_threads_run_and_exit() {
+    let mut m = machine_at(2.0);
+    m.spawn(SpawnRequest::new(
+        "parent",
+        ThreadRole::Application,
+        Box::new(ScriptProgram::new(vec![
+            Action::Spawn(SpawnRequest::new(
+                "child",
+                ThreadRole::Application,
+                Box::new(ScriptProgram::new(vec![compute(500_000)])),
+            )),
+            compute(500_000),
+        ])),
+    ));
+    m.run().expect("runs");
+    let trace = m.harvest_trace();
+    assert_eq!(trace.threads.len(), 2);
+    assert!(trace.threads.iter().all(|t| t.exit.is_some()));
+}
+
+#[test]
+fn timer_sleep_wakes_after_duration() {
+    let mut m = machine_at(1.0);
+    m.spawn(SpawnRequest::new(
+        "sleeper",
+        ThreadRole::Application,
+        Box::new(ScriptProgram::new(vec![
+            Action::SleepFor(TimeDelta::from_millis(5.0)),
+            compute(1_000_000),
+        ])),
+    ));
+    let RunOutcome::Completed(end) = m.run().expect("runs") else {
+        panic!("completes");
+    };
+    // >= 5 ms sleep + 0.5 ms compute (plus small syscall costs).
+    assert!(end.as_secs() >= 5.4e-3, "got {end}");
+    assert!(end.as_secs() < 6.0e-3, "got {end}");
+}
+
+#[test]
+fn deadlock_is_detected() {
+    let mut m = machine_at(1.0);
+    let (futex, _word) = m.register_futex(0);
+    m.spawn(SpawnRequest::new(
+        "stuck",
+        ThreadRole::Application,
+        Box::new(ScriptProgram::new(vec![Action::FutexWait {
+            futex,
+            expected: 0,
+        }])),
+    ));
+    let err = m.run().expect_err("must deadlock");
+    assert!(matches!(err, MachineError::Deadlock { .. }));
+}
+
+#[test]
+fn dvfs_transition_requires_clean_trace_and_retimes_work() {
+    let mut m = machine_at(1.0);
+    m.spawn(SpawnRequest::new(
+        "app",
+        ThreadRole::Application,
+        Box::new(ScriptProgram::new(vec![compute(40_000_000)])), // 20 ms at 1 GHz
+    ));
+    m.run_for(TimeDelta::from_millis(4.0)).expect("runs");
+    // Un-harvested epochs at 1 GHz: changing frequency must fail.
+    assert_eq!(
+        m.set_frequency(Freq::from_ghz(4.0)),
+        Err(MachineError::DirtyTrace)
+    );
+    let seg1 = m.harvest_trace();
+    assert_eq!(seg1.base, Freq::from_ghz(1.0));
+    m.set_frequency(Freq::from_ghz(4.0)).expect("clean now");
+    let RunOutcome::Completed(end) = m.run().expect("runs") else {
+        panic!("completes");
+    };
+    // 4 ms at 1 GHz completed 8e6 instructions; remaining 32e6 at 4 GHz
+    // takes 4 ms; plus 2 us transition.
+    let expected = 4e-3 + 32e6 / (2.0 * 4e9) + 2e-6;
+    assert!(
+        (end.as_secs() - expected).abs() < 1e-5,
+        "expected ~{expected}, got {end}"
+    );
+    let seg2 = m.harvest_trace();
+    assert_eq!(seg2.base, Freq::from_ghz(4.0));
+    seg2.validate().expect("valid");
+    assert_eq!(m.stats().dvfs_transitions, 1);
+}
+
+#[test]
+fn quantum_harvests_tile_the_run() {
+    let mut m = machine_at(2.0);
+    m.spawn(SpawnRequest::new(
+        "app",
+        ThreadRole::Application,
+        Box::new(ScriptProgram::new(vec![compute(30_000_000)])),
+    ));
+    let quantum = TimeDelta::from_millis(2.0);
+    let mut segments = Vec::new();
+    loop {
+        let outcome = m.run_for(quantum).expect("runs");
+        segments.push(m.harvest_trace());
+        if matches!(outcome, RunOutcome::Completed(_)) {
+            break;
+        }
+    }
+    assert!(segments.len() >= 3, "got {} segments", segments.len());
+    // Segments tile: each starts where the previous ended.
+    for pair in segments.windows(2) {
+        assert!((pair[0].end().as_secs() - pair[1].start.as_secs()).abs() < 1e-12);
+    }
+    for seg in &segments {
+        seg.validate().expect("every segment valid");
+    }
+    // Total instructions across segments equal the program's work.
+    let instr: u64 = segments
+        .iter()
+        .flat_map(|s| s.epochs.iter())
+        .flat_map(|e| e.threads.iter())
+        .map(|t| t.counters.instructions)
+        .sum();
+    assert_eq!(instr, 30_000_000);
+}
+
+#[test]
+fn store_burst_thread_saturates_store_queue() {
+    let mut m = machine_at(4.0);
+    m.spawn(SpawnRequest::new(
+        "zeroer",
+        ThreadRole::Application,
+        Box::new(ScriptProgram::new(vec![Action::Work(WorkItem::StoreBurst {
+            bytes: 4 << 20,
+            pattern: AccessPattern::Streaming { base: 1 << 33 },
+            seed: 5,
+        })])),
+    ));
+    m.run().expect("runs");
+    let trace = m.harvest_trace();
+    trace.validate().expect("valid");
+    let totals = trace.thread_totals();
+    let (_, t) = totals.iter().next().expect("one thread");
+    assert!(
+        t.counters.sq_full > t.counters.active * 0.5,
+        "store burst must be SQ-bound: sq_full {} of {}",
+        t.counters.sq_full,
+        t.counters.active
+    );
+}
+
+#[test]
+fn identical_seeds_give_identical_runs() {
+    let run = || {
+        let mut m = machine_at(3.0);
+        m.spawn(SpawnRequest::new(
+            "app",
+            ThreadRole::Application,
+            Box::new(ScriptProgram::new(vec![
+                dram_loads(50_000),
+                compute(1_000_000),
+            ])),
+        ));
+        match m.run().expect("runs") {
+            RunOutcome::Completed(t) => t.as_secs(),
+            RunOutcome::DeadlineReached => unreachable!(),
+        }
+    };
+    assert_eq!(run(), run(), "simulation must be deterministic");
+}
+
+#[test]
+fn affinity_pins_threads_to_their_cores() {
+    // Two threads pinned to core 0: their work serialises even though
+    // three other cores are idle.
+    let mut m = machine_at(1.0);
+    for i in 0..2 {
+        m.spawn(
+            SpawnRequest::new(
+                format!("pinned-{i}"),
+                ThreadRole::Application,
+                Box::new(ScriptProgram::new(vec![compute(8_000_000)])),
+            )
+            .with_affinity(0b0001),
+        );
+    }
+    let RunOutcome::Completed(end) = m.run().expect("runs") else {
+        panic!("completes");
+    };
+    // Each thread needs 4 ms at 1 GHz; serialised on one core: >= 8 ms.
+    assert!(
+        end.as_secs() >= 8e-3 - 1e-6,
+        "pinned threads must serialise, got {end}"
+    );
+    assert!(m.stats().preemptions > 0, "round-robin on the pinned core");
+}
+
+#[test]
+fn per_core_frequency_scales_only_that_core() {
+    let mut m = machine_at(1.0);
+    m.set_core_frequency(dvfs_trace::CoreId(1), Freq::from_ghz(4.0))
+        .expect("clean");
+    let slow = m.spawn(
+        SpawnRequest::new(
+            "slow",
+            ThreadRole::Application,
+            Box::new(ScriptProgram::new(vec![compute(8_000_000)])),
+        )
+        .with_affinity(0b0001),
+    );
+    let fast = m.spawn(
+        SpawnRequest::new(
+            "fast",
+            ThreadRole::Application,
+            Box::new(ScriptProgram::new(vec![compute(8_000_000)])),
+        )
+        .with_affinity(0b0010),
+    );
+    m.run().expect("runs");
+    let trace = m.harvest_trace();
+    let exit = |tid| {
+        trace
+            .threads
+            .iter()
+            .find(|t| t.id == tid)
+            .and_then(|t| t.exit)
+            .expect("exited")
+            .as_secs()
+    };
+    let t_slow = exit(slow);
+    let t_fast = exit(fast);
+    // 8e6 instructions at ipc 2: 4 ms at 1 GHz vs 1 ms at 4 GHz.
+    assert!(
+        (t_slow / t_fast - 4.0).abs() < 0.05,
+        "slow {t_slow} vs fast {t_fast}"
+    );
+    assert_eq!(m.core_frequency(dvfs_trace::CoreId(0)), Freq::from_ghz(1.0));
+    assert_eq!(m.core_frequency(dvfs_trace::CoreId(1)), Freq::from_ghz(4.0));
+}
+
+#[test]
+fn core_busy_accounting_sums_to_thread_active() {
+    let mut m = machine_at(2.0);
+    for i in 0..3 {
+        m.spawn(SpawnRequest::new(
+            format!("app-{i}"),
+            ThreadRole::Application,
+            Box::new(ScriptProgram::new(vec![compute(2_000_000), dram_loads(5_000)])),
+        ));
+    }
+    m.run().expect("runs");
+    let stats = m.stats();
+    let core_total: f64 = stats.core_busy.iter().map(|d| d.as_secs()).sum();
+    let thread_total = stats.total_active().as_secs();
+    assert!(
+        (core_total - thread_total).abs() < 1e-6,
+        "core busy {core_total} vs thread active {thread_total}"
+    );
+}

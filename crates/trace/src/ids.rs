@@ -1,0 +1,58 @@
+//! Identifiers for simulated threads and cores.
+
+use core::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a simulated software thread (application or service).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct ThreadId(pub u32);
+
+impl ThreadId {
+    /// The numeric id.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// Identifier of a hardware core.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct CoreId(pub u8);
+
+impl CoreId {
+    /// The numeric id.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for CoreId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "core{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_index() {
+        assert_eq!(format!("{}", ThreadId(3)), "t3");
+        assert_eq!(format!("{}", CoreId(1)), "core1");
+        assert_eq!(ThreadId(7).index(), 7);
+        assert_eq!(CoreId(2).index(), 2);
+    }
+}

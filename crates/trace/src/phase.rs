@@ -1,0 +1,48 @@
+//! Coarse-grained phase markers emitted by the managed runtime.
+//!
+//! These are the "signals from the JVM" the COOP baseline intercepts
+//! (paper §II-C) to distinguish application phases from stop-the-world
+//! collector phases.
+
+use serde::{Deserialize, Serialize};
+
+use crate::Time;
+
+/// The kind of runtime phase transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PhaseKind {
+    /// A stop-the-world garbage collection began (application threads are
+    /// suspended at safepoints).
+    GcStart,
+    /// The stop-the-world collection finished and the application resumed.
+    GcEnd,
+}
+
+/// A timestamped phase transition.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PhaseMarker {
+    /// When the transition occurred.
+    pub time: Time,
+    /// What changed.
+    pub kind: PhaseKind,
+}
+
+impl PhaseMarker {
+    /// Convenience constructor.
+    #[must_use]
+    pub fn new(time: Time, kind: PhaseKind) -> Self {
+        PhaseMarker { time, kind }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction() {
+        let m = PhaseMarker::new(Time::from_secs(0.5), PhaseKind::GcStart);
+        assert_eq!(m.kind, PhaseKind::GcStart);
+        assert_eq!(m.time, Time::from_secs(0.5));
+    }
+}

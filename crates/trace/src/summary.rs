@@ -1,0 +1,194 @@
+//! Aggregate trace statistics for reporting and quick inspection.
+
+use crate::{ExecutionTrace, ThreadRole, TimeDelta};
+
+/// Per-role aggregates over a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RoleSummary {
+    /// Threads with this role.
+    pub threads: usize,
+    /// Summed scheduled (active) time.
+    pub active: TimeDelta,
+    /// Summed CRIT non-scaling estimate.
+    pub crit: TimeDelta,
+    /// Summed store-queue-full time.
+    pub sq_full: TimeDelta,
+    /// Summed committed instructions.
+    pub instructions: u64,
+}
+
+/// A compact summary of an execution trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceSummary {
+    /// Wall-clock duration of the traced window.
+    pub total: TimeDelta,
+    /// Number of synchronization epochs.
+    pub epochs: usize,
+    /// Mean epoch duration.
+    pub mean_epoch: TimeDelta,
+    /// Time inside stop-the-world collector windows.
+    pub gc_time: TimeDelta,
+    /// Application-thread aggregates.
+    pub application: RoleSummary,
+    /// GC-worker aggregates.
+    pub gc: RoleSummary,
+    /// JIT aggregates.
+    pub jit: RoleSummary,
+    /// Mean number of active threads per epoch (time-weighted).
+    pub mean_parallelism: f64,
+}
+
+impl TraceSummary {
+    /// Computes the summary.
+    #[must_use]
+    pub fn compute(trace: &ExecutionTrace) -> Self {
+        let totals = trace.thread_totals();
+        let mut application = RoleSummary::default();
+        let mut gc = RoleSummary::default();
+        let mut jit = RoleSummary::default();
+        for info in &trace.threads {
+            let bucket = match info.role {
+                ThreadRole::Application => &mut application,
+                ThreadRole::GcWorker => &mut gc,
+                ThreadRole::Jit => &mut jit,
+            };
+            bucket.threads += 1;
+            if let Some(t) = totals.get(&info.id) {
+                bucket.active += t.counters.active;
+                bucket.crit += t.counters.crit;
+                bucket.sq_full += t.counters.sq_full;
+                bucket.instructions += t.counters.instructions;
+            }
+        }
+        let weighted_active: f64 = trace
+            .epochs
+            .iter()
+            .map(|e| e.duration.as_secs() * e.threads.len() as f64)
+            .sum();
+        let mean_parallelism = if trace.total.as_secs() > 0.0 {
+            weighted_active / trace.total.as_secs()
+        } else {
+            0.0
+        };
+        TraceSummary {
+            total: trace.total,
+            epochs: trace.epochs.len(),
+            mean_epoch: if trace.epochs.is_empty() {
+                TimeDelta::ZERO
+            } else {
+                trace.total / trace.epochs.len() as f64
+            },
+            gc_time: trace.gc_time(),
+            application,
+            gc,
+            jit,
+            mean_parallelism,
+        }
+    }
+
+    /// Fraction of the window spent in stop-the-world collection.
+    #[must_use]
+    pub fn gc_fraction(&self) -> f64 {
+        self.gc_time.ratio(self.total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{
+        DvfsCounters, EpochEnd, EpochRecord, Freq, PhaseKind, PhaseMarker, ThreadId, ThreadInfo,
+        ThreadSlice, Time,
+    };
+
+    fn mk_trace() -> ExecutionTrace {
+        let t = Time::from_secs;
+        let c = |active: f64| DvfsCounters {
+            active: TimeDelta::from_secs(active),
+            crit: TimeDelta::from_secs(active * 0.4),
+            instructions: (active * 1e9) as u64,
+            ..DvfsCounters::zero()
+        };
+        ExecutionTrace {
+            base: Freq::from_ghz(1.0),
+            start: t(0.0),
+            total: TimeDelta::from_secs(1.0),
+            epochs: vec![
+                EpochRecord {
+                    start: t(0.0),
+                    duration: TimeDelta::from_secs(0.5),
+                    threads: vec![
+                        ThreadSlice {
+                            thread: ThreadId(0),
+                            counters: c(0.5),
+                        },
+                        ThreadSlice {
+                            thread: ThreadId(1),
+                            counters: c(0.5),
+                        },
+                    ],
+                    end: EpochEnd::Stall(ThreadId(0)),
+                },
+                EpochRecord {
+                    start: t(0.5),
+                    duration: TimeDelta::from_secs(0.5),
+                    threads: vec![ThreadSlice {
+                        thread: ThreadId(1),
+                        counters: c(0.5),
+                    }],
+                    end: EpochEnd::TraceEnd,
+                },
+            ],
+            markers: vec![
+                PhaseMarker::new(t(0.5), PhaseKind::GcStart),
+                PhaseMarker::new(t(1.0), PhaseKind::GcEnd),
+            ],
+            threads: vec![
+                ThreadInfo {
+                    id: ThreadId(0),
+                    role: ThreadRole::Application,
+                    name: "app".into(),
+                    spawn: t(0.0),
+                    exit: None,
+                },
+                ThreadInfo {
+                    id: ThreadId(1),
+                    role: ThreadRole::GcWorker,
+                    name: "gc".into(),
+                    spawn: t(0.0),
+                    exit: None,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn summary_aggregates_by_role() {
+        let s = TraceSummary::compute(&mk_trace());
+        assert_eq!(s.epochs, 2);
+        assert_eq!(s.application.threads, 1);
+        assert_eq!(s.gc.threads, 1);
+        assert!((s.application.active.as_secs() - 0.5).abs() < 1e-12);
+        assert!((s.gc.active.as_secs() - 1.0).abs() < 1e-12);
+        assert!((s.gc_fraction() - 0.5).abs() < 1e-12);
+        // Time-weighted parallelism: 2 threads for 0.5 s + 1 for 0.5 s.
+        assert!((s.mean_parallelism - 1.5).abs() < 1e-12);
+        assert!((s.mean_epoch.as_secs() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_trace_summary() {
+        let t = ExecutionTrace {
+            base: Freq::from_ghz(1.0),
+            start: Time::ZERO,
+            total: TimeDelta::ZERO,
+            epochs: vec![],
+            markers: vec![],
+            threads: vec![],
+        };
+        let s = TraceSummary::compute(&t);
+        assert_eq!(s.epochs, 0);
+        assert_eq!(s.mean_parallelism, 0.0);
+        assert_eq!(s.gc_fraction(), 0.0);
+    }
+}

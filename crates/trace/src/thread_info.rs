@@ -1,0 +1,98 @@
+//! Static metadata about simulated threads.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{ThreadId, Time};
+
+/// The role a thread plays in the managed runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ThreadRole {
+    /// An application (mutator) thread.
+    Application,
+    /// A garbage-collection worker (service thread).
+    GcWorker,
+    /// The just-in-time compilation service thread.
+    Jit,
+}
+
+impl ThreadRole {
+    /// True for service threads (GC workers and the JIT), false for
+    /// application threads.
+    #[must_use]
+    pub fn is_service(self) -> bool {
+        matches!(self, ThreadRole::GcWorker | ThreadRole::Jit)
+    }
+}
+
+/// Lifetime and identity of one simulated thread.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThreadInfo {
+    /// The thread's identifier.
+    pub id: ThreadId,
+    /// The thread's role.
+    pub role: ThreadRole,
+    /// Human-readable name (e.g. `"app-2"`, `"gc-0"`).
+    pub name: String,
+    /// When the thread was spawned.
+    pub spawn: Time,
+    /// When the thread exited, if it did before the trace ended.
+    pub exit: Option<Time>,
+}
+
+impl ThreadInfo {
+    /// The thread's wall-clock presence overlapping the window
+    /// `[start, end]`: the time between spawn and exit (or `end`), clipped
+    /// to the window. This is the "execution time" M+CRIT attributes to a
+    /// thread — including any time it spent asleep (paper §II-C/§III-B).
+    #[must_use]
+    pub fn presence_in(&self, start: Time, end: Time) -> crate::TimeDelta {
+        let begin = self.spawn.max(start);
+        let finish = self.exit.unwrap_or(end).min(end);
+        if finish <= begin {
+            crate::TimeDelta::ZERO
+        } else {
+            finish.since(begin)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TimeDelta;
+
+    fn info(spawn: f64, exit: Option<f64>) -> ThreadInfo {
+        ThreadInfo {
+            id: ThreadId(0),
+            role: ThreadRole::Application,
+            name: "app-0".to_owned(),
+            spawn: Time::from_secs(spawn),
+            exit: exit.map(Time::from_secs),
+        }
+    }
+
+    #[test]
+    fn presence_clips_to_window() {
+        let t = info(1.0, Some(3.0));
+        let p = t.presence_in(Time::from_secs(0.0), Time::from_secs(10.0));
+        assert!((p.as_secs() - 2.0).abs() < 1e-12);
+        let p = t.presence_in(Time::from_secs(2.0), Time::from_secs(2.5));
+        assert!((p.as_secs() - 0.5).abs() < 1e-12);
+        let p = t.presence_in(Time::from_secs(4.0), Time::from_secs(5.0));
+        assert_eq!(p, TimeDelta::ZERO);
+    }
+
+    #[test]
+    fn presence_open_ended_uses_window_end() {
+        let t = info(1.0, None);
+        let p = t.presence_in(Time::from_secs(0.0), Time::from_secs(4.0));
+        assert!((p.as_secs() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn service_roles() {
+        assert!(ThreadRole::GcWorker.is_service());
+        assert!(ThreadRole::Jit.is_service());
+        assert!(!ThreadRole::Application.is_service());
+    }
+}

@@ -1,0 +1,341 @@
+//! Simulated time: instants ([`Time`]) and durations ([`TimeDelta`]).
+//!
+//! Both are thin wrappers over `f64` seconds. The reproduction's models are
+//! analytical, so floating-point time keeps frequency ratios exact to within
+//! ~1e-15 while avoiding the rounding bookkeeping an integer picosecond
+//! clock would need at non-integer cycle times (e.g. 3.875 GHz).
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// An instant in simulated time, measured in seconds from the start of the
+/// simulation.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct Time(f64);
+
+/// A duration of simulated time, in seconds. May be negative in intermediate
+/// arithmetic (e.g. Algorithm 1 delta counters) but never as a physical
+/// elapsed time.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct TimeDelta(f64);
+
+impl Time {
+    /// The origin of simulated time.
+    pub const ZERO: Time = Time(0.0);
+
+    /// Creates an instant from seconds since the start of simulation.
+    #[must_use]
+    pub fn from_secs(secs: f64) -> Self {
+        Time(secs)
+    }
+
+    /// Seconds since the start of simulation.
+    #[must_use]
+    pub fn as_secs(self) -> f64 {
+        self.0
+    }
+
+    /// The duration elapsed since `earlier`. Panics in debug builds if
+    /// `earlier` is later than `self`.
+    #[must_use]
+    pub fn since(self, earlier: Time) -> TimeDelta {
+        debug_assert!(
+            self.0 >= earlier.0 - 1e-12,
+            "Time::since would be negative: {} < {}",
+            self.0,
+            earlier.0
+        );
+        TimeDelta(self.0 - earlier.0)
+    }
+
+    /// The later of two instants.
+    #[must_use]
+    pub fn max(self, other: Time) -> Time {
+        Time(self.0.max(other.0))
+    }
+
+    /// The earlier of two instants.
+    #[must_use]
+    pub fn min(self, other: Time) -> Time {
+        Time(self.0.min(other.0))
+    }
+}
+
+impl TimeDelta {
+    /// The zero duration.
+    pub const ZERO: TimeDelta = TimeDelta(0.0);
+
+    /// Creates a duration from seconds.
+    #[must_use]
+    pub fn from_secs(secs: f64) -> Self {
+        TimeDelta(secs)
+    }
+
+    /// Creates a duration from milliseconds.
+    #[must_use]
+    pub fn from_millis(ms: f64) -> Self {
+        TimeDelta(ms * 1e-3)
+    }
+
+    /// Creates a duration from microseconds.
+    #[must_use]
+    pub fn from_micros(us: f64) -> Self {
+        TimeDelta(us * 1e-6)
+    }
+
+    /// Creates a duration from nanoseconds.
+    #[must_use]
+    pub fn from_nanos(ns: f64) -> Self {
+        TimeDelta(ns * 1e-9)
+    }
+
+    /// This duration in seconds.
+    #[must_use]
+    pub fn as_secs(self) -> f64 {
+        self.0
+    }
+
+    /// This duration in milliseconds.
+    #[must_use]
+    pub fn as_millis(self) -> f64 {
+        self.0 * 1e3
+    }
+
+    /// This duration in microseconds.
+    #[must_use]
+    pub fn as_micros(self) -> f64 {
+        self.0 * 1e6
+    }
+
+    /// This duration in nanoseconds.
+    #[must_use]
+    pub fn as_nanos(self) -> f64 {
+        self.0 * 1e9
+    }
+
+    /// The larger of two durations.
+    #[must_use]
+    pub fn max(self, other: TimeDelta) -> TimeDelta {
+        TimeDelta(self.0.max(other.0))
+    }
+
+    /// The smaller of two durations.
+    #[must_use]
+    pub fn min(self, other: TimeDelta) -> TimeDelta {
+        TimeDelta(self.0.min(other.0))
+    }
+
+    /// Clamps a (possibly negative) duration to be non-negative.
+    #[must_use]
+    pub fn clamp_non_negative(self) -> TimeDelta {
+        TimeDelta(self.0.max(0.0))
+    }
+
+    /// True if this duration is negative beyond floating-point noise.
+    #[must_use]
+    pub fn is_negative(self) -> bool {
+        self.0 < -1e-15
+    }
+
+    /// The ratio `self / other`. Returns 0 when `other` is zero.
+    #[must_use]
+    pub fn ratio(self, other: TimeDelta) -> f64 {
+        if other.0 == 0.0 {
+            0.0
+        } else {
+            self.0 / other.0
+        }
+    }
+}
+
+impl Add<TimeDelta> for Time {
+    type Output = Time;
+    fn add(self, rhs: TimeDelta) -> Time {
+        Time(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<TimeDelta> for Time {
+    fn add_assign(&mut self, rhs: TimeDelta) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<TimeDelta> for Time {
+    type Output = Time;
+    fn sub(self, rhs: TimeDelta) -> Time {
+        Time(self.0 - rhs.0)
+    }
+}
+
+impl Sub<Time> for Time {
+    type Output = TimeDelta;
+    fn sub(self, rhs: Time) -> TimeDelta {
+        TimeDelta(self.0 - rhs.0)
+    }
+}
+
+impl Add for TimeDelta {
+    type Output = TimeDelta;
+    fn add(self, rhs: TimeDelta) -> TimeDelta {
+        TimeDelta(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for TimeDelta {
+    fn add_assign(&mut self, rhs: TimeDelta) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for TimeDelta {
+    type Output = TimeDelta;
+    fn sub(self, rhs: TimeDelta) -> TimeDelta {
+        TimeDelta(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for TimeDelta {
+    fn sub_assign(&mut self, rhs: TimeDelta) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Neg for TimeDelta {
+    type Output = TimeDelta;
+    fn neg(self) -> TimeDelta {
+        TimeDelta(-self.0)
+    }
+}
+
+impl Mul<f64> for TimeDelta {
+    type Output = TimeDelta;
+    fn mul(self, rhs: f64) -> TimeDelta {
+        TimeDelta(self.0 * rhs)
+    }
+}
+
+impl Mul<TimeDelta> for f64 {
+    type Output = TimeDelta;
+    fn mul(self, rhs: TimeDelta) -> TimeDelta {
+        TimeDelta(self * rhs.0)
+    }
+}
+
+impl Div<f64> for TimeDelta {
+    type Output = TimeDelta;
+    fn div(self, rhs: f64) -> TimeDelta {
+        TimeDelta(self.0 / rhs)
+    }
+}
+
+impl Div<TimeDelta> for TimeDelta {
+    type Output = f64;
+    fn div(self, rhs: TimeDelta) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+impl Sum for TimeDelta {
+    fn sum<I: Iterator<Item = TimeDelta>>(iter: I) -> TimeDelta {
+        TimeDelta(iter.map(|d| d.0).sum())
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", format_seconds(self.0))
+    }
+}
+
+impl fmt::Display for TimeDelta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", format_seconds(self.0))
+    }
+}
+
+/// Human-readable rendering with an auto-selected unit.
+fn format_seconds(s: f64) -> String {
+    let a = s.abs();
+    if a >= 1.0 {
+        format!("{s:.4} s")
+    } else if a >= 1e-3 {
+        format!("{:.4} ms", s * 1e3)
+    } else if a >= 1e-6 {
+        format!("{:.4} us", s * 1e6)
+    } else {
+        format!("{:.2} ns", s * 1e9)
+    }
+}
+
+// `Time` values in this codebase are always finite, so a total order exists.
+impl Eq for Time {}
+
+#[allow(clippy::derive_ord_xor_partial_ord)]
+impl Ord for Time {
+    fn cmp(&self, other: &Self) -> core::cmp::Ordering {
+        self.0
+            .partial_cmp(&other.0)
+            .expect("simulated time must be finite")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_roundtrips() {
+        let t0 = Time::from_secs(1.0);
+        let d = TimeDelta::from_millis(250.0);
+        let t1 = t0 + d;
+        assert!((t1.as_secs() - 1.25).abs() < 1e-12);
+        assert!((t1.since(t0).as_secs() - 0.25).abs() < 1e-12);
+        assert!(((t1 - t0).as_millis() - 250.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unit_constructors_agree() {
+        assert!((TimeDelta::from_nanos(1.0).as_secs() - 1e-9).abs() < 1e-24);
+        assert!((TimeDelta::from_micros(1.0).as_millis() - 1e-3).abs() < 1e-12);
+        assert!((TimeDelta::from_secs(2.0).as_nanos() - 2e9).abs() < 1e-3);
+    }
+
+    #[test]
+    fn sum_and_scaling() {
+        let total: TimeDelta = (0..4).map(|_| TimeDelta::from_micros(2.5)).sum();
+        assert!((total.as_micros() - 10.0).abs() < 1e-9);
+        assert!(((total * 2.0).as_micros() - 20.0).abs() < 1e-9);
+        assert!(((total / 4.0).as_micros() - 2.5).abs() < 1e-9);
+        assert!((total / TimeDelta::from_micros(5.0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clamp_and_negativity() {
+        let neg = TimeDelta::from_secs(-1.0);
+        assert!(neg.is_negative());
+        assert_eq!(neg.clamp_non_negative(), TimeDelta::ZERO);
+        assert!(!TimeDelta::ZERO.is_negative());
+    }
+
+    #[test]
+    fn display_picks_units() {
+        assert_eq!(format!("{}", TimeDelta::from_secs(1.5)), "1.5000 s");
+        assert_eq!(format!("{}", TimeDelta::from_millis(1.5)), "1.5000 ms");
+        assert_eq!(format!("{}", TimeDelta::from_micros(1.5)), "1.5000 us");
+        assert_eq!(format!("{}", TimeDelta::from_nanos(1.5)), "1.50 ns");
+    }
+
+    #[test]
+    fn ordering_is_total_for_finite_times() {
+        let mut v = [Time::from_secs(3.0),
+            Time::from_secs(1.0),
+            Time::from_secs(2.0)];
+        v.sort();
+        assert_eq!(v[0], Time::from_secs(1.0));
+        assert_eq!(v[2], Time::from_secs(3.0));
+    }
+}

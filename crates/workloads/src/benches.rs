@@ -1,0 +1,213 @@
+//! Per-benchmark structural parameters.
+//!
+//! Each benchmark's [`RoundParams`] encode its published timing signature
+//! (Table I) plus the behavioural notes in §IV of the paper. The values
+//! were calibrated empirically against the paper's execution and GC times
+//! at 1 GHz (see `harness`'s `table1` binary for the comparison).
+
+use mrt::RuntimeConfig;
+
+use crate::rounds::RoundParams;
+use crate::spec::Benchmark;
+
+/// Working-set bases are per-thread; sizes chosen so memory-intensive
+/// benchmarks stream through the shared L3 while compute-intensive ones
+/// mostly hit on-chip.
+const MB: u64 = 1 << 20;
+const KB: u64 = 1 << 10;
+
+/// The managed-runtime configuration for a benchmark.
+pub(crate) fn runtime_config(bench: &Benchmark) -> RuntimeConfig {
+    let mut config = RuntimeConfig::with_heap(bench.heap_mb * MB);
+    match bench.name {
+        // lusearch's needless allocation is short-lived garbage: almost
+        // nothing survives a nursery collection.
+        "lusearch" => {
+            config.survivor_fraction = 0.06;
+        }
+        "lusearch-fix" => {
+            config.survivor_fraction = 0.10;
+        }
+        // avrora barely allocates; keep its GC trivial.
+        "avrora" => {
+            config.jit_budget_instructions = 25_000_000;
+        }
+        _ => {}
+    }
+    config
+}
+
+/// Locks and barrier party counts for a benchmark.
+pub(crate) fn sync_shape(bench: &Benchmark) -> (usize, Vec<u32>) {
+    (1, vec![bench.app_threads as u32])
+}
+
+/// The per-thread round parameters.
+#[allow(clippy::needless_update)] // `..base` keeps all entries uniform
+pub(crate) fn thread_params(bench: &Benchmark, thread: usize) -> RoundParams {
+    let base = RoundParams::compute_only(1, 0, 2.0);
+    match bench.name {
+        // XSLT transformation: documents pulled from a lock-protected
+        // queue, transformed (scattered reads over the document heap),
+        // output buffers allocated.
+        "xalan" => RoundParams {
+            rounds: 4350,
+            compute_instr: 310_000,
+            ipc: 1.8,
+            mem_accesses: 2_500,
+            mem_ws: 40 * MB,
+            mem_mlp: 3.0,
+            mem_cpa: 5.0,
+            alloc_bytes: 96 * KB,
+            alloc_every: 1,
+            lock_every: 1,
+            crit_instr: 30_000,
+            barrier_every: 0,
+            sleep_every: 0,
+            sleep_us: 0.0,
+            jitter: 0.35,
+            ..base
+        },
+        // Source-code analysis: AST pointer chasing with low MLP; the
+        // unscaled input contains one huge file, so thread 0 straggles.
+        "pmd" => RoundParams {
+            rounds: if thread == 0 { 4100 } else { 3180 },
+            compute_instr: 250_000,
+            ipc: 1.6,
+            mem_accesses: 2_600,
+            mem_ws: 36 * MB,
+            mem_mlp: 1.5,
+            mem_cpa: 8.0,
+            alloc_bytes: 104 * KB,
+            alloc_every: 1,
+            lock_every: 3,
+            crit_instr: 50_000,
+            jitter: 0.5,
+            ..base
+        },
+        // pmd with the large-input scaling bottleneck removed: balanced
+        // threads, ~40% of the work.
+        "pmd-scale" => RoundParams {
+            rounds: 1570,
+            compute_instr: 250_000,
+            ipc: 1.6,
+            mem_accesses: 2_600,
+            mem_ws: 36 * MB,
+            mem_mlp: 1.5,
+            mem_cpa: 8.0,
+            alloc_bytes: 120 * KB,
+            alloc_every: 1,
+            lock_every: 3,
+            crit_instr: 50_000,
+            jitter: 0.5,
+            ..base
+        },
+        // Index search with needless per-query buffer allocation: huge
+        // zero-initialisation traffic and frequent nursery collections.
+        "lusearch" => RoundParams {
+            rounds: 9240,
+            compute_instr: 330_000,
+            ipc: 1.8,
+            mem_accesses: 1_500,
+            mem_ws: 28 * MB,
+            mem_mlp: 2.0,
+            mem_cpa: 5.0,
+            alloc_bytes: 88 * KB,
+            alloc_every: 1,
+            lock_every: 4,
+            crit_instr: 10_000,
+            jitter: 0.3,
+            ..base
+        },
+        // The allocation fix: identical search work, ~1/8 the allocation.
+        "lusearch-fix" => RoundParams {
+            rounds: 6600,
+            compute_instr: 250_000,
+            ipc: 1.8,
+            mem_accesses: 1_500,
+            mem_ws: 28 * MB,
+            mem_mlp: 2.0,
+            mem_cpa: 5.0,
+            alloc_bytes: 20 * KB,
+            alloc_every: 1,
+            lock_every: 4,
+            crit_instr: 10_000,
+            jitter: 0.3,
+            ..base
+        },
+        // Sensor-network simulation: six node threads lock-stepped by a
+        // clock-synchronisation barrier every round plus a shared event
+        // lock — heavy fine-grained futex traffic, tiny working sets,
+        // almost no allocation, limited parallelism (6 threads, 4 cores).
+        "avrora" => RoundParams {
+            rounds: 17_500,
+            compute_instr: 60_000,
+            ipc: 1.5,
+            mem_accesses: 300,
+            mem_ws: 2 * MB,
+            mem_mlp: 2.0,
+            mem_cpa: 4.0,
+            alloc_bytes: 8 * KB,
+            alloc_every: 8,
+            lock_every: 2,
+            crit_instr: 5_000,
+            barrier_every: 1,
+            sleep_every: 256,
+            sleep_us: 100.0,
+            jitter: 0.4,
+            ..base
+        },
+        // Ray tracing: embarrassingly parallel compute at high IPC,
+        // on-chip texture/scene reads, tile barriers, modest allocation.
+        "sunflow" => RoundParams {
+            rounds: 5_460,
+            compute_instr: 1_800_000,
+            ipc: 2.2,
+            mem_accesses: 1_200,
+            mem_ws: 6 * MB,
+            mem_mlp: 4.0,
+            mem_cpa: 4.0,
+            alloc_bytes: 28 * KB,
+            alloc_every: 1,
+            lock_every: 0,
+            crit_instr: 0,
+            barrier_every: 24,
+            jitter: 0.3,
+            ..base
+        },
+        other => unreachable!("unknown benchmark {other}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::all_benchmarks;
+
+    #[test]
+    fn every_benchmark_has_params() {
+        for b in all_benchmarks() {
+            for t in 0..b.app_threads {
+                let p = thread_params(b, t);
+                assert!(p.rounds > 0, "{}", b.name);
+                let cfg = runtime_config(b);
+                assert_eq!(cfg.heap_size, b.heap_mb * MB);
+                // Allocations must fit the nursery constraint.
+                if p.alloc_bytes > 0 {
+                    assert!(p.alloc_bytes * 2 < cfg.nursery_size, "{}", b.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pmd_has_a_straggler_and_pmd_scale_does_not() {
+        let pmd = crate::benchmark("pmd").expect("pmd");
+        assert!(thread_params(pmd, 0).rounds > thread_params(pmd, 1).rounds);
+        let pmds = crate::benchmark("pmd-scale").expect("pmd-scale");
+        assert_eq!(
+            thread_params(pmds, 0).rounds,
+            thread_params(pmds, 1).rounds
+        );
+    }
+}

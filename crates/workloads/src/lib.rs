@@ -1,0 +1,31 @@
+//! `dacapo-sim` — synthetic models of the seven multithreaded DaCapo
+//! benchmarks the DEP+BURST paper evaluates (§IV, Table I).
+//!
+//! Each benchmark is a structural model calibrated to its published timing
+//! signature — heap size, execution time and GC time at 1 GHz, memory- vs
+//! compute-intensity, thread count and synchronisation style — rather than
+//! a functional re-implementation (the predictors never observe benchmark
+//! semantics, only timing, counters, and futex activity):
+//!
+//! | benchmark | class | structure modelled |
+//! |---|---|---|
+//! | `xalan` | memory | work queue of documents, lock contention, heavy allocation |
+//! | `pmd` | memory | AST pointer chasing, skewed task sizes (large input file) |
+//! | `pmd-scale` | memory | pmd without the scaling bottleneck |
+//! | `lusearch` | memory | index search with needless allocation (huge zero-init) |
+//! | `lusearch-fix` | compute | same with the allocation fix applied |
+//! | `avrora` | compute | 6 sensor-node threads, fine-grained sleeps, little parallelism |
+//! | `sunflow` | compute | embarrassingly parallel rendering with periodic barriers |
+//!
+//! Use [`benchmark`] / [`all_benchmarks`] to look up specs, and
+//! [`Benchmark::install`] to put a workload on a [`simx::Machine`].
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod benches;
+mod rounds;
+mod spec;
+
+pub use rounds::{RoundParams, RoundSource};
+pub use spec::{all_benchmarks, benchmark, BenchClass, Benchmark, PaperNumbers};

@@ -1,0 +1,118 @@
+//! Building a custom managed workload: implement [`mrt::WorkSource`], wire
+//! it onto a machine through [`mrt::ManagedRuntime`], and feed the trace to
+//! the predictor family — the same path the DaCapo models use.
+//!
+//! The workload here is a toy producer/consumer pipeline: producers parse
+//! "requests" (compute + allocation), consumers look them up in a shared
+//! table (memory) under a lock.
+//!
+//! ```text
+//! cargo run --release --example custom_workload
+//! ```
+
+use depburst::{paper_roster, relative_error};
+use dvfs_trace::Freq;
+use mrt::{ManagedRuntime, RuntimeConfig, Step, StepContext, WorkSource};
+use simx::mem::AccessPattern;
+use simx::{Machine, MachineConfig, WorkItem};
+
+/// One pipeline worker: alternates parsing (producer half) and lookups
+/// (consumer half).
+struct PipelineWorker {
+    requests_left: u32,
+    phase: u8,
+    id: u64,
+}
+
+impl WorkSource for PipelineWorker {
+    fn next_step(&mut self, _ctx: &StepContext) -> Option<Step> {
+        if self.requests_left == 0 {
+            return None;
+        }
+        let step = match self.phase {
+            // Parse: branchy compute plus an output buffer allocation.
+            0 => Step::Work(WorkItem::Compute {
+                instructions: 180_000,
+                ipc: 1.7,
+            }),
+            1 => Step::Alloc { bytes: 48 << 10 },
+            // Publish into the shared table under the lock.
+            2 => Step::Lock(0),
+            3 => Step::Work(WorkItem::Compute {
+                instructions: 8_000,
+                ipc: 1.5,
+            }),
+            4 => Step::Unlock(0),
+            // Consume: scattered lookups over the shared table.
+            _ => Step::Work(WorkItem::Memory {
+                accesses: 2_000,
+                pattern: AccessPattern::Random {
+                    base: 1 << 42,
+                    working_set: 24 << 20,
+                },
+                mlp: 2.0,
+                compute_per_access: 6.0,
+                ipc: 1.7,
+                seed: self.id * 1000 + u64::from(self.requests_left),
+            }),
+        };
+        self.phase += 1;
+        if self.phase == 6 {
+            self.phase = 0;
+            self.requests_left -= 1;
+        }
+        Some(step)
+    }
+}
+
+fn run_at(ghz: f64) -> (dvfs_trace::TimeDelta, dvfs_trace::ExecutionTrace, u64) {
+    let mut mc = MachineConfig::haswell_quad();
+    mc.initial_freq = Freq::from_ghz(ghz);
+    let mut machine = Machine::new(mc);
+    let sources: Vec<Box<dyn WorkSource>> = (0..4)
+        .map(|id| {
+            Box::new(PipelineWorker {
+                requests_left: 400,
+                phase: 0,
+                id,
+            }) as Box<dyn WorkSource>
+        })
+        .collect();
+    // 48 MB heap -> 12 MB nursery: the allocation stream forces collections.
+    let runtime = ManagedRuntime::install(
+        &mut machine,
+        RuntimeConfig::with_heap(48 << 20),
+        sources,
+        1,
+        &[4],
+    );
+    machine.run().expect("no deadlock");
+    let trace = machine.harvest_trace();
+    (trace.total, trace, runtime.gc_count())
+}
+
+fn main() {
+    println!("running the pipeline at 1 GHz ...");
+    let (t1, trace, gcs) = run_at(1.0);
+    println!(
+        "  {} with {gcs} collections, {} epochs, {} threads",
+        t1,
+        trace.epochs.len(),
+        trace.threads.len()
+    );
+
+    println!("running the pipeline at 3 GHz ...");
+    let (t3, _, _) = run_at(3.0);
+    println!("  {} measured", t3);
+
+    println!("predictions 1 GHz -> 3 GHz:");
+    for predictor in paper_roster() {
+        let p = predictor.predict(&trace, Freq::from_ghz(3.0));
+        println!(
+            "  {:<14} {}  ({:+.1}%)",
+            predictor.name(),
+            p,
+            relative_error(p, t3) * 100.0
+        );
+    }
+}

@@ -1,0 +1,61 @@
+//! Energy management with performance guarantees (paper §VI): run a
+//! benchmark under the DEP+BURST-driven energy manager at 5% and 10%
+//! tolerable slowdown, and report the savings vs always running at 4 GHz.
+//!
+//! ```text
+//! cargo run --release --example energy_budget [benchmark] [scale]
+//! ```
+
+use depburst::Dep;
+use dvfs_trace::Freq;
+use energyx::{EnergyManager, ManagerConfig};
+use harness::{run_benchmark, RunConfig};
+use simx::{Machine, MachineConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let name = args.get(1).map(String::as_str).unwrap_or("xalan");
+    let scale: f64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(0.1);
+    let bench = dacapo_sim::benchmark(name).expect("known benchmark");
+
+    // Baseline: always at the highest frequency.
+    let base = run_benchmark(bench, RunConfig::at_ghz(4.0).scaled(scale));
+    let power = energyx::PowerModel::haswell_22nm();
+    let base_energy = power.energy_of_run(
+        Freq::from_ghz(4.0),
+        base.exec,
+        base.stats.total_active(),
+        4,
+    );
+    println!(
+        "{name} at 4 GHz: {} / {:.2} J ({:.1} W mean)",
+        base.exec,
+        base_energy,
+        base_energy / base.exec.as_secs()
+    );
+
+    for threshold in [0.05, 0.10] {
+        let mut mc = MachineConfig::haswell_quad();
+        mc.initial_freq = Freq::from_ghz(4.0);
+        let mut machine = Machine::new(mc);
+        bench.install(&mut machine, scale, 1);
+
+        let manager = EnergyManager::new(
+            ManagerConfig::with_threshold(threshold),
+            Box::new(Dep::dep_burst()),
+        );
+        let report = manager.run(&mut machine).expect("managed run");
+        let slowdown = report.exec.as_secs() / base.exec.as_secs() - 1.0;
+        let savings = 1.0 - report.energy_j / base_energy;
+        println!(
+            "tolerable {:>3.0}%: exec {} (slowdown {:+.1}%), energy {:.2} J (saved {:+.1}%), mean {:.2} GHz, {} switches",
+            threshold * 100.0,
+            report.exec,
+            slowdown * 100.0,
+            report.energy_j,
+            savings * 100.0,
+            report.mean_ghz(),
+            report.switches,
+        );
+    }
+}

@@ -1,0 +1,132 @@
+//! The paper's Figure 2 walkthrough, live: two threads synchronising on a
+//! futex-backed critical section, the resulting synchronization-epoch
+//! stream, and how per-epoch vs across-epoch critical-thread prediction
+//! (Algorithm 1) aggregate it.
+//!
+//! ```text
+//! cargo run --release --example epoch_walkthrough
+//! ```
+
+use depburst::{Dep, DvfsPredictor};
+use dvfs_trace::{EpochEnd, Freq, ThreadRole};
+use simx::mem::AccessPattern;
+use simx::program::FnProgram;
+use simx::{Action, Machine, MachineConfig, ProgContext, SpawnRequest, WorkItem};
+
+fn main() {
+    let mut mc = MachineConfig::haswell_quad();
+    mc.initial_freq = Freq::from_ghz(1.0);
+    let mut machine = Machine::new(mc);
+
+    // A hand-rolled futex mutex, exactly like Fig. 2's critical section.
+    let (futex, word) = machine.register_futex(0);
+
+    // t0: compute, take the lock, do *memory-bound* work inside the
+    // critical section (the part t1's progress will depend on), unlock.
+    let w0 = word.clone();
+    let mut step0 = 0;
+    machine.spawn(SpawnRequest::new(
+        "t0",
+        ThreadRole::Application,
+        Box::new(FnProgram(move |_ctx: &mut ProgContext| {
+            step0 += 1;
+            match step0 {
+                1 => Action::Work(WorkItem::Compute {
+                    instructions: 400_000,
+                    ipc: 2.0,
+                }),
+                2 => {
+                    w0.set(1); // acquire (uncontended fast path)
+                    Action::Work(WorkItem::Memory {
+                        accesses: 3_000,
+                        pattern: AccessPattern::Random {
+                            base: 0,
+                            working_set: 256 << 20,
+                        },
+                        mlp: 1.0,
+                        compute_per_access: 2.0,
+                        ipc: 2.0,
+                        seed: 42,
+                    })
+                }
+                3 => {
+                    w0.set(0); // release
+                    Action::FutexWake { futex, count: 1 }
+                }
+                4 => Action::Work(WorkItem::Compute {
+                    instructions: 900_000,
+                    ipc: 2.0,
+                }),
+                _ => Action::Exit,
+            }
+        })),
+    ));
+
+    // t1: compute a bit more, then try the lock — it will be held, so t1
+    // sleeps in the kernel (futex) until t0 finishes the critical section.
+    let w1 = word.clone();
+    let mut step1 = 0;
+    machine.spawn(SpawnRequest::new(
+        "t1",
+        ThreadRole::Application,
+        Box::new(FnProgram(move |_ctx: &mut ProgContext| {
+            step1 += 1;
+            match step1 {
+                1 => Action::Work(WorkItem::Compute {
+                    instructions: 500_000,
+                    ipc: 2.0,
+                }),
+                2 => {
+                    if w1.get() != 0 {
+                        w1.set(2); // mark contended, go to the kernel
+                        Action::FutexWait { futex, expected: 2 }
+                    } else {
+                        Action::Work(WorkItem::Compute {
+                            instructions: 1,
+                            ipc: 2.0,
+                        })
+                    }
+                }
+                3 => Action::Work(WorkItem::Compute {
+                    instructions: 900_000,
+                    ipc: 2.0,
+                }),
+                _ => Action::Exit,
+            }
+        })),
+    ));
+
+    machine.run().expect("completes");
+    let trace = machine.harvest_trace();
+    trace.validate().expect("valid");
+
+    println!("epoch stream (base {}):", trace.base);
+    for (i, e) in trace.epochs.iter().enumerate() {
+        let who: Vec<String> = e
+            .threads
+            .iter()
+            .map(|s| {
+                format!(
+                    "{}: active {} (crit {})",
+                    s.thread, s.counters.active, s.counters.crit
+                )
+            })
+            .collect();
+        let end = match e.end {
+            EpochEnd::Stall(t) => format!("thread {t} went to sleep"),
+            EpochEnd::Wake(t) => format!("thread {t} woke"),
+            EpochEnd::Exit(t) => format!("thread {t} exited"),
+            EpochEnd::QuantumBoundary => "measurement cut".to_owned(),
+            EpochEnd::TraceEnd => "trace end".to_owned(),
+        };
+        println!("  epoch {i}: {} [{}] -> {end}", e.duration, who.join(", "));
+    }
+
+    for target in [Freq::from_ghz(2.0), Freq::from_ghz(4.0)] {
+        let across = Dep::dep_burst().predict(&trace, target);
+        let per = Dep::dep_burst_per_epoch().predict(&trace, target);
+        println!(
+            "prediction at {target}: across-epoch CTP {across}, per-epoch CTP {per}"
+        );
+    }
+}

@@ -1,0 +1,47 @@
+//! Quickstart: measure a managed multithreaded benchmark at 1 GHz and
+//! predict its execution time at 4 GHz with DEP+BURST.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use depburst::{Dep, DvfsPredictor, MCrit};
+use dvfs_trace::Freq;
+use harness::{run_benchmark, RunConfig};
+
+fn main() {
+    // Pick a memory-intensive benchmark from the paper's Table I roster.
+    let bench = dacapo_sim::benchmark("lusearch").expect("known benchmark");
+    let scale = 0.1; // 10% of the paper's full run keeps this snappy
+
+    // 1. Run at the base frequency and capture the execution trace: the
+    //    synchronization epochs and DVFS counters a predictor may observe.
+    println!("running {} at 1 GHz ...", bench.name);
+    let base = run_benchmark(bench, RunConfig::at_ghz(1.0).scaled(scale));
+    println!(
+        "  measured {} ({} GCs, {} epochs)",
+        base.exec,
+        base.gc_count,
+        base.trace.epochs.len()
+    );
+
+    // 2. Predict the 4 GHz execution time from the 1 GHz trace.
+    let target = Freq::from_ghz(4.0);
+    let dep_burst = Dep::dep_burst();
+    let mcrit = MCrit::plain();
+    let predicted = dep_burst.predict(&base.trace, target);
+    let naive = mcrit.predict(&base.trace, target);
+
+    // 3. Check against the truth.
+    println!("running {} at 4 GHz ...", bench.name);
+    let actual = run_benchmark(bench, RunConfig::at_ghz(4.0).scaled(scale));
+    let err = |p: dvfs_trace::TimeDelta| (p.as_secs() / actual.exec.as_secs() - 1.0) * 100.0;
+    println!("  actual          {}", actual.exec);
+    println!(
+        "  {:<12} {}  ({:+.1}%)",
+        dep_burst.name(),
+        predicted,
+        err(predicted)
+    );
+    println!("  {:<12} {}  ({:+.1}%)", mcrit.name(), naive, err(naive));
+}

@@ -1,0 +1,23 @@
+//! Umbrella crate for the DEP+BURST reproduction workspace.
+//!
+//! Re-exports the member crates so the repository-level examples and
+//! integration tests can use a single dependency. See the individual crates
+//! for full documentation:
+//!
+//! * [`dvfs_trace`] — shared vocabulary types (time, frequency, counters,
+//!   epochs, execution traces).
+//! * [`simx`] — the multicore timing simulator substrate.
+//! * [`mrt`] — the managed-runtime (JVM-like) substrate.
+//! * [`dacapo_sim`] — the seven synthetic DaCapo-like benchmarks.
+//! * [`depburst`] — the paper's contribution: the DEP+BURST predictor
+//!   family and its baselines.
+//! * [`energyx`] — the power model and the energy-management case study.
+//! * [`harness`] — experiment runners for every table and figure.
+
+pub use dacapo_sim;
+pub use depburst;
+pub use dvfs_trace;
+pub use energyx;
+pub use harness;
+pub use mrt;
+pub use simx;

@@ -1,0 +1,94 @@
+//! Integration tests of the energy-management case study (paper §VI).
+
+use depburst::Dep;
+use dvfs_trace::Freq;
+use energyx::{static_optimal, EnergyManager, ManagerConfig, PowerModel, StaticPoint, StaticSweep};
+use harness::{run_benchmark, RunConfig};
+use simx::{Machine, MachineConfig};
+
+const SCALE: f64 = 0.05;
+
+fn managed_run(name: &str, threshold: f64) -> (f64, f64, f64) {
+    let bench = dacapo_sim::benchmark(name).expect("exists");
+    let power = PowerModel::haswell_22nm();
+    let base = run_benchmark(bench, RunConfig::at_ghz(4.0).scaled(SCALE));
+    let base_energy =
+        power.energy_of_run(Freq::from_ghz(4.0), base.exec, base.stats.total_active(), 4);
+
+    let mut mc = MachineConfig::haswell_quad();
+    mc.initial_freq = Freq::from_ghz(4.0);
+    let mut machine = Machine::new(mc);
+    bench.install(&mut machine, SCALE, 1);
+    let manager = EnergyManager::new(
+        ManagerConfig::with_threshold(threshold),
+        Box::new(Dep::dep_burst()),
+    );
+    let report = manager.run(&mut machine).expect("managed run");
+    let slowdown = report.exec.as_secs() / base.exec.as_secs() - 1.0;
+    let savings = 1.0 - report.energy_j / base_energy;
+    (slowdown, savings, report.mean_ghz())
+}
+
+#[test]
+fn manager_keeps_slowdown_near_the_threshold() {
+    for threshold in [0.05, 0.10] {
+        let (slowdown, savings, _) = managed_run("pmd-scale", threshold);
+        assert!(
+            slowdown <= threshold + 0.05,
+            "slowdown {slowdown} far exceeds threshold {threshold}"
+        );
+        assert!(savings > 0.0, "memory-intensive run should save energy");
+    }
+}
+
+#[test]
+fn higher_tolerance_saves_more_energy() {
+    let (_, savings5, ghz5) = managed_run("lusearch", 0.05);
+    let (_, savings10, ghz10) = managed_run("lusearch", 0.10);
+    assert!(
+        savings10 > savings5,
+        "10% tolerance ({savings10}) must beat 5% ({savings5})"
+    );
+    assert!(ghz10 < ghz5, "more tolerance -> lower mean frequency");
+}
+
+#[test]
+fn memory_intensive_saves_more_than_compute_intensive() {
+    let (_, mem, _) = managed_run("lusearch", 0.10);
+    let (_, cpu, _) = managed_run("sunflow", 0.10);
+    assert!(
+        mem > cpu,
+        "lusearch savings {mem} must exceed sunflow savings {cpu}"
+    );
+}
+
+#[test]
+fn static_sweep_baseline_uses_most_energy_for_memory_bound() {
+    let bench = dacapo_sim::benchmark("lusearch").expect("exists");
+    let power = PowerModel::haswell_22nm();
+    let mut points = Vec::new();
+    for ghz in [2.0, 3.0, 4.0] {
+        let r = run_benchmark(bench, RunConfig::at_ghz(ghz).scaled(SCALE));
+        points.push(StaticPoint {
+            freq: Freq::from_ghz(ghz),
+            exec: r.exec,
+            energy_j: power.energy_of_run(
+                Freq::from_ghz(ghz),
+                r.exec,
+                r.stats.total_active(),
+                4,
+            ),
+        });
+    }
+    let sweep = StaticSweep { points };
+    let base = sweep.baseline().expect("nonempty");
+    assert_eq!(base.freq, Freq::from_ghz(4.0));
+    let best = static_optimal(&sweep, None).expect("found");
+    assert!(
+        best.energy_j < base.energy_j,
+        "a lower frequency must save energy for a memory-bound run"
+    );
+    // Constrained to 0% slowdown, only the baseline qualifies.
+    let pinned = static_optimal(&sweep, Some(0.0)).expect("found");
+    assert_eq!(pinned.freq, base.freq);
+}

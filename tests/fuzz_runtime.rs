@@ -1,0 +1,129 @@
+//! Protocol torture: random managed workloads must never deadlock the
+//! runtime, corrupt the trace, or violate heap accounting — across random
+//! thread counts, step mixes, frequencies, and heap sizes.
+
+use dvfs_trace::Freq;
+use mrt::{ManagedRuntime, RuntimeConfig, Step, StepContext, WorkSource};
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use simx::mem::AccessPattern;
+use simx::{Machine, MachineConfig, WorkItem};
+
+/// A randomized work source: emits a seeded stream of steps with balanced
+/// lock/unlock pairs and bounded totals.
+struct FuzzSource {
+    rng: ChaCha8Rng,
+    steps_left: u32,
+    holding_lock: bool,
+    barrier_parties: u32,
+}
+
+impl WorkSource for FuzzSource {
+    fn next_step(&mut self, _ctx: &StepContext) -> Option<Step> {
+        if self.steps_left == 0 {
+            // Never exit while holding the lock.
+            if self.holding_lock {
+                self.holding_lock = false;
+                return Some(Step::Unlock(0));
+            }
+            return None;
+        }
+        self.steps_left -= 1;
+        // If we hold the lock, release it next (short critical sections,
+        // and never a safepoint inside — mirrors the workload rules).
+        if self.holding_lock {
+            self.holding_lock = false;
+            return Some(Step::Unlock(0));
+        }
+        let roll: u32 = self.rng.gen_range(0..100);
+        Some(match roll {
+            0..=39 => Step::Work(WorkItem::Compute {
+                instructions: self.rng.gen_range(1_000..200_000),
+                ipc: self.rng.gen_range(0.5..3.0),
+            }),
+            40..=59 => Step::Work(WorkItem::Memory {
+                accesses: self.rng.gen_range(16..2_000),
+                pattern: AccessPattern::Random {
+                    base: 1 << 40,
+                    working_set: 1 << self.rng.gen_range(14..27),
+                },
+                mlp: self.rng.gen_range(1.0..8.0),
+                compute_per_access: self.rng.gen_range(0.0..8.0),
+                ipc: 2.0,
+                seed: self.rng.gen(),
+            }),
+            60..=79 => Step::Alloc {
+                bytes: self.rng.gen_range(256..256 * 1024),
+            },
+            80..=89 => {
+                self.holding_lock = true;
+                Step::Lock(0)
+            }
+            90..=94 if self.barrier_parties > 1 => Step::Barrier(0),
+            _ => Step::Sleep(dvfs_trace::TimeDelta::from_micros(
+                self.rng.gen_range(1.0..200.0),
+            )),
+        })
+    }
+}
+
+fn run_fuzz(seed: u64, threads: usize, steps: u32, heap_mb: u64, ghz: f64) {
+    let mut mc = MachineConfig::haswell_quad();
+    mc.initial_freq = Freq::from_ghz(ghz);
+    let mut machine = Machine::new(mc);
+    let sources: Vec<Box<dyn WorkSource>> = (0..threads)
+        .map(|t| {
+            Box::new(FuzzSource {
+                rng: ChaCha8Rng::seed_from_u64(seed ^ (t as u64) << 32),
+                // Same step budget for every thread so barrier arrivals
+                // eventually balance (exiting threads withdraw anyway).
+                steps_left: steps,
+                holding_lock: false,
+                barrier_parties: threads as u32,
+            }) as Box<dyn WorkSource>
+        })
+        .collect();
+    let mut config = RuntimeConfig::with_heap(heap_mb << 20);
+    config.jit_budget_instructions = 1_000_000;
+    let runtime = ManagedRuntime::install(&mut machine, config, sources, 1, &[threads as u32]);
+    machine
+        .run()
+        .unwrap_or_else(|e| panic!("seed {seed} threads {threads}: {e}"));
+    let trace = machine.harvest_trace();
+    trace
+        .validate()
+        .unwrap_or_else(|e| panic!("seed {seed}: invalid trace: {e}"));
+    // Heap accounting is consistent.
+    let shared = runtime.shared();
+    let heap = shared.heap.borrow();
+    assert!(heap.nursery_used <= heap.nursery_size);
+    assert_eq!(shared.phase.get(), mrt::GcPhase::Running);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random step mixes across random machine states never deadlock and
+    /// always produce a valid trace.
+    #[test]
+    fn random_workloads_never_deadlock(
+        seed in 0u64..1_000_000,
+        threads in 1usize..6,
+        steps in 5u32..60,
+        heap_mb in 8u64..33,
+        ghz_q in 0u32..13,
+    ) {
+        let ghz = 1.0 + f64::from(ghz_q) * 0.25;
+        run_fuzz(seed, threads, steps, heap_mb, ghz);
+    }
+}
+
+/// A couple of fixed worst-case shapes kept as fast regression tests.
+#[test]
+fn known_hard_shapes() {
+    // Single thread, tiny heap: constant GC pressure.
+    run_fuzz(42, 1, 50, 8, 4.0);
+    // Many threads, many barriers, oversubscribed cores.
+    run_fuzz(7, 5, 40, 16, 1.0);
+}

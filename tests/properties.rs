@@ -1,0 +1,263 @@
+//! Property-based tests (proptest) on the core data structures and the
+//! predictor invariants.
+
+use depburst::{paper_roster, Dep, DvfsPredictor};
+use dvfs_trace::{
+    DvfsCounters, EpochEnd, EpochRecord, ExecutionTrace, Freq, FreqLadder, ThreadId, ThreadInfo,
+    ThreadRole, ThreadSlice, Time, TimeDelta,
+};
+use proptest::prelude::*;
+
+/// Strategy: one epoch with up to 4 thread slices whose counters respect
+/// the physical invariants (non-scaling estimates ≤ active ≤ duration).
+fn epoch_strategy(start: f64) -> impl Strategy<Value = EpochRecord> {
+    (
+        1.0e-6..5.0e-3f64, // duration seconds
+        proptest::collection::vec(
+            (
+                0u32..4,       // thread id
+                0.0..=1.0f64,  // active fraction of duration
+                0.0..=1.0f64,  // crit fraction of active
+                0.0..=1.0f64,  // sq_full fraction of (active - crit)
+            ),
+            0..4,
+        ),
+        0u32..4, // end-reason selector
+    )
+        .prop_map(move |(duration, raw_slices, end_sel)| {
+            let mut used = std::collections::BTreeSet::new();
+            let mut threads = Vec::new();
+            for (tid, af, cf, sf) in raw_slices {
+                if !used.insert(tid) {
+                    continue;
+                }
+                let active = duration * af;
+                let crit = active * cf;
+                let sq_full = (active - crit) * sf;
+                threads.push(ThreadSlice {
+                    thread: ThreadId(tid),
+                    counters: DvfsCounters {
+                        active: TimeDelta::from_secs(active),
+                        crit: TimeDelta::from_secs(crit),
+                        leading_loads: TimeDelta::from_secs(crit * 0.8),
+                        stall: TimeDelta::from_secs(crit * 0.5),
+                        sq_full: TimeDelta::from_secs(sq_full),
+                        instructions: (active * 2e9) as u64,
+                        loads: (active * 5e8) as u64,
+                        stores: (sq_full * 6e8) as u64,
+                        llc_misses: (crit * 1.4e7) as u64,
+                    },
+                });
+            }
+            let end = match end_sel {
+                0 => EpochEnd::Stall(ThreadId(end_sel)),
+                1 => EpochEnd::Wake(ThreadId(end_sel)),
+                2 => EpochEnd::Exit(ThreadId(end_sel)),
+                _ => EpochEnd::QuantumBoundary,
+            };
+            EpochRecord {
+                start: Time::from_secs(start),
+                duration: TimeDelta::from_secs(duration),
+                threads,
+                end,
+            }
+        })
+}
+
+/// Strategy: a structurally valid trace of 1..12 epochs.
+fn trace_strategy() -> impl Strategy<Value = ExecutionTrace> {
+    proptest::collection::vec(epoch_strategy(0.0), 1..12).prop_map(|mut epochs| {
+        // Re-tile epochs contiguously.
+        let mut cursor = Time::ZERO;
+        for e in &mut epochs {
+            e.start = cursor;
+            cursor += e.duration;
+        }
+        let total = cursor.since(Time::ZERO);
+        let threads = (0..4)
+            .map(|i| ThreadInfo {
+                id: ThreadId(i),
+                role: if i == 0 {
+                    ThreadRole::GcWorker
+                } else {
+                    ThreadRole::Application
+                },
+                name: format!("t{i}"),
+                spawn: Time::ZERO,
+                exit: None,
+            })
+            .collect();
+        ExecutionTrace {
+            base: Freq::from_ghz(1.0),
+            start: Time::ZERO,
+            total,
+            epochs,
+            markers: vec![],
+            threads,
+        }
+    })
+}
+
+proptest! {
+    #[test]
+    fn generated_traces_validate(trace in trace_strategy()) {
+        prop_assert!(trace.validate().is_ok());
+    }
+
+    /// Predicting at the base frequency must reproduce the measurement for
+    /// epoch-based DEP (every thread's split re-sums to its active time,
+    /// and the critical thread spans each epoch).
+    #[test]
+    fn dep_identity_at_base_frequency(trace in trace_strategy()) {
+        let p = Dep::dep_burst().predict(&trace, trace.base);
+        // Epochs whose busiest thread is idle part of the epoch predict
+        // the active part only; accept one-sided undershoot, no overshoot.
+        prop_assert!(p.as_secs() <= trace.total.as_secs() * (1.0 + 1e-9));
+    }
+
+    /// Max/sum-structured predictors are monotone: a higher target
+    /// frequency never predicts a longer execution time. (Across-epoch
+    /// DEP is deliberately excluded: Algorithm 1's delta counters depend
+    /// on *which* thread is critical per epoch, and that identity can
+    /// flip with the scaling ratio, so strict monotonicity is not
+    /// guaranteed — only the per-epoch upper bound is.)
+    #[test]
+    fn max_structured_predictions_are_monotone_in_frequency(trace in trace_strategy()) {
+        use depburst::{Coop, CtpMode, MCrit, NonScalingModel};
+        let models: Vec<Box<dyn DvfsPredictor>> = vec![
+            Box::new(MCrit::plain()),
+            Box::new(MCrit::with_burst()),
+            Box::new(Coop::plain()),
+            Box::new(Coop::with_burst()),
+            Box::new(Dep::new(NonScalingModel::Crit, true, CtpMode::PerEpoch)),
+        ];
+        for model in models {
+            let mut last = f64::INFINITY;
+            for mhz in [1000u32, 1500, 2000, 3000, 4000] {
+                let p = model.predict(&trace, Freq::from_mhz(mhz)).as_secs();
+                prop_assert!(
+                    p <= last + 1e-12,
+                    "{} not monotone at {mhz} MHz: {p} > {last}",
+                    model.name()
+                );
+                last = p;
+            }
+        }
+    }
+
+    /// Across-epoch CTP never predicts more than per-epoch CTP: deltas are
+    /// non-negative, so each epoch estimate can only shrink.
+    #[test]
+    fn across_epoch_never_exceeds_per_epoch(trace in trace_strategy()) {
+        for mhz in [1000u32, 2000, 4000] {
+            let across = Dep::dep_burst().predict(&trace, Freq::from_mhz(mhz));
+            let per = Dep::dep_burst_per_epoch().predict(&trace, Freq::from_mhz(mhz));
+            prop_assert!(
+                across.as_secs() <= per.as_secs() + 1e-12,
+                "across {across} > per {per} at {mhz} MHz"
+            );
+        }
+    }
+
+    /// Predictions never go below the trace's total non-scaling floor.
+    #[test]
+    fn predictions_are_positive(trace in trace_strategy()) {
+        for model in paper_roster() {
+            let p = model.predict(&trace, Freq::from_ghz(4.0));
+            prop_assert!(p.as_secs() >= 0.0, "{}", model.name());
+        }
+    }
+
+    #[test]
+    fn freq_ladder_floor_is_consistent(mhz in 500u32..5000) {
+        let ladder = FreqLadder::paper_default();
+        let f = ladder.floor(Freq::from_mhz(mhz));
+        prop_assert!(ladder.contains(f));
+        prop_assert!(f <= Freq::from_mhz(mhz.max(1000)));
+    }
+
+    #[test]
+    fn scaling_ratio_roundtrip(a in 1000u32..4000, b in 1000u32..4000) {
+        let fa = Freq::from_mhz(a);
+        let fb = Freq::from_mhz(b);
+        let roundtrip = fa.scaling_ratio_to(fb) * fb.scaling_ratio_to(fa);
+        prop_assert!((roundtrip - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn counter_delta_roundtrip(
+        a in 0.0..1.0f64,
+        c in 0.0..1.0f64,
+        s in 0.0..1.0f64,
+    ) {
+        let base = DvfsCounters {
+            active: TimeDelta::from_secs(a),
+            crit: TimeDelta::from_secs(a * c),
+            sq_full: TimeDelta::from_secs(a * s),
+            ..DvfsCounters::zero()
+        };
+        let doubled = base + base;
+        let back = doubled.delta_since(&base);
+        prop_assert!((back.active.as_secs() - base.active.as_secs()).abs() < 1e-15);
+        prop_assert!((back.crit.as_secs() - base.crit.as_secs()).abs() < 1e-15);
+    }
+}
+
+// The store-queue fluid model: durations bounded by issue- and drain-rate
+// bounds, sq_full never exceeds duration.
+proptest! {
+    #[test]
+    fn store_queue_bounds(
+        stores in 1.0..100_000.0f64,
+        issue_ghz in 0.5..8.0f64,
+        drain_ghz in 0.1..8.0f64,
+        prefill in 0.0..40.0f64,
+    ) {
+        use simx::cpu::StoreQueue;
+        let mut q = StoreQueue::new(42);
+        // Pre-fill, then drain a little.
+        q.absorb(Time::ZERO, prefill, 1e12, 1e9);
+        let issue = issue_ghz * 1e9;
+        let drain = drain_ghz * 1e9;
+        let r = q.absorb(Time::from_secs(1e-9), stores, issue, drain);
+        prop_assert!(r.sq_full.as_secs() <= r.duration.as_secs() + 1e-15);
+        prop_assert!(r.duration.as_secs() >= stores / issue - 1e-12);
+        prop_assert!(r.duration.as_secs() <= stores / drain.min(issue) + 42.0 / drain + 1e-9);
+        prop_assert!(q.level() <= 42.0 + 1e-9);
+    }
+}
+
+// Chunk split/retime conservation under arbitrary fractions and ratios.
+proptest! {
+    #[test]
+    fn chunk_split_conserves(
+        duration_us in 1.0..1000.0f64,
+        scaling_frac in 0.0..=1.0f64,
+        split in 0.0..=1.0f64,
+        ratio in 0.25..4.0f64,
+    ) {
+        use simx::cpu::Chunk;
+        let duration = TimeDelta::from_micros(duration_us);
+        let chunk = Chunk {
+            duration,
+            scaling: duration * scaling_frac,
+            counters: DvfsCounters {
+                active: duration,
+                crit: duration * (1.0 - scaling_frac),
+                instructions: 1_000_000,
+                ..DvfsCounters::zero()
+            },
+        };
+        let (a, b) = chunk.split(split);
+        prop_assert!(((a.duration + b.duration).as_secs() - duration.as_secs()).abs() < 1e-15);
+        prop_assert!(((a.scaling + b.scaling).as_secs() - chunk.scaling.as_secs()).abs() < 1e-15);
+        prop_assert_eq!(a.counters.instructions + b.counters.instructions, 1_000_000);
+        // Retiming preserves the non-scaling part exactly.
+        let re = chunk.retimed(ratio);
+        prop_assert!((re.non_scaling().as_secs() - chunk.non_scaling().as_secs()).abs() < 1e-12);
+        prop_assert!((re.scaling.as_secs() - chunk.scaling.as_secs() * ratio).abs() < 1e-12);
+        // Round trip restores the original duration.
+        let back = re.retimed(1.0 / ratio);
+        prop_assert!((back.duration.as_secs() - chunk.duration.as_secs()).abs() < 1e-12);
+    }
+}
