@@ -55,7 +55,7 @@ pub use dep::{CtpMode, Dep};
 pub use mcrit::MCrit;
 pub use metrics::{mean_absolute_error, relative_error, ErrorStats};
 pub use nonscaling::NonScalingModel;
-pub use predictor::DvfsPredictor;
+pub use predictor::{DvfsPredictor, MAX_PLAUSIBLE_SLOWDOWN};
 pub use regression::{RegressionError, RegressionPredictor, RegressionTrainer};
 
 /// The full predictor roster evaluated in the paper's Figure 3: M+CRIT,

@@ -128,10 +128,11 @@ fn solve(
         }
         a.swap(col, pivot);
         b.swap(col, pivot);
+        let pivot_row = a[col];
         for row in (col + 1)..FEATURES {
-            let f = a[row][col] / a[col][col];
-            for k in col..FEATURES {
-                a[row][k] -= f * a[col][k];
+            let f = a[row][col] / pivot_row[col];
+            for (dst, src) in a[row].iter_mut().zip(pivot_row.iter()).skip(col) {
+                *dst -= f * src;
             }
             b[row] -= f * b[col];
         }

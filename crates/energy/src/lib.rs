@@ -24,8 +24,8 @@ mod oracle;
 mod power;
 mod vf;
 
-pub use manager::{EnergyManager, ManagerConfig, ManagerReport};
+pub use manager::{EnergyManager, HardeningConfig, ManagerConfig, ManagerReport};
 pub use metrics::{select_best, Efficiency, Objective};
-pub use oracle::{static_optimal, StaticPoint, StaticSweep};
+pub use oracle::{static_optimal, try_static_optimal, StaticPoint, StaticSweep};
 pub use power::{EnergyAccount, PowerBreakdown, PowerModel};
 pub use vf::VfCurve;

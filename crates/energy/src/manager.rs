@@ -9,12 +9,69 @@
 //! suppresses re-decisions for a number of quanta. If each interval keeps
 //! its slowdown within x%, the whole run is within x% of always running at
 //! the maximum frequency.
+//!
+//! # Hardening
+//!
+//! The paper's manager trusts its counter harvests and its DVFS requests
+//! unconditionally; with [`ManagerConfig::hardening`] enabled (see
+//! [`HardeningConfig`]) it instead degrades gracefully under the fault
+//! classes of [`simx::faults`]:
+//!
+//! * predictions are sanity-gated — non-finite, negative, or implausibly
+//!   scaled predictions are rejected (the frequency state they argue for
+//!   is skipped) rather than acted on;
+//! * sustained misprediction is detected by checking each quantum's
+//!   *identity prediction* (the predicted duration of the harvested trace
+//!   at the frequency it was measured at) against the observed duration;
+//! * after [`HardeningConfig::misprediction_window`] consecutive bad
+//!   quanta the manager falls back to the maximum frequency — never worse
+//!   than 0% slowdown — and holds it for an exponentially growing backoff
+//!   before cautiously re-engaging prediction-driven scaling;
+//! * denied DVFS transitions ([`simx::MachineError::TransitionDenied`])
+//!   are tolerated and counted instead of aborting the run.
+//!
+//! With hardening disabled — or enabled against a fault-free machine —
+//! the manager's decisions, switches, execution time and energy are
+//! bit-identical to the paper's original algorithm.
 
 use depburst::DvfsPredictor;
+use depburst_core::DepburstError;
 use dvfs_trace::{Freq, TimeDelta};
 use simx::{Machine, MachineError, RunOutcome};
 
 use crate::power::{EnergyAccount, PowerModel};
+
+/// Parameters of the hardened manager's graceful-degradation machinery.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HardeningConfig {
+    /// Predictions implying a slowdown (or reciprocal speedup) beyond this
+    /// factor vs. the maximum frequency are rejected as implausible.
+    pub max_plausible_slowdown: f64,
+    /// Relative error of the identity prediction (predicted duration of a
+    /// quantum at its own measured frequency vs. observed duration) above
+    /// which the quantum counts as mispredicted.
+    pub misprediction_tolerance: f64,
+    /// Consecutive mispredicted quanta before falling back to the maximum
+    /// frequency.
+    pub misprediction_window: u32,
+    /// Quanta the first fallback holds the maximum frequency; each further
+    /// engagement doubles the hold.
+    pub base_backoff: u32,
+    /// Upper bound on the fallback hold.
+    pub max_backoff: u32,
+}
+
+impl Default for HardeningConfig {
+    fn default() -> Self {
+        HardeningConfig {
+            max_plausible_slowdown: depburst::MAX_PLAUSIBLE_SLOWDOWN,
+            misprediction_tolerance: 0.6,
+            misprediction_window: 3,
+            base_backoff: 4,
+            max_backoff: 64,
+        }
+    }
+}
 
 /// Manager parameters (paper defaults: 5 ms quantum, hold-off 1).
 #[derive(Debug, Clone, Copy)]
@@ -27,10 +84,13 @@ pub struct ManagerConfig {
     pub hold_off: u32,
     /// The chip power model (provides the DVFS ladder and V/f curve).
     pub power: PowerModel,
+    /// Graceful-degradation machinery; `None` runs the paper's original
+    /// algorithm unmodified.
+    pub hardening: Option<HardeningConfig>,
 }
 
 impl ManagerConfig {
-    /// Paper defaults with the given slowdown threshold.
+    /// Paper defaults with the given slowdown threshold (no hardening).
     #[must_use]
     pub fn with_threshold(tolerable_slowdown: f64) -> Self {
         ManagerConfig {
@@ -38,6 +98,16 @@ impl ManagerConfig {
             quantum: TimeDelta::from_millis(5.0),
             hold_off: 1,
             power: PowerModel::haswell_22nm(),
+            hardening: None,
+        }
+    }
+
+    /// Paper defaults with default hardening enabled.
+    #[must_use]
+    pub fn hardened(tolerable_slowdown: f64) -> Self {
+        ManagerConfig {
+            hardening: Some(HardeningConfig::default()),
+            ..Self::with_threshold(tolerable_slowdown)
         }
     }
 }
@@ -55,6 +125,20 @@ pub struct ManagerReport {
     pub decisions: u64,
     /// Number of decisions that changed the frequency.
     pub switches: u64,
+    /// Energy (joules) recomputed from the machine's ground-truth core
+    /// activity rather than the harvested (possibly faulted) counters.
+    /// Equals [`Self::energy_j`] on a fault-free run.
+    pub true_energy_j: f64,
+    /// Predictions rejected by the hardened sanity gate.
+    pub rejected_predictions: u64,
+    /// Quanta whose identity prediction missed the observed duration.
+    pub mispredicted_quanta: u64,
+    /// Times the fallback-to-max-frequency state was engaged.
+    pub fallback_engagements: u64,
+    /// Quanta spent pinned at the maximum frequency by the fallback.
+    pub fallback_quanta: u64,
+    /// DVFS transitions the platform denied (tolerated when hardened).
+    pub denied_transitions: u64,
 }
 
 impl ManagerReport {
@@ -97,18 +181,39 @@ impl EnergyManager {
 
     /// Runs the already-installed application on `machine` under
     /// management, to completion.
-    pub fn run(&self, machine: &mut Machine) -> Result<ManagerReport, MachineError> {
+    ///
+    /// # Errors
+    /// Machine-level failures are surfaced as [`DepburstError::Machine`].
+    /// A denied DVFS transition aborts the run with
+    /// [`DepburstError::TransitionDenied`] unless hardening is enabled, in
+    /// which case it is tolerated and counted.
+    pub fn run(&self, machine: &mut Machine) -> Result<ManagerReport, DepburstError> {
         let ladder = *self.config.power.vf().ladder();
         let f_max = ladder.max();
         let cores = machine.config().cores;
-        machine.set_frequency(f_max)?;
+        let mut denied_transitions = 0u64;
+        match machine.set_frequency(f_max) {
+            Ok(()) => {}
+            Err(MachineError::TransitionDenied { .. }) if self.config.hardening.is_some() => {
+                denied_transitions += 1;
+            }
+            Err(e) => return Err(e.into()),
+        }
 
         let mut account = EnergyAccount::new();
+        let mut true_account = EnergyAccount::new();
         let mut freq_time: Vec<(Freq, TimeDelta)> = Vec::new();
         let mut decisions = 0u64;
         let mut switches = 0u64;
+        let mut rejected_predictions = 0u64;
+        let mut mispredicted_quanta = 0u64;
+        let mut fallback_engagements = 0u64;
+        let mut fallback_quanta = 0u64;
+        let mut streak = 0u32; // consecutive mispredicted quanta
+        let mut fallback_hold = 0u32; // quanta left pinned at f_max
         let mut held = self.config.hold_off; // decide after the 1st quantum
         let start = machine.now();
+        let mut prev_busy = total_busy(machine);
 
         loop {
             let interval_start = machine.now();
@@ -117,7 +222,8 @@ impl EnergyManager {
             let freq = machine.frequency();
             let trace = machine.harvest_trace();
 
-            // Energy accounting: aggregate activity over the interval.
+            // Energy accounting: aggregate activity over the interval as
+            // the (possibly faulted) harvest reports it.
             let busy: f64 = trace
                 .epochs
                 .iter()
@@ -135,6 +241,24 @@ impl EnergyManager {
                 duration,
                 &vec![activity; cores],
             );
+
+            // Ground-truth energy from the machine's own busy-time ledger
+            // (immune to counter faults; diverges from `account` exactly
+            // when faults corrupt the observer's view).
+            let busy_now = total_busy(machine);
+            let true_activity = if duration.as_secs() > 0.0 {
+                ((busy_now - prev_busy) / (cores as f64 * duration.as_secs())).clamp(0.0, 1.0)
+            } else {
+                0.0
+            };
+            prev_busy = busy_now;
+            true_account.add(
+                &self.config.power,
+                freq,
+                duration,
+                &vec![true_activity; cores],
+            );
+
             match freq_time.iter_mut().find(|(f, _)| *f == freq) {
                 Some((_, t)) => *t += duration,
                 None => freq_time.push((freq, duration)),
@@ -147,7 +271,36 @@ impl EnergyManager {
                     freq_time,
                     decisions,
                     switches,
+                    true_energy_j: true_account.joules(),
+                    rejected_predictions,
+                    mispredicted_quanta,
+                    fallback_engagements,
+                    fallback_quanta,
+                    denied_transitions,
                 });
+            }
+
+            // Misprediction detector: the identity prediction (the trace
+            // re-predicted at its own base frequency) must reproduce the
+            // observed duration; a sustained gap means the counters feeding
+            // the predictor cannot be trusted.
+            if let Some(h) = &self.config.hardening {
+                if duration.as_secs() > 0.0 {
+                    let identity = self.predictor.predict(&trace, freq).as_secs();
+                    let bad = if identity.is_finite() && identity >= 0.0 {
+                        (identity - duration.as_secs()).abs() / duration.as_secs()
+                            > h.misprediction_tolerance
+                    } else {
+                        rejected_predictions += 1;
+                        true
+                    };
+                    if bad {
+                        mispredicted_quanta += 1;
+                        streak += 1;
+                    } else {
+                        streak = 0;
+                    }
+                }
             }
 
             held += 1;
@@ -156,11 +309,52 @@ impl EnergyManager {
             }
             held = 0;
             decisions += 1;
-            let chosen = self.choose_frequency(&trace, f_max, &ladder);
+            let chosen = match &self.config.hardening {
+                None => self.choose_frequency(&trace, f_max, &ladder),
+                Some(h) => {
+                    if fallback_hold == 0 && streak >= h.misprediction_window {
+                        // Engage the fallback: pin the maximum frequency
+                        // (never worse than 0% slowdown) for an
+                        // exponentially growing hold before re-engaging.
+                        fallback_engagements += 1;
+                        let shift = (fallback_engagements - 1).min(16) as u32;
+                        fallback_hold = u32::try_from(
+                            (u64::from(h.base_backoff.max(1)) << shift)
+                                .min(u64::from(h.max_backoff.max(1))),
+                        )
+                        .unwrap_or(h.max_backoff.max(1));
+                        streak = 0;
+                    }
+                    if fallback_hold > 0 {
+                        fallback_hold -= 1;
+                        fallback_quanta += 1;
+                        f_max
+                    } else {
+                        self.choose_frequency_gated(
+                            &trace,
+                            f_max,
+                            &ladder,
+                            h,
+                            &mut rejected_predictions,
+                        )
+                    }
+                }
+            };
             if chosen != freq {
-                switches += 1;
+                match machine.set_frequency(chosen) {
+                    Ok(()) => switches += 1,
+                    Err(MachineError::TransitionDenied { at }) => {
+                        if self.config.hardening.is_some() {
+                            denied_transitions += 1;
+                        } else {
+                            return Err(DepburstError::TransitionDenied {
+                                at_secs: at.as_secs(),
+                            });
+                        }
+                    }
+                    Err(e) => return Err(e.into()),
+                }
             }
-            machine.set_frequency(chosen)?;
         }
     }
 
@@ -187,11 +381,60 @@ impl EnergyManager {
         f_max
     }
 
+    /// [`Self::choose_frequency`] with the hardened sanity gate: frequency
+    /// states whose predictions are non-finite, negative, or implausibly
+    /// scaled relative to `f_max` are skipped (and counted in `rejected`)
+    /// instead of trusted. On honest predictions the gate never fires and
+    /// the choice is identical to the ungated algorithm.
+    fn choose_frequency_gated(
+        &self,
+        trace: &dvfs_trace::ExecutionTrace,
+        f_max: Freq,
+        ladder: &dvfs_trace::FreqLadder,
+        hardening: &HardeningConfig,
+        rejected: &mut u64,
+    ) -> Freq {
+        let at_max = self.predictor.predict(trace, f_max).as_secs();
+        if !at_max.is_finite() || at_max <= 0.0 {
+            // A zero prediction for a window in which wall time observably
+            // passed means the counters vanished; a genuinely empty window
+            // predicting zero is normal.
+            if !at_max.is_finite() || trace.total > TimeDelta::ZERO {
+                *rejected += 1;
+            }
+            return f_max;
+        }
+        let budget = at_max * (1.0 + self.config.tolerable_slowdown);
+        for f in ladder.iter() {
+            let predicted = self.predictor.predict(trace, f).as_secs();
+            if !predicted.is_finite() || predicted < 0.0 {
+                *rejected += 1;
+                continue;
+            }
+            let ratio = predicted / at_max;
+            if ratio > hardening.max_plausible_slowdown
+                || ratio < 1.0 / hardening.max_plausible_slowdown
+            {
+                *rejected += 1;
+                continue;
+            }
+            if predicted <= budget {
+                return f;
+            }
+        }
+        f_max
+    }
+
     /// The time the manager's machine started from (for tests).
     #[must_use]
     pub fn config(&self) -> &ManagerConfig {
         &self.config
     }
+}
+
+/// Sum of the machine's ground-truth per-core busy time (seconds).
+fn total_busy(machine: &Machine) -> f64 {
+    machine.stats().core_busy.iter().map(|t| t.as_secs()).sum()
 }
 
 #[cfg(test)]
@@ -276,5 +519,99 @@ mod tests {
             "zero tolerance must pin max frequency, got {mean}"
         );
         assert_eq!(report.switches, 0);
+    }
+
+    #[test]
+    fn hardening_is_bit_identical_without_faults() {
+        let run_with = |config: ManagerConfig, inert_injector: bool| {
+            let manager = EnergyManager::new(config, Box::new(PerfectScaling));
+            let mut m = compute_machine();
+            if inert_injector {
+                m.install_faults(simx::FaultConfig::none(123));
+            }
+            manager.run(&mut m).expect("managed run")
+        };
+        let legacy = run_with(ManagerConfig::with_threshold(0.10), false);
+        let hardened = run_with(ManagerConfig::hardened(0.10), false);
+        let hardened_inert = run_with(ManagerConfig::hardened(0.10), true);
+        for (label, r) in [("hardened", &hardened), ("hardened+inert", &hardened_inert)] {
+            assert_eq!(legacy.exec, r.exec, "{label}: exec must be bit-identical");
+            assert_eq!(
+                legacy.energy_j.to_bits(),
+                r.energy_j.to_bits(),
+                "{label}: energy must be bit-identical"
+            );
+            assert_eq!(legacy.decisions, r.decisions, "{label}: decisions");
+            assert_eq!(legacy.switches, r.switches, "{label}: switches");
+            assert_eq!(legacy.freq_time, r.freq_time, "{label}: freq residency");
+            assert_eq!(r.fallback_engagements, 0, "{label}: no fallback");
+            assert_eq!(r.denied_transitions, 0, "{label}: no denials");
+        }
+        // Ground-truth energy agrees with observer energy on honest runs.
+        assert!(
+            (legacy.true_energy_j - legacy.energy_j).abs() / legacy.energy_j < 0.05,
+            "true {} vs observed {}",
+            legacy.true_energy_j,
+            legacy.energy_j
+        );
+    }
+
+    #[test]
+    fn sustained_counter_dropout_triggers_fallback_to_max() {
+        // A counter-driven predictor (DEP+BURST) fed fully dropped-out
+        // harvests predicts ~0 for every window: the hardened manager must
+        // reject those predictions, detect the sustained misprediction,
+        // and pin the maximum frequency instead of scaling down blindly.
+        let manager = EnergyManager::new(
+            ManagerConfig::hardened(0.10),
+            Box::new(depburst::Dep::dep_burst()),
+        );
+        let mut m = compute_machine();
+        m.install_faults(simx::FaultConfig::single(
+            simx::FaultClass::CounterDropout,
+            1.0,
+            9,
+        ));
+        let report = manager.run(&mut m).expect("hardened run survives dropout");
+        assert!(
+            (report.mean_ghz() - 4.0).abs() < 1e-9,
+            "dropout must pin max frequency, got {} GHz",
+            report.mean_ghz()
+        );
+        assert!(report.fallback_engagements >= 1, "fallback must engage");
+        assert!(report.fallback_quanta >= 1);
+        assert!(report.mispredicted_quanta >= 3);
+        assert!(report.rejected_predictions >= 1);
+        assert!(report.true_energy_j > 0.0);
+    }
+
+    #[test]
+    fn unhardened_manager_aborts_on_denied_transition() {
+        let manager = EnergyManager::new(
+            ManagerConfig::with_threshold(0.10),
+            Box::new(PerfectScaling),
+        );
+        let mut m = compute_machine();
+        m.install_faults(simx::FaultConfig::single(
+            simx::FaultClass::TransitionDenied,
+            1.0,
+            5,
+        ));
+        let err = manager.run(&mut m).expect_err("denial must surface");
+        assert!(matches!(err, DepburstError::TransitionDenied { .. }));
+
+        // The hardened manager tolerates the same fault and finishes.
+        let manager = EnergyManager::new(
+            ManagerConfig::hardened(0.10),
+            Box::new(PerfectScaling),
+        );
+        let mut m = compute_machine();
+        m.install_faults(simx::FaultConfig::single(
+            simx::FaultClass::TransitionDenied,
+            1.0,
+            5,
+        ));
+        let report = manager.run(&mut m).expect("hardened run tolerates denial");
+        assert!(report.denied_transitions >= 1);
     }
 }

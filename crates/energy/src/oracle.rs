@@ -6,6 +6,7 @@
 //! very runs it is judged on. The comparison is made at the same slowdown
 //! budget the dynamic manager honours.
 
+use depburst_core::DepburstError;
 use dvfs_trace::{Freq, TimeDelta};
 
 /// One constant-frequency run of the sweep.
@@ -50,11 +51,27 @@ pub fn static_optimal(sweep: &StaticSweep, max_slowdown: Option<f64>) -> Option<
             }
             None => true,
         })
-        .min_by(|a, b| {
-            a.energy_j
-                .partial_cmp(&b.energy_j)
-                .expect("energies are finite")
-        })
+        .min_by(|a, b| a.energy_j.total_cmp(&b.energy_j))
+}
+
+/// Like [`static_optimal`], but rejects sweeps containing non-finite
+/// measurements (a faulted run can report NaN or infinite energy) instead
+/// of silently ranking them.
+///
+/// # Errors
+/// [`DepburstError::NonFiniteEnergy`] naming the offending frequency.
+pub fn try_static_optimal(
+    sweep: &StaticSweep,
+    max_slowdown: Option<f64>,
+) -> Result<Option<&StaticPoint>, DepburstError> {
+    for p in &sweep.points {
+        if !p.energy_j.is_finite() || !p.exec.as_secs().is_finite() {
+            return Err(DepburstError::NonFiniteEnergy {
+                freq_mhz: p.freq.mhz(),
+            });
+        }
+    }
+    Ok(static_optimal(sweep, max_slowdown))
 }
 
 #[cfg(test)]
@@ -107,5 +124,25 @@ mod tests {
     #[test]
     fn empty_sweep_yields_none() {
         assert!(static_optimal(&StaticSweep::default(), None).is_none());
+    }
+
+    #[test]
+    fn try_variant_rejects_non_finite_measurements() {
+        let mut s = sweep();
+        let ok = try_static_optimal(&s, None).expect("finite sweep");
+        assert_eq!(ok.expect("found").freq, Freq::from_ghz(2.0));
+
+        s.points.push(point(1.5, 180.0, f64::NAN));
+        let err = try_static_optimal(&s, None).expect_err("NaN energy");
+        assert_eq!(
+            err,
+            DepburstError::NonFiniteEnergy {
+                freq_mhz: Freq::from_ghz(1.5).mhz()
+            }
+        );
+        // The infallible variant still returns a deterministic answer
+        // (total_cmp ranks NaN above every finite energy).
+        let best = static_optimal(&s, None).expect("found");
+        assert_eq!(best.freq, Freq::from_ghz(2.0));
     }
 }

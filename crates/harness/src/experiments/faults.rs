@@ -1,0 +1,281 @@
+//! Fault-injection sweep: predictor accuracy and managed-energy
+//! degradation under each injected fault class (the robustness companion
+//! to Figs. 3 and 6).
+//!
+//! For every (benchmark, fault class, intensity) cell the sweep reports:
+//!
+//! * **prediction error** — relative error of DEP+BURST and M+CRIT
+//!   predicting the 4 GHz execution time from a 2 GHz trace whose
+//!   harvest passed through the fault injector (averaged over several
+//!   injector seeds so probabilistic classes show their expected effect);
+//! * **managed degradation** — slowdown and *ground-truth* energy savings
+//!   of the hardened DEP+BURST energy manager running against a machine
+//!   with the fault installed, vs. the clean always-4 GHz baseline, plus
+//!   how often the graceful-degradation machinery engaged.
+//!
+//! One `none` anchor row per benchmark pins the fault-free behaviour the
+//! degraded cells are read against.
+
+use dacapo_sim::{benchmark, Benchmark};
+use depburst::{Dep, DvfsPredictor, MCrit, NonScalingModel};
+use dvfs_trace::{ExecutionTrace, Freq};
+use energyx::{EnergyManager, ManagerConfig, PowerModel};
+use serde::Serialize;
+use simx::{FaultClass, FaultConfig, FaultInjector, Machine, MachineConfig};
+
+use super::fig6;
+use crate::report::{pct, pct_abs, TextTable};
+use crate::run::{run_benchmark, RunConfig};
+
+/// Independent injector seeds averaged per prediction-error cell.
+const PREDICTION_SAMPLES: u64 = 8;
+
+/// The benchmarks swept (one memory-intensive, one compute-intensive).
+pub const SWEEP_BENCHMARKS: [&str; 2] = ["lusearch", "sunflow"];
+
+/// One (benchmark, fault class, intensity) cell of the sweep.
+#[derive(Debug, Clone, Serialize)]
+pub struct FaultsRow {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Fault class name, or `"none"` for the anchor row.
+    pub fault: String,
+    /// Fault intensity in `[0, 1]`.
+    pub intensity: f64,
+    /// Mean relative 4 GHz prediction error of DEP+BURST on faulted traces.
+    pub dep_err: f64,
+    /// Mean relative 4 GHz prediction error of M+CRIT+BURST on the same.
+    pub mcrit_err: f64,
+    /// Managed slowdown vs. the clean always-4 GHz baseline.
+    pub slowdown: f64,
+    /// Ground-truth energy savings vs. the clean always-4 GHz baseline.
+    pub savings: f64,
+    /// Fallback-to-max engagements during the managed run.
+    pub fallbacks: u64,
+    /// DVFS transitions the platform denied during the managed run.
+    pub denied: u64,
+}
+
+fn rel_err(predicted: f64, truth: f64) -> f64 {
+    if !predicted.is_finite() || truth <= 0.0 {
+        return 1.0;
+    }
+    (predicted - truth).abs() / truth
+}
+
+/// Fault configuration for one cell (`None` class = inert anchor).
+fn cell_config(class: Option<FaultClass>, intensity: f64, seed: u64) -> FaultConfig {
+    match class {
+        Some(c) => FaultConfig::single(c, intensity, seed),
+        None => FaultConfig::none(seed),
+    }
+}
+
+/// Evaluates one sweep cell. `clean_trace` was measured at 2 GHz,
+/// `truth_secs` is the measured clean 4 GHz execution time, and
+/// `(base_exec, base_energy)` is the clean always-4 GHz baseline.
+#[allow(clippy::too_many_arguments)]
+fn evaluate(
+    bench: &Benchmark,
+    class: Option<FaultClass>,
+    intensity: f64,
+    scale: f64,
+    seed: u64,
+    threshold: f64,
+    clean_trace: &ExecutionTrace,
+    truth_secs: f64,
+    base_exec: f64,
+    base_energy: f64,
+) -> FaultsRow {
+    let dep = Dep::dep_burst();
+    let mcrit = MCrit::new(NonScalingModel::Crit, true);
+    let f4 = Freq::from_ghz(4.0);
+    let mut dep_err = 0.0;
+    let mut mcrit_err = 0.0;
+    for k in 0..PREDICTION_SAMPLES {
+        let sample_seed = seed.wrapping_add(k.wrapping_mul(0x9E37_79B9));
+        let corrupted = FaultInjector::new(cell_config(class, intensity, sample_seed))
+            .filter_harvest(clean_trace.clone());
+        dep_err += rel_err(dep.predict(&corrupted, f4).as_secs(), truth_secs);
+        mcrit_err += rel_err(mcrit.predict(&corrupted, f4).as_secs(), truth_secs);
+    }
+    dep_err /= PREDICTION_SAMPLES as f64;
+    mcrit_err /= PREDICTION_SAMPLES as f64;
+
+    let mut mc = MachineConfig::haswell_quad();
+    mc.initial_freq = f4;
+    let mut machine = Machine::new(mc);
+    bench.install(&mut machine, scale, seed);
+    machine.install_faults(cell_config(class, intensity, seed));
+    let manager = EnergyManager::new(
+        ManagerConfig::hardened(threshold),
+        Box::new(Dep::dep_burst()),
+    );
+    let report = manager
+        .run(&mut machine)
+        .expect("hardened manager completes under faults");
+
+    FaultsRow {
+        benchmark: bench.name.to_owned(),
+        fault: class.map_or_else(|| "none".to_owned(), |c| c.name().to_owned()),
+        intensity,
+        dep_err,
+        mcrit_err,
+        slowdown: report.exec.as_secs() / base_exec - 1.0,
+        savings: 1.0 - report.true_energy_j / base_energy,
+        fallbacks: report.fallback_engagements,
+        denied: report.denied_transitions,
+    }
+}
+
+/// Runs the full sweep: every fault class at every intensity (plus one
+/// fault-free anchor row) for each benchmark in [`SWEEP_BENCHMARKS`].
+#[must_use]
+pub fn collect(scale: f64, seed: u64, threshold: f64, intensities: &[f64]) -> Vec<FaultsRow> {
+    let power = PowerModel::haswell_22nm();
+    let mut rows = Vec::new();
+    for name in SWEEP_BENCHMARKS {
+        let bench = benchmark(name).expect("sweep benchmark exists");
+        let clean = run_benchmark(
+            bench,
+            RunConfig {
+                freq: Freq::from_ghz(2.0),
+                scale,
+                seed,
+            },
+        );
+        let truth = run_benchmark(
+            bench,
+            RunConfig {
+                freq: Freq::from_ghz(4.0),
+                scale,
+                seed,
+            },
+        );
+        let (base_exec, base_energy) = fig6::baseline(bench, scale, seed, &power);
+        let eval = |class, intensity| {
+            evaluate(
+                bench,
+                class,
+                intensity,
+                scale,
+                seed,
+                threshold,
+                &clean.trace,
+                truth.exec.as_secs(),
+                base_exec,
+                base_energy,
+            )
+        };
+        rows.push(eval(None, 0.0));
+        for class in FaultClass::ALL {
+            for &intensity in intensities {
+                rows.push(eval(Some(class), intensity));
+            }
+        }
+    }
+    rows
+}
+
+/// Renders the degradation table.
+#[must_use]
+pub fn render(rows: &[FaultsRow]) -> String {
+    let mut t = TextTable::new(&[
+        "benchmark",
+        "fault",
+        "intensity",
+        "DEP+BURST err",
+        "M+CRIT err",
+        "slowdown",
+        "true savings",
+        "fallbacks",
+        "denied",
+    ]);
+    for r in rows {
+        t.row(vec![
+            r.benchmark.clone(),
+            r.fault.clone(),
+            format!("{:.2}", r.intensity),
+            pct_abs(r.dep_err),
+            pct_abs(r.mcrit_err),
+            pct(r.slowdown),
+            pct(r.savings),
+            r.fallbacks.to_string(),
+            r.denied.to_string(),
+        ]);
+    }
+    format!(
+        "fault injection: prediction error and hardened-manager degradation\n{}",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_includes_anchor_and_cells() {
+        let rows = vec![
+            FaultsRow {
+                benchmark: "lusearch".into(),
+                fault: "none".into(),
+                intensity: 0.0,
+                dep_err: 0.02,
+                mcrit_err: 0.08,
+                slowdown: 0.04,
+                savings: 0.15,
+                fallbacks: 0,
+                denied: 0,
+            },
+            FaultsRow {
+                benchmark: "lusearch".into(),
+                fault: "counter-dropout".into(),
+                intensity: 1.0,
+                dep_err: 1.0,
+                mcrit_err: 1.0,
+                slowdown: 0.0,
+                savings: 0.0,
+                fallbacks: 3,
+                denied: 0,
+            },
+        ];
+        let s = render(&rows);
+        assert!(s.contains("none"));
+        assert!(s.contains("counter-dropout"));
+        assert!(s.contains("+15.0%"));
+    }
+
+    #[test]
+    fn rel_err_guards_degenerate_inputs() {
+        assert_eq!(rel_err(f64::NAN, 1.0), 1.0);
+        assert_eq!(rel_err(1.0, 0.0), 1.0);
+        assert!((rel_err(1.1, 1.0) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sweep_cell_under_dropout_engages_fallback() {
+        // One cell of the real sweep, tiny scale: full dropout must leave
+        // the hardened manager pinned at max frequency (≈0% slowdown, ≈0%
+        // savings) with the fallback engaged, while the anchor cell saves
+        // energy without fallbacks.
+        let rows = collect(0.02, 1, 0.10, &[1.0]);
+        let anchor = rows
+            .iter()
+            .find(|r| r.benchmark == "lusearch" && r.fault == "none")
+            .expect("anchor row");
+        assert_eq!(anchor.fallbacks, 0);
+        assert!(anchor.dep_err < 0.25, "clean DEP err {}", anchor.dep_err);
+        let dropped = rows
+            .iter()
+            .find(|r| r.benchmark == "lusearch" && r.fault == "counter-dropout")
+            .expect("dropout row");
+        assert!(dropped.fallbacks >= 1, "dropout must engage fallback");
+        assert!(
+            dropped.slowdown < anchor.slowdown + 0.05,
+            "fallback must not slow the run down: {} vs {}",
+            dropped.slowdown,
+            anchor.slowdown
+        );
+    }
+}

@@ -10,3 +10,5 @@ pub mod fig4;
 pub mod fig6;
 pub mod fig7;
 pub mod percore;
+
+pub mod faults;

@@ -10,6 +10,7 @@
 //! | Fig. 4 (per- vs across-epoch CTP) | [`experiments::fig4`] | `fig4` |
 //! | Fig. 6a/6b (energy manager) | [`experiments::fig6`] | `fig6` |
 //! | Fig. 7 (dynamic vs static-optimal) | [`experiments::fig7`] | `fig7` |
+//! | Fault injection & graceful degradation | [`experiments::faults`] | `faults` |
 //!
 //! The [`run`] module holds the single-run plumbing shared by everything.
 

@@ -1,5 +1,6 @@
 //! A hardware core: executes at most one thread's chunk at a time.
 
+use depburst_core::DepburstError;
 use dvfs_trace::{CoreId, DvfsCounters, ThreadId, Time};
 
 use super::Chunk;
@@ -106,11 +107,22 @@ impl Core {
 
     /// Completes the in-flight chunk; the core stays reserved for the
     /// thread until it starts another chunk or releases the core.
-    pub fn finish_chunk(&mut self) -> Running {
+    ///
+    /// # Errors
+    /// [`DepburstError::CoreProtocol`] if the core has no chunk in flight —
+    /// a protocol violation by the caller (e.g. a stale completion event
+    /// that slipped past the generation guard), reported instead of
+    /// panicking so a faulted run can keep going.
+    pub fn finish_chunk(&mut self) -> Result<Running, DepburstError> {
         self.generation += 1;
-        let running = self.running.take().expect("finish_chunk on idle core");
+        let Some(running) = self.running.take() else {
+            return Err(DepburstError::CoreProtocol {
+                core: self.id.0,
+                detail: "finish_chunk on idle core",
+            });
+        };
         self.reserved = Some(running.thread);
-        running
+        Ok(running)
     }
 
     /// Releases the core entirely (thread blocked or exited).
@@ -151,7 +163,7 @@ mod tests {
         let running = core.running.expect("busy");
         assert_eq!(running.thread, ThreadId(5));
         assert!((running.finish_time().as_secs() - 10e-6).abs() < 1e-15);
-        let done = core.finish_chunk();
+        let done = core.finish_chunk().expect("chunk in flight");
         assert_eq!(done.thread, ThreadId(5));
         // Between chunks the core stays reserved for the thread.
         assert!(!core.is_idle());
@@ -159,6 +171,19 @@ mod tests {
         core.release();
         assert!(core.is_idle());
         assert!(core.generation > g1);
+    }
+
+    #[test]
+    fn finish_on_idle_core_is_a_protocol_error() {
+        let mut core = Core::new(CoreId(4));
+        let err = core.finish_chunk().expect_err("idle core");
+        assert_eq!(
+            err,
+            DepburstError::CoreProtocol {
+                core: 4,
+                detail: "finish_chunk on idle core",
+            }
+        );
     }
 
     #[test]

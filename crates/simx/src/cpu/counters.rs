@@ -192,6 +192,31 @@ mod tests {
     }
 
     #[test]
+    fn jittered_latencies_keep_estimates_bounded() {
+        // With DRAM jitter injected (crate::faults), miss latencies vary
+        // wildly; the estimators must stay non-negative and never exceed
+        // the wall-clock span they observed.
+        let mut rng = crate::faults::SplitMix64::new(77);
+        let mut crit = CritEstimator::new();
+        let mut ll = LeadingLoadsEstimator::new();
+        let mut issue = 0.0;
+        let mut last_done = 0.0f64;
+        for _ in 0..200 {
+            issue += rng.next_f64() * 80.0;
+            let latency = rng.next_f64() * 200.0;
+            let done = issue + latency;
+            crit.observe(t(issue), t(done));
+            ll.observe(t(issue), t(done));
+            last_done = last_done.max(done);
+        }
+        for estimate in [crit.non_scaling(), ll.non_scaling()] {
+            assert!(!estimate.is_negative());
+            assert!(estimate.as_nanos() <= last_done + 1e-9);
+        }
+        assert!(ll.non_scaling() <= crit.non_scaling());
+    }
+
+    #[test]
     fn degenerate_intervals_are_ignored() {
         let mut crit = CritEstimator::new();
         let mut ll = LeadingLoadsEstimator::new();

@@ -30,6 +30,7 @@
 pub mod config;
 pub mod cpu;
 pub mod engine;
+pub mod faults;
 pub mod mem;
 pub mod os;
 pub mod program;
@@ -39,6 +40,7 @@ mod stats;
 mod tracebuild;
 
 pub use config::MachineConfig;
+pub use faults::{FaultClass, FaultConfig, FaultInjector};
 pub use machine::{Machine, MachineError, RunOutcome};
 pub use program::{
     Action, FutexId, ProgContext, SpawnRequest, ThreadProgram, WaitOutcome, WorkItem,

@@ -10,6 +10,7 @@ use dvfs_trace::{
 use crate::config::MachineConfig;
 use crate::cpu::{ChunkEnv, Core, StoreQueue, WorkCursor};
 use crate::engine::{Event, EventQueue};
+use crate::faults::{FaultConfig, FaultInjector};
 use crate::mem::{Dram, MemoryHierarchy};
 use crate::os::{FutexTable, Scheduler, SleepKind, Thread, ThreadState};
 use crate::program::{Action, FutexId, SharedWord, SpawnRequest, WaitOutcome};
@@ -40,6 +41,14 @@ pub enum MachineError {
     DirtyTrace,
     /// An operation referenced a thread id that does not exist.
     UnknownThread(ThreadId),
+    /// The platform refused the frequency change (an injected
+    /// [`crate::faults::FaultClass::TransitionDenied`] fault — real
+    /// voltage regulators deny requests during settling). The machine
+    /// keeps running at its current frequency.
+    TransitionDenied {
+        /// When the request was denied.
+        at: Time,
+    },
 }
 
 impl fmt::Display for MachineError {
@@ -53,11 +62,29 @@ impl fmt::Display for MachineError {
                 "cannot change frequency with un-harvested trace epochs; call harvest_trace first"
             ),
             MachineError::UnknownThread(t) => write!(f, "unknown thread {t}"),
+            MachineError::TransitionDenied { at } => {
+                write!(f, "DVFS transition denied by the platform at {at}")
+            }
         }
     }
 }
 
 impl std::error::Error for MachineError {}
+
+impl From<MachineError> for depburst_core::DepburstError {
+    fn from(err: MachineError) -> Self {
+        match err {
+            MachineError::TransitionDenied { at } => {
+                depburst_core::DepburstError::TransitionDenied {
+                    at_secs: at.as_secs(),
+                }
+            }
+            other => depburst_core::DepburstError::Machine {
+                detail: other.to_string(),
+            },
+        }
+    }
+}
 
 /// The simulated machine. See the crate docs for the modelling approach.
 pub struct Machine {
@@ -85,7 +112,10 @@ pub struct Machine {
     futex_wakes: u64,
     preemptions: u64,
     dvfs_transitions: u64,
+    transitions_denied: u64,
     epochs_harvested: usize,
+    /// Injects deterministic faults between the machine and its observers.
+    faults: Option<FaultInjector>,
 }
 
 impl fmt::Debug for Machine {
@@ -129,8 +159,26 @@ impl Machine {
             futex_wakes: 0,
             preemptions: 0,
             dvfs_transitions: 0,
+            transitions_denied: 0,
             epochs_harvested: 0,
+            faults: None,
         }
+    }
+
+    /// Installs a fault injector (see [`crate::faults`]). All subsequent
+    /// harvests, frequency changes and DRAM reads are subject to the
+    /// configured fault classes. Installing a configuration where
+    /// [`FaultConfig::is_inert`] holds leaves the machine's observable
+    /// behaviour bit-identical to an un-instrumented run.
+    pub fn install_faults(&mut self, config: FaultConfig) {
+        self.dram.set_jitter(config.dram_jitter, config.seed);
+        self.faults = Some(FaultInjector::new(config));
+    }
+
+    /// The installed fault configuration, if any.
+    #[must_use]
+    pub fn fault_config(&self) -> Option<&FaultConfig> {
+        self.faults.as_ref().map(FaultInjector::config)
     }
 
     /// Current simulated time.
@@ -215,7 +263,9 @@ impl Machine {
     ///
     /// # Errors
     /// Returns [`MachineError::DirtyTrace`] if trace epochs recorded at the
-    /// old frequency have not been harvested.
+    /// old frequency have not been harvested, or
+    /// [`MachineError::TransitionDenied`] if an injected fault refuses the
+    /// change (the machine keeps its current frequency).
     pub fn set_frequency(&mut self, freq: Freq) -> Result<(), MachineError> {
         if self.freqs.iter().all(|&f| f == freq) {
             return Ok(());
@@ -223,8 +273,15 @@ impl Machine {
         if !self.tracer.clean_at(self.now) {
             return Err(MachineError::DirtyTrace);
         }
+        if let Some(inj) = &mut self.faults {
+            if inj.transition_denied() {
+                self.transitions_denied += 1;
+                return Err(MachineError::TransitionDenied { at: self.now });
+            }
+        }
+        let stall = self.transition_stall();
         for c in 0..self.cores.len() {
-            self.retime_core(c, freq);
+            self.retime_core(c, freq, stall);
         }
         self.dvfs_transitions += 1;
         Ok(())
@@ -238,7 +295,9 @@ impl Machine {
     ///
     /// # Errors
     /// Returns [`MachineError::DirtyTrace`] if trace epochs recorded at
-    /// the old frequencies have not been harvested.
+    /// the old frequencies have not been harvested, or
+    /// [`MachineError::TransitionDenied`] if an injected fault refuses the
+    /// change.
     pub fn set_core_frequency(
         &mut self,
         core: dvfs_trace::CoreId,
@@ -251,17 +310,33 @@ impl Machine {
         if !self.tracer.clean_at(self.now) {
             return Err(MachineError::DirtyTrace);
         }
-        self.retime_core(c, freq);
+        if let Some(inj) = &mut self.faults {
+            if inj.transition_denied() {
+                self.transitions_denied += 1;
+                return Err(MachineError::TransitionDenied { at: self.now });
+            }
+        }
+        let stall = self.transition_stall();
+        self.retime_core(c, freq, stall);
         self.dvfs_transitions += 1;
         Ok(())
     }
 
+    /// The DVFS transition stall for the next transition: the configured
+    /// latency, possibly stretched by an injected fault.
+    fn transition_stall(&mut self) -> TimeDelta {
+        let nominal = self.config.dvfs_transition;
+        match &mut self.faults {
+            Some(inj) => inj.transition_stall(nominal),
+            None => nominal,
+        }
+    }
+
     /// Applies a frequency change to one core: interrupt, re-time, restart
     /// after the transition stall.
-    fn retime_core(&mut self, c: usize, freq: Freq) {
+    fn retime_core(&mut self, c: usize, freq: Freq, stall: TimeDelta) {
         let ratio = self.freqs[c].scaling_ratio_to(freq);
         self.freqs[c] = freq;
-        let stall = self.config.dvfs_transition;
         let Some((tid, done, rest)) = self.cores[c].interrupt(self.now) else {
             return;
         };
@@ -281,7 +356,9 @@ impl Machine {
 
     /// Closes the current trace segment and returns it. The segment covers
     /// everything since the previous harvest (or machine start) and was
-    /// measured entirely at one frequency.
+    /// measured entirely at one frequency. With a fault injector installed,
+    /// the returned segment is what the (unreliable) measurement path
+    /// delivers — the machine's internal state is unaffected.
     pub fn harvest_trace(&mut self) -> ExecutionTrace {
         let threads = &self.threads;
         let cores = &self.cores;
@@ -290,7 +367,10 @@ impl Machine {
             .tracer
             .harvest(self.now, base, |tid| cumulative(threads, cores, self.now, tid));
         self.epochs_harvested += trace.epochs.len();
-        trace
+        match &mut self.faults {
+            Some(inj) => inj.filter_harvest(trace),
+            None => trace,
+        }
     }
 
     /// Aggregate statistics so far.
@@ -319,6 +399,7 @@ impl Machine {
             futex_wakes: self.futex_wakes,
             preemptions: self.preemptions,
             dvfs_transitions: self.dvfs_transitions,
+            transitions_denied: self.transitions_denied,
         }
     }
 
@@ -351,7 +432,9 @@ impl Machine {
                 if self.cores[c].generation != generation || self.cores[c].is_idle() {
                     return;
                 }
-                let running = self.cores[c].finish_chunk();
+                let Ok(running) = self.cores[c].finish_chunk() else {
+                    return; // stale event for an idle core: nothing to commit
+                };
                 self.core_busy[c] += running.chunk.duration;
                 self.threads[running.thread.index()].counters += running.chunk.counters;
                 self.continue_thread(running.thread);

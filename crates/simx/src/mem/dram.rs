@@ -14,6 +14,17 @@
 use dvfs_trace::{Time, TimeDelta};
 
 use crate::config::DramConfig;
+use crate::faults::{SplitMix64, DRAM_SALT};
+
+/// Injected read-latency perturbation (see [`crate::faults`]): models a
+/// memory subsystem whose service latency is less predictable than the
+/// banked model alone — thermal throttling, refresh storms, shared-bus
+/// interference from devices outside the simulated chip.
+#[derive(Debug, Clone)]
+struct LatencyJitter {
+    amplitude: f64,
+    rng: SplitMix64,
+}
 
 /// Aggregate DRAM statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -41,6 +52,7 @@ pub struct Dram {
     /// Time at which the shared write-drain path becomes free.
     write_free: Time,
     stats: DramStats,
+    jitter: Option<LatencyJitter>,
 }
 
 impl Dram {
@@ -54,7 +66,18 @@ impl Dram {
             open_row: vec![u64::MAX; banks],
             write_free: Time::ZERO,
             stats: DramStats::default(),
+            jitter: None,
         }
+    }
+
+    /// Enables (`amplitude > 0`) or disables deterministic read-latency
+    /// jitter. This perturbs the *ground truth* the predictors must track,
+    /// not just what they observe.
+    pub fn set_jitter(&mut self, amplitude: f64, seed: u64) {
+        self.jitter = (amplitude > 0.0).then(|| LatencyJitter {
+            amplitude: amplitude.clamp(0.0, 1.0),
+            rng: SplitMix64::new(seed ^ DRAM_SALT),
+        });
     }
 
     fn bank_and_row(&self, line_addr: u64) -> (usize, u64) {
@@ -107,7 +130,10 @@ impl Dram {
         self.bank_free[bank] = done;
         self.open_row[bank] = row;
 
-        let latency = self.config.controller_overhead + done.since(now);
+        let mut latency = self.config.controller_overhead + done.since(now);
+        if let Some(j) = &mut self.jitter {
+            latency = (latency * (1.0 + j.amplitude * j.rng.next_signed())).clamp_non_negative();
+        }
         self.stats.reads += 1;
         if row_hit {
             self.stats.read_row_hits += 1;
@@ -217,6 +243,25 @@ mod tests {
             .dram
             .write_line_service;
         assert!((done2.since(Time::ZERO).as_secs() - 20.0 * per_line.as_secs()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jitter_perturbs_latency_deterministically() {
+        let quiet = dram().read(Time::ZERO, 0);
+        let mut a = dram();
+        a.set_jitter(0.5, 11);
+        let mut b = dram();
+        b.set_jitter(0.5, 11);
+        let la = a.read(Time::ZERO, 0);
+        let lb = b.read(Time::ZERO, 0);
+        assert_eq!(la, lb, "same seed must give the same perturbation");
+        assert_ne!(la, quiet, "amplitude 0.5 must move the latency");
+        assert!(!la.is_negative());
+        // Disabling restores the nominal path.
+        let mut c = dram();
+        c.set_jitter(0.5, 11);
+        c.set_jitter(0.0, 11);
+        assert_eq!(c.read(Time::ZERO, 0), quiet);
     }
 
     #[test]

@@ -27,6 +27,8 @@ pub struct RunStats {
     pub preemptions: u64,
     /// DVFS transitions applied.
     pub dvfs_transitions: u64,
+    /// DVFS transitions refused by an injected fault.
+    pub transitions_denied: u64,
 }
 
 impl RunStats {

@@ -52,18 +52,23 @@ impl DvfsCounters {
 
     /// The delta `self - earlier`, used to attribute counter increments to a
     /// synchronization epoch.
+    ///
+    /// Counters are monotone on a correctly ordered pair of snapshots; an
+    /// out-of-order harvest (a delayed sample on real hardware) would
+    /// otherwise underflow the `u64` event counts and produce negative
+    /// time deltas, so every field saturates at zero instead.
     #[must_use]
     pub fn delta_since(&self, earlier: &DvfsCounters) -> DvfsCounters {
         DvfsCounters {
-            active: self.active - earlier.active,
-            crit: self.crit - earlier.crit,
-            leading_loads: self.leading_loads - earlier.leading_loads,
-            stall: self.stall - earlier.stall,
-            sq_full: self.sq_full - earlier.sq_full,
-            instructions: self.instructions - earlier.instructions,
-            loads: self.loads - earlier.loads,
-            stores: self.stores - earlier.stores,
-            llc_misses: self.llc_misses - earlier.llc_misses,
+            active: (self.active - earlier.active).clamp_non_negative(),
+            crit: (self.crit - earlier.crit).clamp_non_negative(),
+            leading_loads: (self.leading_loads - earlier.leading_loads).clamp_non_negative(),
+            stall: (self.stall - earlier.stall).clamp_non_negative(),
+            sq_full: (self.sq_full - earlier.sq_full).clamp_non_negative(),
+            instructions: self.instructions.saturating_sub(earlier.instructions),
+            loads: self.loads.saturating_sub(earlier.loads),
+            stores: self.stores.saturating_sub(earlier.stores),
+            llc_misses: self.llc_misses.saturating_sub(earlier.llc_misses),
         }
     }
 
@@ -142,6 +147,19 @@ mod tests {
         assert!((d.sq_full.as_micros() - 1.0).abs() < 1e-9);
         assert_eq!(d.instructions, 1000);
         assert_eq!(d.llc_misses, 10);
+    }
+
+    #[test]
+    fn delta_since_saturates_on_out_of_order_snapshots() {
+        let later = sample(2.0);
+        let earlier = sample(1.0);
+        // Arguments swapped: a correctly ordered pair in reverse.
+        let d = earlier.delta_since(&later);
+        assert_eq!(d.instructions, 0);
+        assert_eq!(d.loads, 0);
+        assert_eq!(d.active, TimeDelta::ZERO);
+        assert_eq!(d.crit, TimeDelta::ZERO);
+        assert!(!d.active.is_negative());
     }
 
     #[test]

@@ -303,6 +303,14 @@ impl fmt::Display for TraceError {
 
 impl std::error::Error for TraceError {}
 
+impl From<TraceError> for depburst_core::DepburstError {
+    fn from(err: TraceError) -> Self {
+        depburst_core::DepburstError::Trace {
+            detail: err.to_string(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -15,4 +15,5 @@ echo "== fig6 =="     && $BIN/fig6 "" $SCALE         > results/fig6.txt   2>resu
 echo "== fig7 =="     && $BIN/fig7 10 $SCALE 1 250   > results/fig7.txt   2>results/fig7.log
 echo "== ablation ==" && $BIN/ablation $SCALE        > results/ablation.txt 2>results/ablation.log
 echo "== percore =="  && $BIN/percore $SCALE         > results/percore.txt 2>results/percore.log
+echo "== faults =="   && $BIN/faults $SCALE $SEEDS   > results/faults.txt  2>results/faults.log
 echo "all experiments complete"

@@ -1,0 +1,16 @@
+#!/bin/bash
+# Local CI gate: release build, full test suite, clippy with warnings
+# denied. Run from anywhere; operates on the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (release) =="
+cargo build --release
+
+echo "== test =="
+cargo test -q --workspace
+
+echo "== clippy (-D warnings) =="
+cargo clippy --all-targets -- -D warnings
+
+echo "ci: all green"

@@ -46,7 +46,7 @@ impl WorkSource for FuzzSource {
                 accesses: self.rng.gen_range(16..2_000),
                 pattern: AccessPattern::Random {
                     base: 1 << 40,
-                    working_set: 1 << self.rng.gen_range(14..27),
+                    working_set: 1u64 << self.rng.gen_range(14..27),
                 },
                 mlp: self.rng.gen_range(1.0..8.0),
                 compute_per_access: self.rng.gen_range(0.0..8.0),

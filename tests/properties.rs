@@ -227,6 +227,121 @@ proptest! {
     }
 }
 
+// The hardened energy manager under fault injection: whatever single
+// fault class fires at whatever intensity, the run completes, every
+// frequency it ever occupies is on the power model's ladder, and the
+// report stays physically sane.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+    #[test]
+    fn hardened_manager_survives_any_fault_class(
+        seed in 0u64..1000,
+        class_sel in 0usize..7,
+        intensity in 0.1..=1.0f64,
+    ) {
+        use energyx::{EnergyManager, ManagerConfig};
+        use simx::program::ScriptProgram;
+        use simx::{
+            Action, FaultClass, FaultConfig, Machine, MachineConfig, SpawnRequest, WorkItem,
+        };
+
+        let mut mc = MachineConfig::haswell_quad();
+        mc.initial_freq = Freq::from_ghz(4.0);
+        let mut machine = Machine::new(mc);
+        machine.spawn(SpawnRequest::new(
+            "app",
+            ThreadRole::Application,
+            Box::new(ScriptProgram::new(vec![Action::Work(WorkItem::Compute {
+                instructions: 200_000_000,
+                ipc: 2.0,
+            })])),
+        ));
+        let class = FaultClass::ALL[class_sel];
+        machine.install_faults(FaultConfig::single(class, intensity, seed));
+        let manager = EnergyManager::new(
+            ManagerConfig::hardened(0.10),
+            Box::new(Dep::dep_burst()),
+        );
+        let report = manager.run(&mut machine).expect("hardened run completes");
+        let ladder = *manager.config().power.vf().ladder();
+        for (f, t) in &report.freq_time {
+            prop_assert!(ladder.contains(*f), "{} occupied {f}, outside the ladder", class.name());
+            prop_assert!(t.as_secs() >= 0.0);
+        }
+        prop_assert!(report.exec.as_secs() > 0.0);
+        prop_assert!(report.true_energy_j > 0.0);
+        prop_assert!(report.true_energy_j.is_finite());
+        prop_assert!(report.decisions > 0);
+    }
+
+    /// Recovery: a predictor that returns garbage for the first part of
+    /// the run (a fault burst) and honest values afterwards must drive the
+    /// hardened manager through fallback *and back out*: the healed phase
+    /// scales below the maximum frequency again.
+    #[test]
+    fn hardened_manager_recovers_after_fault_bursts(burst_quanta in 3u32..10) {
+        use energyx::{EnergyManager, ManagerConfig};
+        use simx::program::ScriptProgram;
+        use simx::{Action, Machine, MachineConfig, SpawnRequest, WorkItem};
+
+        /// Predicts nothing (counters lost) before `heal_at`, perfectly after.
+        #[derive(Debug)]
+        struct BurstyPredictor {
+            heal_at: f64,
+        }
+        impl DvfsPredictor for BurstyPredictor {
+            fn predict(&self, trace: &ExecutionTrace, target: Freq) -> TimeDelta {
+                if trace.start.as_secs() < self.heal_at {
+                    TimeDelta::ZERO
+                } else {
+                    trace.total * trace.base.scaling_ratio_to(target)
+                }
+            }
+            fn name(&self) -> String {
+                "BURSTY".into()
+            }
+        }
+
+        let quantum_secs = 0.005;
+        let mut mc = MachineConfig::haswell_quad();
+        mc.initial_freq = Freq::from_ghz(4.0);
+        let mut machine = Machine::new(mc);
+        machine.spawn(SpawnRequest::new(
+            "app",
+            ThreadRole::Application,
+            Box::new(ScriptProgram::new(vec![Action::Work(WorkItem::Compute {
+                instructions: 2_000_000_000,
+                ipc: 2.0,
+            })])),
+        ));
+        let manager = EnergyManager::new(
+            ManagerConfig::hardened(0.10),
+            Box::new(BurstyPredictor {
+                heal_at: f64::from(burst_quanta) * quantum_secs + quantum_secs / 2.0,
+            }),
+        );
+        let report = manager.run(&mut machine).expect("bursty run completes");
+        prop_assert!(
+            report.fallback_engagements >= 1,
+            "a {burst_quanta}-quantum burst must engage the fallback"
+        );
+        prop_assert!(report.mispredicted_quanta >= u64::from(burst_quanta) - 1);
+        // Recovery: after the burst the manager scales down again.
+        let below_max: f64 = report
+            .freq_time
+            .iter()
+            .filter(|(f, _)| *f < Freq::from_ghz(3.9))
+            .map(|(_, t)| t.as_secs())
+            .sum();
+        prop_assert!(
+            below_max > 0.0,
+            "healed phase must re-engage scaling (freq residency: {:?})",
+            report.freq_time
+        );
+        prop_assert!(report.mean_ghz() < 4.0);
+    }
+}
+
 // Chunk split/retime conservation under arbitrary fractions and ratios.
 proptest! {
     #[test]

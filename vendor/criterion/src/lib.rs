@@ -1,0 +1,163 @@
+//! Offline shim for `criterion`.
+//!
+//! Keeps the bench-authoring API (`criterion_group!`, `criterion_main!`,
+//! `Criterion::benchmark_group`, `Bencher::iter`/`iter_batched`) but
+//! replaces the statistical engine with a plain wall-clock mean over
+//! `sample_size` iterations, printed to stdout. Good enough to keep
+//! `cargo bench` runnable offline; not a measurement-grade harness.
+
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortises setup (shim: always per-iteration).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Fresh setup for every routine call.
+    PerIteration,
+    /// Treated like `PerIteration` in the shim.
+    SmallInput,
+    /// Treated like `PerIteration` in the shim.
+    LargeInput,
+}
+
+/// The timing context passed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over the configured number of iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` with a fresh `setup` input per iteration; setup time
+    /// is excluded from the measurement.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+/// The top-level harness handle.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\n== {name} ==");
+        BenchmarkGroup { _parent: std::marker::PhantomData, sample_size: self.sample_size }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_bench(name, self.sample_size, f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    _parent: std::marker::PhantomData<&'a mut Criterion>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the iteration count for subsequent benches in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_bench(name, self.sample_size, f);
+        self
+    }
+
+    /// Ends the group (no-op in the shim; kept for API parity).
+    pub fn finish(self) {}
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, mut f: F) {
+    let mut b = Bencher { iters: sample_size.max(1) as u64, elapsed: Duration::ZERO };
+    f(&mut b);
+    let mean = b.elapsed / u32::try_from(b.iters).unwrap_or(u32::MAX);
+    println!("{name:<40} {mean:>12.3?} / iter  ({} iters)", b.iters);
+}
+
+/// Opaque-to-the-optimiser pass-through (alias of `std::hint::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Collects benchmark functions into one group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_routines() {
+        let mut c = Criterion::default();
+        let mut calls = 0u64;
+        {
+            let mut g = c.benchmark_group("shim");
+            g.sample_size(5);
+            g.bench_function("count", |b| b.iter(|| calls += 1));
+            g.finish();
+        }
+        assert_eq!(calls, 5);
+    }
+
+    #[test]
+    fn iter_batched_sets_up_per_iteration() {
+        let mut c = Criterion::default();
+        let mut setups = 0u64;
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| setups += 1, |()| (), BatchSize::PerIteration);
+        });
+        assert_eq!(setups, 20);
+    }
+}

@@ -1,0 +1,338 @@
+//! Offline shim for the `serde` facade.
+//!
+//! The build environment for this repository has no access to crates.io, so
+//! the workspace patches `serde` with this minimal self-describing
+//! implementation (see `vendor/README.md`). It supports exactly what the
+//! repository uses: `#[derive(Serialize, Deserialize)]` on plain structs and
+//! enums (no generics, no serde attributes), driven through a [`Value`]
+//! data model that `serde_json` (also shimmed) renders to and parses from
+//! JSON.
+//!
+//! The API is intentionally a tiny subset of real serde; it is NOT a
+//! general-purpose replacement.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The self-describing data model every shimmed (de)serializer goes
+/// through. Maps preserve insertion order so emitted JSON is stable.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null` / Rust `Option::None` / unit.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// An unsigned integer (kept exact; not round-tripped through f64).
+    U64(u64),
+    /// A signed integer.
+    I64(i64),
+    /// A floating-point number.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// A sequence.
+    Seq(Vec<Value>),
+    /// A map with string keys, in insertion order.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a key in a [`Value::Map`].
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+/// Deserialization failure: what was expected and what was found.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError {
+    /// Human-readable description of the mismatch.
+    pub message: String,
+}
+
+impl DeError {
+    /// Creates an error from anything displayable.
+    #[must_use]
+    pub fn new(message: impl Into<String>) -> Self {
+        DeError { message: message.into() }
+    }
+}
+
+impl core::fmt::Display for DeError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "deserialization error: {}", self.message)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Conversion into the shim data model (the shim's `serde::Serialize`).
+pub trait Serialize {
+    /// Renders `self` as a [`Value`].
+    fn to_value(&self) -> Value;
+}
+
+/// Conversion from the shim data model (the shim's `serde::Deserialize`).
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a [`Value`].
+    ///
+    /// # Errors
+    /// Returns [`DeError`] when the value's shape does not match `Self`.
+    fn from_value(value: &Value) -> Result<Self, DeError>;
+}
+
+// ----- primitive impls ------------------------------------------------
+
+macro_rules! ser_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::U64(u64::from(*self)) }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                match value {
+                    Value::U64(n) => <$t>::try_from(*n)
+                        .map_err(|_| DeError::new(concat!("integer out of range for ", stringify!($t)))),
+                    Value::I64(n) => <$t>::try_from(*n)
+                        .map_err(|_| DeError::new(concat!("integer out of range for ", stringify!($t)))),
+                    other => Err(DeError::new(format!(
+                        concat!("expected ", stringify!($t), ", found {:?}"), other))),
+                }
+            }
+        }
+    )*};
+}
+
+ser_unsigned!(u8, u16, u32, u64);
+
+macro_rules! ser_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::I64(i64::from(*self)) }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                match value {
+                    Value::I64(n) => <$t>::try_from(*n)
+                        .map_err(|_| DeError::new(concat!("integer out of range for ", stringify!($t)))),
+                    Value::U64(n) => i64::try_from(*n)
+                        .ok()
+                        .and_then(|n| <$t>::try_from(n).ok())
+                        .ok_or_else(|| DeError::new(concat!("integer out of range for ", stringify!($t)))),
+                    other => Err(DeError::new(format!(
+                        concat!("expected ", stringify!($t), ", found {:?}"), other))),
+                }
+            }
+        }
+    )*};
+}
+
+ser_signed!(i8, i16, i32, i64);
+
+impl Serialize for usize {
+    fn to_value(&self) -> Value {
+        Value::U64(*self as u64)
+    }
+}
+
+impl Deserialize for usize {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        u64::from_value(value).and_then(|n| {
+            usize::try_from(n).map_err(|_| DeError::new("integer out of range for usize"))
+        })
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::F64(x) => Ok(*x),
+            Value::U64(n) => Ok(*n as f64),
+            Value::I64(n) => Ok(*n as f64),
+            other => Err(DeError::new(format!("expected f64, found {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        f64::from_value(value).map(|x| x as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::new(format!("expected bool, found {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::new(format!("expected string, found {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            other => Err(DeError::new(format!("expected sequence, found {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+macro_rules! ser_tuple {
+    ($(($($name:ident : $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                match value {
+                    Value::Seq(items) => Ok(($($name::from_value(
+                        items.get($idx).ok_or_else(|| DeError::new("tuple too short"))?,
+                    )?,)+)),
+                    other => Err(DeError::new(format!("expected tuple, found {other:?}"))),
+                }
+            }
+        }
+    )+};
+}
+
+ser_tuple!(
+    (A: 0),
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3),
+);
+
+// ----- helpers used by generated derive code --------------------------
+
+/// Fetches and deserializes a named field from a map's entries
+/// (derive-generated `Deserialize` impls call this).
+///
+/// # Errors
+/// Returns [`DeError`] when the field is absent or has the wrong shape.
+pub fn de_field<T: Deserialize>(entries: &[(String, Value)], name: &str) -> Result<T, DeError> {
+    match entries.iter().find(|(k, _)| k == name) {
+        Some((_, v)) => T::from_value(v),
+        None => Err(DeError::new(format!("missing field `{name}`"))),
+    }
+}
+
+/// Fetches and deserializes a positional element from a sequence
+/// (derive-generated `Deserialize` impls for tuple structs call this).
+///
+/// # Errors
+/// Returns [`DeError`] when the element is absent or has the wrong shape.
+pub fn de_index<T: Deserialize>(items: &[Value], index: usize) -> Result<T, DeError> {
+    match items.get(index) {
+        Some(v) => T::from_value(v),
+        None => Err(DeError::new(format!("missing tuple element {index}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(u64::from_value(&42u64.to_value()), Ok(42));
+        assert_eq!(i64::from_value(&(-3i64).to_value()), Ok(-3));
+        assert_eq!(bool::from_value(&true.to_value()), Ok(true));
+        assert_eq!(f64::from_value(&1.5f64.to_value()), Ok(1.5));
+        assert_eq!(
+            String::from_value(&"hi".to_owned().to_value()),
+            Ok("hi".to_owned())
+        );
+        assert_eq!(Option::<u32>::from_value(&Value::Null), Ok(None));
+        assert_eq!(Vec::<u32>::from_value(&vec![1u32, 2].to_value()), Ok(vec![1, 2]));
+    }
+
+    #[test]
+    fn map_lookup() {
+        let v = Value::Map(vec![("a".into(), Value::U64(1))]);
+        assert_eq!(v.get("a"), Some(&Value::U64(1)));
+        assert_eq!(v.get("b"), None);
+        assert_eq!(de_field::<u64>(&[("a".into(), Value::U64(1))], "a"), Ok(1));
+        assert!(de_field::<u64>(&[], "a").is_err());
+    }
+}

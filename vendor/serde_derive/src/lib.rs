@@ -1,0 +1,454 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! offline `serde` shim.
+//!
+//! No syn/quote: a small token walker parses the item declaration and the
+//! impls are generated as source text against the shim's `Value` data
+//! model. Supports exactly the shapes this workspace uses — structs with
+//! named fields, tuple structs, unit structs, and enums whose variants are
+//! unit, tuple, or struct-like. Generic items and `#[serde(...)]`
+//! attributes are NOT supported and panic at expansion time.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The fields a struct or enum variant carries.
+enum Fields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+/// A parsed `struct` or `enum` declaration.
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<(String, Fields)>,
+    },
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    gen_serialize(&parse_item(input))
+        .parse()
+        .expect("derive(Serialize): generated impl must parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    gen_deserialize(&parse_item(input))
+        .parse()
+        .expect("derive(Deserialize): generated impl must parse")
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens = input.into_iter().peekable();
+    while let Some(tt) = tokens.next() {
+        match tt {
+            // `#[attr]` / doc comment: skip the `#` and the bracket group.
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                tokens.next();
+            }
+            TokenTree::Ident(id) => match id.to_string().as_str() {
+                "pub" => {
+                    let restriction = matches!(
+                        tokens.peek(),
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                    );
+                    if restriction {
+                        tokens.next();
+                    }
+                }
+                "struct" => return parse_struct(&mut tokens),
+                "enum" => return parse_enum(&mut tokens),
+                other => panic!("serde shim derive: unsupported item keyword `{other}`"),
+            },
+            _ => {}
+        }
+    }
+    panic!("serde shim derive: no struct or enum found in input")
+}
+
+fn expect_ident(tokens: &mut impl Iterator<Item = TokenTree>) -> String {
+    match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected identifier, found {other:?}"),
+    }
+}
+
+fn parse_struct(tokens: &mut impl Iterator<Item = TokenTree>) -> Item {
+    let name = expect_ident(tokens);
+    let fields = match tokens.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            Fields::Named(named_fields(g.stream()))
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            Fields::Tuple(count_tuple_fields(g.stream()))
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+        other => panic!(
+            "serde shim derive: unsupported shape after `struct {name}` \
+             (generics are not supported): {other:?}"
+        ),
+    };
+    Item::Struct { name, fields }
+}
+
+fn parse_enum(tokens: &mut impl Iterator<Item = TokenTree>) -> Item {
+    let name = expect_ident(tokens);
+    let body = match tokens.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => panic!(
+            "serde shim derive: expected body after `enum {name}` \
+             (generics are not supported): {other:?}"
+        ),
+    };
+    let mut variants = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut tokens);
+        let Some(tt) = tokens.next() else { break };
+        let TokenTree::Ident(id) = tt else {
+            panic!("serde shim derive: expected variant name in `{name}`, found {tt:?}")
+        };
+        let delim = match tokens.peek() {
+            Some(TokenTree::Group(g)) => Some(g.delimiter()),
+            _ => None,
+        };
+        let fields = match delim {
+            Some(Delimiter::Parenthesis) => {
+                let Some(TokenTree::Group(g)) = tokens.next() else { unreachable!() };
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(Delimiter::Brace) => {
+                let Some(TokenTree::Group(g)) = tokens.next() else { unreachable!() };
+                Fields::Named(named_fields(g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        variants.push((id.to_string(), fields));
+        let comma = matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ',');
+        if comma {
+            tokens.next();
+        }
+    }
+    Item::Enum { name, variants }
+}
+
+fn skip_attrs_and_vis(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    loop {
+        let is_attr = matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#');
+        if is_attr {
+            tokens.next(); // `#`
+            tokens.next(); // `[...]`
+            continue;
+        }
+        let is_pub = matches!(tokens.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub");
+        if is_pub {
+            tokens.next();
+            let restriction = matches!(
+                tokens.peek(),
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+            );
+            if restriction {
+                tokens.next();
+            }
+            continue;
+        }
+        break;
+    }
+}
+
+/// Parses `name: Type, ...` field lists, returning the field names. Type
+/// tokens are skipped up to a comma at angle-bracket depth zero (commas
+/// inside parens/brackets live in nested groups and never surface here).
+fn named_fields(stream: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut tokens);
+        let Some(tt) = tokens.next() else { break };
+        let TokenTree::Ident(id) = tt else {
+            panic!("serde shim derive: expected field name, found {tt:?}")
+        };
+        let field = id.to_string();
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => {
+                panic!("serde shim derive: expected `:` after field `{field}`, found {other:?}")
+            }
+        }
+        fields.push(field);
+        let mut depth = 0i32;
+        let mut prev = ' ';
+        for tt in tokens.by_ref() {
+            if let TokenTree::Punct(p) = &tt {
+                let c = p.as_char();
+                match c {
+                    '<' => depth += 1,
+                    // `->` in an fn-pointer type must not close a generic.
+                    '>' if prev != '-' => depth -= 1,
+                    ',' if depth == 0 => break,
+                    _ => {}
+                }
+                prev = c;
+            } else {
+                prev = ' ';
+            }
+        }
+    }
+    fields
+}
+
+/// Counts the fields of a tuple struct / tuple variant by counting commas
+/// at angle-bracket depth zero.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut count = 0usize;
+    let mut depth = 0i32;
+    let mut prev = ' ';
+    let mut in_segment = false;
+    for tt in stream {
+        if let TokenTree::Punct(p) = &tt {
+            let c = p.as_char();
+            match c {
+                '<' => depth += 1,
+                '>' if prev != '-' => depth -= 1,
+                ',' if depth == 0 => {
+                    if in_segment {
+                        count += 1;
+                    }
+                    in_segment = false;
+                    prev = c;
+                    continue;
+                }
+                _ => {}
+            }
+            prev = c;
+        } else {
+            prev = ' ';
+        }
+        in_segment = true;
+    }
+    if in_segment {
+        count += 1;
+    }
+    count
+}
+
+// ------------------------------------------------------------- generation
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => "::serde::Value::Null".to_string(),
+                Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+                Fields::Tuple(n) => {
+                    let items = (0..*n)
+                        .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                        .collect::<Vec<_>>()
+                        .join(", ");
+                    format!("::serde::Value::Seq(vec![{items}])")
+                }
+                Fields::Named(fs) => {
+                    let entries = fs
+                        .iter()
+                        .map(|f| {
+                            format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}))")
+                        })
+                        .collect::<Vec<_>>()
+                        .join(", ");
+                    format!("::serde::Value::Map(vec![{entries}])")
+                }
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for (v, fields) in variants {
+                match fields {
+                    Fields::Unit => arms.push_str(&format!(
+                        "{name}::{v} => ::serde::Value::Str(\"{v}\".to_string()),\n"
+                    )),
+                    Fields::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{v}(f0) => ::serde::Value::Map(vec![(\"{v}\".to_string(), \
+                         ::serde::Serialize::to_value(f0))]),\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let pat = (0..*n).map(|i| format!("f{i}")).collect::<Vec<_>>().join(", ");
+                        let items = (0..*n)
+                            .map(|i| format!("::serde::Serialize::to_value(f{i})"))
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        arms.push_str(&format!(
+                            "{name}::{v}({pat}) => ::serde::Value::Map(vec![(\"{v}\".to_string(), \
+                             ::serde::Value::Seq(vec![{items}]))]),\n"
+                        ));
+                    }
+                    Fields::Named(fs) => {
+                        let pat = fs.join(", ");
+                        let entries = fs
+                            .iter()
+                            .map(|f| {
+                                format!("(\"{f}\".to_string(), ::serde::Serialize::to_value({f}))")
+                            })
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        arms.push_str(&format!(
+                            "{name}::{v} {{ {pat} }} => ::serde::Value::Map(vec![\
+                             (\"{v}\".to_string(), ::serde::Value::Map(vec![{entries}]))]),\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{ match self {{ {arms} }} }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => format!(
+                    "match value {{\n\
+                         ::serde::Value::Null => Ok({name}),\n\
+                         other => Err(::serde::DeError::new(format!(\
+                             \"expected null for {name}, found {{other:?}}\"))),\n\
+                     }}"
+                ),
+                Fields::Tuple(1) => {
+                    format!("Ok({name}(::serde::Deserialize::from_value(value)?))")
+                }
+                Fields::Tuple(n) => {
+                    let args = (0..*n)
+                        .map(|i| format!("::serde::de_index(items, {i})?"))
+                        .collect::<Vec<_>>()
+                        .join(", ");
+                    format!(
+                        "match value {{\n\
+                             ::serde::Value::Seq(items) => Ok({name}({args})),\n\
+                             other => Err(::serde::DeError::new(format!(\
+                                 \"expected sequence for {name}, found {{other:?}}\"))),\n\
+                         }}"
+                    )
+                }
+                Fields::Named(fs) => {
+                    let args = fs
+                        .iter()
+                        .map(|f| format!("{f}: ::serde::de_field(entries, \"{f}\")?"))
+                        .collect::<Vec<_>>()
+                        .join(", ");
+                    format!(
+                        "match value {{\n\
+                             ::serde::Value::Map(entries) => Ok({name} {{ {args} }}),\n\
+                             other => Err(::serde::DeError::new(format!(\
+                                 \"expected map for {name}, found {{other:?}}\"))),\n\
+                         }}"
+                    )
+                }
+            };
+            (name, body)
+        }
+        Item::Enum { name, variants } => {
+            let unit: Vec<&String> = variants
+                .iter()
+                .filter(|(_, f)| matches!(f, Fields::Unit))
+                .map(|(v, _)| v)
+                .collect();
+            let payload: Vec<&(String, Fields)> =
+                variants.iter().filter(|(_, f)| !matches!(f, Fields::Unit)).collect();
+            let mut arms = String::new();
+            if unit.is_empty() {
+                arms.push_str(&format!(
+                    "::serde::Value::Str(s) => Err(::serde::DeError::new(format!(\
+                     \"unknown variant `{{s}}` of {name}\"))),\n"
+                ));
+            } else {
+                let mut inner = String::new();
+                for v in &unit {
+                    inner.push_str(&format!("\"{v}\" => Ok({name}::{v}),\n"));
+                }
+                arms.push_str(&format!(
+                    "::serde::Value::Str(s) => match s.as_str() {{\n\
+                         {inner}\
+                         other => Err(::serde::DeError::new(format!(\
+                             \"unknown variant `{{other}}` of {name}\"))),\n\
+                     }},\n"
+                ));
+            }
+            if !payload.is_empty() {
+                let mut inner = String::new();
+                for (v, f) in &payload {
+                    match f {
+                        Fields::Tuple(1) => inner.push_str(&format!(
+                            "\"{v}\" => Ok({name}::{v}(::serde::Deserialize::from_value(payload)?)),\n"
+                        )),
+                        Fields::Tuple(n) => {
+                            let args = (0..*n)
+                                .map(|i| format!("::serde::de_index(items, {i})?"))
+                                .collect::<Vec<_>>()
+                                .join(", ");
+                            inner.push_str(&format!(
+                                "\"{v}\" => match payload {{\n\
+                                     ::serde::Value::Seq(items) => Ok({name}::{v}({args})),\n\
+                                     other => Err(::serde::DeError::new(format!(\
+                                         \"expected sequence for {name}::{v}, found {{other:?}}\"))),\n\
+                                 }},\n"
+                            ));
+                        }
+                        Fields::Named(fs) => {
+                            let args = fs
+                                .iter()
+                                .map(|f| format!("{f}: ::serde::de_field(fields, \"{f}\")?"))
+                                .collect::<Vec<_>>()
+                                .join(", ");
+                            inner.push_str(&format!(
+                                "\"{v}\" => match payload {{\n\
+                                     ::serde::Value::Map(fields) => Ok({name}::{v} {{ {args} }}),\n\
+                                     other => Err(::serde::DeError::new(format!(\
+                                         \"expected map for {name}::{v}, found {{other:?}}\"))),\n\
+                                 }},\n"
+                            ));
+                        }
+                        Fields::Unit => unreachable!(),
+                    }
+                }
+                arms.push_str(&format!(
+                    "::serde::Value::Map(entries) if entries.len() == 1 => {{\n\
+                         let (key, payload) = &entries[0];\n\
+                         match key.as_str() {{\n\
+                             {inner}\
+                             other => Err(::serde::DeError::new(format!(\
+                                 \"unknown variant `{{other}}` of {name}\"))),\n\
+                         }}\n\
+                     }},\n"
+                ));
+            }
+            arms.push_str(&format!(
+                "other => Err(::serde::DeError::new(format!(\
+                 \"expected variant of {name}, found {{other:?}}\"))),\n"
+            ));
+            (name, format!("match value {{ {arms} }}"))
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
