@@ -12,6 +12,8 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod stablehash;
+
 use core::fmt;
 
 /// A convenience alias for results carrying [`DepburstError`].

@@ -1,0 +1,40 @@
+//! Micro-benchmark: time deserializing a persisted cache envelope (or any
+//! `RunSummary` JSON) through the vendored serde_json shim.
+//!
+//! ```text
+//! cargo run --release -p harness --example parse_envelope -- <file.json> [summary]
+//! ```
+
+use std::time::Instant;
+
+use harness::run::RunSummary;
+use serde::Deserialize;
+
+#[derive(Deserialize)]
+struct Envelope {
+    schema: u32,
+    key: String,
+    summary: RunSummary,
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let path = args.next().expect("usage: parse_envelope <file.json> [summary]");
+    let as_summary = args.next().as_deref() == Some("summary");
+    let bytes = std::fs::read(&path).expect("read input");
+    let t0 = Instant::now();
+    let epochs = if as_summary {
+        let summary: RunSummary = serde_json::from_slice(&bytes).expect("parse summary");
+        summary.trace.epochs.len()
+    } else {
+        let envelope: Envelope = serde_json::from_slice(&bytes).expect("parse envelope");
+        assert!(!envelope.key.is_empty());
+        assert!(envelope.schema >= 1);
+        envelope.summary.trace.epochs.len()
+    };
+    println!(
+        "{path}: {} bytes, {epochs} epochs, parsed in {:.3}s",
+        bytes.len(),
+        t0.elapsed().as_secs_f64()
+    );
+}

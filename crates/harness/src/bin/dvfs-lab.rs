@@ -20,32 +20,24 @@ use std::process::ExitCode;
 
 use depburst::{Coop, CriticalityStack, Dep, DvfsPredictor, MCrit};
 use dvfs_trace::{ExecutionTrace, Freq, TraceSummary};
-use harness::{run_benchmark, RunConfig};
+use harness::cli::{self, CliResult};
+use harness::run::try_run_benchmark;
+use harness::{ExecCtx, RunConfig};
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let result = match args.first().map(String::as_str) {
+    cli::main_with(|ctx, args| match args.first().map(String::as_str) {
         Some("bench") => cmd_bench(),
         Some("run") => cmd_run(&args[1..]),
         Some("record") => cmd_record(&args[1..]),
         Some("predict") => cmd_predict(&args[1..]),
         Some("crit") => cmd_crit(&args[1..]),
-        Some("manage") => cmd_manage(&args[1..]),
+        Some("manage") => cmd_manage(ctx, &args[1..]),
         _ => {
             eprintln!("usage: dvfs-lab <bench|run|record|predict|crit|manage> ...");
             Err("unknown subcommand".into())
         }
-    };
-    match result {
-        Ok(()) => ExitCode::SUCCESS,
-        Err(e) => {
-            eprintln!("error: {e}");
-            ExitCode::FAILURE
-        }
-    }
+    })
 }
-
-type CliResult = Result<(), Box<dyn std::error::Error>>;
 
 fn cmd_bench() -> CliResult {
     println!("{:<14} {:<6} {:>8} {:>12} {:>10}", "name", "type", "heap", "exec@1GHz", "GC@1GHz");
@@ -76,7 +68,7 @@ fn parse_run_args(args: &[String]) -> Result<(&'static dacapo_sim::Benchmark, f6
 
 fn cmd_run(args: &[String]) -> CliResult {
     let (bench, ghz, scale) = parse_run_args(args)?;
-    let r = run_benchmark(bench, RunConfig::at_ghz(ghz).scaled(scale));
+    let r = try_run_benchmark(bench, RunConfig::at_ghz(ghz).scaled(scale))?;
     println!("{} at {ghz} GHz (scale {scale}):", bench.name);
     println!("  execution    {}", r.exec);
     println!("  GC time      {} ({} collections)", r.gc_time, r.gc_count);
@@ -105,7 +97,7 @@ fn cmd_record(args: &[String]) -> CliResult {
     let (bench, ghz, _) = parse_run_args(args)?;
     let out = args.get(2).ok_or("missing output path")?;
     let scale: f64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(0.1);
-    let r = run_benchmark(bench, RunConfig::at_ghz(ghz).scaled(scale));
+    let r = try_run_benchmark(bench, RunConfig::at_ghz(ghz).scaled(scale))?;
     fs::write(out, serde_json::to_vec(&r.trace)?)?;
     println!(
         "recorded {}: {} epochs over {} -> {out}",
@@ -172,7 +164,7 @@ fn cmd_crit(args: &[String]) -> CliResult {
     Ok(())
 }
 
-fn cmd_manage(args: &[String]) -> CliResult {
+fn cmd_manage(ctx: &ExecCtx, args: &[String]) -> CliResult {
     let name = args.first().ok_or("missing benchmark name")?;
     let bench = dacapo_sim::benchmark(name).ok_or_else(|| format!("unknown benchmark {name}"))?;
     let pct: f64 = args
@@ -181,7 +173,7 @@ fn cmd_manage(args: &[String]) -> CliResult {
         .parse()
         .map_err(|_| "threshold must be a number")?;
     let scale: f64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(0.1);
-    let row = harness::experiments::fig6::managed(bench, scale, 1, pct / 100.0);
+    let row = harness::experiments::fig6::managed_with(ctx, bench, scale, 1, pct / 100.0)?;
     println!(
         "{} under the manager at {pct}% tolerance: slowdown {:+.1}%, energy saved {:+.1}%, mean {:.2} GHz",
         bench.name,

@@ -1,28 +1,33 @@
 //! Runs the fault-injection sweep: predictor accuracy and hardened-manager
 //! degradation under each fault class × intensity.
 //!
-//! Usage: `cargo run --release -p harness --bin faults -- [scale] [seed] [threshold-percent]`
+//! Usage: `cargo run --release -p harness --bin faults -- [scale] [seed] [threshold-percent] [--jobs N]`
 
+use std::process::ExitCode;
+
+use harness::cli;
 use harness::experiments::faults;
 
-fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let scale: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(0.05);
-    let seed: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(1);
-    let threshold: f64 = args
-        .get(3)
-        .and_then(|s| s.parse::<f64>().ok())
-        .unwrap_or(10.0)
-        / 100.0;
-    let intensities = [0.1, 0.25, 0.5, 1.0];
-    eprintln!(
-        "fault sweep at scale {scale}, seed {seed}, threshold {:.0}%...",
-        threshold * 100.0
-    );
-    let rows = faults::collect(scale, seed, threshold, &intensities);
-    println!("{}", faults::render(&rows));
-    let json = serde_json::to_string_pretty(&rows).expect("json");
-    std::fs::create_dir_all("results").expect("create results/");
-    std::fs::write("results/faults.json", &json).expect("write results/faults.json");
-    eprintln!("wrote results/faults.json ({} rows)", rows.len());
+fn main() -> ExitCode {
+    cli::main_with(|ctx, args| {
+        let scale: f64 = args.first().and_then(|s| s.parse().ok()).unwrap_or(0.05);
+        let seed: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(1);
+        let threshold: f64 = args
+            .get(2)
+            .and_then(|s| s.parse::<f64>().ok())
+            .unwrap_or(10.0)
+            / 100.0;
+        let intensities = [0.1, 0.25, 0.5, 1.0];
+        eprintln!(
+            "fault sweep at scale {scale}, seed {seed}, threshold {:.0}%...",
+            threshold * 100.0
+        );
+        let rows = faults::collect_with(ctx, scale, seed, threshold, &intensities)?;
+        println!("{}", faults::render(&rows));
+        let json = serde_json::to_string_pretty(&rows)?;
+        std::fs::create_dir_all("results")?;
+        std::fs::write("results/faults.json", &json)?;
+        eprintln!("wrote results/faults.json ({} rows)", rows.len());
+        Ok(())
+    })
 }

@@ -1,16 +1,21 @@
 //! Regenerates Figure 1: M+CRIT vs DEP+BURST headline errors.
 //!
-//! Usage: `cargo run --release -p harness --bin fig1 -- [scale] [seeds]`
+//! Usage: `cargo run --release -p harness --bin fig1 -- [scale] [seeds] [--jobs N]`
 
+use std::process::ExitCode;
+
+use harness::cli;
 use harness::experiments::fig1;
 
-fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let scale: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(1.0);
-    let nseeds: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(1);
-    let seeds: Vec<u64> = (1..=nseeds as u64).collect();
-    eprintln!("fig 1: scale {scale}, {nseeds} seed(s)...");
-    let (rows, _cells) = fig1::run(scale, &seeds);
-    println!("{}", fig1::render(&rows));
-    println!("{}", serde_json::to_string_pretty(&rows).expect("json"));
+fn main() -> ExitCode {
+    cli::main_with(|ctx, args| {
+        let scale: f64 = args.first().and_then(|s| s.parse().ok()).unwrap_or(1.0);
+        let nseeds: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(1);
+        let seeds: Vec<u64> = (1..=nseeds as u64).collect();
+        eprintln!("fig 1: scale {scale}, {nseeds} seed(s)...");
+        let (rows, _cells) = fig1::run_with(ctx, scale, &seeds)?;
+        println!("{}", fig1::render(&rows));
+        println!("{}", serde_json::to_string_pretty(&rows)?);
+        Ok(())
+    })
 }

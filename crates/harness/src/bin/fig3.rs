@@ -1,31 +1,36 @@
 //! Regenerates Figure 3: per-benchmark prediction errors, both directions.
 //!
-//! Usage: `cargo run --release -p harness --bin fig3 -- [low-to-high|high-to-low|both] [scale] [seeds]`
+//! Usage: `cargo run --release -p harness --bin fig3 -- [low-to-high|high-to-low|both] [scale] [seeds] [--jobs N]`
 
-use harness::experiments::fig3::{collect, render, Direction};
+use std::process::ExitCode;
 
-fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let which = args.get(1).map(String::as_str).unwrap_or("both");
-    let scale: f64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(1.0);
-    let nseeds: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(1);
-    let seeds: Vec<u64> = (1..=nseeds as u64).collect();
-    let mut all = Vec::new();
-    if which != "high-to-low" {
-        eprintln!("fig 3(a): base 1 GHz, scale {scale}, {nseeds} seed(s)...");
-        let cells = collect(Direction::LowToHigh, scale, &seeds);
-        for t in [2.0, 3.0, 4.0] {
-            println!("{}", render(&cells, t));
+use harness::cli;
+use harness::experiments::fig3::{collect_with, render, Direction};
+
+fn main() -> ExitCode {
+    cli::main_with(|ctx, args| {
+        let which = args.first().map(String::as_str).unwrap_or("both");
+        let scale: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(1.0);
+        let nseeds: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(1);
+        let seeds: Vec<u64> = (1..=nseeds as u64).collect();
+        let mut all = Vec::new();
+        if which != "high-to-low" {
+            eprintln!("fig 3(a): base 1 GHz, scale {scale}, {nseeds} seed(s)...");
+            let cells = collect_with(ctx, Direction::LowToHigh, scale, &seeds)?;
+            for t in [2.0, 3.0, 4.0] {
+                println!("{}", render(&cells, t));
+            }
+            all.extend(cells);
         }
-        all.extend(cells);
-    }
-    if which != "low-to-high" {
-        eprintln!("fig 3(b): base 4 GHz, scale {scale}, {nseeds} seed(s)...");
-        let cells = collect(Direction::HighToLow, scale, &seeds);
-        for t in [3.0, 2.0, 1.0] {
-            println!("{}", render(&cells, t));
+        if which != "low-to-high" {
+            eprintln!("fig 3(b): base 4 GHz, scale {scale}, {nseeds} seed(s)...");
+            let cells = collect_with(ctx, Direction::HighToLow, scale, &seeds)?;
+            for t in [3.0, 2.0, 1.0] {
+                println!("{}", render(&cells, t));
+            }
+            all.extend(cells);
         }
-        all.extend(cells);
-    }
-    println!("{}", serde_json::to_string_pretty(&all).expect("json"));
+        println!("{}", serde_json::to_string_pretty(&all)?);
+        Ok(())
+    })
 }

@@ -1,24 +1,29 @@
 //! Regenerates Figure 6: energy-manager slowdown and savings.
 //!
-//! Usage: `cargo run --release -p harness --bin fig6 -- [threshold-percent] [scale] [seed]`
+//! Usage: `cargo run --release -p harness --bin fig6 -- [threshold-percent] [scale] [seed] [--jobs N]`
 //! With no threshold, runs both 5 and 10.
 
+use std::process::ExitCode;
+
+use harness::cli;
 use harness::experiments::fig6;
 
-fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let thresholds: Vec<f64> = match args.get(1).and_then(|s| s.parse::<f64>().ok()) {
-        Some(t) => vec![t / 100.0],
-        None => vec![0.05, 0.10],
-    };
-    let scale: f64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(1.0);
-    let seed: u64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(1);
-    let mut all = Vec::new();
-    for t in thresholds {
-        eprintln!("fig 6 at {:.0}% threshold, scale {scale}...", t * 100.0);
-        let rows = fig6::collect(t, scale, seed);
-        println!("{}", fig6::render(&rows));
-        all.extend(rows);
-    }
-    println!("{}", serde_json::to_string_pretty(&all).expect("json"));
+fn main() -> ExitCode {
+    cli::main_with(|ctx, args| {
+        let thresholds: Vec<f64> = match args.first().and_then(|s| s.parse::<f64>().ok()) {
+            Some(t) => vec![t / 100.0],
+            None => vec![0.05, 0.10],
+        };
+        let scale: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(1.0);
+        let seed: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(1);
+        let mut all = Vec::new();
+        for t in thresholds {
+            eprintln!("fig 6 at {:.0}% threshold, scale {scale}...", t * 100.0);
+            let rows = fig6::collect_with(ctx, t, scale, seed)?;
+            println!("{}", fig6::render(&rows));
+            all.extend(rows);
+        }
+        println!("{}", serde_json::to_string_pretty(&all)?);
+        Ok(())
+    })
 }

@@ -1,24 +1,29 @@
 //! Regenerates Figure 7: dynamic manager vs static-optimal oracle.
 //!
-//! Usage: `cargo run --release -p harness --bin fig7 -- [threshold-percent] [scale] [seed] [step-mhz]`
+//! Usage: `cargo run --release -p harness --bin fig7 -- [threshold-percent] [scale] [seed] [step-mhz] [--jobs N]`
 
+use std::process::ExitCode;
+
+use harness::cli;
 use harness::experiments::fig7;
 
-fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let threshold: f64 = args
-        .get(1)
-        .and_then(|s| s.parse::<f64>().ok())
-        .unwrap_or(10.0)
-        / 100.0;
-    let scale: f64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(1.0);
-    let seed: u64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(1);
-    let step: u32 = args.get(4).and_then(|s| s.parse().ok()).unwrap_or(250);
-    eprintln!(
-        "fig 7 at {:.0}% threshold, scale {scale}, sweep step {step} MHz...",
-        threshold * 100.0
-    );
-    let rows = fig7::collect(threshold, scale, seed, step);
-    println!("{}", fig7::render(&rows));
-    println!("{}", serde_json::to_string_pretty(&rows).expect("json"));
+fn main() -> ExitCode {
+    cli::main_with(|ctx, args| {
+        let threshold: f64 = args
+            .first()
+            .and_then(|s| s.parse::<f64>().ok())
+            .unwrap_or(10.0)
+            / 100.0;
+        let scale: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(1.0);
+        let seed: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(1);
+        let step: u32 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(250);
+        eprintln!(
+            "fig 7 at {:.0}% threshold, scale {scale}, sweep step {step} MHz...",
+            threshold * 100.0
+        );
+        let rows = fig7::collect_with(ctx, threshold, scale, seed, step)?;
+        println!("{}", fig7::render(&rows));
+        println!("{}", serde_json::to_string_pretty(&rows)?);
+        Ok(())
+    })
 }

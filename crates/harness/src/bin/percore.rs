@@ -1,26 +1,32 @@
 //! Extension: per-core DVFS with application/service isolation (the
 //! paper's stated future work, in the style of Sartor et al. \[35\]).
 //!
-//! Usage: `cargo run --release -p harness --bin percore -- [scale] [seed] [benchmarks...]`
+//! Usage: `cargo run --release -p harness --bin percore -- [scale] [seed] [benchmarks...] [--jobs N]`
 
+use std::process::ExitCode;
+
+use harness::cli;
 use harness::experiments::percore;
 
-fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let scale: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(0.4);
-    let seed: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(1);
-    let names: Vec<&str> = if args.len() > 3 {
-        args[3..].iter().map(String::as_str).collect()
-    } else {
-        vec!["xalan", "lusearch", "sunflow"]
-    };
-    let mut all = Vec::new();
-    for name in names {
-        let bench = dacapo_sim::benchmark(name).expect("known benchmark");
-        eprintln!("per-core study: {name}, scale {scale}...");
-        let rows = percore::collect(bench, scale, seed);
-        println!("{}", percore::render(&rows));
-        all.extend(rows);
-    }
-    println!("{}", serde_json::to_string_pretty(&all).expect("json"));
+fn main() -> ExitCode {
+    cli::main_with(|ctx, args| {
+        let scale: f64 = args.first().and_then(|s| s.parse().ok()).unwrap_or(0.4);
+        let seed: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(1);
+        let names: Vec<&str> = if args.len() > 2 {
+            args[2..].iter().map(String::as_str).collect()
+        } else {
+            vec!["xalan", "lusearch", "sunflow"]
+        };
+        let mut all = Vec::new();
+        for name in names {
+            let bench =
+                dacapo_sim::benchmark(name).ok_or_else(|| format!("unknown benchmark {name}"))?;
+            eprintln!("per-core study: {name}, scale {scale}...");
+            let rows = percore::collect_with(ctx, bench, scale, seed)?;
+            println!("{}", percore::render(&rows));
+            all.extend(rows);
+        }
+        println!("{}", serde_json::to_string_pretty(&all)?);
+        Ok(())
+    })
 }

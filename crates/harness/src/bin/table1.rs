@@ -1,19 +1,19 @@
 //! Regenerates Table I: per-benchmark execution and GC time at 1 GHz.
 //!
-//! Usage: `cargo run --release -p harness --bin table1 [scale]`
+//! Usage: `cargo run --release -p harness --bin table1 [scale] [--jobs N]`
 
+use std::process::ExitCode;
+
+use harness::cli;
 use harness::experiments::table1;
 
-fn main() {
-    let scale: f64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(1.0);
-    eprintln!("running all benchmarks at 1 GHz, scale {scale} ...");
-    let rows = table1::collect(scale);
-    println!("{}", table1::render(&rows));
-    println!(
-        "{}",
-        serde_json::to_string_pretty(&rows).expect("serializable")
-    );
+fn main() -> ExitCode {
+    cli::main_with(|ctx, args| {
+        let scale: f64 = args.first().and_then(|s| s.parse().ok()).unwrap_or(1.0);
+        eprintln!("running all benchmarks at 1 GHz, scale {scale} ...");
+        let rows = table1::collect_with(ctx, scale)?;
+        println!("{}", table1::render(&rows));
+        println!("{}", serde_json::to_string_pretty(&rows)?);
+        Ok(())
+    })
 }

@@ -1,0 +1,428 @@
+//! Content-addressed memoization of simulation runs.
+//!
+//! A seeded simulation is a pure function of (workload spec, machine
+//! config, fault config, scale, seed) — the frequency rides inside the
+//! machine config. The cache keys a [`RunSummary`] by a stable 128-bit
+//! digest of exactly those inputs ([`sim_key`]) so that experiments
+//! sharing points (every figure re-runs the same baselines) simulate each
+//! point once.
+//!
+//! Results are memoized in-process always; optionally they also persist
+//! under `results/cache/v<N>/<hex-key>.json` as versioned JSON envelopes.
+//! Persistence is **off by default** (hermetic tests) and enabled by the
+//! `DEPBURST_CACHE` environment variable: `1` uses the default
+//! `results/cache` directory, any other non-empty value (except `0`) is
+//! used as the directory itself. A bump of [`SCHEMA_VERSION`] — required
+//! whenever the simulator's observable behaviour or the summary layout
+//! changes — retires every old entry by moving to a fresh subdirectory;
+//! envelopes whose schema or key do not match are ignored and recomputed.
+
+use std::collections::{HashMap, HashSet};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+use dacapo_sim::Benchmark;
+use depburst_core::stablehash::StableHasher;
+use serde::{Deserialize, Serialize};
+use simx::{FaultConfig, MachineConfig};
+
+use crate::run::RunSummary;
+
+/// Version of the cached-entry schema. Bump on any change to the
+/// simulator's observable behaviour, the workload models, or the
+/// [`RunSummary`] layout — stale entries are then simply never looked at.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// The content digest keying one simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SimKey(pub u128);
+
+impl SimKey {
+    /// The key as the fixed-width hex string used for file names.
+    #[must_use]
+    pub fn hex(&self) -> String {
+        format!("{:032x}", self.0)
+    }
+}
+
+/// Computes the cache key of one run: every input the simulation result
+/// depends on. `fault` is the injector configuration installed on the
+/// machine, if any (`None` hashes like an inert config — installing an
+/// inert injector is bit-identical to not installing one).
+#[must_use]
+pub fn sim_key(
+    bench: &Benchmark,
+    machine: &MachineConfig,
+    fault: Option<&FaultConfig>,
+    scale: f64,
+    seed: u64,
+) -> SimKey {
+    let mut h = StableHasher::new();
+    h.write_tag("depburst::sim_key");
+    h.write_u32(SCHEMA_VERSION);
+    bench.hash_into(&mut h);
+    machine.hash_into(&mut h);
+    fault
+        .copied()
+        .unwrap_or_else(|| FaultConfig::none(0))
+        .hash_into(&mut h);
+    h.write_f64(scale);
+    h.write_u64(seed);
+    SimKey(h.finish())
+}
+
+/// The on-disk envelope around a cached summary.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct CacheEnvelope {
+    /// Schema version the entry was written under.
+    schema: u32,
+    /// Hex content key, re-checked on load (defends against renamed files).
+    key: String,
+    /// The cached result.
+    summary: RunSummary,
+}
+
+/// Hit/miss counters of a cache (for CI logs and tests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Results served from the in-process map.
+    pub memory_hits: u64,
+    /// Results served from a persisted JSON envelope.
+    pub disk_hits: u64,
+    /// Results that had to be simulated.
+    pub misses: u64,
+}
+
+/// A content-addressed memo of simulation results: always in-process,
+/// optionally persistent. Shared by reference across pool workers.
+#[derive(Debug)]
+pub struct SimCache {
+    mem: Mutex<HashMap<u128, Arc<RunSummary>>>,
+    /// Keys currently being computed, so concurrent workers hitting the
+    /// same key wait for the one computation instead of duplicating it.
+    in_flight: Mutex<HashSet<u128>>,
+    flight_done: Condvar,
+    dir: Option<PathBuf>,
+    memory_hits: AtomicU64,
+    disk_hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Default for SimCache {
+    fn default() -> Self {
+        Self::in_memory()
+    }
+}
+
+impl SimCache {
+    /// A purely in-process cache (no filesystem traffic).
+    #[must_use]
+    pub fn in_memory() -> Self {
+        SimCache {
+            mem: Mutex::new(HashMap::new()),
+            in_flight: Mutex::new(HashSet::new()),
+            flight_done: Condvar::new(),
+            dir: None,
+            memory_hits: AtomicU64::new(0),
+            disk_hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// A cache that additionally persists under `dir` (the schema
+    /// subdirectory is appended automatically).
+    #[must_use]
+    pub fn persistent(dir: impl Into<PathBuf>) -> Self {
+        let mut cache = Self::in_memory();
+        cache.dir = Some(dir.into().join(format!("v{SCHEMA_VERSION}")));
+        cache
+    }
+
+    /// Builds the cache the `DEPBURST_CACHE` environment variable asks
+    /// for: unset, empty, or `0` → in-memory only; `1` → persist under
+    /// `results/cache`; anything else → persist under that path.
+    #[must_use]
+    pub fn from_env() -> Self {
+        match std::env::var("DEPBURST_CACHE") {
+            Err(_) => Self::in_memory(),
+            Ok(v) => match v.trim() {
+                "" | "0" => Self::in_memory(),
+                "1" => Self::persistent("results/cache"),
+                path => Self::persistent(path),
+            },
+        }
+    }
+
+    /// Whether this cache persists entries to disk.
+    #[must_use]
+    pub fn is_persistent(&self) -> bool {
+        self.dir.is_some()
+    }
+
+    /// The hit/miss counters so far.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            memory_hits: self.memory_hits.load(Ordering::Relaxed),
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Returns the summary for `key`, computing (and memoizing) it with
+    /// `compute` on a miss. Concurrent callers of the same key are
+    /// deduplicated: exactly one computes while the rest block until the
+    /// result lands in the memo, so the hit/miss statistics — like the
+    /// results themselves — do not depend on worker scheduling.
+    pub fn get_or_compute<F>(
+        &self,
+        key: SimKey,
+        compute: F,
+    ) -> depburst_core::Result<Arc<RunSummary>>
+    where
+        F: FnOnce() -> depburst_core::Result<RunSummary>,
+    {
+        loop {
+            if let Some(hit) = self.mem.lock().expect("cache lock").get(&key.0) {
+                self.memory_hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(Arc::clone(hit));
+            }
+            let mut flying = self.in_flight.lock().expect("flight lock");
+            if flying.insert(key.0) {
+                break; // this caller owns the computation
+            }
+            // Wait out the owner, then re-check the memo. A spurious
+            // wakeup or an owner that errored just loops again.
+            drop(self.flight_done.wait(flying).expect("flight lock"));
+        }
+        let guard = FlightGuard { cache: self, key };
+        let outcome = self.load_or_compute(key, compute);
+        if let Ok(summary) = &outcome {
+            self.mem
+                .lock()
+                .expect("cache lock")
+                .insert(key.0, Arc::clone(summary));
+        }
+        drop(guard); // release waiters only after the memo is populated
+        outcome
+    }
+
+    fn load_or_compute<F>(
+        &self,
+        key: SimKey,
+        compute: F,
+    ) -> depburst_core::Result<Arc<RunSummary>>
+    where
+        F: FnOnce() -> depburst_core::Result<RunSummary>,
+    {
+        if let Some(summary) = self.load_from_disk(key) {
+            self.disk_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::new(summary));
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let summary = Arc::new(compute()?);
+        self.store_to_disk(key, &summary);
+        Ok(summary)
+    }
+
+    fn entry_path(&self, key: SimKey) -> Option<PathBuf> {
+        self.dir.as_ref().map(|d| d.join(format!("{}.json", key.hex())))
+    }
+
+    fn load_from_disk(&self, key: SimKey) -> Option<RunSummary> {
+        let path = self.entry_path(key)?;
+        let bytes = std::fs::read(&path).ok()?;
+        let envelope: CacheEnvelope = serde_json::from_slice(&bytes).ok()?;
+        // A mismatched schema or key means the file is stale or was
+        // renamed; treat it as absent and let a fresh compute overwrite.
+        (envelope.schema == SCHEMA_VERSION && envelope.key == key.hex())
+            .then_some(envelope.summary)
+    }
+
+    /// Best-effort persistence: a full results directory or read-only
+    /// checkout must never fail the experiment itself.
+    fn store_to_disk(&self, key: SimKey, summary: &RunSummary) {
+        let Some(path) = self.entry_path(key) else {
+            return;
+        };
+        let envelope = CacheEnvelope {
+            schema: SCHEMA_VERSION,
+            key: key.hex(),
+            summary: summary.clone(),
+        };
+        let Ok(json) = serde_json::to_string(&envelope) else {
+            return;
+        };
+        if let Some(parent) = path.parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        let _ = write_atomically(&path, json.as_bytes());
+    }
+}
+
+/// Removes a key from the in-flight set on scope exit — including an
+/// unwinding `compute` — so waiters blocked on the same key never hang.
+struct FlightGuard<'a> {
+    cache: &'a SimCache,
+    key: SimKey,
+}
+
+impl Drop for FlightGuard<'_> {
+    fn drop(&mut self) {
+        self.cache
+            .in_flight
+            .lock()
+            .expect("flight lock")
+            .remove(&self.key.0);
+        self.cache.flight_done.notify_all();
+    }
+}
+
+/// Writes via a unique temp file + rename so concurrent writers of the
+/// same key (or an interrupted run) never leave a torn JSON file behind.
+fn write_atomically(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+    std::fs::write(&tmp, bytes)?;
+    std::fs::rename(&tmp, path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dacapo_sim::benchmark;
+
+    fn key_for(seed: u64) -> SimKey {
+        sim_key(
+            benchmark("lusearch").expect("exists"),
+            &MachineConfig::haswell_quad(),
+            None,
+            0.05,
+            seed,
+        )
+    }
+
+    fn dummy_summary(marker: u64) -> RunSummary {
+        RunSummary {
+            exec: dvfs_trace::TimeDelta::from_millis(marker as f64),
+            gc_time: dvfs_trace::TimeDelta::ZERO,
+            gc_count: marker,
+            allocated: 0,
+            total_active: dvfs_trace::TimeDelta::ZERO,
+            trace: dvfs_trace::ExecutionTrace {
+                base: dvfs_trace::Freq::from_ghz(1.0),
+                start: dvfs_trace::Time::ZERO,
+                total: dvfs_trace::TimeDelta::ZERO,
+                epochs: vec![],
+                markers: vec![],
+                threads: vec![],
+            },
+        }
+    }
+
+    #[test]
+    fn memoizes_in_process() {
+        let cache = SimCache::in_memory();
+        let mut computes = 0;
+        for _ in 0..3 {
+            let s = cache
+                .get_or_compute(key_for(1), || {
+                    computes += 1;
+                    Ok(dummy_summary(42))
+                })
+                .expect("ok");
+            assert_eq!(s.gc_count, 42);
+        }
+        assert_eq!(computes, 1);
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.memory_hits, 2);
+    }
+
+    #[test]
+    fn errors_are_not_cached() {
+        let cache = SimCache::in_memory();
+        let r = cache.get_or_compute(key_for(2), || {
+            Err(depburst_core::DepburstError::Machine {
+                detail: "boom".into(),
+            })
+        });
+        assert!(r.is_err());
+        let s = cache
+            .get_or_compute(key_for(2), || Ok(dummy_summary(7)))
+            .expect("retry succeeds");
+        assert_eq!(s.gc_count, 7);
+    }
+
+    #[test]
+    fn persists_and_reloads_across_instances() {
+        let dir = std::env::temp_dir().join(format!("depburst-cache-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let writer = SimCache::persistent(&dir);
+        writer
+            .get_or_compute(key_for(3), || Ok(dummy_summary(9)))
+            .expect("ok");
+        // A second instance (fresh process, same directory) hits disk.
+        let reader = SimCache::persistent(&dir);
+        let s = reader
+            .get_or_compute(key_for(3), || panic!("must not recompute"))
+            .expect("ok");
+        assert_eq!(s.gc_count, 9);
+        assert_eq!(reader.stats().disk_hits, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_or_mismatched_entries_recompute() {
+        let dir = std::env::temp_dir().join(format!("depburst-cache-bad-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = SimCache::persistent(&dir);
+        let path = cache.entry_path(key_for(4)).expect("persistent");
+        std::fs::create_dir_all(path.parent().expect("parent")).expect("mkdir");
+        std::fs::write(&path, b"{ not json").expect("write");
+        let s = cache
+            .get_or_compute(key_for(4), || Ok(dummy_summary(11)))
+            .expect("ok");
+        assert_eq!(s.gc_count, 11);
+        assert_eq!(cache.stats().misses, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_same_key_computes_once() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        let cache = SimCache::in_memory();
+        let computes = AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    let s = cache
+                        .get_or_compute(key_for(5), || {
+                            computes.fetch_add(1, Ordering::SeqCst);
+                            // Widen the race window: without in-flight
+                            // dedup every thread would land in here.
+                            std::thread::sleep(std::time::Duration::from_millis(20));
+                            Ok(dummy_summary(13))
+                        })
+                        .expect("ok");
+                    assert_eq!(s.gc_count, 13);
+                });
+            }
+        });
+        assert_eq!(computes.load(Ordering::SeqCst), 1, "one computation total");
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.memory_hits, 3);
+    }
+
+    #[test]
+    fn keys_separate_benchmarks_and_seeds() {
+        let mc = MachineConfig::haswell_quad();
+        let lu = benchmark("lusearch").expect("exists");
+        let sf = benchmark("sunflow").expect("exists");
+        assert_ne!(sim_key(lu, &mc, None, 0.05, 1), sim_key(sf, &mc, None, 0.05, 1));
+        assert_ne!(key_for(1), key_for(2));
+        assert_eq!(key_for(1), key_for(1));
+    }
+}

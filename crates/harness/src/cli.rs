@@ -1,0 +1,92 @@
+//! Shared command-line plumbing for the experiment binaries.
+//!
+//! Every binary accepts `--jobs N` (anywhere on the command line, also
+//! `--jobs=N`), falling back to the `DEPBURST_JOBS` environment variable
+//! and then to the machine's available parallelism. `--jobs 1`
+//! reproduces the historical sequential harness exactly. Failures are
+//! rendered to stderr and the process exits nonzero — no panics.
+
+use std::process::ExitCode;
+
+use crate::run::ExecCtx;
+
+/// The boxed error a binary's command body returns: `depburst_core`
+/// errors and I/O or serialization errors both flow through it.
+pub type CliResult = Result<(), Box<dyn std::error::Error>>;
+
+/// Extracts `--jobs N` / `--jobs=N` from `args`, returning the requested
+/// worker count and the remaining positional arguments in order.
+pub fn split_jobs(args: &[String]) -> Result<(Option<usize>, Vec<String>), String> {
+    let mut jobs = None;
+    let mut rest = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--jobs" {
+            let v = it.next().ok_or("--jobs requires a value")?;
+            jobs = Some(parse_jobs(v)?);
+        } else if let Some(v) = a.strip_prefix("--jobs=") {
+            jobs = Some(parse_jobs(v)?);
+        } else {
+            rest.push(a.clone());
+        }
+    }
+    Ok((jobs, rest))
+}
+
+fn parse_jobs(v: &str) -> Result<usize, String> {
+    match v.parse::<usize>() {
+        Ok(n) if n >= 1 => Ok(n),
+        _ => Err(format!("invalid --jobs value {v:?} (want a positive integer)")),
+    }
+}
+
+/// Parses `--jobs`, builds the execution context from the environment,
+/// runs `body` on the remaining arguments, and renders any error to
+/// stderr with a nonzero exit code.
+pub fn main_with(body: impl FnOnce(&ExecCtx, &[String]) -> CliResult) -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let (jobs, rest) = match split_jobs(&argv) {
+        Ok(split) => split,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let ctx = ExecCtx::from_env(jobs);
+    match body(&ctx, &rest) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn split_jobs_extracts_both_forms() {
+        let (jobs, rest) = split_jobs(&strs(&["0.1", "--jobs", "4", "2"])).unwrap();
+        assert_eq!(jobs, Some(4));
+        assert_eq!(rest, strs(&["0.1", "2"]));
+        let (jobs, rest) = split_jobs(&strs(&["--jobs=2"])).unwrap();
+        assert_eq!(jobs, Some(2));
+        assert!(rest.is_empty());
+        let (jobs, rest) = split_jobs(&strs(&["a", "b"])).unwrap();
+        assert_eq!(jobs, None);
+        assert_eq!(rest, strs(&["a", "b"]));
+    }
+
+    #[test]
+    fn split_jobs_rejects_bad_values() {
+        assert!(split_jobs(&strs(&["--jobs"])).is_err());
+        assert!(split_jobs(&strs(&["--jobs", "zero"])).is_err());
+        assert!(split_jobs(&strs(&["--jobs=0"])).is_err());
+    }
+}

@@ -16,7 +16,7 @@ use serde::Serialize;
 use simx::{Machine, MachineConfig};
 
 use crate::report::{pct, pct_abs, TextTable};
-use crate::run::{run_benchmark, RunConfig};
+use crate::run::{ExecCtx, SimPoint, SweepPlan};
 
 /// Per-thread-model ablation row: one benchmark, six DEP variants.
 #[derive(Debug, Clone, Serialize)]
@@ -44,29 +44,35 @@ pub fn dep_variants() -> Vec<Dep> {
 }
 
 /// Runs the per-thread-model ablation (base 1 GHz → target 4 GHz).
+///
+/// # Panics
+/// Panics if a run fails; prefer [`model_ablation_with`] in binaries.
 #[must_use]
 pub fn model_ablation(scale: f64, seed: u64) -> Vec<ModelAblationRow> {
+    model_ablation_with(&ExecCtx::sequential(), scale, seed)
+        .unwrap_or_else(|e| panic!("ablation: {e}"))
+}
+
+/// Runs the per-thread-model ablation on `ctx`'s pool and cache.
+pub fn model_ablation_with(
+    ctx: &ExecCtx,
+    scale: f64,
+    seed: u64,
+) -> depburst_core::Result<Vec<ModelAblationRow>> {
     let variants = dep_variants();
     let target = Freq::from_ghz(4.0);
-    all_benchmarks()
+    let mut plan = SweepPlan::new();
+    for bench in all_benchmarks() {
+        plan.push(SimPoint::new(bench, Freq::from_ghz(1.0), scale, seed));
+        plan.push(SimPoint::new(bench, target, scale, seed));
+    }
+    let results = ctx.execute(&plan)?;
+    let mut next = results.iter();
+    Ok(all_benchmarks()
         .iter()
         .map(|bench| {
-            let base = run_benchmark(
-                bench,
-                RunConfig {
-                    freq: Freq::from_ghz(1.0),
-                    scale,
-                    seed,
-                },
-            );
-            let actual = run_benchmark(
-                bench,
-                RunConfig {
-                    freq: target,
-                    scale,
-                    seed,
-                },
-            );
+            let base = next.next().expect("plan covers base run");
+            let actual = next.next().expect("plan covers target run");
             ModelAblationRow {
                 benchmark: bench.name.to_owned(),
                 errors: variants
@@ -80,7 +86,7 @@ pub fn model_ablation(scale: f64, seed: u64) -> Vec<ModelAblationRow> {
                     .collect(),
             }
         })
-        .collect()
+        .collect())
 }
 
 /// Renders the model ablation.
@@ -127,30 +133,44 @@ pub struct ManagerSweepRow {
 }
 
 /// Sweeps hold-off and quantum for one benchmark at a 5% threshold.
+///
+/// # Panics
+/// Panics if a run fails; prefer [`manager_sweep_with`] in binaries.
 #[must_use]
 pub fn manager_sweep(bench_name: &str, scale: f64, seed: u64) -> Vec<ManagerSweepRow> {
-    let bench = dacapo_sim::benchmark(bench_name).expect("known benchmark");
-    let power = PowerModel::haswell_22nm();
-    let base = run_benchmark(
-        bench,
-        RunConfig {
-            freq: Freq::from_ghz(4.0),
-            scale,
-            seed,
-        },
-    );
-    let base_energy =
-        power.energy_of_run(Freq::from_ghz(4.0), base.exec, base.stats.total_active(), 4);
+    manager_sweep_with(&ExecCtx::sequential(), bench_name, scale, seed)
+        .unwrap_or_else(|e| panic!("ablation sweep: {e}"))
+}
 
-    let mut rows = Vec::new();
-    for (hold_off, quantum_ms) in [
+/// Sweeps hold-off and quantum on `ctx`: the 4 GHz baseline is a shared
+/// cacheable point, and the six managed configurations fan out across
+/// workers (managed runs mutate frequency mid-run, so they stay uncached).
+pub fn manager_sweep_with(
+    ctx: &ExecCtx,
+    bench_name: &str,
+    scale: f64,
+    seed: u64,
+) -> depburst_core::Result<Vec<ManagerSweepRow>> {
+    let Some(bench) = dacapo_sim::benchmark(bench_name) else {
+        return Err(depburst_core::DepburstError::Machine {
+            detail: format!("unknown benchmark {bench_name}"),
+        });
+    };
+    let power = PowerModel::haswell_22nm();
+    let mut plan = SweepPlan::new();
+    plan.push(SimPoint::new(bench, Freq::from_ghz(4.0), scale, seed));
+    let base = ctx.execute(&plan)?.remove(0);
+    let base_energy = power.energy_of_run(Freq::from_ghz(4.0), base.exec, base.total_active, 4);
+
+    let grid: Vec<(u32, f64)> = vec![
         (1u32, 5.0f64),
         (2, 5.0),
         (4, 5.0),
         (8, 5.0),
         (1, 1.0),
         (1, 20.0),
-    ] {
+    ];
+    ctx.map(grid, |(hold_off, quantum_ms)| {
         let mut config = ManagerConfig::with_threshold(0.05);
         config.hold_off = hold_off;
         config.quantum = TimeDelta::from_millis(quantum_ms);
@@ -159,16 +179,17 @@ pub fn manager_sweep(bench_name: &str, scale: f64, seed: u64) -> Vec<ManagerSwee
         let mut machine = Machine::new(mc);
         bench.install(&mut machine, scale, seed);
         let manager = EnergyManager::new(config, Box::new(Dep::dep_burst()));
-        let report = manager.run(&mut machine).expect("managed run");
-        rows.push(ManagerSweepRow {
+        let report = manager.run(&mut machine)?;
+        Ok(ManagerSweepRow {
             hold_off,
             quantum_ms,
             slowdown: report.exec.as_secs() / base.exec.as_secs() - 1.0,
             savings: 1.0 - report.energy_j / base_energy,
             switches: report.switches,
-        });
-    }
-    rows
+        })
+    })
+    .into_iter()
+    .collect()
 }
 
 /// Renders the manager sweep.
@@ -204,42 +225,45 @@ pub struct RegressionRow {
 }
 
 /// Runs the leave-one-out study.
+///
+/// # Panics
+/// Panics if a run fails; prefer [`regression_ablation_with`] in binaries.
 #[must_use]
 pub fn regression_ablation(scale: f64, seed: u64) -> Vec<RegressionRow> {
+    regression_ablation_with(&ExecCtx::sequential(), scale, seed)
+        .unwrap_or_else(|e| panic!("ablation regression: {e}"))
+}
+
+/// Runs the leave-one-out study on `ctx`'s pool and cache. Every point
+/// here (1/2/3/4 GHz per benchmark) is shared with the fig3 grid.
+pub fn regression_ablation_with(
+    ctx: &ExecCtx,
+    scale: f64,
+    seed: u64,
+) -> depburst_core::Result<Vec<RegressionRow>> {
     use depburst::RegressionTrainer;
     let target = Freq::from_ghz(4.0);
+    let mut plan = SweepPlan::new();
+    for bench in all_benchmarks() {
+        plan.push(SimPoint::new(bench, Freq::from_ghz(1.0), scale, seed));
+        plan.push(SimPoint::new(bench, target, scale, seed));
+        for g in [2.0, 3.0] {
+            plan.push(SimPoint::new(bench, Freq::from_ghz(g), scale, seed));
+        }
+    }
+    let results = ctx.execute(&plan)?;
+    let mut next = results.iter();
     // Gather each benchmark's (base trace, actual-at-target) once.
     let data: Vec<_> = all_benchmarks()
         .iter()
         .map(|bench| {
-            let base = run_benchmark(
-                bench,
-                RunConfig {
-                    freq: Freq::from_ghz(1.0),
-                    scale,
-                    seed,
-                },
-            );
-            let actual = run_benchmark(
-                bench,
-                RunConfig {
-                    freq: target,
-                    scale,
-                    seed,
-                },
-            );
-            // Also sample intermediate targets for the training set.
+            let base = next.next().expect("plan covers base run");
+            let actual = next.next().expect("plan covers target run");
+            // Intermediate targets sampled for the training set.
             let mid: Vec<_> = [2.0, 3.0]
                 .iter()
                 .map(|&g| {
-                    let r = run_benchmark(
-                        bench,
-                        RunConfig {
-                            freq: Freq::from_ghz(g),
-                            scale,
-                            seed,
-                        },
-                    );
+                    let r = next.next().expect("plan covers mid run");
                     (Freq::from_ghz(g), r.exec)
                 })
                 .collect();
@@ -248,7 +272,8 @@ pub fn regression_ablation(scale: f64, seed: u64) -> Vec<RegressionRow> {
         .collect();
 
     let dep = Dep::dep_burst();
-    data.iter()
+    Ok(data
+        .iter()
         .map(|(held_out, base, actual, _)| {
             let mut trainer = RegressionTrainer::new();
             for (name, b, a, mid) in &data {
@@ -267,7 +292,7 @@ pub fn regression_ablation(scale: f64, seed: u64) -> Vec<RegressionRow> {
                 dep_burst: relative_error(dep.predict(&base.trace, target), actual.exec),
             }
         })
-        .collect()
+        .collect())
 }
 
 /// Renders the leave-one-out comparison.

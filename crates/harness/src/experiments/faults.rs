@@ -25,7 +25,7 @@ use simx::{FaultClass, FaultConfig, FaultInjector, Machine, MachineConfig};
 
 use super::fig6;
 use crate::report::{pct, pct_abs, TextTable};
-use crate::run::{run_benchmark, RunConfig};
+use crate::run::{ExecCtx, SimPoint, SweepPlan};
 
 /// Independent injector seeds averaged per prediction-error cell.
 const PREDICTION_SAMPLES: u64 = 8;
@@ -86,7 +86,7 @@ fn evaluate(
     truth_secs: f64,
     base_exec: f64,
     base_energy: f64,
-) -> FaultsRow {
+) -> depburst_core::Result<FaultsRow> {
     let dep = Dep::dep_burst();
     let mcrit = MCrit::new(NonScalingModel::Crit, true);
     let f4 = Freq::from_ghz(4.0);
@@ -111,11 +111,9 @@ fn evaluate(
         ManagerConfig::hardened(threshold),
         Box::new(Dep::dep_burst()),
     );
-    let report = manager
-        .run(&mut machine)
-        .expect("hardened manager completes under faults");
+    let report = manager.run(&mut machine)?;
 
-    FaultsRow {
+    Ok(FaultsRow {
         benchmark: bench.name.to_owned(),
         fault: class.map_or_else(|| "none".to_owned(), |c| c.name().to_owned()),
         intensity,
@@ -125,35 +123,52 @@ fn evaluate(
         savings: 1.0 - report.true_energy_j / base_energy,
         fallbacks: report.fallback_engagements,
         denied: report.denied_transitions,
-    }
+    })
 }
 
 /// Runs the full sweep: every fault class at every intensity (plus one
 /// fault-free anchor row) for each benchmark in [`SWEEP_BENCHMARKS`].
+///
+/// # Panics
+/// Panics if a run fails; prefer [`collect_with`] in binaries.
 #[must_use]
 pub fn collect(scale: f64, seed: u64, threshold: f64, intensities: &[f64]) -> Vec<FaultsRow> {
+    collect_with(&ExecCtx::sequential(), scale, seed, threshold, intensities)
+        .unwrap_or_else(|e| panic!("faults: {e}"))
+}
+
+/// Runs the full sweep on `ctx`: the clean 2/4 GHz measurements are
+/// cacheable points, the baseline is shared with fig6, and the faulted
+/// managed cells fan out across workers (uncached — the injector mutates
+/// machine state mid-run).
+pub fn collect_with(
+    ctx: &ExecCtx,
+    scale: f64,
+    seed: u64,
+    threshold: f64,
+    intensities: &[f64],
+) -> depburst_core::Result<Vec<FaultsRow>> {
     let power = PowerModel::haswell_22nm();
     let mut rows = Vec::new();
     for name in SWEEP_BENCHMARKS {
-        let bench = benchmark(name).expect("sweep benchmark exists");
-        let clean = run_benchmark(
-            bench,
-            RunConfig {
-                freq: Freq::from_ghz(2.0),
-                scale,
-                seed,
-            },
-        );
-        let truth = run_benchmark(
-            bench,
-            RunConfig {
-                freq: Freq::from_ghz(4.0),
-                scale,
-                seed,
-            },
-        );
-        let (base_exec, base_energy) = fig6::baseline(bench, scale, seed, &power);
-        let eval = |class, intensity| {
+        let Some(bench) = benchmark(name) else {
+            return Err(depburst_core::DepburstError::Machine {
+                detail: format!("unknown sweep benchmark {name}"),
+            });
+        };
+        let mut plan = SweepPlan::new();
+        plan.push(SimPoint::new(bench, Freq::from_ghz(2.0), scale, seed));
+        plan.push(SimPoint::new(bench, Freq::from_ghz(4.0), scale, seed));
+        let measured = ctx.execute(&plan)?;
+        let (clean, truth) = (&measured[0], &measured[1]);
+        let (base_exec, base_energy) = fig6::baseline_with(ctx, bench, scale, seed, &power)?;
+        let mut cells: Vec<(Option<FaultClass>, f64)> = vec![(None, 0.0)];
+        for class in FaultClass::ALL {
+            for &intensity in intensities {
+                cells.push((Some(class), intensity));
+            }
+        }
+        let evaluated = ctx.map(cells, |(class, intensity)| {
             evaluate(
                 bench,
                 class,
@@ -166,15 +181,12 @@ pub fn collect(scale: f64, seed: u64, threshold: f64, intensities: &[f64]) -> Ve
                 base_exec,
                 base_energy,
             )
-        };
-        rows.push(eval(None, 0.0));
-        for class in FaultClass::ALL {
-            for &intensity in intensities {
-                rows.push(eval(Some(class), intensity));
-            }
+        });
+        for row in evaluated {
+            rows.push(row?);
         }
     }
-    rows
+    Ok(rows)
 }
 
 /// Renders the degradation table.

@@ -5,8 +5,9 @@
 
 use serde::Serialize;
 
-use super::fig3::{avg_abs_by_model, collect, Direction, Fig3Cell};
+use super::fig3::{avg_abs_by_model, collect_with, Direction, Fig3Cell};
 use crate::report::{pct_abs, TextTable};
+use crate::run::ExecCtx;
 
 /// One target frequency's headline numbers.
 #[derive(Debug, Clone, Serialize)]
@@ -20,9 +21,21 @@ pub struct Fig1Row {
 }
 
 /// Runs the experiment.
+///
+/// # Panics
+/// Panics if a simulated run fails; prefer [`run_with`] in binaries.
 #[must_use]
 pub fn run(scale: f64, seeds: &[u64]) -> (Vec<Fig1Row>, Vec<Fig3Cell>) {
-    let cells = collect(Direction::LowToHigh, scale, seeds);
+    run_with(&ExecCtx::sequential(), scale, seeds).unwrap_or_else(|e| panic!("fig1: {e}"))
+}
+
+/// Runs the experiment on `ctx`'s pool and cache.
+pub fn run_with(
+    ctx: &ExecCtx,
+    scale: f64,
+    seeds: &[u64],
+) -> depburst_core::Result<(Vec<Fig1Row>, Vec<Fig3Cell>)> {
+    let cells = collect_with(ctx, Direction::LowToHigh, scale, seeds)?;
     let rows = [2.0, 3.0, 4.0]
         .iter()
         .map(|&t| {
@@ -41,7 +54,7 @@ pub fn run(scale: f64, seeds: &[u64]) -> (Vec<Fig1Row>, Vec<Fig3Cell>) {
             }
         })
         .collect();
-    (rows, cells)
+    Ok((rows, cells))
 }
 
 /// Renders the headline table.

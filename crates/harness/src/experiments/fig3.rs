@@ -10,7 +10,7 @@ use dvfs_trace::Freq;
 use serde::Serialize;
 
 use crate::report::{pct, pct_abs, TextTable};
-use crate::run::{run_benchmark, RunConfig};
+use crate::run::{ExecCtx, SimPoint, SweepPlan};
 
 /// Prediction direction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -65,32 +65,48 @@ pub struct Fig3Cell {
 }
 
 /// Runs the experiment. `seeds` are averaged (the paper averages 4 runs).
+///
+/// # Panics
+/// Panics if a simulated run fails; prefer [`collect_with`] in binaries.
 #[must_use]
 pub fn collect(direction: Direction, scale: f64, seeds: &[u64]) -> Vec<Fig3Cell> {
+    collect_with(&ExecCtx::sequential(), direction, scale, seeds)
+        .unwrap_or_else(|e| panic!("fig3: {e}"))
+}
+
+/// Runs the experiment on `ctx`'s pool and cache. The plan lists every
+/// (benchmark, seed) base run followed by its target runs — the exact
+/// order the historical sequential loop executed — and the cells are
+/// assembled from the plan-ordered results, so the output is identical
+/// for any worker count.
+pub fn collect_with(
+    ctx: &ExecCtx,
+    direction: Direction,
+    scale: f64,
+    seeds: &[u64],
+) -> depburst_core::Result<Vec<Fig3Cell>> {
     let models = paper_roster();
+    let targets = direction.targets();
+    let mut plan = SweepPlan::new();
+    for bench in all_benchmarks() {
+        for &seed in seeds {
+            plan.push(SimPoint::new(bench, direction.base(), scale, seed));
+            for &target in &targets {
+                plan.push(SimPoint::new(bench, target, scale, seed));
+            }
+        }
+    }
+    let results = ctx.execute(&plan)?;
+    let mut next = results.iter();
+
     let mut cells: Vec<Fig3Cell> = Vec::new();
     for bench in all_benchmarks() {
-        let targets = direction.targets();
         let mut acc: Vec<Vec<Vec<f64>>> = vec![vec![Vec::new(); models.len()]; targets.len()];
         let mut actuals = vec![0.0f64; targets.len()];
-        for &seed in seeds {
-            let base = run_benchmark(
-                bench,
-                RunConfig {
-                    freq: direction.base(),
-                    scale,
-                    seed,
-                },
-            );
+        for _seed in seeds {
+            let base = next.next().expect("plan covers base run");
             for (ti, &target) in targets.iter().enumerate() {
-                let actual = run_benchmark(
-                    bench,
-                    RunConfig {
-                        freq: target,
-                        scale,
-                        seed,
-                    },
-                );
+                let actual = next.next().expect("plan covers target run");
                 actuals[ti] += actual.exec.as_secs() / seeds.len() as f64;
                 for (mi, model) in models.iter().enumerate() {
                     let predicted = model.predict(&base.trace, target);
@@ -115,7 +131,7 @@ pub fn collect(direction: Direction, scale: f64, seeds: &[u64]) -> Vec<Fig3Cell>
             });
         }
     }
-    cells
+    Ok(cells)
 }
 
 /// Average absolute error per model at a given target frequency.

@@ -7,7 +7,7 @@ use serde::Serialize;
 
 use super::fig3::Direction;
 use crate::report::{pct, pct_abs, TextTable};
-use crate::run::{run_benchmark, RunConfig};
+use crate::run::{ExecCtx, SimPoint, SweepPlan};
 
 /// One benchmark's Fig. 4 numbers for one direction.
 #[derive(Debug, Clone, Serialize)]
@@ -26,35 +26,44 @@ pub struct Fig4Row {
 
 /// Runs the experiment for one direction, predicting the far frequency
 /// (1 GHz ↔ 4 GHz, as the paper's Fig. 4 reports).
+///
+/// # Panics
+/// Panics if a simulated run fails; prefer [`collect_with`] in binaries.
 #[must_use]
 pub fn collect(direction: Direction, scale: f64, seeds: &[u64]) -> Vec<Fig4Row> {
+    collect_with(&ExecCtx::sequential(), direction, scale, seeds)
+        .unwrap_or_else(|e| panic!("fig4: {e}"))
+}
+
+/// Runs the experiment on `ctx`'s pool and cache.
+pub fn collect_with(
+    ctx: &ExecCtx,
+    direction: Direction,
+    scale: f64,
+    seeds: &[u64],
+) -> depburst_core::Result<Vec<Fig4Row>> {
     let per = Dep::dep_burst_per_epoch();
     let across = Dep::dep_burst();
     let target = *direction
         .targets()
         .last()
         .expect("directions have three targets");
+    let mut plan = SweepPlan::new();
+    for bench in all_benchmarks() {
+        for &seed in seeds {
+            plan.push(SimPoint::new(bench, direction.base(), scale, seed));
+            plan.push(SimPoint::new(bench, target, scale, seed));
+        }
+    }
+    let results = ctx.execute(&plan)?;
+    let mut next = results.iter();
     let mut rows = Vec::new();
     for bench in all_benchmarks() {
         let mut pe = Vec::new();
         let mut ae = Vec::new();
-        for &seed in seeds {
-            let base = run_benchmark(
-                bench,
-                RunConfig {
-                    freq: direction.base(),
-                    scale,
-                    seed,
-                },
-            );
-            let actual = run_benchmark(
-                bench,
-                RunConfig {
-                    freq: target,
-                    scale,
-                    seed,
-                },
-            );
+        for _seed in seeds {
+            let base = next.next().expect("plan covers base run");
+            let actual = next.next().expect("plan covers target run");
             pe.push(relative_error(per.predict(&base.trace, target), actual.exec));
             ae.push(relative_error(
                 across.predict(&base.trace, target),
@@ -69,7 +78,7 @@ pub fn collect(direction: Direction, scale: f64, seeds: &[u64]) -> Vec<Fig4Row> 
             across_epoch: ae.iter().sum::<f64>() / ae.len() as f64,
         });
     }
-    rows
+    Ok(rows)
 }
 
 /// Average absolute errors `(per_epoch, across_epoch)`.

@@ -9,7 +9,7 @@ use serde::Serialize;
 use simx::{Machine, MachineConfig};
 
 use crate::report::{pct, TextTable};
-use crate::run::{run_benchmark, RunConfig};
+use crate::run::{ExecCtx, SimPoint, SweepPlan};
 
 /// One benchmark's managed-run outcome.
 #[derive(Debug, Clone, Serialize)]
@@ -30,40 +30,69 @@ pub struct Fig6Row {
 
 /// Runs the max-frequency baseline for a benchmark: returns
 /// (execution seconds, energy joules).
+///
+/// # Panics
+/// Panics if the run fails; prefer [`baseline_with`] in binaries.
 #[must_use]
 pub fn baseline(bench: &Benchmark, scale: f64, seed: u64, power: &PowerModel) -> (f64, f64) {
-    let result = run_benchmark(
-        bench,
-        RunConfig {
-            freq: Freq::from_ghz(4.0),
-            scale,
-            seed,
-        },
-    );
+    baseline_with(&ExecCtx::sequential(), bench, scale, seed, power)
+        .unwrap_or_else(|e| panic!("fig6 baseline: {e}"))
+}
+
+/// The max-frequency baseline on `ctx` — a single cacheable point every
+/// energy experiment shares.
+pub fn baseline_with(
+    ctx: &ExecCtx,
+    bench: &Benchmark,
+    scale: f64,
+    seed: u64,
+    power: &PowerModel,
+) -> depburst_core::Result<(f64, f64)> {
+    let f4 = Freq::from_ghz(4.0);
+    let mut plan = SweepPlan::new();
+    let Some(bench) = dacapo_sim::benchmark(bench.name) else {
+        return Err(depburst_core::DepburstError::Machine {
+            detail: format!("unknown benchmark {}", bench.name),
+        });
+    };
+    plan.push(SimPoint::new(bench, f4, scale, seed));
+    let result = &ctx.execute(&plan)?[0];
     let cores = MachineConfig::haswell_quad().cores;
-    let energy = power.energy_of_run(
-        Freq::from_ghz(4.0),
-        result.exec,
-        result.stats.total_active(),
-        cores,
-    );
-    (result.exec.as_secs(), energy)
+    let energy = power.energy_of_run(f4, result.exec, result.total_active, cores);
+    Ok((result.exec.as_secs(), energy))
 }
 
 /// Runs one benchmark under the DEP+BURST energy manager.
+///
+/// # Panics
+/// Panics if a run fails; prefer [`managed_with`] in binaries.
 #[must_use]
 pub fn managed(bench: &Benchmark, scale: f64, seed: u64, threshold: f64) -> Fig6Row {
+    managed_with(&ExecCtx::sequential(), bench, scale, seed, threshold)
+        .unwrap_or_else(|e| panic!("fig6 managed: {e}"))
+}
+
+/// One managed run on `ctx`. The baseline is memoized; the managed run
+/// itself is not (the manager mutates frequency mid-run, so its machine
+/// is not a plain cacheable point).
+pub fn managed_with(
+    ctx: &ExecCtx,
+    bench: &Benchmark,
+    scale: f64,
+    seed: u64,
+    threshold: f64,
+) -> depburst_core::Result<Fig6Row> {
     let config = ManagerConfig::with_threshold(threshold);
-    let (base_exec, base_energy) = baseline(bench, scale, seed, &config.power);
+    let (base_exec, base_energy) = baseline_with(ctx, bench, scale, seed, &config.power)?;
 
     let mut mc = MachineConfig::haswell_quad();
     mc.initial_freq = Freq::from_ghz(4.0);
     let mut machine = Machine::new(mc);
     bench.install(&mut machine, scale, seed);
     let manager = EnergyManager::new(config, Box::new(Dep::dep_burst()));
-    let report = manager.run(&mut machine).expect("managed run completes");
+    let report = manager.run(&mut machine)?;
 
-    Fig6Row {
+    Ok(Fig6Row {
         benchmark: bench.name.to_owned(),
         class: match bench.class {
             BenchClass::Memory => "M".to_owned(),
@@ -73,15 +102,30 @@ pub fn managed(bench: &Benchmark, scale: f64, seed: u64, threshold: f64) -> Fig6
         slowdown: report.exec.as_secs() / base_exec - 1.0,
         savings: 1.0 - report.energy_j / base_energy,
         mean_ghz: report.mean_ghz(),
-    }
+    })
 }
 
 /// Runs all benchmarks at one threshold.
+///
+/// # Panics
+/// Panics if a run fails; prefer [`collect_with`] in binaries.
 #[must_use]
 pub fn collect(threshold: f64, scale: f64, seed: u64) -> Vec<Fig6Row> {
-    all_benchmarks()
-        .iter()
-        .map(|b| managed(b, scale, seed, threshold))
+    collect_with(&ExecCtx::sequential(), threshold, scale, seed)
+        .unwrap_or_else(|e| panic!("fig6: {e}"))
+}
+
+/// Runs all benchmarks at one threshold on `ctx`'s pool; managed runs
+/// execute one per worker, rows return in benchmark order.
+pub fn collect_with(
+    ctx: &ExecCtx,
+    threshold: f64,
+    scale: f64,
+    seed: u64,
+) -> depburst_core::Result<Vec<Fig6Row>> {
+    let benches: Vec<&Benchmark> = all_benchmarks().iter().collect();
+    ctx.map(benches, |b| managed_with(ctx, b, scale, seed, threshold))
+        .into_iter()
         .collect()
 }
 

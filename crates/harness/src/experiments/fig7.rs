@@ -14,7 +14,7 @@ use simx::MachineConfig;
 
 use super::fig6;
 use crate::report::{pct, TextTable};
-use crate::run::{run_benchmark, RunConfig};
+use crate::run::{ExecCtx, SimPoint, SweepPlan};
 
 /// One benchmark's Fig. 7 comparison.
 #[derive(Debug, Clone, Serialize)]
@@ -35,50 +35,92 @@ pub struct Fig7Row {
 
 /// Sweeps constant frequencies for one benchmark. `step_mhz` coarsens the
 /// ladder to bound the sweep's cost.
+///
+/// # Panics
+/// Panics if a run fails; prefer [`sweep_with`] in binaries.
 #[must_use]
 pub fn sweep(bench: &Benchmark, scale: f64, seed: u64, power: &PowerModel, step_mhz: u32) -> StaticSweep {
+    sweep_with(&ExecCtx::sequential(), bench, scale, seed, power, step_mhz)
+        .unwrap_or_else(|e| panic!("fig7 sweep: {e}"))
+}
+
+/// The constant-frequency sweep on `ctx`: every ladder point is a plain
+/// cacheable run.
+pub fn sweep_with(
+    ctx: &ExecCtx,
+    bench: &Benchmark,
+    scale: f64,
+    seed: u64,
+    power: &PowerModel,
+    step_mhz: u32,
+) -> depburst_core::Result<StaticSweep> {
     let ladder = FreqLadder::new(Freq::from_ghz(1.0), Freq::from_ghz(4.0), step_mhz)
         .expect("valid ladder");
     let cores = MachineConfig::haswell_quad().cores;
-    let points = ladder
+    let Some(bench) = dacapo_sim::benchmark(bench.name) else {
+        return Err(depburst_core::DepburstError::Machine {
+            detail: format!("unknown benchmark {}", bench.name),
+        });
+    };
+    let freqs: Vec<Freq> = ladder.iter().collect();
+    let mut plan = SweepPlan::new();
+    for &freq in &freqs {
+        plan.push(SimPoint::new(bench, freq, scale, seed));
+    }
+    let results = ctx.execute(&plan)?;
+    let points = freqs
         .iter()
-        .map(|freq| {
-            let r = run_benchmark(bench, RunConfig { freq, scale, seed });
-            StaticPoint {
-                freq,
-                exec: r.exec,
-                energy_j: power.energy_of_run(freq, r.exec, r.stats.total_active(), cores),
-            }
+        .zip(&results)
+        .map(|(&freq, r)| StaticPoint {
+            freq,
+            exec: r.exec,
+            energy_j: power.energy_of_run(freq, r.exec, r.total_active, cores),
         })
         .collect();
-    StaticSweep { points }
+    Ok(StaticSweep { points })
 }
 
 /// Runs the comparison for all benchmarks at one threshold.
+///
+/// # Panics
+/// Panics if a run fails; prefer [`collect_with`] in binaries.
 #[must_use]
 pub fn collect(threshold: f64, scale: f64, seed: u64, step_mhz: u32) -> Vec<Fig7Row> {
+    collect_with(&ExecCtx::sequential(), threshold, scale, seed, step_mhz)
+        .unwrap_or_else(|e| panic!("fig7: {e}"))
+}
+
+/// Runs the comparison on `ctx`'s pool: benchmarks fan out across
+/// workers, and each benchmark's ladder points are memoized (the 4 GHz
+/// point, for instance, is shared with the fig6 baseline).
+pub fn collect_with(
+    ctx: &ExecCtx,
+    threshold: f64,
+    scale: f64,
+    seed: u64,
+    step_mhz: u32,
+) -> depburst_core::Result<Vec<Fig7Row>> {
     let power = PowerModel::haswell_22nm();
-    all_benchmarks()
-        .iter()
-        .map(|bench| {
-            let dynamic = fig6::managed(bench, scale, seed, threshold);
-            let s = sweep(bench, scale, seed, &power, step_mhz);
-            let base = s.baseline().expect("sweep nonempty");
-            let best =
-                static_optimal(&s, Some(threshold)).expect("baseline always qualifies");
-            Fig7Row {
-                benchmark: bench.name.to_owned(),
-                class: match bench.class {
-                    BenchClass::Memory => "M".to_owned(),
-                    BenchClass::Compute => "C".to_owned(),
-                },
-                threshold,
-                dynamic_savings: dynamic.savings,
-                static_savings: 1.0 - best.energy_j / base.energy_j,
-                static_ghz: best.freq.ghz(),
-            }
+    let benches: Vec<&Benchmark> = all_benchmarks().iter().collect();
+    ctx.map(benches, |bench| {
+        let dynamic = fig6::managed_with(ctx, bench, scale, seed, threshold)?;
+        let s = sweep_with(ctx, bench, scale, seed, &power, step_mhz)?;
+        let base = s.baseline().expect("sweep nonempty");
+        let best = static_optimal(&s, Some(threshold)).expect("baseline always qualifies");
+        Ok(Fig7Row {
+            benchmark: bench.name.to_owned(),
+            class: match bench.class {
+                BenchClass::Memory => "M".to_owned(),
+                BenchClass::Compute => "C".to_owned(),
+            },
+            threshold,
+            dynamic_savings: dynamic.savings,
+            static_savings: 1.0 - best.energy_j / base.energy_j,
+            static_ghz: best.freq.ghz(),
         })
-        .collect()
+    })
+    .into_iter()
+    .collect()
 }
 
 /// Renders the table.

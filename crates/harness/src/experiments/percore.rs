@@ -15,6 +15,7 @@ use serde::Serialize;
 use simx::{Machine, MachineConfig, RunOutcome};
 
 use crate::report::{pct, TextTable};
+use crate::run::ExecCtx;
 
 /// Application threads on cores 0–2.
 const APP_MASK: u8 = 0b0111;
@@ -59,7 +60,7 @@ fn run_pinned(
     group: ScaledGroup,
     scaled: Freq,
     power: &PowerModel,
-) -> (f64, f64) {
+) -> depburst_core::Result<(f64, f64)> {
     let mut mc = MachineConfig::haswell_quad();
     mc.initial_freq = Freq::from_ghz(4.0);
     let mut machine = Machine::new(mc);
@@ -73,20 +74,16 @@ fn run_pinned(
     match group {
         ScaledGroup::None => {}
         ScaledGroup::Service => {
-            machine
-                .set_core_frequency(SERVICE_CORE, scaled)
-                .expect("clean trace at start");
+            machine.set_core_frequency(SERVICE_CORE, scaled)?;
         }
         ScaledGroup::Application => {
             for c in 0..3 {
-                machine
-                    .set_core_frequency(CoreId(c), scaled)
-                    .expect("clean trace at start");
+                machine.set_core_frequency(CoreId(c), scaled)?;
             }
         }
     }
 
-    let outcome = machine.run().expect("no deadlock");
+    let outcome = machine.run()?;
     let RunOutcome::Completed(end) = outcome else {
         unreachable!()
     };
@@ -96,7 +93,7 @@ fn run_pinned(
         .map(|c| machine.core_frequency(CoreId(c)))
         .collect();
     let energy = power.energy_of_heterogeneous_run(&freqs, exec, &stats.core_busy);
-    (exec.as_secs(), energy)
+    Ok((exec.as_secs(), energy))
 }
 
 /// Installs a benchmark with a custom runtime config (affinity overrides).
@@ -126,12 +123,27 @@ fn install_with_config(
 
 /// Runs the study for one benchmark: scale each group through the given
 /// frequencies.
+///
+/// # Panics
+/// Panics if a run fails; prefer [`collect_with`] in binaries.
 #[must_use]
 pub fn collect(bench: &Benchmark, scale: f64, seed: u64) -> Vec<PerCoreRow> {
+    collect_with(&ExecCtx::sequential(), bench, scale, seed)
+        .unwrap_or_else(|e| panic!("percore: {e}"))
+}
+
+/// Runs the study on `ctx`: the six scaled configurations fan out across
+/// workers. Pinned runs bypass the memo cache — their per-core frequency
+/// overrides are not part of a plain cacheable point.
+pub fn collect_with(
+    ctx: &ExecCtx,
+    bench: &Benchmark,
+    scale: f64,
+    seed: u64,
+) -> depburst_core::Result<Vec<PerCoreRow>> {
     let power = PowerModel::haswell_22nm();
     let f4 = Freq::from_ghz(4.0);
-    let (base_exec, base_energy) =
-        run_pinned(bench, scale, seed, ScaledGroup::None, f4, &power);
+    let (base_exec, base_energy) = run_pinned(bench, scale, seed, ScaledGroup::None, f4, &power)?;
     let mut rows = vec![PerCoreRow {
         benchmark: bench.name.to_owned(),
         group: ScaledGroup::None,
@@ -140,27 +152,28 @@ pub fn collect(bench: &Benchmark, scale: f64, seed: u64) -> Vec<PerCoreRow> {
         slowdown: 0.0,
         savings: 0.0,
     }];
+    let mut grid = Vec::new();
     for group in [ScaledGroup::Service, ScaledGroup::Application] {
         for ghz in [3.0, 2.0, 1.0] {
-            let (exec, energy) = run_pinned(
-                bench,
-                scale,
-                seed,
-                group,
-                Freq::from_ghz(ghz),
-                &power,
-            );
-            rows.push(PerCoreRow {
-                benchmark: bench.name.to_owned(),
-                group,
-                scaled_ghz: ghz,
-                exec_s: exec,
-                slowdown: exec / base_exec - 1.0,
-                savings: 1.0 - energy / base_energy,
-            });
+            grid.push((group, ghz));
         }
     }
-    rows
+    let scaled: Vec<depburst_core::Result<PerCoreRow>> = ctx.map(grid, |(group, ghz)| {
+        let (exec, energy) =
+            run_pinned(bench, scale, seed, group, Freq::from_ghz(ghz), &power)?;
+        Ok(PerCoreRow {
+            benchmark: bench.name.to_owned(),
+            group,
+            scaled_ghz: ghz,
+            exec_s: exec,
+            slowdown: exec / base_exec - 1.0,
+            savings: 1.0 - energy / base_energy,
+        })
+    });
+    for row in scaled {
+        rows.push(row?);
+    }
+    Ok(rows)
 }
 
 /// Renders one benchmark's table.

@@ -4,8 +4,10 @@
 use dacapo_sim::{all_benchmarks, BenchClass};
 use serde::Serialize;
 
+use dvfs_trace::Freq;
+
 use crate::report::{ms, pct_abs, TextTable};
-use crate::run::{run_benchmark, RunConfig};
+use crate::run::{ExecCtx, SimPoint, SweepPlan};
 
 /// One benchmark's Table I row.
 #[derive(Debug, Clone, Serialize)]
@@ -31,12 +33,25 @@ pub struct Table1Row {
 }
 
 /// Runs every benchmark at 1 GHz and collects the rows.
+///
+/// # Panics
+/// Panics if a run fails; prefer [`collect_with`] in binaries.
 #[must_use]
 pub fn collect(scale: f64) -> Vec<Table1Row> {
-    all_benchmarks()
+    collect_with(&ExecCtx::sequential(), scale).unwrap_or_else(|e| panic!("table1: {e}"))
+}
+
+/// Runs every benchmark at 1 GHz on `ctx`'s pool and collects the rows.
+pub fn collect_with(ctx: &ExecCtx, scale: f64) -> depburst_core::Result<Vec<Table1Row>> {
+    let mut plan = SweepPlan::new();
+    for b in all_benchmarks() {
+        plan.push(SimPoint::new(b, Freq::from_ghz(1.0), scale, 1));
+    }
+    let results = ctx.execute(&plan)?;
+    Ok(all_benchmarks()
         .iter()
-        .map(|b| {
-            let r = run_benchmark(b, RunConfig::at_ghz(1.0).scaled(scale));
+        .zip(&results)
+        .map(|(b, r)| {
             Table1Row {
                 name: b.name.to_owned(),
                 class: match b.class {
@@ -52,7 +67,7 @@ pub fn collect(scale: f64) -> Vec<Table1Row> {
                 paper_gc_s: b.paper.gc_ms / 1e3,
             }
         })
-        .collect()
+        .collect())
 }
 
 /// Renders the comparison table.

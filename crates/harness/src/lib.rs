@@ -17,8 +17,12 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod cache;
+pub mod cli;
 pub mod experiments;
+pub mod pool;
 pub mod report;
 pub mod run;
 
-pub use run::{run_benchmark, RunConfig, RunResult};
+pub use cache::{sim_key, CacheStats, SimCache, SimKey};
+pub use run::{run_benchmark, ExecCtx, RunConfig, RunResult, RunSummary, SimPoint, SweepPlan};

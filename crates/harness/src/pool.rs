@@ -1,0 +1,164 @@
+//! A hand-rolled work-stealing thread pool for experiment sweeps.
+//!
+//! The vendored dependency shims are no-ops, so there is no `rayon` here —
+//! just `std::thread::scope`. Each worker owns a deque of item indices,
+//! pops from its own front, and steals from a victim's back when it runs
+//! dry. Results land in per-index slots, so the output order is always the
+//! input order regardless of which worker finished what when — the
+//! determinism contract every experiment report relies on.
+//!
+//! With `jobs <= 1` (or a single item) no threads are spawned at all and
+//! the items are mapped in place, reproducing the historical sequential
+//! runner exactly.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The number of workers to use when the caller does not say: the
+/// machine's available parallelism (1 if it cannot be determined).
+#[must_use]
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism().map_or(1, usize::from)
+}
+
+/// Resolves a jobs request: `Some(n)` is clamped to at least 1, `None`
+/// falls back to the `DEPBURST_JOBS` environment variable and then to
+/// [`default_jobs`].
+#[must_use]
+pub fn resolve_jobs(requested: Option<usize>) -> usize {
+    match requested {
+        Some(n) => n.max(1),
+        None => std::env::var("DEPBURST_JOBS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .map_or_else(default_jobs, |n| n.max(1)),
+    }
+}
+
+/// Maps `f` over `items` on up to `jobs` workers, returning the results
+/// in input order. `f` must be a pure function of its item (it runs once
+/// per item, on an arbitrary worker).
+pub fn map<T, R, F>(items: Vec<T>, jobs: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    if jobs <= 1 || n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let workers = jobs.min(n);
+
+    // Item and result slots, indexed by input position.
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let completed = AtomicUsize::new(0);
+
+    // Deal indices round-robin so neighbouring (similar-cost) points
+    // spread across workers.
+    let queues: Vec<Mutex<VecDeque<usize>>> = (0..workers)
+        .map(|w| Mutex::new((w..n).step_by(workers).collect()))
+        .collect();
+
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let queues = &queues;
+            let slots = &slots;
+            let results = &results;
+            let completed = &completed;
+            let f = &f;
+            scope.spawn(move || loop {
+                // Own queue first (front), then steal from victims (back).
+                let mut idx = queues[w].lock().expect("queue lock").pop_front();
+                if idx.is_none() {
+                    for v in 1..workers {
+                        let victim = (w + v) % workers;
+                        idx = queues[victim].lock().expect("queue lock").pop_back();
+                        if idx.is_some() {
+                            break;
+                        }
+                    }
+                }
+                match idx {
+                    Some(i) => {
+                        let item = slots[i]
+                            .lock()
+                            .expect("slot lock")
+                            .take()
+                            .expect("item taken once");
+                        let r = f(item);
+                        *results[i].lock().expect("result lock") = Some(r);
+                        completed.fetch_add(1, Ordering::SeqCst);
+                    }
+                    None => {
+                        if completed.load(Ordering::SeqCst) >= n {
+                            break;
+                        }
+                        // Another worker still holds in-flight items that
+                        // cannot be stolen; wait for it to finish or to
+                        // push nothing more.
+                        std::thread::yield_now();
+                    }
+                }
+            });
+        }
+    });
+
+    results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result lock")
+                .expect("every index completed")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_and_parallel_agree_in_order() {
+        let items: Vec<u64> = (0..57).collect();
+        let seq = map(items.clone(), 1, |x| x * x + 1);
+        for jobs in [2, 4, 9] {
+            let par = map(items.clone(), jobs, |x| x * x + 1);
+            assert_eq!(seq, par, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn handles_empty_and_single() {
+        assert_eq!(map(Vec::<u32>::new(), 4, |x| x), Vec::<u32>::new());
+        assert_eq!(map(vec![7], 4, |x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn more_workers_than_items() {
+        let out = map(vec![1, 2, 3], 16, |x| x * 10);
+        assert_eq!(out, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn uneven_work_still_ordered() {
+        // Make early items slow so stealing actually happens.
+        let items: Vec<u64> = (0..32).collect();
+        let out = map(items, 4, |x| {
+            if x < 4 {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+            x
+        });
+        assert_eq!(out, (0..32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn resolve_jobs_clamps_and_defaults() {
+        assert_eq!(resolve_jobs(Some(0)), 1);
+        assert_eq!(resolve_jobs(Some(3)), 3);
+        assert!(resolve_jobs(None) >= 1);
+    }
+}

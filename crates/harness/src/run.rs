@@ -1,9 +1,18 @@
 //! Single-run plumbing: install a benchmark, run it at a frequency, and
-//! harvest everything the experiments need.
+//! harvest everything the experiments need — plus the [`SweepPlan`] →
+//! [`ExecCtx::execute`] machinery every experiment drives its grid
+//! through: points execute on the work-stealing pool, results come back
+//! in plan order, and identical points are memoized via [`SimCache`].
+
+use std::sync::Arc;
 
 use dacapo_sim::Benchmark;
 use dvfs_trace::{ExecutionTrace, Freq, TimeDelta};
+use serde::{Deserialize, Serialize};
 use simx::{Machine, MachineConfig, RunOutcome, RunStats};
+
+use crate::cache::{sim_key, SimCache};
+use crate::pool;
 
 /// Parameters of one benchmark run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -59,32 +68,205 @@ pub struct RunResult {
     pub stats: RunStats,
 }
 
-/// Runs `bench` to completion under `config` and returns the results.
-///
-/// # Panics
-/// Panics if the simulated program deadlocks (a bug in the runtime or
-/// workload model).
-#[must_use]
-pub fn run_benchmark(bench: &Benchmark, config: RunConfig) -> RunResult {
+/// The cacheable essence of a [`RunResult`]: everything the experiments
+/// consume from a plain (unmanaged, whole-chip) run, in a serializable
+/// form. `RunStats` itself does not persist — the only statistic the
+/// figures need from it is the total active time, captured here.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunSummary {
+    /// Wall-clock execution time.
+    pub exec: TimeDelta,
+    /// Time inside stop-the-world collections.
+    pub gc_time: TimeDelta,
+    /// Nursery collections performed.
+    pub gc_count: u64,
+    /// Bytes allocated by the application.
+    pub allocated: u64,
+    /// Summed scheduled time over all threads (drives the energy model).
+    pub total_active: TimeDelta,
+    /// The full execution trace (input to the predictors).
+    pub trace: ExecutionTrace,
+}
+
+impl RunResult {
+    /// Condenses the result into its cacheable summary.
+    #[must_use]
+    pub fn summarize(&self) -> RunSummary {
+        RunSummary {
+            exec: self.exec,
+            gc_time: self.gc_time,
+            gc_count: self.gc_count,
+            allocated: self.allocated,
+            total_active: self.stats.total_active(),
+            trace: self.trace.clone(),
+        }
+    }
+}
+
+/// Runs `bench` to completion under `config`, reporting simulator
+/// failures (deadlock, protocol violation) as errors.
+pub fn try_run_benchmark(
+    bench: &Benchmark,
+    config: RunConfig,
+) -> depburst_core::Result<RunResult> {
     let mut mc = MachineConfig::haswell_quad();
     mc.initial_freq = config.freq;
     let mut machine = Machine::new(mc);
     let runtime = bench.install(&mut machine, config.scale, config.seed);
-    let outcome = machine
-        .run()
-        .unwrap_or_else(|e| panic!("{}: {e}", bench.name));
+    let outcome = machine.run()?;
     let RunOutcome::Completed(end) = outcome else {
         unreachable!("run() only returns at completion");
     };
     let trace = machine.harvest_trace();
     debug_assert!(trace.validate().is_ok(), "{:?}", trace.validate());
-    RunResult {
+    Ok(RunResult {
         exec: end.since(dvfs_trace::Time::ZERO),
         gc_time: trace.gc_time(),
         gc_count: runtime.gc_count(),
         allocated: runtime.total_allocated(),
         trace,
         stats: machine.stats(),
+    })
+}
+
+/// Runs `bench` to completion under `config` and returns the results.
+///
+/// # Panics
+/// Panics if the simulated program deadlocks (a bug in the runtime or
+/// workload model). Experiments route through [`ExecCtx`] instead, which
+/// propagates the error.
+#[must_use]
+pub fn run_benchmark(bench: &Benchmark, config: RunConfig) -> RunResult {
+    try_run_benchmark(bench, config).unwrap_or_else(|e| panic!("{}: {e}", bench.name))
+}
+
+/// One point of an experiment grid: a benchmark at a frequency, scale,
+/// and seed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimPoint {
+    /// The benchmark to run.
+    pub bench: &'static Benchmark,
+    /// The run parameters.
+    pub config: RunConfig,
+}
+
+impl SimPoint {
+    /// Builds the point's run configuration grid entry.
+    #[must_use]
+    pub fn new(bench: &'static Benchmark, freq: Freq, scale: f64, seed: u64) -> Self {
+        SimPoint {
+            bench,
+            config: RunConfig { freq, scale, seed },
+        }
+    }
+}
+
+/// An experiment's (benchmark × frequency × seed) grid, in the order the
+/// experiment will consume the results. Duplicated points are fine — the
+/// memo cache collapses them to one simulation.
+#[derive(Debug, Clone, Default)]
+pub struct SweepPlan {
+    /// The points, in consumption order.
+    pub points: Vec<SimPoint>,
+}
+
+impl SweepPlan {
+    /// An empty plan.
+    #[must_use]
+    pub fn new() -> Self {
+        SweepPlan { points: Vec::new() }
+    }
+
+    /// Appends a point and returns its index in the result vector.
+    pub fn push(&mut self, point: SimPoint) -> usize {
+        self.points.push(point);
+        self.points.len() - 1
+    }
+}
+
+/// The execution context experiments run under: how many pool workers to
+/// use and the simulation memo shared by every plan executed through it.
+#[derive(Debug)]
+pub struct ExecCtx {
+    /// Pool width. 1 = run points in place, exactly like the historical
+    /// sequential harness.
+    pub jobs: usize,
+    /// The simulation memo.
+    pub cache: SimCache,
+}
+
+impl ExecCtx {
+    /// A context with `jobs` workers and a fresh in-memory cache.
+    #[must_use]
+    pub fn new(jobs: usize) -> Self {
+        ExecCtx {
+            jobs: jobs.max(1),
+            cache: SimCache::in_memory(),
+        }
+    }
+
+    /// The historical sequential harness: one worker, in-memory cache.
+    #[must_use]
+    pub fn sequential() -> Self {
+        Self::new(1)
+    }
+
+    /// The context the binaries use: `requested` jobs (falling back to
+    /// `DEPBURST_JOBS`, then to the machine's parallelism) and cache
+    /// persistence per `DEPBURST_CACHE`.
+    #[must_use]
+    pub fn from_env(requested: Option<usize>) -> Self {
+        ExecCtx {
+            jobs: pool::resolve_jobs(requested),
+            cache: SimCache::from_env(),
+        }
+    }
+
+    /// Executes every point of `plan` — memoized, on up to
+    /// [`jobs`](ExecCtx::jobs) workers — and returns the summaries in plan
+    /// order. The output is a pure function of the plan: neither the
+    /// worker count nor the cache temperature can change it.
+    pub fn execute(&self, plan: &SweepPlan) -> depburst_core::Result<Vec<Arc<RunSummary>>> {
+        // `DEPBURST_TRACE_POINTS=1` logs every point with its key and
+        // wall-clock to stderr — the first tool to reach for when a sweep
+        // stalls or the cache misses unexpectedly.
+        let tracing = std::env::var_os("DEPBURST_TRACE_POINTS").is_some();
+        let outcomes = pool::map(plan.points.clone(), self.jobs, |point| {
+            let mut mc = MachineConfig::haswell_quad();
+            mc.initial_freq = point.config.freq;
+            let key = sim_key(point.bench, &mc, None, point.config.scale, point.config.seed);
+            let t0 = std::time::Instant::now();
+            let out = self.cache.get_or_compute(key, || {
+                if tracing {
+                    eprintln!("  {}: miss, simulating", key.hex());
+                }
+                try_run_benchmark(point.bench, point.config).map(|r| r.summarize())
+            });
+            if tracing {
+                eprintln!(
+                    "point {} @ {} seed {} [{}] in {:.3}s",
+                    point.bench.name,
+                    point.config.freq,
+                    point.config.seed,
+                    key.hex(),
+                    t0.elapsed().as_secs_f64()
+                );
+            }
+            out
+        });
+        outcomes.into_iter().collect()
+    }
+
+    /// Maps `f` over `items` on this context's pool, preserving input
+    /// order. For experiment stages that are not plain cacheable runs
+    /// (managed-machine runs, per-core pinned runs).
+    pub fn map<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        pool::map(items, self.jobs, f)
     }
 }
 
@@ -105,5 +287,38 @@ mod tests {
         assert!(result.gc_time > TimeDelta::ZERO);
         assert!(result.allocated > 0);
         result.trace.validate().expect("valid trace");
+    }
+
+    #[test]
+    fn execute_is_ordered_and_memoized() {
+        let bench = benchmark("lusearch").expect("exists");
+        let mut plan = SweepPlan::new();
+        let f2 = Freq::from_ghz(2.0);
+        let f4 = Freq::from_ghz(4.0);
+        plan.push(SimPoint::new(bench, f2, 0.02, 1));
+        plan.push(SimPoint::new(bench, f4, 0.02, 1));
+        plan.push(SimPoint::new(bench, f2, 0.02, 1)); // duplicate of [0]
+        let ctx = ExecCtx::new(2);
+        let results = ctx.execute(&plan).expect("runs complete");
+        assert_eq!(results.len(), 3);
+        assert_eq!(results[0], results[2], "duplicate point, same summary");
+        assert_ne!(results[0].exec, results[1].exec, "frequencies differ");
+        let stats = ctx.cache.stats();
+        assert_eq!(stats.misses, 2, "two unique points");
+        // Re-executing the same plan is all hits.
+        let again = ctx.execute(&plan).expect("runs complete");
+        assert_eq!(again, results);
+        assert_eq!(ctx.cache.stats().misses, 2);
+    }
+
+    #[test]
+    fn summary_matches_result() {
+        let bench = benchmark("sunflow").expect("exists");
+        let config = RunConfig::at_ghz(1.0).scaled(0.02);
+        let r = try_run_benchmark(bench, config).expect("completes");
+        let s = r.summarize();
+        assert_eq!(s.exec, r.exec);
+        assert_eq!(s.total_active, r.stats.total_active());
+        assert_eq!(s.trace, r.trace);
     }
 }

@@ -1,0 +1,78 @@
+//! Differential determinism test: the parallel runner must be
+//! bit-for-bit indistinguishable from the historical sequential harness,
+//! and a warm cache — in-memory or replayed from disk by a fresh
+//! context — must not change a single byte of output.
+//!
+//! One test shares the simulated points across all four comparisons so
+//! the suite simulates each (benchmark, frequency) point at most twice.
+
+use harness::experiments::fig1;
+use harness::{ExecCtx, SimCache};
+
+const SCALE: f64 = 0.01;
+const SEEDS: [u64; 1] = [1];
+
+fn fig1_report(ctx: &ExecCtx) -> String {
+    let (rows, cells) = fig1::run_with(ctx, SCALE, &SEEDS).expect("fig1 succeeds");
+    let mut out = fig1::render(&rows);
+    out.push('\n');
+    out.push_str(&serde_json::to_string_pretty(&rows).expect("rows serialize"));
+    out.push('\n');
+    out.push_str(&serde_json::to_string_pretty(&cells).expect("cells serialize"));
+    out
+}
+
+#[test]
+fn fig1_is_byte_identical_across_jobs_and_cache_states() {
+    let dir = std::env::temp_dir().join(format!("depburst-diff-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // jobs=1, in-memory cache: the historical sequential harness.
+    let sequential = fig1_report(&ExecCtx::sequential());
+
+    // jobs=4, persisting every computed point to `dir`.
+    let par_ctx = ExecCtx {
+        jobs: 4,
+        cache: SimCache::persistent(&dir),
+    };
+    let parallel = fig1_report(&par_ctx);
+    assert_eq!(
+        sequential, parallel,
+        "jobs=4 produced different bytes than jobs=1"
+    );
+    let cold = par_ctx.cache.stats();
+    assert!(cold.misses > 0, "cold pass must simulate");
+
+    // Same context again: every point now served from the in-process memo.
+    let warm = fig1_report(&par_ctx);
+    let stats = par_ctx.cache.stats();
+    assert_eq!(parallel, warm, "warm cache changed the report bytes");
+    assert_eq!(
+        stats.misses, cold.misses,
+        "warm pass must not simulate anything new"
+    );
+    assert!(
+        stats.memory_hits > cold.memory_hits,
+        "warm pass must be served from the memo"
+    );
+
+    // A brand-new context sharing only the directory must replay the
+    // whole figure from disk, byte-identical, without simulating.
+    let replay_ctx = ExecCtx {
+        jobs: 2,
+        cache: SimCache::persistent(&dir),
+    };
+    let replayed = fig1_report(&replay_ctx);
+    let replay_stats = replay_ctx.cache.stats();
+    assert_eq!(
+        sequential, replayed,
+        "disk-replayed report differs from the computed one"
+    );
+    assert_eq!(
+        replay_stats.misses, 0,
+        "persisted envelopes must satisfy every point"
+    );
+    assert!(replay_stats.disk_hits > 0);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,161 @@
+//! Property tests over the simulation memo key: every input that can
+//! change a run's result must change the key (injectivity over sampled
+//! perturbations), and inputs that provably cannot change the result —
+//! inert fault configurations — must collapse onto one key.
+
+use std::collections::HashSet;
+
+use dvfs_trace::Freq;
+use harness::sim_key;
+use proptest::prelude::*;
+use simx::{FaultClass, FaultConfig, MachineConfig};
+
+fn base_machine() -> MachineConfig {
+    let mut mc = MachineConfig::haswell_quad();
+    mc.initial_freq = Freq::from_ghz(1.0);
+    mc
+}
+
+fn bench(name: &str) -> &'static dacapo_sim::Benchmark {
+    dacapo_sim::benchmark(name).expect("known benchmark")
+}
+
+#[test]
+fn key_is_injective_over_the_experiment_grid() {
+    // The exact grid the experiments sweep: benchmark × frequency × seed
+    // (× scale). Every cell must land on a distinct key.
+    let mut seen = HashSet::new();
+    let mut n = 0usize;
+    for b in dacapo_sim::all_benchmarks() {
+        for ghz in [1.0, 2.0, 3.0, 4.0] {
+            for seed in 1..=4u64 {
+                for scale in [0.02, 0.05, 1.0] {
+                    let mut mc = MachineConfig::haswell_quad();
+                    mc.initial_freq = Freq::from_ghz(ghz);
+                    assert!(
+                        seen.insert(sim_key(b, &mc, None, scale, seed).0),
+                        "collision at {} {ghz} GHz seed {seed} scale {scale}",
+                        b.name
+                    );
+                    n += 1;
+                }
+            }
+        }
+    }
+    assert_eq!(seen.len(), n);
+}
+
+#[test]
+fn key_distinguishes_every_machine_field_perturbation() {
+    let b = bench("lusearch");
+    let base = sim_key(b, &base_machine(), None, 0.05, 1).0;
+
+    let perturbations: Vec<(&str, MachineConfig)> = vec![
+        ("initial_freq", {
+            let mut m = base_machine();
+            m.initial_freq = Freq::from_mhz(1001);
+            m
+        }),
+        ("cores", {
+            let mut m = base_machine();
+            m.cores -= 1;
+            m
+        }),
+        ("l1d capacity", {
+            let mut m = base_machine();
+            m.l1d.capacity *= 2;
+            m
+        }),
+        ("l2 latency", {
+            let mut m = base_machine();
+            m.l2.latency_cycles += 1;
+            m
+        }),
+        ("l3 associativity", {
+            let mut m = base_machine();
+            m.l3.associativity *= 2;
+            m
+        }),
+        ("dram banks", {
+            let mut m = base_machine();
+            m.dram.banks += 1;
+            m
+        }),
+        ("store queue", {
+            let mut m = base_machine();
+            m.store_queue_entries += 1;
+            m
+        }),
+    ];
+    let mut keys = HashSet::new();
+    keys.insert(base);
+    for (what, m) in perturbations {
+        assert!(
+            keys.insert(sim_key(b, &m, None, 0.05, 1).0),
+            "perturbing {what} did not change the key"
+        );
+    }
+}
+
+#[test]
+fn inert_faults_collapse_and_active_faults_split() {
+    let b = bench("sunflow");
+    let mc = base_machine();
+    let no_fault = sim_key(b, &mc, None, 0.05, 1).0;
+
+    // Inert configs are documented bit-identical to running with no
+    // injector at all, whatever their seed: one key for all of them.
+    for seed in [0u64, 1, 7, u64::MAX] {
+        let inert = FaultConfig::none(seed);
+        assert_eq!(
+            no_fault,
+            sim_key(b, &mc, Some(&inert), 0.05, 1).0,
+            "inert fault with seed {seed} must share the fault-free key"
+        );
+    }
+
+    // A non-inert config must split by class, intensity, and seed.
+    let mut keys = HashSet::new();
+    keys.insert(no_fault);
+    for class in FaultClass::ALL {
+        for intensity in [0.1, 0.5] {
+            for seed in [1u64, 2] {
+                let fault = FaultConfig::single(class, intensity, seed);
+                assert!(
+                    keys.insert(sim_key(b, &mc, Some(&fault), 0.05, 1).0),
+                    "active fault {class:?} intensity {intensity} seed {seed} collided"
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Random (frequency, scale, seed) triples never collide with each
+    /// other (distinct inputs) nor agree by accident: the key is a pure
+    /// function of its inputs.
+    #[test]
+    fn sampled_points_hash_consistently(
+        mhz in 500u32..5000,
+        scale_milli in 1u32..2000,
+        seed in 0u64..1_000_000,
+    ) {
+        let b = bench("xalan");
+        let mut mc = MachineConfig::haswell_quad();
+        mc.initial_freq = Freq::from_mhz(mhz);
+        let scale = f64::from(scale_milli) / 1000.0;
+        let k1 = sim_key(b, &mc, None, scale, seed).0;
+        let k2 = sim_key(b, &mc, None, scale, seed).0;
+        prop_assert_eq!(k1, k2, "key must be deterministic");
+
+        // Nudging any one coordinate moves the key.
+        let mut mc2 = mc.clone();
+        mc2.initial_freq = Freq::from_mhz(mhz + 1);
+        prop_assert!(sim_key(b, &mc2, None, scale, seed).0 != k1);
+        prop_assert!(sim_key(b, &mc, None, scale + 1.0/1024.0, seed).0 != k1);
+        prop_assert!(sim_key(b, &mc, None, scale, seed ^ 1).0 != k1);
+        prop_assert!(sim_key(bench("pmd"), &mc, None, scale, seed).0 != k1);
+    }
+}

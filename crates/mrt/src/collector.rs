@@ -7,7 +7,7 @@
 //! under a futex mutex — the fine-grained service-thread synchronisation
 //! the paper identifies as a key obstacle for naive DVFS predictors.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use dvfs_trace::PhaseKind;
 use simx::mem::AccessPattern;
@@ -208,7 +208,7 @@ enum CoordMode {
 
 /// The GC coordinator program (worker 0).
 pub struct CoordinatorProgram {
-    shared: Rc<RuntimeShared>,
+    shared: Arc<RuntimeShared>,
     mode: CoordMode,
     full_gc: bool,
     seed: u64,
@@ -224,7 +224,7 @@ impl std::fmt::Debug for CoordinatorProgram {
 
 impl CoordinatorProgram {
     /// Creates the coordinator.
-    pub fn new(shared: Rc<RuntimeShared>) -> Self {
+    pub fn new(shared: Arc<RuntimeShared>) -> Self {
         CoordinatorProgram {
             shared,
             mode: CoordMode::Doorbell,
@@ -372,7 +372,7 @@ enum WorkerMode {
 
 /// A plain GC worker program (workers 1..n).
 pub struct WorkerProgram {
-    shared: Rc<RuntimeShared>,
+    shared: Arc<RuntimeShared>,
     mode: WorkerMode,
     seed: u64,
     /// Collection generation (worker_word value) this worker last served —
@@ -390,7 +390,7 @@ impl std::fmt::Debug for WorkerProgram {
 
 impl WorkerProgram {
     /// Creates worker `ordinal` (1-based).
-    pub fn new(shared: Rc<RuntimeShared>, ordinal: u32) -> Self {
+    pub fn new(shared: Arc<RuntimeShared>, ordinal: u32) -> Self {
         WorkerProgram {
             shared,
             mode: WorkerMode::Idle,

@@ -1,12 +1,11 @@
 //! Shared runtime control state: GC phase machine, futexes, application
 //! locks and barriers.
 //!
-//! All simulated threads hold an `Rc<RuntimeShared>`. The *values* here are
-//! the "user-space memory" of the runtime; the kernel-visible
+//! All simulated threads hold an `Arc<RuntimeShared>`. The *values* here
+//! are the "user-space memory" of the runtime; the kernel-visible
 //! synchronisation goes through the futexes registered on the machine,
 //! exactly mirroring how a pthreads-based JVM behaves (paper §III-B).
 
-use std::cell::{Cell, RefCell};
 use std::collections::VecDeque;
 
 use simx::program::{FutexId, SharedWord};
@@ -14,6 +13,7 @@ use simx::Machine;
 
 use crate::config::RuntimeConfig;
 use crate::heap::HeapState;
+use crate::sync::{SyncCell, SyncRefCell};
 
 /// The collector phase.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -89,9 +89,9 @@ impl FutexMutex {
 #[derive(Debug)]
 pub struct AppBarrier {
     /// Threads expected at the barrier.
-    pub parties: Cell<u32>,
+    pub parties: SyncCell<u32>,
     /// Threads arrived so far this generation.
-    pub arrived: Cell<u32>,
+    pub arrived: SyncCell<u32>,
     /// Generation counter (the futex word mirrors it).
     pub word: SharedWord,
     /// Kernel futex id.
@@ -103,8 +103,8 @@ impl AppBarrier {
     pub fn new(machine: &mut Machine, parties: u32) -> Self {
         let (futex, word) = machine.register_futex(0);
         AppBarrier {
-            parties: Cell::new(parties),
-            arrived: Cell::new(0),
+            parties: SyncCell::new(parties),
+            arrived: SyncCell::new(0),
             word,
             futex,
         }
@@ -161,16 +161,16 @@ pub struct RuntimeShared {
     /// Static configuration.
     pub config: RuntimeConfig,
     /// Heap occupancy.
-    pub heap: RefCell<HeapState>,
+    pub heap: SyncRefCell<HeapState>,
 
     /// Collector phase.
-    pub phase: Cell<GcPhase>,
+    pub phase: SyncCell<GcPhase>,
     /// Live (not exited) mutators.
-    pub mutators_total: Cell<u32>,
+    pub mutators_total: SyncCell<u32>,
     /// Mutators stopped at a safepoint.
-    pub mutators_stopped: Cell<u32>,
+    pub mutators_stopped: SyncCell<u32>,
     /// Mutators blocked in safepoint-safe waits (locks/barriers/sleeps).
-    pub mutators_safe: Cell<u32>,
+    pub mutators_safe: SyncCell<u32>,
 
     /// World futex: mutators sleep here during a collection; the word is
     /// the GC generation.
@@ -194,9 +194,9 @@ pub struct RuntimeShared {
     /// Lock protecting the GC work-packet queue.
     pub queue_lock: FutexMutex,
     /// Pending collector work.
-    pub packets: RefCell<VecDeque<GcPacket>>,
+    pub packets: SyncRefCell<VecDeque<GcPacket>>,
     /// Workers (incl. coordinator) that drained the queue this collection.
-    pub workers_done: Cell<u32>,
+    pub workers_done: SyncCell<u32>,
 
     /// Application mutexes, indexed by `Step::Lock`.
     pub app_locks: Vec<FutexMutex>,
@@ -204,7 +204,7 @@ pub struct RuntimeShared {
     pub app_barriers: Vec<AppBarrier>,
 
     /// Wall-time statistics: completed collections' survivor bytes.
-    pub bytes_copied: Cell<u64>,
+    pub bytes_copied: SyncCell<u64>,
 }
 
 impl RuntimeShared {
@@ -229,11 +229,11 @@ impl RuntimeShared {
             .collect();
         RuntimeShared {
             config,
-            heap: RefCell::new(heap),
-            phase: Cell::new(GcPhase::Running),
-            mutators_total: Cell::new(mutators),
-            mutators_stopped: Cell::new(0),
-            mutators_safe: Cell::new(0),
+            heap: SyncRefCell::new(heap),
+            phase: SyncCell::new(GcPhase::Running),
+            mutators_total: SyncCell::new(mutators),
+            mutators_stopped: SyncCell::new(0),
+            mutators_safe: SyncCell::new(0),
             world_futex,
             world_word,
             coord_futex,
@@ -243,11 +243,11 @@ impl RuntimeShared {
             done_futex,
             done_word,
             queue_lock,
-            packets: RefCell::new(VecDeque::new()),
-            workers_done: Cell::new(0),
+            packets: SyncRefCell::new(VecDeque::new()),
+            workers_done: SyncCell::new(0),
             app_locks,
             app_barriers,
-            bytes_copied: Cell::new(0),
+            bytes_copied: SyncCell::new(0),
         }
     }
 

@@ -6,7 +6,7 @@
 //! once its budget is spent. Its timer wakeups still create the
 //! application/service-thread epoch boundaries DEP must handle.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use simx::program::{Action, ProgContext, ThreadProgram};
 use simx::WorkItem;
@@ -18,7 +18,7 @@ const SLICES: u64 = 24;
 
 /// The JIT service-thread program.
 pub struct JitProgram {
-    shared: Rc<RuntimeShared>,
+    shared: Arc<RuntimeShared>,
     remaining: u64,
     sleeping: bool,
 }
@@ -33,7 +33,7 @@ impl std::fmt::Debug for JitProgram {
 
 impl JitProgram {
     /// Creates the JIT thread program.
-    pub fn new(shared: Rc<RuntimeShared>) -> Self {
+    pub fn new(shared: Arc<RuntimeShared>) -> Self {
         let remaining = shared.config.jit_budget_instructions;
         JitProgram {
             shared,
@@ -76,7 +76,7 @@ mod tests {
         let mut machine = Machine::new(MachineConfig::haswell_quad());
         let mut config = RuntimeConfig::with_heap(64 << 20);
         config.jit_budget_instructions = 100;
-        let shared = Rc::new(RuntimeShared::new(&mut machine, config, 1, 0, &[]));
+        let shared = Arc::new(RuntimeShared::new(&mut machine, config, 1, 0, &[]));
         let mut jit = JitProgram::new(shared);
         let mut ctx = ProgContext {
             now: Time::ZERO,

@@ -31,6 +31,7 @@ mod heap;
 mod jit;
 mod mutator;
 mod runtime;
+pub mod sync;
 
 pub use config::{AddressMap, RuntimeConfig};
 pub use control::{GcPhase, RuntimeShared};

@@ -2,7 +2,7 @@
 //! step stream, nursery allocation with zero-initialisation, and
 //! futex-based locks/barriers/sleeps.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use dvfs_trace::{Time, TimeDelta};
 use simx::mem::AccessPattern;
@@ -49,12 +49,12 @@ pub enum Step {
 /// simulated work) — the mutator polls safepoints between steps, so very
 /// long steps delay collections, just like missing safepoint polls in a
 /// real VM.
-pub trait WorkSource: 'static {
+pub trait WorkSource: Send + 'static {
     /// The next step, or `None` when the thread is done.
     fn next_step(&mut self, ctx: &StepContext) -> Option<Step>;
 }
 
-impl<F: FnMut(&StepContext) -> Option<Step> + 'static> WorkSource for F {
+impl<F: FnMut(&StepContext) -> Option<Step> + Send + 'static> WorkSource for F {
     fn next_step(&mut self, ctx: &StepContext) -> Option<Step> {
         self(ctx)
     }
@@ -98,7 +98,7 @@ enum SafeKind {
 
 /// The program driving one application thread.
 pub struct MutatorProgram {
-    shared: Rc<RuntimeShared>,
+    shared: Arc<RuntimeShared>,
     source: Box<dyn WorkSource>,
     mode: Mode,
     pending: Option<Step>,
@@ -117,7 +117,7 @@ impl std::fmt::Debug for MutatorProgram {
 
 impl MutatorProgram {
     /// Creates the program. `ordinal` distinguishes this mutator's seeds.
-    pub fn new(shared: Rc<RuntimeShared>, source: Box<dyn WorkSource>, ordinal: u32) -> Self {
+    pub fn new(shared: Arc<RuntimeShared>, source: Box<dyn WorkSource>, ordinal: u32) -> Self {
         MutatorProgram {
             shared,
             source,

@@ -1,6 +1,6 @@
 //! Wiring the managed runtime onto a machine.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use dvfs_trace::ThreadRole;
 use simx::{Machine, SpawnRequest};
@@ -16,7 +16,7 @@ use crate::mutator::{MutatorProgram, WorkSource};
 /// thread.
 #[derive(Debug)]
 pub struct ManagedRuntime {
-    shared: Rc<RuntimeShared>,
+    shared: Arc<RuntimeShared>,
 }
 
 impl ManagedRuntime {
@@ -34,7 +34,7 @@ impl ManagedRuntime {
         app_barriers: &[u32],
     ) -> Self {
         let mutators = sources.len() as u32;
-        let shared = Rc::new(RuntimeShared::new(
+        let shared = Arc::new(RuntimeShared::new(
             machine,
             config,
             mutators,
@@ -93,7 +93,7 @@ impl ManagedRuntime {
 
     /// The shared runtime state (heap statistics, GC counters).
     #[must_use]
-    pub fn shared(&self) -> &Rc<RuntimeShared> {
+    pub fn shared(&self) -> &Arc<RuntimeShared> {
         &self.shared
     }
 

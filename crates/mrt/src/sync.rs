@@ -1,0 +1,81 @@
+//! `Sync` cell wrappers for the runtime's shared "user-space memory".
+//!
+//! The simulated runtime is cooperatively scheduled: exactly one simulated
+//! thread mutates this state at a time, driven by a single-threaded event
+//! loop. Historically that let the state live in `Cell`/`RefCell` behind an
+//! `Rc`. The experiment pool, however, moves whole machines between OS
+//! worker threads, which requires every captured structure to be `Send` —
+//! so the cells are wrapped in mutexes. Contention is impossible (one OS
+//! thread drives one machine), making every lock uncontended; the wrappers
+//! keep the `Cell`/`RefCell` method names so runtime code reads unchanged.
+
+use std::sync::{Mutex, MutexGuard};
+
+/// A `Sync` replacement for `Cell<T>`: `get`/`set` on a `Copy` value.
+#[derive(Debug, Default)]
+pub struct SyncCell<T: Copy>(Mutex<T>);
+
+impl<T: Copy> SyncCell<T> {
+    /// A cell holding `value`.
+    pub fn new(value: T) -> Self {
+        SyncCell(Mutex::new(value))
+    }
+
+    /// Reads the value.
+    pub fn get(&self) -> T {
+        *self.0.lock().expect("SyncCell poisoned")
+    }
+
+    /// Writes the value.
+    pub fn set(&self, value: T) {
+        *self.0.lock().expect("SyncCell poisoned") = value;
+    }
+}
+
+/// A `Sync` replacement for `RefCell<T>`: `borrow`/`borrow_mut` guards.
+#[derive(Debug, Default)]
+pub struct SyncRefCell<T>(Mutex<T>);
+
+impl<T> SyncRefCell<T> {
+    /// A cell holding `value`.
+    pub fn new(value: T) -> Self {
+        SyncRefCell(Mutex::new(value))
+    }
+
+    /// Immutably borrows the value (the guard derefs like `Ref`).
+    pub fn borrow(&self) -> MutexGuard<'_, T> {
+        self.0.lock().expect("SyncRefCell poisoned")
+    }
+
+    /// Mutably borrows the value (the guard derefs like `RefMut`).
+    pub fn borrow_mut(&self) -> MutexGuard<'_, T> {
+        self.0.lock().expect("SyncRefCell poisoned")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cell_roundtrip() {
+        let c = SyncCell::new(7u32);
+        assert_eq!(c.get(), 7);
+        c.set(9);
+        assert_eq!(c.get(), 9);
+    }
+
+    #[test]
+    fn refcell_roundtrip() {
+        let c = SyncRefCell::new(vec![1, 2]);
+        c.borrow_mut().push(3);
+        assert_eq!(c.borrow().len(), 3);
+    }
+
+    #[test]
+    fn wrappers_are_sync_and_send() {
+        fn assert_bounds<T: Send + Sync>() {}
+        assert_bounds::<SyncCell<u64>>();
+        assert_bounds::<SyncRefCell<Vec<u8>>>();
+    }
+}

@@ -1,5 +1,6 @@
 //! Machine configuration (paper Table II).
 
+use depburst_core::stablehash::StableHasher;
 use dvfs_trace::{Freq, TimeDelta};
 use serde::{Deserialize, Serialize};
 
@@ -194,6 +195,59 @@ impl MachineConfig {
         self.uncore_freq
             .cycles_to_time(f64::from(self.l3.latency_cycles))
     }
+
+    /// Folds every field into `h` in declaration order. Run results are a
+    /// pure function of the configuration, so this digest (together with the
+    /// workload/fault/seed digests) keys the simulation memo cache — any
+    /// field change must change the digest.
+    pub fn hash_into(&self, h: &mut StableHasher) {
+        h.write_tag("simx::MachineConfig");
+        h.write_u64(self.cores as u64);
+        h.write_u32(self.initial_freq.mhz());
+        h.write_u32(self.uncore_freq.mhz());
+        for (tag, c) in [("l1d", &self.l1d), ("l2", &self.l2), ("l3", &self.l3)] {
+            h.write_tag(tag);
+            h.write_u64(c.capacity);
+            h.write_u32(c.associativity);
+            h.write_u32(c.line_size);
+            h.write_u32(c.latency_cycles);
+        }
+        h.write_tag("dram");
+        h.write_u32(self.dram.banks);
+        h.write_u32(self.dram.rows_per_bank);
+        h.write_f64(self.dram.controller_overhead.as_secs());
+        h.write_f64(self.dram.cas.as_secs());
+        h.write_f64(self.dram.row_miss_penalty.as_secs());
+        h.write_f64(self.dram.line_transfer.as_secs());
+        h.write_f64(self.dram.write_line_service.as_secs());
+        h.write_f64(self.dram.core_fill_line_time.as_secs());
+        h.write_tag("core_model");
+        h.write_f64(self.core_model.rob_hide_cycles);
+        h.write_f64(self.core_model.round_gap_cycles);
+        h.write_f64(self.core_model.stall_slack_cycles);
+        h.write_f64(self.core_model.overlap_frac);
+        h.write_f64(self.core_model.l3_mlp_boost);
+        h.write_u64(self.core_model.syscall_cycles);
+        h.write_tag("rest");
+        h.write_u32(self.store_queue_entries);
+        h.write_f64(self.store_issue_per_cycle);
+        h.write_f64(self.commit_width);
+        h.write_f64(self.timeslice.as_secs());
+        h.write_f64(self.dvfs_transition.as_secs());
+        h.write_f64(self.chunk_target.as_secs());
+        h.write_u32(self.sample_ratio);
+        h.write_u32(self.cache_sample_cap);
+    }
+
+    /// Stable content digest of the whole configuration (see [`hash_into`]).
+    ///
+    /// [`hash_into`]: MachineConfig::hash_into
+    #[must_use]
+    pub fn digest(&self) -> u128 {
+        let mut h = StableHasher::new();
+        self.hash_into(&mut h);
+        h.finish()
+    }
 }
 
 impl Default for MachineConfig {
@@ -231,5 +285,17 @@ mod tests {
         let c = MachineConfig::haswell_quad();
         assert_eq!(c.l1d.sets(), 32 * 1024 / 64 / 4);
         assert_eq!(c.l3.sets(), 4 * 1024 * 1024 / 64 / 16);
+    }
+
+    #[test]
+    fn digest_is_stable_and_field_sensitive() {
+        let base = MachineConfig::haswell_quad();
+        assert_eq!(base.digest(), MachineConfig::haswell_quad().digest());
+        let mut freq = base.clone();
+        freq.initial_freq = Freq::from_ghz(2.0);
+        assert_ne!(base.digest(), freq.digest());
+        let mut knob = base.clone();
+        knob.core_model.overlap_frac += 1e-9;
+        assert_ne!(base.digest(), knob.digest());
     }
 }

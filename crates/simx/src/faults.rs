@@ -141,6 +141,27 @@ impl FaultConfig {
         config
     }
 
+    /// Folds every field into `h` in declaration order, for the simulation
+    /// memo cache key. An inert config hashes identically regardless of its
+    /// seed: a disabled injector consumes no randomness, so the run result
+    /// does not depend on the seed and conflating them buys extra hits.
+    pub fn hash_into(&self, h: &mut depburst_core::stablehash::StableHasher) {
+        h.write_tag("simx::FaultConfig");
+        if self.is_inert() {
+            h.write_bool(false);
+            return;
+        }
+        h.write_bool(true);
+        h.write_u64(self.seed);
+        h.write_f64(self.counter_noise);
+        h.write_f64(self.counter_dropout);
+        h.write_f64(self.counter_saturation);
+        h.write_f64(self.delayed_harvest);
+        h.write_f64(self.transition_latency);
+        h.write_f64(self.transition_denied);
+        h.write_f64(self.dram_jitter);
+    }
+
     /// True if every class is disabled (installing the injector changes
     /// nothing).
     #[must_use]

@@ -46,3 +46,15 @@ pub use program::{
     Action, FutexId, ProgContext, SpawnRequest, ThreadProgram, WaitOutcome, WorkItem,
 };
 pub use stats::RunStats;
+
+#[cfg(test)]
+mod send_tests {
+    /// The experiment pool moves whole machines between worker threads, so
+    /// `Machine` (and everything a program can capture) must stay `Send`.
+    #[test]
+    fn machine_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<crate::Machine>();
+        assert_send::<Box<dyn crate::ThreadProgram>>();
+    }
+}

@@ -43,7 +43,7 @@ impl FutexTable {
     pub fn register(&mut self, initial: u32) -> (FutexId, SharedWord) {
         let id = FutexId(self.next_id);
         self.next_id += 1;
-        let word = SharedWord::new(std::cell::Cell::new(initial));
+        let word = SharedWord::new(crate::program::WordCell::new(initial));
         self.words.insert(id, word.clone());
         (id, word)
     }

@@ -6,9 +6,9 @@
 //! out of these primitives; the workload crate builds benchmarks on top of
 //! `mrt`.
 
-use std::cell::Cell;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
 
 use dvfs_trace::{PhaseKind, ThreadId, ThreadRole, Time, TimeDelta};
 
@@ -18,11 +18,38 @@ use crate::mem::AccessPattern;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct FutexId(pub u32);
 
+/// The storage behind a [`SharedWord`]: a `u32` cell that is `Sync` so
+/// whole machines can move between worker threads of the experiment pool.
+/// The simulation itself stays single-threaded — one machine is only ever
+/// touched by one OS thread at a time — so `Relaxed` ordering suffices;
+/// the atomic is for `Send`/`Sync`, not for cross-thread races.
+#[derive(Debug, Default)]
+pub struct WordCell(AtomicU32);
+
+impl WordCell {
+    /// A cell holding `initial`.
+    #[must_use]
+    pub fn new(initial: u32) -> Self {
+        WordCell(AtomicU32::new(initial))
+    }
+
+    /// Reads the word.
+    #[must_use]
+    pub fn get(&self) -> u32 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Writes the word.
+    pub fn set(&self, value: u32) {
+        self.0.store(value, Ordering::Relaxed);
+    }
+}
+
 /// A user-space word a futex is keyed on. Programs mutate it directly
 /// (compare-and-swap style logic is modelled in program code); the kernel
 /// reads it under `futex_wait` to decide whether to sleep, exactly like the
 /// real futex contract — so lost-wakeup races cannot occur.
-pub type SharedWord = Rc<Cell<u32>>;
+pub type SharedWord = Arc<WordCell>;
 
 /// A timed unit of execution.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -195,7 +222,7 @@ pub struct ProgContext {
 ///
 /// `next` is called whenever the thread needs something to do: at spawn, and
 /// after each completed action. Returning [`Action::Exit`] ends the thread.
-pub trait ThreadProgram: 'static {
+pub trait ThreadProgram: Send + 'static {
     /// Produce the next action.
     fn next(&mut self, ctx: &mut ProgContext) -> Action;
 }
@@ -204,7 +231,7 @@ pub trait ThreadProgram: 'static {
 /// workloads.
 pub struct FnProgram<F>(pub F);
 
-impl<F: FnMut(&mut ProgContext) -> Action + 'static> ThreadProgram for FnProgram<F> {
+impl<F: FnMut(&mut ProgContext) -> Action + Send + 'static> ThreadProgram for FnProgram<F> {
     fn next(&mut self, ctx: &mut ProgContext) -> Action {
         (self.0)(ctx)
     }

@@ -1,9 +1,11 @@
 //! Aggregate trace statistics for reporting and quick inspection.
 
+use serde::{Deserialize, Serialize};
+
 use crate::{ExecutionTrace, ThreadRole, TimeDelta};
 
 /// Per-role aggregates over a trace.
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub struct RoleSummary {
     /// Threads with this role.
     pub threads: usize,
@@ -18,7 +20,7 @@ pub struct RoleSummary {
 }
 
 /// A compact summary of an execution trace.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TraceSummary {
     /// Wall-clock duration of the traced window.
     pub total: TimeDelta,

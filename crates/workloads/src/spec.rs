@@ -148,6 +148,70 @@ impl Benchmark {
         benches::sync_shape(self)
     }
 
+    /// Folds the benchmark's *derived* workload content into `h` for the
+    /// simulation memo cache key: the per-thread round parameters, the
+    /// synchronisation shape, and the runtime configuration — everything
+    /// [`Benchmark::install`] feeds the machine. Hashing the derived data
+    /// rather than just the name means a recalibration of a benchmark model
+    /// invalidates its cached results automatically.
+    pub fn hash_into(&self, h: &mut depburst_core::stablehash::StableHasher) {
+        h.write_tag("dacapo_sim::Benchmark");
+        h.write_str(self.name);
+        h.write_u64(self.heap_mb);
+        h.write_u64(self.app_threads as u64);
+        for t in 0..self.app_threads {
+            let p = self.thread_round_params(t);
+            h.write_tag("thread");
+            h.write_u64(p.rounds);
+            h.write_u64(p.compute_instr);
+            h.write_f64(p.ipc);
+            h.write_u64(p.mem_accesses);
+            h.write_u64(p.mem_ws);
+            h.write_f64(p.mem_mlp);
+            h.write_f64(p.mem_cpa);
+            h.write_u64(p.alloc_bytes);
+            h.write_u64(p.alloc_every);
+            h.write_u64(p.lock_every);
+            h.write_u64(p.crit_instr);
+            h.write_u64(p.barrier_every);
+            h.write_u64(p.sleep_every);
+            h.write_f64(p.sleep_us);
+            h.write_f64(p.jitter);
+        }
+        let (locks, barriers) = self.sync_shape();
+        h.write_tag("sync");
+        h.write_u64(locks as u64);
+        h.write_u64(barriers.len() as u64);
+        for parties in &barriers {
+            h.write_u32(*parties);
+        }
+        let rc = self.runtime_config();
+        h.write_tag("runtime");
+        h.write_u64(rc.heap_size);
+        h.write_u64(rc.nursery_size);
+        h.write_u64(rc.gc_workers as u64);
+        h.write_f64(rc.survivor_fraction);
+        h.write_u32(rc.full_heap_period);
+        h.write_f64(rc.full_heap_reclaim);
+        h.write_u64(rc.packet_bytes);
+        h.write_f64(rc.trace_reads_per_line);
+        h.write_u64(rc.queue_lock_hold_cycles);
+        h.write_bool(rc.jit);
+        h.write_u64(rc.jit_budget_instructions);
+        h.write_f64(rc.jit_period.as_secs());
+        h.write_opt_u64(rc.service_affinity.map(u64::from));
+        h.write_opt_u64(rc.mutator_affinity.map(u64::from));
+    }
+
+    /// Stable content digest of the workload spec (see
+    /// [`hash_into`](Benchmark::hash_into)).
+    #[must_use]
+    pub fn spec_digest(&self) -> u128 {
+        let mut h = depburst_core::stablehash::StableHasher::new();
+        self.hash_into(&mut h);
+        h.finish()
+    }
+
     /// Installs the benchmark on a machine at the given work `scale`
     /// (1.0 = the paper's full run; tests use small scales) and RNG seed.
     pub fn install(&self, machine: &mut Machine, scale: f64, seed: u64) -> ManagedRuntime {
@@ -200,6 +264,15 @@ mod tests {
                 BenchClass::Memory => assert!(frac > 0.10, "{}: {frac}", b.name),
                 BenchClass::Compute => assert!(frac < 0.10, "{}: {frac}", b.name),
             }
+        }
+    }
+
+    #[test]
+    fn spec_digests_are_stable_and_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for b in all_benchmarks() {
+            assert_eq!(b.spec_digest(), b.spec_digest(), "{} unstable", b.name);
+            assert!(seen.insert(b.spec_digest()), "{} collides", b.name);
         }
     }
 }

@@ -1,16 +1,56 @@
 #!/bin/bash
 # Local CI gate: release build, full test suite, clippy with warnings
-# denied. Run from anywhere; operates on the repo root.
+# denied, then a tiny-scale smoke run of every experiment binary on the
+# parallel runner (2 pool workers). Run from anywhere; operates on the
+# repo root.
+#
+# Every step is wall-clock timed so pool/cache performance regressions
+# show up directly in CI logs.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== build (release) =="
-cargo build --release
+step() {
+    local name="$1"
+    shift
+    echo "== ${name} =="
+    local t0 t1
+    t0=$(date +%s.%N)
+    "$@"
+    t1=$(date +%s.%N)
+    awk -v a="$t0" -v b="$t1" -v n="$name" \
+        'BEGIN { printf "== %s done in %.1fs ==\n", n, b - a }'
+}
 
-echo "== test =="
-cargo test -q --workspace
+# --workspace matters: a bare `cargo build` only covers the root package
+# and would leave the experiment binaries below stale.
+step "build (release)" cargo build --release --workspace
 
-echo "== clippy (-D warnings) =="
-cargo clippy --all-targets -- -D warnings
+step "test" cargo test -q --workspace
+
+step "golden suite" cargo test -q -p harness --test golden
+
+step "clippy (-D warnings)" cargo clippy --all-targets -- -D warnings
+
+# Smoke-run every experiment binary at tiny scale: the point is driving
+# the CLI + pool + cache plumbing end to end, not the numbers. Stdout is
+# discarded; a nonzero exit fails CI.
+SCALE=0.02
+BIN=target/release
+smoke() {
+    local name="$1"
+    shift
+    step "smoke $name" eval "$* > /dev/null"
+}
+smoke fig1     "$BIN/fig1 $SCALE 1 --jobs 2"
+smoke fig3     "$BIN/fig3 both $SCALE 1 --jobs 2"
+smoke fig4     "$BIN/fig4 $SCALE 1 --jobs 2"
+smoke fig6     "$BIN/fig6 10 $SCALE 1 --jobs 2"
+smoke fig7     "$BIN/fig7 10 $SCALE 1 500 --jobs 2"
+smoke table1   "$BIN/table1 $SCALE --jobs 2"
+smoke table2   "$BIN/table2"
+smoke ablation "$BIN/ablation $SCALE 1 --jobs 2"
+smoke percore  "$BIN/percore $SCALE 1 lusearch --jobs 2"
+smoke faults   "$BIN/faults $SCALE 1 10 --jobs 2"
+smoke dvfs-lab "$BIN/dvfs-lab bench"
 
 echo "ci: all green"

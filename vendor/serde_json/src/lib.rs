@@ -381,11 +381,30 @@ impl Parser<'_> {
                     }
                     self.pos += 1;
                 }
+                Some(b) if b < 0x80 => {
+                    out.push(b as char);
+                    self.pos += 1;
+                }
                 Some(_) => {
-                    // Consume one full UTF-8 character.
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
-                        .map_err(|e| Error::new(format!("invalid UTF-8 in string: {e}")))?;
-                    let c = rest.chars().next().expect("non-empty remainder");
+                    // Consume one full UTF-8 character. Validate at most a
+                    // 4-byte window, never the whole remaining input — a
+                    // per-character full-suffix scan is quadratic on
+                    // multi-megabyte documents.
+                    let end = (self.pos + 4).min(self.bytes.len());
+                    let window = &self.bytes[self.pos..end];
+                    let decoded = match std::str::from_utf8(window) {
+                        Ok(s) => s,
+                        // A trailing char may be cut off by the window; the
+                        // prefix up to it is still valid.
+                        Err(e) if e.valid_up_to() > 0 => {
+                            std::str::from_utf8(&window[..e.valid_up_to()])
+                                .expect("validated prefix")
+                        }
+                        Err(e) => {
+                            return Err(Error::new(format!("invalid UTF-8 in string: {e}")))
+                        }
+                    };
+                    let c = decoded.chars().next().expect("non-empty remainder");
                     out.push(c);
                     self.pos += c.len_utf8();
                 }
