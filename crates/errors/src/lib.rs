@@ -62,6 +62,24 @@ pub enum DepburstError {
         /// The rendered trace error.
         detail: String,
     },
+    /// A simulation point exceeded its wall-clock watchdog deadline (the
+    /// harness armed a per-point timeout and the event loop noticed it).
+    /// The run was abandoned cleanly; retrying with a larger budget is
+    /// safe because seeded simulations are pure.
+    WatchdogExpired {
+        /// Simulated time when the wall-clock deadline was noticed.
+        at_secs: f64,
+    },
+    /// A sweep executed every point but some ultimately failed after
+    /// exhausting their retries (panic, watchdog timeout, or error). The
+    /// per-point detail lives in the harness failure report; this variant
+    /// carries only the counts so the sweep's caller can exit nonzero.
+    SweepIncomplete {
+        /// Points that ultimately failed.
+        failed: usize,
+        /// Points in the sweep plan.
+        total: usize,
+    },
 }
 
 impl fmt::Display for DepburstError {
@@ -86,6 +104,14 @@ impl fmt::Display for DepburstError {
             }
             DepburstError::Machine { detail } => write!(f, "machine error: {detail}"),
             DepburstError::Trace { detail } => write!(f, "trace error: {detail}"),
+            DepburstError::WatchdogExpired { at_secs } => write!(
+                f,
+                "point watchdog expired: wall-clock budget exhausted at simulated t={at_secs} s"
+            ),
+            DepburstError::SweepIncomplete { failed, total } => write!(
+                f,
+                "sweep incomplete: {failed} of {total} points failed after retries"
+            ),
         }
     }
 }
@@ -126,6 +152,17 @@ mod tests {
                     detail: "gap".into(),
                 },
                 "trace error",
+            ),
+            (
+                DepburstError::WatchdogExpired { at_secs: 0.25 },
+                "watchdog expired",
+            ),
+            (
+                DepburstError::SweepIncomplete {
+                    failed: 2,
+                    total: 40,
+                },
+                "2 of 40",
             ),
         ];
         for (err, needle) in cases {

@@ -25,7 +25,7 @@ use harness::run::try_run_benchmark;
 use harness::{ExecCtx, RunConfig};
 
 fn main() -> ExitCode {
-    cli::main_with(|ctx, args| match args.first().map(String::as_str) {
+    cli::main_with("dvfs-lab", |ctx, args| match args.first().map(String::as_str) {
         Some("bench") => cmd_bench(),
         Some("run") => cmd_run(&args[1..]),
         Some("record") => cmd_record(&args[1..]),

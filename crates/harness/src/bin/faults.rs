@@ -1,7 +1,14 @@
 //! Runs the fault-injection sweep: predictor accuracy and hardened-manager
 //! degradation under each fault class × intensity.
 //!
-//! Usage: `cargo run --release -p harness --bin faults -- [scale] [seed] [threshold-percent] [--jobs N]`
+//! Usage: `cargo run --release -p harness --bin faults -- [scale] [seed]
+//! [threshold-percent] [--panic-point P] [--jobs N]`
+//!
+//! `--panic-point P` appends a seeded [`simx::FaultClass::PanicPoint`]
+//! cell per benchmark that panics inside point evaluation with
+//! probability `P`, exercising the harness's panic isolation end to end:
+//! the other cells complete, the dead cells land in
+//! `results/faults_failures.json`, and the process exits 2.
 
 use std::process::ExitCode;
 
@@ -9,7 +16,19 @@ use harness::cli;
 use harness::experiments::faults;
 
 fn main() -> ExitCode {
-    cli::main_with(|ctx, args| {
+    cli::main_with("faults", |ctx, args| {
+        let (panic_flag, args) = cli::split_flag(args, "--panic-point")?;
+        let panic_point: Option<f64> = match panic_flag {
+            Some(v) => Some(
+                v.parse::<f64>()
+                    .ok()
+                    .filter(|p| (0.0..=1.0).contains(p))
+                    .ok_or_else(|| {
+                        format!("invalid --panic-point value {v:?} (want a probability in [0, 1])")
+                    })?,
+            ),
+            None => None,
+        };
         let scale: f64 = args.first().and_then(|s| s.parse().ok()).unwrap_or(0.05);
         let seed: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(1);
         let threshold: f64 = args
@@ -22,7 +41,7 @@ fn main() -> ExitCode {
             "fault sweep at scale {scale}, seed {seed}, threshold {:.0}%...",
             threshold * 100.0
         );
-        let rows = faults::collect_with(ctx, scale, seed, threshold, &intensities)?;
+        let rows = faults::collect_with(ctx, scale, seed, threshold, &intensities, panic_point)?;
         println!("{}", faults::render(&rows));
         let json = serde_json::to_string_pretty(&rows)?;
         std::fs::create_dir_all("results")?;

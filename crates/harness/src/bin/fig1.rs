@@ -8,7 +8,7 @@ use harness::cli;
 use harness::experiments::fig1;
 
 fn main() -> ExitCode {
-    cli::main_with(|ctx, args| {
+    cli::main_with("fig1", |ctx, args| {
         let scale: f64 = args.first().and_then(|s| s.parse().ok()).unwrap_or(1.0);
         let nseeds: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(1);
         let seeds: Vec<u64> = (1..=nseeds as u64).collect();

@@ -8,7 +8,7 @@ use harness::cli;
 use harness::experiments::fig3::{collect_with, render, Direction};
 
 fn main() -> ExitCode {
-    cli::main_with(|ctx, args| {
+    cli::main_with("fig3", |ctx, args| {
         let which = args.first().map(String::as_str).unwrap_or("both");
         let scale: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(1.0);
         let nseeds: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(1);

@@ -9,7 +9,7 @@ use harness::cli;
 use harness::experiments::fig6;
 
 fn main() -> ExitCode {
-    cli::main_with(|ctx, args| {
+    cli::main_with("fig6", |ctx, args| {
         let thresholds: Vec<f64> = match args.first().and_then(|s| s.parse::<f64>().ok()) {
             Some(t) => vec![t / 100.0],
             None => vec![0.05, 0.10],

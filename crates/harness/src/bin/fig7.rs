@@ -8,7 +8,7 @@ use harness::cli;
 use harness::experiments::fig7;
 
 fn main() -> ExitCode {
-    cli::main_with(|ctx, args| {
+    cli::main_with("fig7", |ctx, args| {
         let threshold: f64 = args
             .first()
             .and_then(|s| s.parse::<f64>().ok())

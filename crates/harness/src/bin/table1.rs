@@ -8,7 +8,7 @@ use harness::cli;
 use harness::experiments::table1;
 
 fn main() -> ExitCode {
-    cli::main_with(|ctx, args| {
+    cli::main_with("table1", |ctx, args| {
         let scale: f64 = args.first().and_then(|s| s.parse().ok()).unwrap_or(1.0);
         eprintln!("running all benchmarks at 1 GHz, scale {scale} ...");
         let rows = table1::collect_with(ctx, scale)?;

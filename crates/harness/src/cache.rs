@@ -92,6 +92,11 @@ pub struct CacheStats {
     pub disk_hits: u64,
     /// Results that had to be simulated.
     pub misses: u64,
+    /// Corrupt or mismatched envelopes moved to the quarantine directory.
+    pub quarantined: u64,
+    /// Persist attempts that failed (serialization or I/O); the run keeps
+    /// going in memory but loses that entry's warm-start.
+    pub persist_failures: u64,
 }
 
 /// A content-addressed memo of simulation results: always in-process,
@@ -107,6 +112,8 @@ pub struct SimCache {
     memory_hits: AtomicU64,
     disk_hits: AtomicU64,
     misses: AtomicU64,
+    quarantined: AtomicU64,
+    persist_failures: AtomicU64,
 }
 
 impl Default for SimCache {
@@ -127,6 +134,8 @@ impl SimCache {
             memory_hits: AtomicU64::new(0),
             disk_hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            quarantined: AtomicU64::new(0),
+            persist_failures: AtomicU64::new(0),
         }
     }
 
@@ -167,6 +176,8 @@ impl SimCache {
             memory_hits: self.memory_hits.load(Ordering::Relaxed),
             disk_hits: self.disk_hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            quarantined: self.quarantined.load(Ordering::Relaxed),
+            persist_failures: self.persist_failures.load(Ordering::Relaxed),
         }
     }
 
@@ -232,16 +243,61 @@ impl SimCache {
 
     fn load_from_disk(&self, key: SimKey) -> Option<RunSummary> {
         let path = self.entry_path(key)?;
+        // An absent entry is the ordinary cold-cache case, not corruption.
         let bytes = std::fs::read(&path).ok()?;
-        let envelope: CacheEnvelope = serde_json::from_slice(&bytes).ok()?;
-        // A mismatched schema or key means the file is stale or was
-        // renamed; treat it as absent and let a fresh compute overwrite.
-        (envelope.schema == SCHEMA_VERSION && envelope.key == key.hex())
-            .then_some(envelope.summary)
+        match serde_json::from_slice::<CacheEnvelope>(&bytes) {
+            Ok(envelope) if envelope.schema == SCHEMA_VERSION && envelope.key == key.hex() => {
+                Some(envelope.summary)
+            }
+            Ok(envelope) => {
+                // Stale schema or a renamed file: quarantine rather than
+                // leave a permanently-unusable entry shadowing the slot.
+                self.quarantine(
+                    &path,
+                    &format!(
+                        "envelope mismatch (schema {}, key {})",
+                        envelope.schema, envelope.key
+                    ),
+                );
+                None
+            }
+            Err(parse_err) => {
+                self.quarantine(&path, &parse_err.to_string());
+                None
+            }
+        }
+    }
+
+    /// Moves a corrupt or mismatched envelope aside — to
+    /// `<cache-root>/quarantine/` — so the slot can be recomputed and the
+    /// bad bytes stay available for diagnosis, and says so once on stderr.
+    /// Silently degrading to in-memory (the old behaviour) hid real
+    /// corruption *and* threw persistence away for the whole process.
+    fn quarantine(&self, path: &Path, why: &str) {
+        self.quarantined.fetch_add(1, Ordering::Relaxed);
+        let Some(schema_dir) = self.dir.as_deref() else {
+            return;
+        };
+        let qdir = schema_dir.parent().unwrap_or(schema_dir).join("quarantine");
+        let dest = qdir.join(path.file_name().unwrap_or_default());
+        let moved = std::fs::create_dir_all(&qdir).and_then(|()| std::fs::rename(path, &dest));
+        match moved {
+            Ok(()) => eprintln!(
+                "warning: quarantined corrupt cache entry {} -> {}: {why}",
+                path.display(),
+                dest.display()
+            ),
+            Err(io_err) => eprintln!(
+                "warning: corrupt cache entry {} ({why}) could not be quarantined: {io_err}",
+                path.display()
+            ),
+        }
     }
 
     /// Best-effort persistence: a full results directory or read-only
-    /// checkout must never fail the experiment itself.
+    /// checkout must never fail the experiment itself — but dropped
+    /// persist attempts are counted (and the CLI warns) instead of being
+    /// silently discarded.
     fn store_to_disk(&self, key: SimKey, summary: &RunSummary) {
         let Some(path) = self.entry_path(key) else {
             return;
@@ -252,12 +308,33 @@ impl SimCache {
             summary: summary.clone(),
         };
         let Ok(json) = serde_json::to_string(&envelope) else {
+            self.persist_failures.fetch_add(1, Ordering::Relaxed);
             return;
         };
         if let Some(parent) = path.parent() {
-            let _ = std::fs::create_dir_all(parent);
+            let _ = std::fs::create_dir_all(parent); // a failure surfaces in the write below
         }
-        let _ = write_atomically(&path, json.as_bytes());
+        if write_atomically(&path, json.as_bytes()).is_err() {
+            self.persist_failures.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Seeds the in-process memo with a summary replayed from a
+    /// checkpoint journal (no disk-cache traffic, no stats impact beyond
+    /// later memory hits). First write wins, matching `get_or_compute`.
+    pub fn seed(&self, key: SimKey, summary: &Arc<RunSummary>) {
+        self.mem
+            .lock()
+            .expect("cache lock")
+            .entry(key.0)
+            .or_insert_with(|| Arc::clone(summary));
+    }
+
+    /// Looks up `key` in the in-process memo only (no disk traffic, no
+    /// stats impact). Used by the journal-replay fast path.
+    #[must_use]
+    pub fn peek(&self, key: SimKey) -> Option<Arc<RunSummary>> {
+        self.mem.lock().expect("cache lock").get(&key.0).cloned()
     }
 }
 
@@ -385,7 +462,59 @@ mod tests {
             .expect("ok");
         assert_eq!(s.gc_count, 11);
         assert_eq!(cache.stats().misses, 1);
+        // The corrupt bytes were moved aside, not deleted or left in place.
+        assert_eq!(cache.stats().quarantined, 1);
+        let quarantined = dir
+            .join("quarantine")
+            .join(path.file_name().expect("file name"));
+        assert_eq!(
+            std::fs::read(&quarantined).expect("quarantined file exists"),
+            b"{ not json"
+        );
+        // The recompute re-persisted a good envelope in the original slot.
+        let fresh = SimCache::persistent(&dir);
+        let replayed = fresh
+            .get_or_compute(key_for(4), || panic!("must hit disk"))
+            .expect("ok");
+        assert_eq!(replayed.gc_count, 11);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failed_persist_attempts_are_counted_not_silent() {
+        // Make the schema directory path unusable by planting a regular
+        // file where the directory should go: every persist must fail.
+        let root =
+            std::env::temp_dir().join(format!("depburst-cache-ro-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        std::fs::create_dir_all(&root).expect("mkdir");
+        std::fs::write(root.join(format!("v{SCHEMA_VERSION}")), b"in the way").expect("plant");
+        let cache = SimCache::persistent(&root);
+        let s = cache
+            .get_or_compute(key_for(6), || Ok(dummy_summary(21)))
+            .expect("the experiment itself must not fail");
+        assert_eq!(s.gc_count, 21);
+        assert_eq!(cache.stats().persist_failures, 1);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn seed_and_peek_bypass_disk_and_stats() {
+        let cache = SimCache::in_memory();
+        assert!(cache.peek(key_for(8)).is_none());
+        let summary = Arc::new(dummy_summary(5));
+        cache.seed(key_for(8), &summary);
+        assert_eq!(cache.peek(key_for(8)).expect("seeded").gc_count, 5);
+        // First write wins: re-seeding does not replace the entry.
+        cache.seed(key_for(8), &Arc::new(dummy_summary(99)));
+        assert_eq!(cache.peek(key_for(8)).expect("seeded").gc_count, 5);
+        assert_eq!(cache.stats(), CacheStats::default(), "no stats impact");
+        // get_or_compute then serves the seeded entry as a memory hit.
+        let served = cache
+            .get_or_compute(key_for(8), || panic!("must not recompute"))
+            .expect("ok");
+        assert_eq!(served.gc_count, 5);
+        assert_eq!(cache.stats().memory_hits, 1);
     }
 
     #[test]

@@ -1,0 +1,419 @@
+//! Append-only checkpoint journal for interruptible sweeps.
+//!
+//! Every completed simulation point is appended as one JSON line —
+//! `{schema, key, summary}` — to `results/checkpoints/<run-id>.jsonl`
+//! (directory overridable via `DEPBURST_CHECKPOINT_DIR`), fsynced in
+//! batches of [`FLUSH_BATCH`]. A SIGINT'd or crashed sweep restarted with
+//! `--resume <run-id>` replays the journaled points instead of
+//! re-simulating them, and — because summaries roundtrip JSON with exact
+//! f64 bit patterns (asserted by the golden suite) and results assemble
+//! in plan order — the resumed run's output is byte-identical to an
+//! uninterrupted one (asserted by `tests/determinism.rs` and the CI
+//! interrupt-resume step).
+//!
+//! Torn writes: a run killed mid-append can leave a truncated final line.
+//! Replay tolerates it — the fragment is skipped with a warning, the file
+//! is re-terminated with a newline so subsequent appends start clean, and
+//! the lost point simply re-simulates.
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use serde::{Deserialize, Serialize};
+
+use crate::cache::{SimKey, SCHEMA_VERSION};
+use crate::run::RunSummary;
+
+/// Records appended between fsyncs. Small enough that an interrupt loses
+/// at most a few points, large enough to amortize the sync cost over a
+/// sweep writing multi-megabyte trace summaries.
+pub const FLUSH_BATCH: usize = 4;
+
+/// One journal line. Shares [`SCHEMA_VERSION`] with the disk cache: both
+/// persist the same `RunSummary` payload, so they go stale together.
+#[derive(Debug, Serialize, Deserialize)]
+struct JournalRecord {
+    schema: u32,
+    key: String,
+    summary: RunSummary,
+}
+
+#[derive(Debug)]
+struct JournalState {
+    file: File,
+    /// Appends since the last fsync.
+    unsynced: usize,
+    /// Everything known to be in the journal (replayed + appended).
+    seen: HashMap<u128, Arc<RunSummary>>,
+}
+
+/// An append-only journal of completed point results, keyed by
+/// [`SimKey`]. Shared by reference across pool workers; a coarse mutex is
+/// fine because journal traffic is rare next to simulation cost.
+#[derive(Debug)]
+pub struct Journal {
+    path: PathBuf,
+    state: Mutex<JournalState>,
+    /// Points served from the journal instead of simulating.
+    replays: AtomicU64,
+    /// Records appended by this process.
+    appends: AtomicU64,
+    /// Records loaded from the file at open.
+    loaded: usize,
+}
+
+impl Journal {
+    /// The checkpoint directory: `DEPBURST_CHECKPOINT_DIR` or
+    /// `results/checkpoints`.
+    #[must_use]
+    pub fn default_dir() -> PathBuf {
+        std::env::var_os("DEPBURST_CHECKPOINT_DIR")
+            .map_or_else(|| PathBuf::from("results/checkpoints"), PathBuf::from)
+    }
+
+    /// Validates a user-supplied run id (it becomes a file name).
+    fn checked_id(run_id: &str) -> std::io::Result<&str> {
+        let ok = !run_id.is_empty()
+            && run_id.len() <= 128
+            && run_id
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.'))
+            && !run_id.starts_with('.');
+        if ok {
+            Ok(run_id)
+        } else {
+            Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!("invalid run id {run_id:?} (use [A-Za-z0-9._-], not starting with '.')"),
+            ))
+        }
+    }
+
+    /// The journal path for `run_id` under the default directory.
+    pub fn path_for(run_id: &str) -> std::io::Result<PathBuf> {
+        Ok(Self::default_dir().join(format!("{}.jsonl", Self::checked_id(run_id)?)))
+    }
+
+    /// Starts a fresh journal for `run_id` (truncating any previous one —
+    /// a new `--run-id` means a new run).
+    pub fn create(run_id: &str) -> std::io::Result<Self> {
+        Self::create_at(Self::path_for(run_id)?)
+    }
+
+    /// Resumes the journal for `run_id`, replaying its completed points.
+    /// A missing journal is not an error — the run starts from nothing,
+    /// with a warning.
+    pub fn resume(run_id: &str) -> std::io::Result<Self> {
+        Self::resume_at(Self::path_for(run_id)?)
+    }
+
+    /// [`create`](Self::create) at an explicit path (tests).
+    pub fn create_at(path: impl Into<PathBuf>) -> std::io::Result<Self> {
+        let path = path.into();
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let file = File::create(&path)?;
+        Ok(Journal {
+            path,
+            state: Mutex::new(JournalState {
+                file,
+                unsynced: 0,
+                seen: HashMap::new(),
+            }),
+            replays: AtomicU64::new(0),
+            appends: AtomicU64::new(0),
+            loaded: 0,
+        })
+    }
+
+    /// [`resume`](Self::resume) at an explicit path (tests).
+    pub fn resume_at(path: impl Into<PathBuf>) -> std::io::Result<Self> {
+        let path = path.into();
+        if !path.exists() {
+            eprintln!(
+                "warning: no checkpoint journal at {}; starting from scratch",
+                path.display()
+            );
+            return Self::create_at(path);
+        }
+        let bytes = std::fs::read(&path)?;
+        let seen = Self::replay_lines(&path, &bytes);
+        let loaded = seen.len();
+        let mut file = OpenOptions::new().append(true).open(&path)?;
+        if bytes.last().is_some_and(|b| *b != b'\n') {
+            // A torn final line: terminate it so our appends start on a
+            // fresh line (the fragment stays behind, skipped on replay).
+            file.write_all(b"\n")?;
+        }
+        Ok(Journal {
+            path,
+            state: Mutex::new(JournalState {
+                file,
+                unsynced: 0,
+                seen,
+            }),
+            replays: AtomicU64::new(0),
+            appends: AtomicU64::new(0),
+            loaded,
+        })
+    }
+
+    /// Tolerant line-by-line replay: skips (with a warning) unparsable
+    /// lines — expected for at most the final, torn one — and records
+    /// from a different schema version.
+    fn replay_lines(path: &Path, bytes: &[u8]) -> HashMap<u128, Arc<RunSummary>> {
+        let text = String::from_utf8_lossy(bytes);
+        let mut seen = HashMap::new();
+        let lines: Vec<&str> = text.split('\n').filter(|l| !l.trim().is_empty()).collect();
+        let last = lines.len().saturating_sub(1);
+        for (i, line) in lines.iter().enumerate() {
+            match serde_json::from_str::<JournalRecord>(line) {
+                Ok(record) if record.schema == SCHEMA_VERSION => {
+                    match u128::from_str_radix(&record.key, 16) {
+                        Ok(key) => {
+                            seen.insert(key, Arc::new(record.summary));
+                        }
+                        Err(_) => eprintln!(
+                            "warning: checkpoint journal {}: line {} has a malformed key; skipping",
+                            path.display(),
+                            i + 1
+                        ),
+                    }
+                }
+                Ok(record) => eprintln!(
+                    "warning: checkpoint journal {}: line {} has schema {} (want {SCHEMA_VERSION}); skipping",
+                    path.display(),
+                    i + 1,
+                    record.schema
+                ),
+                Err(parse_err) if i == last => eprintln!(
+                    "warning: checkpoint journal {}: final line is truncated (torn write); \
+                     that point will re-simulate: {parse_err}",
+                    path.display()
+                ),
+                Err(parse_err) => eprintln!(
+                    "warning: checkpoint journal {}: skipping unparsable line {}: {parse_err}",
+                    path.display(),
+                    i + 1
+                ),
+            }
+        }
+        seen
+    }
+
+    /// The journal's on-disk path.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Looks up a completed point. Counts a replay on hit.
+    #[must_use]
+    pub fn lookup(&self, key: SimKey) -> Option<Arc<RunSummary>> {
+        let hit = self
+            .state
+            .lock()
+            .expect("journal lock")
+            .seen
+            .get(&key.0)
+            .cloned();
+        if hit.is_some() {
+            self.replays.fetch_add(1, Ordering::Relaxed);
+        }
+        hit
+    }
+
+    /// Appends a completed point (idempotent: a key already in the
+    /// journal — replayed or appended — is skipped). Append errors are
+    /// reported once to stderr and otherwise non-fatal: a full disk must
+    /// not kill the sweep, it only costs resumability of later points.
+    pub fn record(&self, key: SimKey, summary: &Arc<RunSummary>) {
+        let mut state = self.state.lock().expect("journal lock");
+        if state.seen.contains_key(&key.0) {
+            return;
+        }
+        let record = JournalRecord {
+            schema: SCHEMA_VERSION,
+            key: key.hex(),
+            summary: (**summary).clone(),
+        };
+        let Ok(mut line) = serde_json::to_string(&record) else {
+            eprintln!("warning: checkpoint journal: unserializable record for {}", key.hex());
+            return;
+        };
+        line.push('\n');
+        if let Err(write_err) = state.file.write_all(line.as_bytes()) {
+            eprintln!(
+                "warning: checkpoint journal {}: append failed ({write_err}); \
+                 this point will not be resumable",
+                self.path.display()
+            );
+            return;
+        }
+        state.seen.insert(key.0, Arc::clone(summary));
+        state.unsynced += 1;
+        if state.unsynced >= FLUSH_BATCH {
+            let _ = state.file.sync_data();
+            state.unsynced = 0;
+        }
+        self.appends.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Flushes and fsyncs any unsynced appends (end of an execute pass).
+    pub fn flush(&self) {
+        let mut state = self.state.lock().expect("journal lock");
+        if state.unsynced > 0 {
+            let _ = state.file.sync_data();
+            state.unsynced = 0;
+        }
+    }
+
+    /// Points this process served from the journal.
+    #[must_use]
+    pub fn replays(&self) -> u64 {
+        self.replays.load(Ordering::Relaxed)
+    }
+
+    /// Records this process appended.
+    #[must_use]
+    pub fn appends(&self) -> u64 {
+        self.appends.load(Ordering::Relaxed)
+    }
+
+    /// Records loaded from the file when the journal was opened.
+    #[must_use]
+    pub fn loaded(&self) -> usize {
+        self.loaded
+    }
+}
+
+impl Drop for Journal {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvfs_trace::{ExecutionTrace, Freq, Time, TimeDelta};
+
+    fn summary(marker: u64) -> Arc<RunSummary> {
+        Arc::new(RunSummary {
+            exec: TimeDelta::from_millis(marker as f64 + 0.1),
+            gc_time: TimeDelta::ZERO,
+            gc_count: marker,
+            allocated: marker * 3,
+            total_active: TimeDelta::ZERO,
+            trace: ExecutionTrace {
+                base: Freq::from_ghz(2.0),
+                start: Time::ZERO,
+                total: TimeDelta::ZERO,
+                epochs: vec![],
+                markers: vec![],
+                threads: vec![],
+            },
+        })
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("depburst-journal-{}-{name}.jsonl", std::process::id()))
+    }
+
+    #[test]
+    fn append_replay_roundtrip() {
+        let path = tmp("roundtrip");
+        let _ = std::fs::remove_file(&path);
+        let journal = Journal::create_at(&path).expect("create");
+        for k in 1..=5u64 {
+            journal.record(SimKey(u128::from(k)), &summary(k));
+        }
+        // Idempotent: re-recording an existing key appends nothing.
+        journal.record(SimKey(3), &summary(3));
+        assert_eq!(journal.appends(), 5);
+        drop(journal); // flush
+
+        let resumed = Journal::resume_at(&path).expect("resume");
+        assert_eq!(resumed.loaded(), 5);
+        for k in 1..=5u64 {
+            let s = resumed.lookup(SimKey(u128::from(k))).expect("replayed");
+            assert_eq!(s.gc_count, k);
+            assert_eq!(s.exec, TimeDelta::from_millis(k as f64 + 0.1));
+        }
+        assert_eq!(resumed.replays(), 5);
+        assert!(resumed.lookup(SimKey(99)).is_none());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_final_line_is_skipped_and_healed() {
+        let path = tmp("torn");
+        let _ = std::fs::remove_file(&path);
+        let journal = Journal::create_at(&path).expect("create");
+        journal.record(SimKey(1), &summary(1));
+        journal.record(SimKey(2), &summary(2));
+        journal.flush();
+        drop(journal);
+
+        // Simulate an interrupt mid-append: a truncated record with no
+        // trailing newline.
+        let mut bytes = std::fs::read(&path).expect("read");
+        bytes.extend_from_slice(br#"{"schema":1,"key":"0000000000000000000000000000"#);
+        std::fs::write(&path, &bytes).expect("tear");
+
+        let resumed = Journal::resume_at(&path).expect("torn journals resume");
+        assert_eq!(resumed.loaded(), 2, "intact records survive the tear");
+        // Appending after the tear must start on a fresh line.
+        resumed.record(SimKey(3), &summary(3));
+        drop(resumed);
+
+        let healed = Journal::resume_at(&path).expect("resume again");
+        assert_eq!(healed.loaded(), 3, "post-tear appends are replayable");
+        assert_eq!(healed.lookup(SimKey(3)).expect("new record").gc_count, 3);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_journal_resumes_from_scratch() {
+        let path = tmp("missing");
+        let _ = std::fs::remove_file(&path);
+        let journal = Journal::resume_at(&path).expect("fresh start");
+        assert_eq!(journal.loaded(), 0);
+        journal.record(SimKey(7), &summary(7));
+        drop(journal);
+        assert!(path.exists());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn stale_schema_records_are_ignored() {
+        let path = tmp("schema");
+        let _ = std::fs::remove_file(&path);
+        let journal = Journal::create_at(&path).expect("create");
+        journal.record(SimKey(1), &summary(1));
+        drop(journal);
+        let mut bytes = std::fs::read(&path).expect("read");
+        let stale = String::from_utf8(bytes.clone())
+            .expect("utf8")
+            .replace("\"schema\":1", "\"schema\":999");
+        bytes = stale.into_bytes();
+        std::fs::write(&path, &bytes).expect("rewrite");
+        let resumed = Journal::resume_at(&path).expect("resume");
+        assert_eq!(resumed.loaded(), 0, "stale schema must not replay");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn run_ids_are_validated() {
+        assert!(Journal::path_for("fig3-2026-08-06").is_ok());
+        assert!(Journal::path_for("").is_err());
+        assert!(Journal::path_for("../escape").is_err());
+        assert!(Journal::path_for(".hidden").is_err());
+        assert!(Journal::path_for("has space").is_err());
+    }
+}

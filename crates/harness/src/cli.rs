@@ -1,21 +1,57 @@
 //! Shared command-line plumbing for the experiment binaries.
 //!
-//! Every binary accepts `--jobs N` (anywhere on the command line, also
-//! `--jobs=N`), falling back to the `DEPBURST_JOBS` environment variable
-//! and then to the machine's available parallelism. `--jobs 1`
-//! reproduces the historical sequential harness exactly. Failures are
-//! rendered to stderr and the process exits nonzero — no panics.
+//! Every binary accepts, anywhere on the command line (both `--flag V`
+//! and `--flag=V` forms):
+//!
+//! * `--jobs N` — pool width (env `DEPBURST_JOBS`; default: available
+//!   parallelism). `--jobs 1` reproduces the historical sequential
+//!   harness exactly.
+//! * `--point-timeout SECS` — per-point wall-clock watchdog (env
+//!   `DEPBURST_POINT_TIMEOUT`; `0` disables).
+//! * `--retries N` — retry budget for failed points (env
+//!   `DEPBURST_RETRIES`; default 2).
+//! * `--run-id ID` — start a fresh checkpoint journal at
+//!   `results/checkpoints/<ID>.jsonl`.
+//! * `--resume ID` — resume that journal, replaying completed points;
+//!   output is byte-identical to an uninterrupted run.
+//!
+//! Exit codes are standardized across all binaries: **0** success, **1**
+//! usage or internal error, **2** the sweep ran but some points
+//! ultimately failed (a failure report was written to
+//! `results/<exp>_failures.json` and summarized on stderr). No panics.
 
 use std::process::ExitCode;
 
+use crate::checkpoint::Journal;
 use crate::run::ExecCtx;
 
 /// The boxed error a binary's command body returns: `depburst_core`
 /// errors and I/O or serialization errors both flow through it.
 pub type CliResult = Result<(), Box<dyn std::error::Error>>;
 
+/// The options shared by every experiment binary, split from its
+/// positional arguments.
+#[derive(Debug, Default)]
+pub struct CommonOpts {
+    /// `--jobs N`.
+    pub jobs: Option<usize>,
+    /// `--point-timeout SECS`: `Some(None)` = explicit `0` (disable),
+    /// `Some(Some(d))` = a budget, `None` = not given (use the env).
+    pub point_timeout: Option<Option<std::time::Duration>>,
+    /// `--retries N`.
+    pub retries: Option<u32>,
+    /// `--run-id ID`.
+    pub run_id: Option<String>,
+    /// `--resume ID`.
+    pub resume: Option<String>,
+    /// Remaining positional arguments, in order.
+    pub rest: Vec<String>,
+}
+
 /// Extracts `--jobs N` / `--jobs=N` from `args`, returning the requested
-/// worker count and the remaining positional arguments in order.
+/// worker count and the remaining arguments in order. Kept for callers
+/// that only care about jobs; the binaries use [`parse_common`], which
+/// also strips the resilience flags.
 pub fn split_jobs(args: &[String]) -> Result<(Option<usize>, Vec<String>), String> {
     let mut jobs = None;
     let mut rest = Vec::new();
@@ -33,6 +69,27 @@ pub fn split_jobs(args: &[String]) -> Result<(Option<usize>, Vec<String>), Strin
     Ok((jobs, rest))
 }
 
+/// Extracts one `--name V` / `--name=V` flag from `args`, returning its
+/// value (last occurrence wins) and the remaining arguments in order.
+/// Binaries use this for experiment-specific flags (e.g. the faults
+/// sweep's `--panic-point`).
+pub fn split_flag(args: &[String], name: &str) -> Result<(Option<String>, Vec<String>), String> {
+    let inline = format!("{name}=");
+    let mut value = None;
+    let mut rest = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == name {
+            value = Some(it.next().ok_or_else(|| format!("{name} requires a value"))?.clone());
+        } else if let Some(v) = a.strip_prefix(&inline) {
+            value = Some(v.to_owned());
+        } else {
+            rest.push(a.clone());
+        }
+    }
+    Ok((value, rest))
+}
+
 fn parse_jobs(v: &str) -> Result<usize, String> {
     match v.parse::<usize>() {
         Ok(n) if n >= 1 => Ok(n),
@@ -40,24 +97,155 @@ fn parse_jobs(v: &str) -> Result<usize, String> {
     }
 }
 
-/// Parses `--jobs`, builds the execution context from the environment,
-/// runs `body` on the remaining arguments, and renders any error to
-/// stderr with a nonzero exit code.
-pub fn main_with(body: impl FnOnce(&ExecCtx, &[String]) -> CliResult) -> ExitCode {
+fn parse_timeout(v: &str) -> Result<Option<std::time::Duration>, String> {
+    match v.parse::<f64>() {
+        Ok(0.0) => Ok(None),
+        Ok(secs) if secs > 0.0 && secs.is_finite() => {
+            Ok(Some(std::time::Duration::from_secs_f64(secs)))
+        }
+        _ => Err(format!(
+            "invalid --point-timeout value {v:?} (want seconds >= 0)"
+        )),
+    }
+}
+
+fn parse_retries(v: &str) -> Result<u32, String> {
+    v.parse::<u32>()
+        .map_err(|_| format!("invalid --retries value {v:?} (want a non-negative integer)"))
+}
+
+/// Splits the shared flags from `args`, leaving the binary's positional
+/// arguments (and any experiment-specific flags) in
+/// [`CommonOpts::rest`].
+pub fn parse_common(args: &[String]) -> Result<CommonOpts, String> {
+    let mut opts = CommonOpts::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value_of = |flag: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} requires a value"))
+        };
+        match a.as_str() {
+            "--jobs" => opts.jobs = Some(parse_jobs(&value_of("--jobs")?)?),
+            "--point-timeout" => {
+                opts.point_timeout = Some(parse_timeout(&value_of("--point-timeout")?)?);
+            }
+            "--retries" => opts.retries = Some(parse_retries(&value_of("--retries")?)?),
+            "--run-id" => opts.run_id = Some(value_of("--run-id")?),
+            "--resume" => opts.resume = Some(value_of("--resume")?),
+            other => {
+                if let Some(v) = other.strip_prefix("--jobs=") {
+                    opts.jobs = Some(parse_jobs(v)?);
+                } else if let Some(v) = other.strip_prefix("--point-timeout=") {
+                    opts.point_timeout = Some(parse_timeout(v)?);
+                } else if let Some(v) = other.strip_prefix("--retries=") {
+                    opts.retries = Some(parse_retries(v)?);
+                } else if let Some(v) = other.strip_prefix("--run-id=") {
+                    opts.run_id = Some(v.to_owned());
+                } else if let Some(v) = other.strip_prefix("--resume=") {
+                    opts.resume = Some(v.to_owned());
+                } else {
+                    opts.rest.push(other.to_owned());
+                }
+            }
+        }
+    }
+    Ok(opts)
+}
+
+/// Builds the execution context `opts` asks for: environment defaults,
+/// overridden by the explicit flags, plus the checkpoint journal when a
+/// run id was given (`--resume` wins over `--run-id`).
+pub fn build_ctx(opts: &CommonOpts) -> std::io::Result<ExecCtx> {
+    let mut ctx = ExecCtx::from_env(opts.jobs);
+    if let Some(timeout) = opts.point_timeout {
+        ctx.point_timeout = timeout;
+    }
+    if let Some(retries) = opts.retries {
+        ctx.policy.retries = retries;
+    }
+    let journal = match (&opts.resume, &opts.run_id) {
+        (Some(id), _) => Some(Journal::resume(id)?),
+        (None, Some(id)) => Some(Journal::create(id)?),
+        (None, None) => None,
+    };
+    if let Some(journal) = journal {
+        ctx = ctx.with_journal(journal);
+    }
+    Ok(ctx)
+}
+
+/// Parses the shared flags, builds the execution context, runs `body` on
+/// the remaining arguments, then writes/clears the experiment's failure
+/// report and translates the outcome into the standardized exit codes
+/// (0 ok, 1 usage/internal error, 2 point failures).
+pub fn main_with(
+    experiment: &str,
+    body: impl FnOnce(&ExecCtx, &[String]) -> CliResult,
+) -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
-    let (jobs, rest) = match split_jobs(&argv) {
-        Ok(split) => split,
+    let opts = match parse_common(&argv) {
+        Ok(opts) => opts,
         Err(e) => {
             eprintln!("error: {e}");
             return ExitCode::FAILURE;
         }
     };
-    let ctx = ExecCtx::from_env(jobs);
-    match body(&ctx, &rest) {
-        Ok(()) => ExitCode::SUCCESS,
+    let ctx = match build_ctx(&opts) {
+        Ok(ctx) => ctx,
         Err(e) => {
             eprintln!("error: {e}");
-            ExitCode::FAILURE
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = body(&ctx, &opts.rest);
+    finish(experiment, &ctx, result)
+}
+
+/// The exit code for "the sweep ran but some points ultimately failed".
+pub const EXIT_POINT_FAILURES: u8 = 2;
+
+fn finish(experiment: &str, ctx: &ExecCtx, result: CliResult) -> ExitCode {
+    let cache = ctx.cache.stats();
+    if cache.persist_failures > 0 {
+        eprintln!(
+            "warning: {} cache persist attempt(s) failed; those points will re-simulate next run",
+            cache.persist_failures
+        );
+    }
+    let report_path = format!("results/{experiment}_failures.json");
+    let report = ctx.failure_report(experiment);
+    match &report {
+        Some(report) => {
+            match serde_json::to_string_pretty(report) {
+                Ok(json) => {
+                    let written = std::fs::create_dir_all("results")
+                        .and_then(|()| std::fs::write(&report_path, json));
+                    match written {
+                        Ok(()) => eprintln!("wrote {report_path}"),
+                        Err(e) => eprintln!("warning: could not write {report_path}: {e}"),
+                    }
+                }
+                Err(e) => eprintln!("warning: could not serialize the failure report: {e}"),
+            }
+            eprintln!("{}", report.summary_line());
+        }
+        // A clean run clears any stale report from a previous failed one.
+        None => {
+            let _ = std::fs::remove_file(&report_path);
+        }
+    }
+    match result {
+        Ok(()) if report.is_none() => ExitCode::SUCCESS,
+        Ok(()) => ExitCode::from(EXIT_POINT_FAILURES),
+        Err(e) => {
+            eprintln!("error: {e}");
+            if report.is_some() {
+                ExitCode::from(EXIT_POINT_FAILURES)
+            } else {
+                ExitCode::FAILURE
+            }
         }
     }
 }
@@ -88,5 +276,68 @@ mod tests {
         assert!(split_jobs(&strs(&["--jobs"])).is_err());
         assert!(split_jobs(&strs(&["--jobs", "zero"])).is_err());
         assert!(split_jobs(&strs(&["--jobs=0"])).is_err());
+    }
+
+    #[test]
+    fn parse_common_strips_all_shared_flags() {
+        let opts = parse_common(&strs(&[
+            "0.1",
+            "--jobs",
+            "4",
+            "--point-timeout=2.5",
+            "--retries",
+            "1",
+            "--run-id",
+            "nightly",
+            "7",
+        ]))
+        .unwrap();
+        assert_eq!(opts.jobs, Some(4));
+        assert_eq!(
+            opts.point_timeout,
+            Some(Some(std::time::Duration::from_secs_f64(2.5)))
+        );
+        assert_eq!(opts.retries, Some(1));
+        assert_eq!(opts.run_id.as_deref(), Some("nightly"));
+        assert_eq!(opts.resume, None);
+        assert_eq!(opts.rest, strs(&["0.1", "7"]), "positional order survives");
+    }
+
+    #[test]
+    fn parse_common_timeout_zero_disables() {
+        let opts = parse_common(&strs(&["--point-timeout", "0"])).unwrap();
+        assert_eq!(opts.point_timeout, Some(None));
+        assert!(parse_common(&strs(&["--point-timeout", "-1"])).is_err());
+        assert!(parse_common(&strs(&["--retries", "-1"])).is_err());
+        assert!(parse_common(&strs(&["--resume"])).is_err());
+    }
+
+    #[test]
+    fn split_flag_extracts_and_preserves_rest() {
+        let (v, rest) =
+            split_flag(&strs(&["a", "--panic-point", "0.5", "b"]), "--panic-point").unwrap();
+        assert_eq!(v.as_deref(), Some("0.5"));
+        assert_eq!(rest, strs(&["a", "b"]));
+        let (v, rest) = split_flag(&strs(&["--panic-point=1.0"]), "--panic-point").unwrap();
+        assert_eq!(v.as_deref(), Some("1.0"));
+        assert!(rest.is_empty());
+        assert!(split_flag(&strs(&["--panic-point"]), "--panic-point").is_err());
+    }
+
+    #[test]
+    fn build_ctx_applies_overrides() {
+        let opts = parse_common(&strs(&["--jobs=3", "--retries=0", "--point-timeout=1.5"]))
+            .unwrap();
+        let ctx = build_ctx(&opts).expect("no journal requested");
+        assert_eq!(ctx.jobs, 3);
+        assert_eq!(ctx.policy.retries, 0);
+        assert_eq!(
+            ctx.point_timeout,
+            Some(std::time::Duration::from_secs_f64(1.5))
+        );
+        assert!(ctx.journal().is_none());
+        // A bad run id is a usage error, not a panic.
+        let bad = parse_common(&strs(&["--run-id", "../escape"])).unwrap();
+        assert!(build_ctx(&bad).is_err());
     }
 }

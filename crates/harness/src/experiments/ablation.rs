@@ -144,7 +144,10 @@ pub fn manager_sweep(bench_name: &str, scale: f64, seed: u64) -> Vec<ManagerSwee
 
 /// Sweeps hold-off and quantum on `ctx`: the 4 GHz baseline is a shared
 /// cacheable point, and the six managed configurations fan out across
-/// workers (managed runs mutate frequency mid-run, so they stay uncached).
+/// workers (managed runs mutate frequency mid-run, so they stay
+/// uncached). Configurations run under the context's resilience stack;
+/// the sweep is complete-or-failed (`SweepIncomplete` after the
+/// surviving configurations finished).
 pub fn manager_sweep_with(
     ctx: &ExecCtx,
     bench_name: &str,
@@ -162,15 +165,18 @@ pub fn manager_sweep_with(
     let base = ctx.execute(&plan)?.remove(0);
     let base_energy = power.energy_of_run(Freq::from_ghz(4.0), base.exec, base.total_active, 4);
 
-    let grid: Vec<(u32, f64)> = vec![
+    let grid: Vec<(String, (u32, f64))> = [
         (1u32, 5.0f64),
         (2, 5.0),
         (4, 5.0),
         (8, 5.0),
         (1, 1.0),
         (1, 20.0),
-    ];
-    ctx.map(grid, |(hold_off, quantum_ms)| {
+    ]
+    .into_iter()
+    .map(|(h, q)| (format!("ablation hold-off {h} quantum {q}ms"), (h, q)))
+    .collect();
+    ctx.collect_resilient(grid, |&(hold_off, quantum_ms), _attempt| {
         let mut config = ManagerConfig::with_threshold(0.05);
         config.hold_off = hold_off;
         config.quantum = TimeDelta::from_millis(quantum_ms);
@@ -188,8 +194,6 @@ pub fn manager_sweep_with(
             switches: report.switches,
         })
     })
-    .into_iter()
-    .collect()
 }
 
 /// Renders the manager sweep.

@@ -74,6 +74,9 @@ fn cell_config(class: Option<FaultClass>, intensity: f64, seed: u64) -> FaultCon
 /// Evaluates one sweep cell. `clean_trace` was measured at 2 GHz,
 /// `truth_secs` is the measured clean 4 GHz execution time, and
 /// `(base_exec, base_energy)` is the clean always-4 GHz baseline.
+/// `attempt` redraws the injector seeds on retry (attempt 0 keeps them
+/// bit-identical to the pre-retry harness) so a transient injected fault
+/// can clear on the next try while the workload itself stays fixed.
 #[allow(clippy::too_many_arguments)]
 fn evaluate(
     bench: &Benchmark,
@@ -81,6 +84,7 @@ fn evaluate(
     intensity: f64,
     scale: f64,
     seed: u64,
+    attempt: u32,
     threshold: f64,
     clean_trace: &ExecutionTrace,
     truth_secs: f64,
@@ -90,10 +94,11 @@ fn evaluate(
     let dep = Dep::dep_burst();
     let mcrit = MCrit::new(NonScalingModel::Crit, true);
     let f4 = Freq::from_ghz(4.0);
+    let fault_seed = simx::faults::retry_seed(seed, attempt);
     let mut dep_err = 0.0;
     let mut mcrit_err = 0.0;
     for k in 0..PREDICTION_SAMPLES {
-        let sample_seed = seed.wrapping_add(k.wrapping_mul(0x9E37_79B9));
+        let sample_seed = fault_seed.wrapping_add(k.wrapping_mul(0x9E37_79B9));
         let corrupted = FaultInjector::new(cell_config(class, intensity, sample_seed))
             .filter_harvest(clean_trace.clone());
         dep_err += rel_err(dep.predict(&corrupted, f4).as_secs(), truth_secs);
@@ -106,7 +111,7 @@ fn evaluate(
     mc.initial_freq = f4;
     let mut machine = Machine::new(mc);
     bench.install(&mut machine, scale, seed);
-    machine.install_faults(cell_config(class, intensity, seed));
+    machine.install_faults(cell_config(class, intensity, fault_seed));
     let manager = EnergyManager::new(
         ManagerConfig::hardened(threshold),
         Box::new(Dep::dep_burst()),
@@ -133,7 +138,7 @@ fn evaluate(
 /// Panics if a run fails; prefer [`collect_with`] in binaries.
 #[must_use]
 pub fn collect(scale: f64, seed: u64, threshold: f64, intensities: &[f64]) -> Vec<FaultsRow> {
-    collect_with(&ExecCtx::sequential(), scale, seed, threshold, intensities)
+    collect_with(&ExecCtx::sequential(), scale, seed, threshold, intensities, None)
         .unwrap_or_else(|e| panic!("faults: {e}"))
 }
 
@@ -141,12 +146,21 @@ pub fn collect(scale: f64, seed: u64, threshold: f64, intensities: &[f64]) -> Ve
 /// cacheable points, the baseline is shared with fig6, and the faulted
 /// managed cells fan out across workers (uncached — the injector mutates
 /// machine state mid-run).
+///
+/// `panic_point` appends one seeded [`FaultClass::PanicPoint`] cell per
+/// benchmark that panics *inside point evaluation* with the given
+/// probability. Unlike the other experiments this sweep is
+/// partial-by-design: cells that still fail after retries are dropped
+/// from the returned rows and recorded on `ctx` (so the binary writes
+/// `results/faults_failures.json` and exits 2), while every surviving
+/// cell keeps its row.
 pub fn collect_with(
     ctx: &ExecCtx,
     scale: f64,
     seed: u64,
     threshold: f64,
     intensities: &[f64],
+    panic_point: Option<f64>,
 ) -> depburst_core::Result<Vec<FaultsRow>> {
     let power = PowerModel::haswell_22nm();
     let mut rows = Vec::new();
@@ -168,13 +182,24 @@ pub fn collect_with(
                 cells.push((Some(class), intensity));
             }
         }
-        let evaluated = ctx.map(cells, |(class, intensity)| {
+        if let Some(p) = panic_point {
+            cells.push((Some(FaultClass::PanicPoint), p));
+        }
+        let labelled: Vec<(String, (Option<FaultClass>, f64))> = cells
+            .into_iter()
+            .map(|(class, intensity)| {
+                let fault = class.map_or("none", |c| c.name());
+                (format!("{name}/{fault}@{intensity:.2}"), (class, intensity))
+            })
+            .collect();
+        let evaluated = ctx.map_resilient(labelled, |&(class, intensity), attempt| {
             evaluate(
                 bench,
                 class,
                 intensity,
                 scale,
                 seed,
+                attempt,
                 threshold,
                 &clean.trace,
                 truth.exec.as_secs(),
@@ -182,8 +207,11 @@ pub fn collect_with(
                 base_energy,
             )
         });
-        for row in evaluated {
-            rows.push(row?);
+        for outcome in evaluated {
+            match outcome {
+                Ok(row) => rows.push(row),
+                Err(failure) => ctx.record_failure(failure),
+            }
         }
     }
     Ok(rows)
@@ -289,5 +317,33 @@ mod tests {
             dropped.slowdown,
             anchor.slowdown
         );
+    }
+
+    #[test]
+    fn panic_point_cells_are_isolated_and_recorded() {
+        use crate::resilience::{FailureCause, RetryPolicy};
+        // A certain panic-point cell per benchmark (probability 1.0, no
+        // retries, no other intensities): the anchor cells must survive,
+        // the panicking cells must be dropped from the rows and recorded
+        // as structured failures on the context.
+        let ctx = ExecCtx::new(2).with_policy(RetryPolicy::none());
+        let rows =
+            collect_with(&ctx, 0.02, 1, 0.10, &[], Some(1.0)).expect("partial rows survive");
+        assert_eq!(rows.iter().filter(|r| r.fault == "none").count(), 2);
+        assert!(rows.iter().all(|r| r.fault != "panic-point"));
+        let failures = ctx.failures();
+        assert_eq!(failures.len(), 2, "one dead cell per benchmark");
+        for f in &failures {
+            assert_eq!(f.cause, FailureCause::Panic);
+            assert_eq!(f.attempts, 1);
+            assert!(
+                f.detail.contains("injected panic-point fault"),
+                "panic payload must survive isolation: {}",
+                f.detail
+            );
+        }
+        assert!(failures
+            .iter()
+            .any(|f| f.label == "lusearch/panic-point@1.00"));
     }
 }

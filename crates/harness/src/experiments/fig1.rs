@@ -2,6 +2,12 @@
 //! absolute error when predicting 2/3/4 GHz from a 1 GHz base.
 //!
 //! This is a view over the Figure 3(a) data.
+//!
+//! All points run through [`crate::run::ExecCtx::execute`], so the
+//! figure inherits the full resilience stack: a point that still fails
+//! after retries turns the run into `SweepIncomplete` — but only after
+//! every surviving point finished and was cached/journaled for the
+//! retry.
 
 use serde::Serialize;
 

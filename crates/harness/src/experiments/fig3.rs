@@ -3,6 +3,12 @@
 //!
 //! (a) base 1 GHz, targets 2/3/4 GHz (predicting at higher frequency);
 //! (b) base 4 GHz, targets 1/2/3 GHz (predicting at lower frequency).
+//!
+//! The grid executes on [`crate::run::ExecCtx`], which makes the figure
+//! complete-or-failed: every surviving point is simulated (and
+//! cached/journaled) before a dead point surfaces as `SweepIncomplete`,
+//! so an interrupted or partially failed sweep resumes from its
+//! checkpoint journal instead of restarting.
 
 use dacapo_sim::all_benchmarks;
 use depburst::{paper_roster, relative_error, ErrorStats};

@@ -1,5 +1,9 @@
 //! Figure 4: per-epoch vs across-epoch critical-thread prediction, for
 //! DEP+BURST in both prediction directions.
+//!
+//! Points execute on [`crate::run::ExecCtx`] and share its resilience
+//! semantics: the figure is complete-or-failed (`SweepIncomplete` only
+//! after the surviving points finished and were cached/journaled).
 
 use dacapo_sim::all_benchmarks;
 use depburst::{relative_error, Dep, DvfsPredictor, ErrorStats};

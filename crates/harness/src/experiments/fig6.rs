@@ -116,17 +116,24 @@ pub fn collect(threshold: f64, scale: f64, seed: u64) -> Vec<Fig6Row> {
 }
 
 /// Runs all benchmarks at one threshold on `ctx`'s pool; managed runs
-/// execute one per worker, rows return in benchmark order.
+/// execute one per worker, rows return in benchmark order. Each
+/// benchmark runs under the context's resilience stack (panic isolation,
+/// watchdog, retry): the figure is complete-or-failed, so every
+/// surviving benchmark finishes (and is cached/journaled) before a dead
+/// one turns the sweep into `SweepIncomplete`.
 pub fn collect_with(
     ctx: &ExecCtx,
     threshold: f64,
     scale: f64,
     seed: u64,
 ) -> depburst_core::Result<Vec<Fig6Row>> {
-    let benches: Vec<&Benchmark> = all_benchmarks().iter().collect();
-    ctx.map(benches, |b| managed_with(ctx, b, scale, seed, threshold))
-        .into_iter()
-        .collect()
+    let benches: Vec<(String, &Benchmark)> = all_benchmarks()
+        .iter()
+        .map(|b| (format!("fig6 {} @ {:.0}%", b.name, threshold * 100.0), b))
+        .collect();
+    ctx.collect_resilient(benches, |b, _attempt| {
+        managed_with(ctx, b, scale, seed, threshold)
+    })
 }
 
 /// Mean savings over the memory-intensive benchmarks (the paper's headline

@@ -92,7 +92,10 @@ pub fn collect(threshold: f64, scale: f64, seed: u64, step_mhz: u32) -> Vec<Fig7
 
 /// Runs the comparison on `ctx`'s pool: benchmarks fan out across
 /// workers, and each benchmark's ladder points are memoized (the 4 GHz
-/// point, for instance, is shared with the fig6 baseline).
+/// point, for instance, is shared with the fig6 baseline). Benchmarks
+/// run under the context's resilience stack; a benchmark that still
+/// fails after retries fails the whole figure (`SweepIncomplete`) only
+/// after the surviving ones finished and were cached/journaled.
 pub fn collect_with(
     ctx: &ExecCtx,
     threshold: f64,
@@ -101,8 +104,11 @@ pub fn collect_with(
     step_mhz: u32,
 ) -> depburst_core::Result<Vec<Fig7Row>> {
     let power = PowerModel::haswell_22nm();
-    let benches: Vec<&Benchmark> = all_benchmarks().iter().collect();
-    ctx.map(benches, |bench| {
+    let benches: Vec<(String, &Benchmark)> = all_benchmarks()
+        .iter()
+        .map(|b| (format!("fig7 {}", b.name), b))
+        .collect();
+    ctx.collect_resilient(benches, |bench, _attempt| {
         let dynamic = fig6::managed_with(ctx, bench, scale, seed, threshold)?;
         let s = sweep_with(ctx, bench, scale, seed, &power, step_mhz)?;
         let base = s.baseline().expect("sweep nonempty");
@@ -119,8 +125,6 @@ pub fn collect_with(
             static_ghz: best.freq.ghz(),
         })
     })
-    .into_iter()
-    .collect()
 }
 
 /// Renders the table.

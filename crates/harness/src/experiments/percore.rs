@@ -133,8 +133,10 @@ pub fn collect(bench: &Benchmark, scale: f64, seed: u64) -> Vec<PerCoreRow> {
 }
 
 /// Runs the study on `ctx`: the six scaled configurations fan out across
-/// workers. Pinned runs bypass the memo cache — their per-core frequency
-/// overrides are not part of a plain cacheable point.
+/// workers under the context's resilience stack (the study is
+/// complete-or-failed — any configuration dead after retries yields
+/// `SweepIncomplete`). Pinned runs bypass the memo cache — their
+/// per-core frequency overrides are not part of a plain cacheable point.
 pub fn collect_with(
     ctx: &ExecCtx,
     bench: &Benchmark,
@@ -155,12 +157,14 @@ pub fn collect_with(
     let mut grid = Vec::new();
     for group in [ScaledGroup::Service, ScaledGroup::Application] {
         for ghz in [3.0, 2.0, 1.0] {
-            grid.push((group, ghz));
+            grid.push((
+                format!("percore {}/{:?}@{ghz}", bench.name, group),
+                (group, ghz),
+            ));
         }
     }
-    let scaled: Vec<depburst_core::Result<PerCoreRow>> = ctx.map(grid, |(group, ghz)| {
-        let (exec, energy) =
-            run_pinned(bench, scale, seed, group, Freq::from_ghz(ghz), &power)?;
+    let scaled = ctx.collect_resilient(grid, |&(group, ghz), _attempt| {
+        let (exec, energy) = run_pinned(bench, scale, seed, group, Freq::from_ghz(ghz), &power)?;
         Ok(PerCoreRow {
             benchmark: bench.name.to_owned(),
             group,
@@ -169,10 +173,8 @@ pub fn collect_with(
             slowdown: exec / base_exec - 1.0,
             savings: 1.0 - energy / base_energy,
         })
-    });
-    for row in scaled {
-        rows.push(row?);
-    }
+    })?;
+    rows.extend(scaled);
     Ok(rows)
 }
 

@@ -1,5 +1,9 @@
 //! Table I: the benchmark roster with execution and GC time at 1 GHz,
 //! ours vs the paper's published numbers.
+//!
+//! Rows execute on [`crate::run::ExecCtx`] with its resilience
+//! semantics: the table is complete-or-failed (`SweepIncomplete` only
+//! after the surviving rows finished and were cached/journaled).
 
 use dacapo_sim::{all_benchmarks, BenchClass};
 use serde::Serialize;

@@ -13,16 +13,25 @@
 //! | Fault injection & graceful degradation | [`experiments::faults`] | `faults` |
 //!
 //! The [`run`] module holds the single-run plumbing shared by everything.
+//! Long sweeps run resiliently: points are panic-isolated and
+//! watchdog-bounded with deterministic retry ([`resilience`]), completed
+//! points checkpoint to an append-only journal for `--resume`
+//! ([`checkpoint`]), and ultimate failures surface as a structured
+//! end-of-run report with a nonzero exit code ([`cli`]).
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod cache;
+pub mod checkpoint;
 pub mod cli;
 pub mod experiments;
 pub mod pool;
 pub mod report;
+pub mod resilience;
 pub mod run;
 
 pub use cache::{sim_key, CacheStats, SimCache, SimKey};
+pub use checkpoint::Journal;
+pub use resilience::{FailureCause, FailureReport, PointFailure, RetryPolicy};
 pub use run::{run_benchmark, ExecCtx, RunConfig, RunResult, RunSummary, SimPoint, SweepPlan};

@@ -10,10 +10,35 @@
 //! With `jobs <= 1` (or a single item) no threads are spawned at all and
 //! the items are mapped in place, reproducing the historical sequential
 //! runner exactly.
+//!
+//! Panic isolation: every item runs under `catch_unwind`, so one
+//! panicking item can neither kill its worker (which would strand the
+//! rest of that worker's queue) nor poison the result slots. [`try_map`]
+//! surfaces each item's panic as an `Err` payload; [`map`] completes
+//! every item first and only then re-raises the earliest panic.
 
+use std::any::Any;
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+/// The opaque payload of a caught panic (what `std::panic::catch_unwind`
+/// yields), carried per item by [`try_map`].
+pub type PanicPayload = Box<dyn Any + Send>;
+
+/// Renders a panic payload the way the default panic hook would: the
+/// `&str` or `String` message when there is one, a placeholder otherwise.
+#[must_use]
+pub fn panic_message(payload: &PanicPayload) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with a non-string payload".to_owned()
+    }
+}
 
 /// The number of workers to use when the caller does not say: the
 /// machine's available parallelism (1 if it cannot be determined).
@@ -39,7 +64,33 @@ pub fn resolve_jobs(requested: Option<usize>) -> usize {
 /// Maps `f` over `items` on up to `jobs` workers, returning the results
 /// in input order. `f` must be a pure function of its item (it runs once
 /// per item, on an arbitrary worker).
+///
+/// # Panics
+/// If `f` panics for any item, every *other* item still completes and the
+/// earliest (lowest-index) panic is then re-raised on the calling thread
+/// — a panicking point no longer strands the rest of the sweep in an
+/// undefined half-run state. Callers that want panics as data use
+/// [`try_map`].
 pub fn map<T, R, F>(items: Vec<T>, jobs: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let mut out = Vec::with_capacity(items.len());
+    for outcome in try_map(items, jobs, f) {
+        match outcome {
+            Ok(r) => out.push(r),
+            Err(payload) => resume_unwind(payload),
+        }
+    }
+    out
+}
+
+/// Like [`map`], but panic-isolated: each item's result arrives as
+/// `Ok(r)` or `Err(payload)` when `f` panicked on it. All items run to
+/// completion regardless of how many panic.
+pub fn try_map<T, R, F>(items: Vec<T>, jobs: usize, f: F) -> Vec<Result<R, PanicPayload>>
 where
     T: Send,
     R: Send,
@@ -47,13 +98,17 @@ where
 {
     let n = items.len();
     if jobs <= 1 || n <= 1 {
-        return items.into_iter().map(f).collect();
+        return items
+            .into_iter()
+            .map(|item| catch_unwind(AssertUnwindSafe(|| f(item))))
+            .collect();
     }
     let workers = jobs.min(n);
 
     // Item and result slots, indexed by input position.
     let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
-    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let results: Vec<Mutex<Option<Result<R, PanicPayload>>>> =
+        (0..n).map(|_| Mutex::new(None)).collect();
     let completed = AtomicUsize::new(0);
 
     // Deal indices round-robin so neighbouring (similar-cost) points
@@ -88,7 +143,11 @@ where
                             .expect("slot lock")
                             .take()
                             .expect("item taken once");
-                        let r = f(item);
+                        // AssertUnwindSafe: `f` is shared by reference and
+                        // a panicking call's partial effects stay behind
+                        // the caller's own synchronization (the slot/result
+                        // mutexes themselves are never held across `f`).
+                        let r = catch_unwind(AssertUnwindSafe(|| f(item)));
                         *results[i].lock().expect("result lock") = Some(r);
                         completed.fetch_add(1, Ordering::SeqCst);
                     }
@@ -160,5 +219,52 @@ mod tests {
         assert_eq!(resolve_jobs(Some(0)), 1);
         assert_eq!(resolve_jobs(Some(3)), 3);
         assert!(resolve_jobs(None) >= 1);
+    }
+
+    #[test]
+    fn try_map_isolates_panics_per_item() {
+        for jobs in [1, 4] {
+            let outcomes = try_map((0u64..16).collect(), jobs, |x| {
+                assert!(x != 5 && x != 11, "boom at {x}");
+                x * 2
+            });
+            assert_eq!(outcomes.len(), 16, "jobs={jobs}: all items complete");
+            for (i, outcome) in outcomes.iter().enumerate() {
+                match outcome {
+                    Ok(r) => assert_eq!(*r, i as u64 * 2),
+                    Err(payload) => {
+                        assert!(i == 5 || i == 11);
+                        assert!(panic_message(payload).contains("boom"));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn map_completes_everything_before_reraising() {
+        use std::sync::atomic::AtomicUsize;
+        let ran = AtomicUsize::new(0);
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            map((0u64..16).collect(), 4, |x| {
+                ran.fetch_add(1, Ordering::SeqCst);
+                assert_ne!(x, 3, "dead point");
+                x
+            })
+        }));
+        assert!(caught.is_err(), "the panic still surfaces");
+        assert_eq!(
+            ran.load(Ordering::SeqCst),
+            16,
+            "a panicking item must not strand the others"
+        );
+    }
+
+    #[test]
+    fn panic_message_renders_common_payloads() {
+        let s = catch_unwind(|| panic!("plain &str")).unwrap_err();
+        assert_eq!(panic_message(&s), "plain &str");
+        let owned = catch_unwind(|| panic!("value {}", 42)).unwrap_err();
+        assert_eq!(panic_message(&owned), "value 42");
     }
 }

@@ -4,7 +4,9 @@
 //! through: points execute on the work-stealing pool, results come back
 //! in plan order, and identical points are memoized via [`SimCache`].
 
-use std::sync::Arc;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 use dacapo_sim::Benchmark;
 use dvfs_trace::{ExecutionTrace, Freq, TimeDelta};
@@ -12,7 +14,11 @@ use serde::{Deserialize, Serialize};
 use simx::{Machine, MachineConfig, RunOutcome, RunStats};
 
 use crate::cache::{sim_key, SimCache};
+use crate::checkpoint::Journal;
 use crate::pool;
+use crate::resilience::{
+    attempt_resilient, FailureCause, FailureReport, PointFailure, ResilienceStats, RetryPolicy,
+};
 
 /// Parameters of one benchmark run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -185,7 +191,9 @@ impl SweepPlan {
 }
 
 /// The execution context experiments run under: how many pool workers to
-/// use and the simulation memo shared by every plan executed through it.
+/// use, the simulation memo shared by every plan executed through it,
+/// and the resilience machinery — retry policy, per-point watchdog,
+/// checkpoint journal, and the run's accumulated point failures.
 #[derive(Debug)]
 pub struct ExecCtx {
     /// Pool width. 1 = run points in place, exactly like the historical
@@ -193,15 +201,35 @@ pub struct ExecCtx {
     pub jobs: usize,
     /// The simulation memo.
     pub cache: SimCache,
+    /// Retry/backoff policy for failed points.
+    pub policy: RetryPolicy,
+    /// Per-point wall-clock budget (None = no watchdog).
+    pub point_timeout: Option<Duration>,
+    /// The checkpoint journal, when the run is resumable.
+    journal: Option<Journal>,
+    /// Ultimate point failures accumulated across this context's sweeps.
+    failures: Mutex<Vec<PointFailure>>,
+    /// Failures stashed by key while they cross the cache's error channel
+    /// (which carries only a `DepburstError`).
+    stashed: Mutex<HashMap<u128, PointFailure>>,
+    /// Attempt-level counters (retries, panics, timeouts).
+    rstats: ResilienceStats,
 }
 
 impl ExecCtx {
-    /// A context with `jobs` workers and a fresh in-memory cache.
+    /// A context with `jobs` workers, a fresh in-memory cache, the
+    /// default retry policy, and no watchdog or journal.
     #[must_use]
     pub fn new(jobs: usize) -> Self {
         ExecCtx {
             jobs: jobs.max(1),
             cache: SimCache::in_memory(),
+            policy: RetryPolicy::default(),
+            point_timeout: None,
+            journal: None,
+            failures: Mutex::new(Vec::new()),
+            stashed: Mutex::new(HashMap::new()),
+            rstats: ResilienceStats::default(),
         }
     }
 
@@ -212,21 +240,135 @@ impl ExecCtx {
     }
 
     /// The context the binaries use: `requested` jobs (falling back to
-    /// `DEPBURST_JOBS`, then to the machine's parallelism) and cache
-    /// persistence per `DEPBURST_CACHE`.
+    /// `DEPBURST_JOBS`, then to the machine's parallelism), cache
+    /// persistence per `DEPBURST_CACHE`, retries per `DEPBURST_RETRIES`,
+    /// and the watchdog per `DEPBURST_POINT_TIMEOUT` (seconds).
     #[must_use]
     pub fn from_env(requested: Option<usize>) -> Self {
-        ExecCtx {
-            jobs: pool::resolve_jobs(requested),
-            cache: SimCache::from_env(),
+        let mut ctx = Self::new(pool::resolve_jobs(requested));
+        ctx.cache = SimCache::from_env();
+        ctx.policy = RetryPolicy::from_env();
+        ctx.point_timeout = std::env::var("DEPBURST_POINT_TIMEOUT")
+            .ok()
+            .and_then(|v| v.trim().parse::<f64>().ok())
+            .filter(|secs| *secs > 0.0)
+            .map(Duration::from_secs_f64);
+        ctx
+    }
+
+    /// Replaces the cache (builder style).
+    #[must_use]
+    pub fn with_cache(mut self, cache: SimCache) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    /// Replaces the retry policy (builder style).
+    #[must_use]
+    pub fn with_policy(mut self, policy: RetryPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the per-point wall-clock budget (builder style).
+    #[must_use]
+    pub fn with_timeout(mut self, timeout: Option<Duration>) -> Self {
+        self.point_timeout = timeout;
+        self
+    }
+
+    /// Installs a checkpoint journal (builder style).
+    #[must_use]
+    pub fn with_journal(mut self, journal: Journal) -> Self {
+        self.journal = Some(journal);
+        self
+    }
+
+    /// The installed checkpoint journal, if any.
+    #[must_use]
+    pub fn journal(&self) -> Option<&Journal> {
+        self.journal.as_ref()
+    }
+
+    /// Records a point's ultimate failure into the run's report.
+    pub fn record_failure(&self, failure: PointFailure) {
+        self.failures.lock().expect("failures lock").push(failure);
+    }
+
+    /// The ultimate point failures recorded so far.
+    #[must_use]
+    pub fn failures(&self) -> Vec<PointFailure> {
+        self.failures.lock().expect("failures lock").clone()
+    }
+
+    /// True when any point ultimately failed under this context.
+    #[must_use]
+    pub fn has_failures(&self) -> bool {
+        !self.failures.lock().expect("failures lock").is_empty()
+    }
+
+    /// The end-of-run failure report, or `None` for a clean run.
+    #[must_use]
+    pub fn failure_report(&self, experiment: &str) -> Option<FailureReport> {
+        let failures = self.failures();
+        if failures.is_empty() {
+            return None;
         }
+        let cache = self.cache.stats();
+        Some(FailureReport {
+            experiment: experiment.to_owned(),
+            failed_points: failures.len(),
+            retries: self.rstats.retries(),
+            panics: self.rstats.panics(),
+            timeouts: self.rstats.timeouts(),
+            quarantined: cache.quarantined,
+            cache_persist_failures: cache.persist_failures,
+            failures,
+        })
     }
 
     /// Executes every point of `plan` — memoized, on up to
     /// [`jobs`](ExecCtx::jobs) workers — and returns the summaries in plan
     /// order. The output is a pure function of the plan: neither the
-    /// worker count nor the cache temperature can change it.
+    /// worker count, the cache temperature, nor a journal resume can
+    /// change it.
+    ///
+    /// # Errors
+    /// Every point is attempted (with this context's retry/watchdog
+    /// policy) even when some fail; ultimate failures are recorded via
+    /// [`record_failure`](Self::record_failure) and the whole sweep then
+    /// reports [`DepburstError::SweepIncomplete`] — figures are
+    /// structurally complete-or-failed, unlike the faults sweep which
+    /// drops failed cells and keeps its partial rows.
+    ///
+    /// [`DepburstError::SweepIncomplete`]: depburst_core::DepburstError::SweepIncomplete
     pub fn execute(&self, plan: &SweepPlan) -> depburst_core::Result<Vec<Arc<RunSummary>>> {
+        let total = plan.points.len();
+        let mut ok = Vec::with_capacity(total);
+        let mut failed = 0usize;
+        for outcome in self.execute_outcomes(plan) {
+            match outcome {
+                Ok(summary) => ok.push(summary),
+                Err(failure) => {
+                    failed += 1;
+                    self.record_failure(failure);
+                }
+            }
+        }
+        if failed > 0 {
+            return Err(depburst_core::DepburstError::SweepIncomplete { failed, total });
+        }
+        Ok(ok)
+    }
+
+    /// The per-point form of [`execute`](Self::execute): every point's
+    /// summary or structured failure, in plan order. Failures are *not*
+    /// recorded on the context — the caller decides whether a failed
+    /// point sinks the sweep or only its own cell.
+    pub fn execute_outcomes(
+        &self,
+        plan: &SweepPlan,
+    ) -> Vec<Result<Arc<RunSummary>, PointFailure>> {
         // `DEPBURST_TRACE_POINTS=1` logs every point with its key and
         // wall-clock to stderr — the first tool to reach for when a sweep
         // stalls or the cache misses unexpectedly.
@@ -236,11 +378,50 @@ impl ExecCtx {
             mc.initial_freq = point.config.freq;
             let key = sim_key(point.bench, &mc, None, point.config.scale, point.config.seed);
             let t0 = std::time::Instant::now();
+            // Journal replay first: a resumed run serves completed points
+            // without touching the simulator or the cache statistics.
+            if let Some(journal) = &self.journal {
+                if let Some(summary) = journal.lookup(key) {
+                    self.cache.seed(key, &summary);
+                    if tracing {
+                        eprintln!("  {}: replayed from checkpoint journal", key.hex());
+                    }
+                    return Ok(summary);
+                }
+            }
+            let label = format!(
+                "{} @ {} seed {} scale {}",
+                point.bench.name, point.config.freq, point.config.seed, point.config.scale
+            );
             let out = self.cache.get_or_compute(key, || {
                 if tracing {
                     eprintln!("  {}: miss, simulating", key.hex());
                 }
-                try_run_benchmark(point.bench, point.config).map(|r| r.summarize())
+                match attempt_resilient(
+                    &self.policy,
+                    self.point_timeout,
+                    &self.rstats,
+                    &label,
+                    |_attempt| {
+                        // Plain cacheable points carry no fault injector,
+                        // so the attempt index cannot change the result —
+                        // a retry re-runs the identical pure simulation.
+                        try_run_benchmark(point.bench, point.config).map(|r| r.summarize())
+                    },
+                ) {
+                    Ok(summary) => Ok(summary),
+                    Err(failure) => {
+                        // The cache's error channel carries only a
+                        // DepburstError; stash the structured failure so
+                        // it survives the crossing.
+                        let detail = failure.detail.clone();
+                        self.stashed
+                            .lock()
+                            .expect("stash lock")
+                            .insert(key.0, failure);
+                        Err(depburst_core::DepburstError::Machine { detail })
+                    }
+                }
             });
             if tracing {
                 eprintln!(
@@ -252,14 +433,40 @@ impl ExecCtx {
                     t0.elapsed().as_secs_f64()
                 );
             }
-            out
+            match out {
+                Ok(summary) => {
+                    if let Some(journal) = &self.journal {
+                        journal.record(key, &summary);
+                    }
+                    Ok(summary)
+                }
+                Err(err) => {
+                    let failure = self
+                        .stashed
+                        .lock()
+                        .expect("stash lock")
+                        .get(&key.0)
+                        .cloned()
+                        .unwrap_or_else(|| PointFailure {
+                            label: label.clone(),
+                            cause: FailureCause::Error,
+                            attempts: 1,
+                            detail: err.to_string(),
+                        });
+                    Err(failure)
+                }
+            }
         });
-        outcomes.into_iter().collect()
+        if let Some(journal) = &self.journal {
+            journal.flush();
+        }
+        outcomes
     }
 
     /// Maps `f` over `items` on this context's pool, preserving input
     /// order. For experiment stages that are not plain cacheable runs
-    /// (managed-machine runs, per-core pinned runs).
+    /// (managed-machine runs, per-core pinned runs). Callers wanting
+    /// per-item resilience use [`map_resilient`](Self::map_resilient).
     pub fn map<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<R>
     where
         T: Send,
@@ -267,6 +474,68 @@ impl ExecCtx {
         F: Fn(T) -> R + Sync,
     {
         pool::map(items, self.jobs, f)
+    }
+
+    /// Maps a fallible, labelled evaluation over `items` with this
+    /// context's full resilience stack (panic isolation, watchdog,
+    /// retry/backoff), preserving input order. `f` receives the item and
+    /// the attempt index (0 first) so seeded transient faults can redraw
+    /// per attempt (see [`simx::faults::retry_seed`]). Failures are *not*
+    /// recorded on the context — see
+    /// [`collect_resilient`](Self::collect_resilient) for the
+    /// whole-sweep-or-nothing wrapper.
+    pub fn map_resilient<T, R, F>(
+        &self,
+        items: Vec<(String, T)>,
+        f: F,
+    ) -> Vec<Result<R, PointFailure>>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(&T, u32) -> depburst_core::Result<R> + Sync,
+    {
+        pool::map(items, self.jobs, |(label, item)| {
+            attempt_resilient(
+                &self.policy,
+                self.point_timeout,
+                &self.rstats,
+                &label,
+                |attempt| f(&item, attempt),
+            )
+        })
+    }
+
+    /// [`map_resilient`](Self::map_resilient) for sweeps that are
+    /// structurally complete-or-failed: every item runs, ultimate
+    /// failures are recorded on the context, and any failure turns the
+    /// whole sweep into `SweepIncomplete` — after the surviving items
+    /// finished, so their simulations are cached/journaled for a retry.
+    pub fn collect_resilient<T, R, F>(
+        &self,
+        items: Vec<(String, T)>,
+        f: F,
+    ) -> depburst_core::Result<Vec<R>>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(&T, u32) -> depburst_core::Result<R> + Sync,
+    {
+        let total = items.len();
+        let mut ok = Vec::with_capacity(total);
+        let mut failed = 0usize;
+        for outcome in self.map_resilient(items, f) {
+            match outcome {
+                Ok(r) => ok.push(r),
+                Err(failure) => {
+                    failed += 1;
+                    self.record_failure(failure);
+                }
+            }
+        }
+        if failed > 0 {
+            return Err(depburst_core::DepburstError::SweepIncomplete { failed, total });
+        }
+        Ok(ok)
     }
 }
 
@@ -320,5 +589,49 @@ mod tests {
         assert_eq!(s.exec, r.exec);
         assert_eq!(s.total_active, r.stats.total_active());
         assert_eq!(s.trace, r.trace);
+    }
+
+    #[test]
+    fn watchdog_expires_inside_run_benchmark() {
+        // An armed zero-budget watchdog must stop the machine at the
+        // first stride check and surface as a structured error, not hang
+        // or panic.
+        let bench = benchmark("lusearch").expect("exists");
+        let _guard = simx::watchdog::arm(Duration::ZERO);
+        let err = try_run_benchmark(bench, RunConfig::at_ghz(2.0).scaled(0.02))
+            .expect_err("zero budget must expire");
+        assert!(
+            matches!(err, depburst_core::DepburstError::WatchdogExpired { .. }),
+            "got {err}"
+        );
+    }
+
+    #[test]
+    fn zero_timeout_points_fail_as_timeouts() {
+        use crate::resilience::{FailureCause, RetryPolicy};
+        let bench = benchmark("lusearch").expect("exists");
+        let mut plan = SweepPlan::new();
+        plan.push(SimPoint::new(bench, Freq::from_ghz(2.0), 0.02, 1));
+        let ctx = ExecCtx::new(1)
+            .with_policy(RetryPolicy::none())
+            .with_timeout(Some(Duration::ZERO));
+        let err = ctx
+            .execute(&plan)
+            .expect_err("zero budget must fail the sweep");
+        assert!(
+            matches!(
+                err,
+                depburst_core::DepburstError::SweepIncomplete { failed: 1, total: 1 }
+            ),
+            "got {err}"
+        );
+        let failures = ctx.failures();
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].cause, FailureCause::Timeout);
+        assert!(
+            failures[0].detail.contains("watchdog"),
+            "timeout detail must name the watchdog: {}",
+            failures[0].detail
+        );
     }
 }

@@ -5,9 +5,12 @@
 //!
 //! One test shares the simulated points across all four comparisons so
 //! the suite simulates each (benchmark, frequency) point at most twice.
+//! A second test interrupts a checkpoint journal mid-write (truncating
+//! it to a torn final line, as a crash or SIGINT would) and proves the
+//! resumed run is byte-identical too.
 
 use harness::experiments::fig1;
-use harness::{ExecCtx, SimCache};
+use harness::{ExecCtx, Journal, SimCache};
 
 const SCALE: f64 = 0.01;
 const SEEDS: [u64; 1] = [1];
@@ -31,10 +34,7 @@ fn fig1_is_byte_identical_across_jobs_and_cache_states() {
     let sequential = fig1_report(&ExecCtx::sequential());
 
     // jobs=4, persisting every computed point to `dir`.
-    let par_ctx = ExecCtx {
-        jobs: 4,
-        cache: SimCache::persistent(&dir),
-    };
+    let par_ctx = ExecCtx::new(4).with_cache(SimCache::persistent(&dir));
     let parallel = fig1_report(&par_ctx);
     assert_eq!(
         sequential, parallel,
@@ -58,10 +58,7 @@ fn fig1_is_byte_identical_across_jobs_and_cache_states() {
 
     // A brand-new context sharing only the directory must replay the
     // whole figure from disk, byte-identical, without simulating.
-    let replay_ctx = ExecCtx {
-        jobs: 2,
-        cache: SimCache::persistent(&dir),
-    };
+    let replay_ctx = ExecCtx::new(2).with_cache(SimCache::persistent(&dir));
     let replayed = fig1_report(&replay_ctx);
     let replay_stats = replay_ctx.cache.stats();
     assert_eq!(
@@ -73,6 +70,73 @@ fn fig1_is_byte_identical_across_jobs_and_cache_states() {
         "persisted envelopes must satisfy every point"
     );
     assert!(replay_stats.disk_hits > 0);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn interrupted_journal_resumes_byte_identical() {
+    let dir = std::env::temp_dir().join(format!("depburst-resume-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let journal_path = dir.join("run.jsonl");
+
+    // The uninterrupted reference run (no journal, no cache dir).
+    let baseline = fig1_report(&ExecCtx::sequential());
+
+    // A full journaled run: every cacheable point lands in the journal.
+    let full_misses = {
+        let ctx = ExecCtx::new(4)
+            .with_journal(Journal::create_at(&journal_path).expect("create journal"));
+        let full = fig1_report(&ctx);
+        assert_eq!(baseline, full, "journaled run changed the report bytes");
+        assert!(
+            ctx.journal().expect("journal attached").appends() > 2,
+            "journal must record the sweep's points"
+        );
+        ctx.cache.stats().misses
+    };
+
+    // Interrupt: keep the first half of the journal and tear the next
+    // line in half with no trailing newline — exactly what a crash
+    // mid-append leaves behind.
+    let text = std::fs::read_to_string(&journal_path).expect("journal readable");
+    let lines: Vec<&str> = text.lines().collect();
+    assert!(lines.len() >= 4, "need enough records to interrupt");
+    let half = lines.len() / 2;
+    let mut torn = lines[..half].join("\n");
+    torn.push('\n');
+    torn.push_str(&lines[half][..lines[half].len() / 2]);
+    std::fs::write(&journal_path, &torn).expect("truncate journal");
+
+    // Resume: the surviving records replay (zero cache misses for them),
+    // the lost tail recomputes, and the bytes match exactly.
+    let resumed_misses = {
+        let ctx = ExecCtx::new(2)
+            .with_journal(Journal::resume_at(&journal_path).expect("resume journal"));
+        let resumed = fig1_report(&ctx);
+        assert_eq!(baseline, resumed, "resumed run differs from baseline");
+        let journal = ctx.journal().expect("journal attached");
+        assert!(journal.replays() > 0, "resume must replay journal records");
+        assert_eq!(journal.loaded(), half, "torn final line must be dropped");
+        ctx.cache.stats().misses
+    };
+    assert!(resumed_misses > 0, "lost tail must be recomputed");
+    assert!(
+        resumed_misses < full_misses,
+        "replayed records must not be recomputed ({resumed_misses} vs {full_misses})"
+    );
+
+    // The resumed run healed the torn tail and re-appended the lost
+    // records, so a third pass replays everything: zero simulations.
+    let ctx = ExecCtx::new(2)
+        .with_journal(Journal::resume_at(&journal_path).expect("resume healed journal"));
+    let third = fig1_report(&ctx);
+    assert_eq!(baseline, third, "healed-journal run differs from baseline");
+    assert_eq!(
+        ctx.cache.stats().misses,
+        0,
+        "a healed journal must satisfy every cacheable point"
+    );
 
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -1,12 +1,15 @@
-//! Property tests over the simulation memo key: every input that can
+//! Property tests over the simulation memo key — every input that can
 //! change a run's result must change the key (injectivity over sampled
 //! perturbations), and inputs that provably cannot change the result —
-//! inert fault configurations — must collapse onto one key.
+//! inert fault configurations — must collapse onto one key — and over
+//! the resilience layer's retry/backoff schedule, which must be a pure
+//! function of (policy, point identity, attempt).
 
 use std::collections::HashSet;
+use std::time::Duration;
 
 use dvfs_trace::Freq;
-use harness::sim_key;
+use harness::{sim_key, RetryPolicy};
 use proptest::prelude::*;
 use simx::{FaultClass, FaultConfig, MachineConfig};
 
@@ -157,5 +160,46 @@ proptest! {
         prop_assert!(sim_key(b, &mc, None, scale + 1.0/1024.0, seed).0 != k1);
         prop_assert!(sim_key(b, &mc, None, scale, seed ^ 1).0 != k1);
         prop_assert!(sim_key(bench("pmd"), &mc, None, scale, seed).0 != k1);
+    }
+
+    /// The retry backoff schedule is deterministic for a fixed point
+    /// identity (same seed → byte-identical delays on recomputation),
+    /// never exceeds the configured ceiling, and never jitters below
+    /// half the capped exponential step.
+    #[test]
+    fn backoff_schedule_is_deterministic_and_bounded(
+        seed in 0u64..1_000_000_000,
+        retries in 1u32..6,
+        base_ms in 1u64..500,
+        max_ms in 1u64..5_000,
+    ) {
+        let policy = RetryPolicy {
+            retries,
+            base_delay: Duration::from_millis(base_ms),
+            max_delay: Duration::from_millis(max_ms),
+        };
+        let schedule: Vec<Duration> =
+            (0..retries).map(|a| policy.backoff(seed, a)).collect();
+        let again: Vec<Duration> =
+            (0..retries).map(|a| policy.backoff(seed, a)).collect();
+        prop_assert_eq!(&schedule, &again, "recomputed schedule must not drift");
+
+        for (attempt, delay) in schedule.iter().enumerate() {
+            let cap = policy
+                .base_delay
+                .saturating_mul(2u32.saturating_pow(attempt as u32))
+                .min(policy.max_delay)
+                .as_secs_f64();
+            let d = delay.as_secs_f64();
+            prop_assert!(
+                d <= cap + 1e-9,
+                "attempt {} delay {:?} above the {}s cap", attempt, delay, cap
+            );
+            prop_assert!(
+                d >= 0.5 * cap - 1e-9,
+                "attempt {} delay {:?} jittered below half the {}s cap",
+                attempt, delay, cap
+            );
+        }
     }
 }

@@ -51,10 +51,18 @@ pub enum FaultClass {
     TransitionDenied,
     /// DRAM read latency is perturbed (changes ground truth).
     DramJitter,
+    /// The point evaluation itself panics (at most once per machine, with
+    /// configurable probability) — exercises the harness's panic-isolation
+    /// and retry paths end to end. Deliberately **not** in [`ALL`]: the
+    /// default fault sweeps measure predictor degradation, and a panicking
+    /// cell produces no row to measure.
+    PanicPoint,
 }
 
 impl FaultClass {
-    /// Every fault class, for sweeps.
+    /// Every *measurable* fault class, for sweeps. Excludes
+    /// [`PanicPoint`](FaultClass::PanicPoint), which kills the run instead
+    /// of degrading it (opt in via the faults binary's `--panic-point`).
     pub const ALL: [FaultClass; 7] = [
         FaultClass::CounterNoise,
         FaultClass::CounterDropout,
@@ -76,6 +84,7 @@ impl FaultClass {
             FaultClass::TransitionLatency => "transition-latency",
             FaultClass::TransitionDenied => "transition-denied",
             FaultClass::DramJitter => "dram-jitter",
+            FaultClass::PanicPoint => "panic-point",
         }
     }
 }
@@ -106,6 +115,9 @@ pub struct FaultConfig {
     pub transition_denied: f64,
     /// Relative jitter amplitude on DRAM read latency.
     pub dram_jitter: f64,
+    /// Probability that the point evaluation panics (drawn once per
+    /// machine, at the start of its first `run_until`).
+    pub point_panic: f64,
 }
 
 impl FaultConfig {
@@ -121,6 +133,7 @@ impl FaultConfig {
             transition_latency: 0.0,
             transition_denied: 0.0,
             dram_jitter: 0.0,
+            point_panic: 0.0,
         }
     }
 
@@ -136,6 +149,7 @@ impl FaultConfig {
             FaultClass::TransitionLatency => &mut config.transition_latency,
             FaultClass::TransitionDenied => &mut config.transition_denied,
             FaultClass::DramJitter => &mut config.dram_jitter,
+            FaultClass::PanicPoint => &mut config.point_panic,
         };
         *slot = intensity.clamp(0.0, 1.0);
         config
@@ -160,6 +174,9 @@ impl FaultConfig {
         h.write_f64(self.transition_latency);
         h.write_f64(self.transition_denied);
         h.write_f64(self.dram_jitter);
+        // Appended last (and only on the non-inert branch) so keys of
+        // pre-existing configs are unchanged by the field's introduction.
+        h.write_f64(self.point_panic);
     }
 
     /// True if every class is disabled (installing the injector changes
@@ -173,6 +190,7 @@ impl FaultConfig {
             && self.transition_latency <= 0.0
             && self.transition_denied <= 0.0
             && self.dram_jitter <= 0.0
+            && self.point_panic <= 0.0
     }
 }
 
@@ -225,6 +243,7 @@ const DROPOUT_SALT: u64 = 0x6472_6F70;
 const HARVEST_SALT: u64 = 0x6861_7276;
 const LATENCY_SALT: u64 = 0x6C61_7465;
 const DENIED_SALT: u64 = 0x6465_6E79;
+const PANIC_SALT: u64 = 0x7061_6E69;
 /// Salt for the DRAM jitter stream (the [`crate::mem::Dram`] device owns
 /// its own stream so the hot read path never borrows the injector).
 pub(crate) const DRAM_SALT: u64 = 0x6472_616D;
@@ -238,6 +257,9 @@ pub struct FaultInjector {
     harvest: SplitMix64,
     latency: SplitMix64,
     denied: SplitMix64,
+    panic_point: SplitMix64,
+    /// Whether the once-per-machine panic draw has been made.
+    panic_decided: bool,
     /// The segment held back by a fired delayed-harvest fault.
     pending: Option<ExecutionTrace>,
 }
@@ -252,6 +274,8 @@ impl FaultInjector {
             harvest: SplitMix64::new(config.seed ^ HARVEST_SALT),
             latency: SplitMix64::new(config.seed ^ LATENCY_SALT),
             denied: SplitMix64::new(config.seed ^ DENIED_SALT),
+            panic_point: SplitMix64::new(config.seed ^ PANIC_SALT),
+            panic_decided: false,
             pending: None,
             config,
         }
@@ -348,6 +372,38 @@ impl FaultInjector {
     pub fn transition_denied(&mut self) -> bool {
         self.denied.chance(self.config.transition_denied)
     }
+
+    /// The seeded panic-point fault: draws once per injector lifetime (the
+    /// machine calls this at the start of its first `run_until`) and, when
+    /// the draw fires, panics — simulating a point evaluation that dies
+    /// mid-sweep. Deterministic for a fixed seed; consumes no randomness
+    /// at zero intensity.
+    ///
+    /// # Panics
+    /// By design, with probability `point_panic` on the first call.
+    pub fn maybe_panic_point(&mut self) {
+        if self.panic_decided || self.config.point_panic <= 0.0 {
+            return;
+        }
+        self.panic_decided = true;
+        if self.panic_point.chance(self.config.point_panic) {
+            panic!(
+                "injected panic-point fault (intensity {}, seed {})",
+                self.config.point_panic, self.config.seed
+            );
+        }
+    }
+}
+
+/// Derives the fault seed for retry `attempt` of a point whose first
+/// attempt used `seed`. Attempt 0 is the identity, so retry-aware callers
+/// are bit-compatible with pre-retry ones; later attempts step the seed by
+/// the SplitMix64 increment, giving transient (probabilistic) faults an
+/// independent, reproducible draw per attempt while keeping the schedule
+/// a pure function of `(seed, attempt)`.
+#[must_use]
+pub fn retry_seed(seed: u64, attempt: u32) -> u64 {
+    seed.wrapping_add(u64::from(attempt).wrapping_mul(0x9E37_79B9_7F4A_7C15))
 }
 
 /// Pins every DVFS time counter at `cap` — the saturation ceiling a narrow
@@ -520,6 +576,69 @@ mod tests {
         let mut denier =
             FaultInjector::new(FaultConfig::single(FaultClass::TransitionDenied, 1.0, 6));
         assert!(denier.transition_denied());
+    }
+
+    #[test]
+    fn panic_point_is_seeded_and_fires_at_most_once() {
+        // Certain panic at full intensity.
+        let mut hot = FaultInjector::new(FaultConfig::single(FaultClass::PanicPoint, 1.0, 11));
+        let blown = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            hot.maybe_panic_point();
+        }));
+        assert!(blown.is_err(), "intensity 1.0 must panic on the first draw");
+
+        // Zero intensity never panics and consumes no randomness.
+        let mut cold = FaultInjector::new(FaultConfig::single(FaultClass::PanicPoint, 0.0, 11));
+        cold.maybe_panic_point();
+        assert!(cold.config().is_inert());
+
+        // Fractional intensity: deterministic per seed, decided once.
+        let outcome = |seed: u64| {
+            let mut inj = FaultInjector::new(FaultConfig::single(FaultClass::PanicPoint, 0.5, seed));
+            let first = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                inj.maybe_panic_point();
+            }))
+            .is_err();
+            // The draw is made; later calls are no-ops even for panicking seeds.
+            inj.maybe_panic_point();
+            first
+        };
+        let survivors: Vec<u64> = (0..32).filter(|&s| !outcome(s)).collect();
+        assert!(!survivors.is_empty() && survivors.len() < 32, "p=0.5 must split seeds");
+        for &s in survivors.iter().take(4) {
+            assert!(!outcome(s), "same seed, same draw");
+        }
+    }
+
+    #[test]
+    fn panic_point_stays_out_of_the_default_sweep() {
+        assert!(!FaultClass::ALL.contains(&FaultClass::PanicPoint));
+        assert_eq!(FaultClass::PanicPoint.name(), "panic-point");
+        // A panic-point config is not inert (it must not collapse to the
+        // fault-free cache key), and the field reaches hash_into.
+        let config = FaultConfig::single(FaultClass::PanicPoint, 0.7, 1);
+        assert!(!config.is_inert());
+        let digest = |c: &FaultConfig| {
+            let mut h = depburst_core::stablehash::StableHasher::new();
+            c.hash_into(&mut h);
+            h.finish()
+        };
+        assert_ne!(digest(&config), digest(&FaultConfig::none(1)));
+        assert_ne!(
+            digest(&config),
+            digest(&FaultConfig::single(FaultClass::PanicPoint, 0.3, 1))
+        );
+    }
+
+    #[test]
+    fn retry_seeds_step_deterministically_from_the_base() {
+        assert_eq!(retry_seed(42, 0), 42, "attempt 0 is the identity");
+        let series: Vec<u64> = (0..5).map(|a| retry_seed(42, a)).collect();
+        let again: Vec<u64> = (0..5).map(|a| retry_seed(42, a)).collect();
+        assert_eq!(series, again);
+        for window in series.windows(2) {
+            assert_ne!(window[0], window[1], "attempts draw distinct seeds");
+        }
     }
 
     #[test]

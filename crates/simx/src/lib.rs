@@ -34,6 +34,7 @@ pub mod faults;
 pub mod mem;
 pub mod os;
 pub mod program;
+pub mod watchdog;
 
 mod machine;
 mod stats;
@@ -41,7 +42,7 @@ mod tracebuild;
 
 pub use config::MachineConfig;
 pub use faults::{FaultClass, FaultConfig, FaultInjector};
-pub use machine::{Machine, MachineError, RunOutcome};
+pub use machine::{Machine, MachineError, RunOutcome, WATCHDOG_STRIDE};
 pub use program::{
     Action, FutexId, ProgContext, SpawnRequest, ThreadProgram, WaitOutcome, WorkItem,
 };

@@ -17,6 +17,12 @@ use crate::program::{Action, FutexId, SharedWord, SpawnRequest, WaitOutcome};
 use crate::stats::RunStats;
 use crate::tracebuild::TraceBuilder;
 
+/// How many events the engine dispatches between wall-clock watchdog
+/// polls. Large enough that the `Instant::now()` call vanishes in the
+/// event-dispatch cost, small enough that a runaway point is noticed
+/// within milliseconds (realistic points dispatch millions of events).
+pub const WATCHDOG_STRIDE: u32 = 4096;
+
 /// Why a run stopped.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum RunOutcome {
@@ -49,6 +55,13 @@ pub enum MachineError {
         /// When the request was denied.
         at: Time,
     },
+    /// The harness's per-point wall-clock watchdog (see
+    /// [`crate::watchdog`]) expired while this machine was running; the
+    /// event loop abandoned the run cleanly instead of hanging the sweep.
+    WatchdogExpired {
+        /// Simulated time when the expiry was noticed.
+        at: Time,
+    },
 }
 
 impl fmt::Display for MachineError {
@@ -65,6 +78,9 @@ impl fmt::Display for MachineError {
             MachineError::TransitionDenied { at } => {
                 write!(f, "DVFS transition denied by the platform at {at}")
             }
+            MachineError::WatchdogExpired { at } => {
+                write!(f, "per-point wall-clock watchdog expired at simulated {at}")
+            }
         }
     }
 }
@@ -76,6 +92,11 @@ impl From<MachineError> for depburst_core::DepburstError {
         match err {
             MachineError::TransitionDenied { at } => {
                 depburst_core::DepburstError::TransitionDenied {
+                    at_secs: at.as_secs(),
+                }
+            }
+            MachineError::WatchdogExpired { at } => {
+                depburst_core::DepburstError::WatchdogExpired {
                     at_secs: at.as_secs(),
                 }
             }
@@ -233,7 +254,21 @@ impl Machine {
     }
 
     /// Runs until `deadline` or application completion, whichever is first.
+    ///
+    /// # Errors
+    /// Returns [`MachineError::Deadlock`] when no runnable work remains
+    /// with application threads alive, and
+    /// [`MachineError::WatchdogExpired`] when the calling thread's
+    /// per-point wall-clock watchdog (armed by the harness, polled every
+    /// [`WATCHDOG_STRIDE`] events) has passed its deadline.
     pub fn run_until(&mut self, deadline: Time) -> Result<RunOutcome, MachineError> {
+        if let Some(injector) = &mut self.faults {
+            // The seeded panic-point fault fires (at most once per machine)
+            // before any event is dispatched, so an injected death never
+            // leaves a half-simulated point behind.
+            injector.maybe_panic_point();
+        }
+        let mut events: u32 = 0;
         loop {
             if self.app_live == 0 {
                 return Ok(RunOutcome::Completed(self.now));
@@ -244,6 +279,10 @@ impl Machine {
             if next > deadline {
                 self.now = deadline;
                 return Ok(RunOutcome::DeadlineReached);
+            }
+            events = events.wrapping_add(1);
+            if events.is_multiple_of(WATCHDOG_STRIDE) && crate::watchdog::expired() {
+                return Err(MachineError::WatchdogExpired { at: self.now });
             }
             let (t, event) = self.queue.pop().expect("peeked");
             self.now = t;

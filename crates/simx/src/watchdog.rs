@@ -1,0 +1,104 @@
+//! Cooperative per-point wall-clock watchdog.
+//!
+//! Rust threads cannot be killed from outside, so a runaway simulation
+//! point is abandoned *cooperatively*: the harness arms a thread-local
+//! deadline before evaluating a point ([`arm`]), and the machine's event
+//! loop polls [`expired`] every few thousand events, bailing out with a
+//! clean `WatchdogExpired` error instead of hanging the sweep. The
+//! deadline is thread-local so concurrent pool workers can run under
+//! independent budgets, and the [`WatchdogGuard`] disarms on drop — even
+//! while unwinding from a panic — so a stale deadline can never leak into
+//! the next point evaluated on the same worker.
+
+use std::cell::Cell;
+use std::time::{Duration, Instant};
+
+thread_local! {
+    static DEADLINE: Cell<Option<Instant>> = const { Cell::new(None) };
+}
+
+/// Disarms the calling thread's watchdog when dropped.
+///
+/// Not `Send`: the deadline belongs to the thread that armed it.
+#[derive(Debug)]
+pub struct WatchdogGuard {
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+impl Drop for WatchdogGuard {
+    fn drop(&mut self) {
+        DEADLINE.with(|d| d.set(None));
+    }
+}
+
+/// Arms a wall-clock deadline `timeout` from now on the calling thread.
+/// The returned guard disarms it on drop. Re-arming replaces the previous
+/// deadline (the innermost guard's drop still clears it — arm once per
+/// point, not nested).
+#[must_use = "the watchdog disarms when the guard drops"]
+pub fn arm(timeout: Duration) -> WatchdogGuard {
+    let deadline = Instant::now().checked_add(timeout);
+    DEADLINE.with(|d| d.set(deadline));
+    WatchdogGuard {
+        _not_send: std::marker::PhantomData,
+    }
+}
+
+/// True when the calling thread has an armed deadline that has passed.
+/// Cheap when disarmed (one thread-local read, no clock call).
+#[must_use]
+pub fn expired() -> bool {
+    DEADLINE.with(|d| match d.get() {
+        Some(deadline) => Instant::now() >= deadline,
+        None => false,
+    })
+}
+
+/// True when the calling thread currently has a watchdog armed.
+#[must_use]
+pub fn armed() -> bool {
+    DEADLINE.with(|d| d.get().is_some())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disarmed_by_default_and_after_drop() {
+        assert!(!armed());
+        assert!(!expired());
+        {
+            let _g = arm(Duration::from_secs(3600));
+            assert!(armed());
+            assert!(!expired(), "a one-hour budget cannot expire instantly");
+        }
+        assert!(!armed(), "guard drop must disarm");
+    }
+
+    #[test]
+    fn zero_budget_expires_immediately() {
+        let _g = arm(Duration::ZERO);
+        assert!(expired());
+    }
+
+    #[test]
+    fn guard_disarms_even_when_unwinding() {
+        let unwound = std::panic::catch_unwind(|| {
+            let _g = arm(Duration::ZERO);
+            panic!("point blew up while armed");
+        });
+        assert!(unwound.is_err());
+        assert!(!armed(), "unwinding must not leak the deadline");
+    }
+
+    #[test]
+    fn deadlines_are_thread_local() {
+        let _g = arm(Duration::ZERO);
+        assert!(expired());
+        let other = std::thread::spawn(|| (armed(), expired()))
+            .join()
+            .expect("probe thread");
+        assert_eq!(other, (false, false), "other threads see no deadline");
+    }
+}

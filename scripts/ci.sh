@@ -53,4 +53,73 @@ smoke percore  "$BIN/percore $SCALE 1 lusearch --jobs 2"
 smoke faults   "$BIN/faults $SCALE 1 10 --jobs 2"
 smoke dvfs-lab "$BIN/dvfs-lab bench"
 
+# Resilience gates: the failure paths must be structured — a dead point
+# yields a failure report and exit code 2, never a crashed sweep — and
+# an interrupted run must resume byte-identically from its checkpoint
+# journal. (FailureCause serializes by variant name: "Panic"/"Timeout".)
+
+# A certain panic-point cell per benchmark: every other cell completes,
+# the dead cells land in results/faults_failures.json, and the process
+# exits 2.
+resilience_panic() {
+    rm -f results/faults_failures.json
+    local rc=0
+    "$BIN/faults" "$SCALE" 1 10 --jobs 2 --retries 1 --panic-point 1.0 \
+        > /dev/null 2> /dev/null || rc=$?
+    if [ "$rc" -ne 2 ]; then
+        echo "faults --panic-point 1.0: want exit 2, got $rc"
+        return 1
+    fi
+    grep -q '"Panic"' results/faults_failures.json || {
+        echo "results/faults_failures.json lacks a Panic failure"
+        return 1
+    }
+}
+step "resilience: panic isolation" resilience_panic
+
+# A 1 ms per-point watchdog budget: points die as structured timeouts,
+# the sweep reports them, and the process exits 2.
+resilience_watchdog() {
+    rm -f results/fig1_failures.json
+    local rc=0
+    "$BIN/fig1" "$SCALE" 1 --jobs 2 --retries 0 --point-timeout 0.001 \
+        > /dev/null 2> /dev/null || rc=$?
+    if [ "$rc" -ne 2 ]; then
+        echo "fig1 --point-timeout 0.001: want exit 2, got $rc"
+        return 1
+    fi
+    grep -q '"Timeout"' results/fig1_failures.json || {
+        echo "results/fig1_failures.json lacks a Timeout failure"
+        return 1
+    }
+}
+step "resilience: point watchdog" resilience_watchdog
+
+# SIGINT a journaled fig3 sweep mid-run, resume it, and require the
+# resumed stdout to be byte-identical to an uninterrupted run's.
+resilience_resume() {
+    local id="ci-resume-$$"
+    local journal="results/checkpoints/${id}.jsonl"
+    local out=/tmp/depburst-ci
+    rm -f "$journal" "$out".*.out
+    "$BIN/fig3" both 0.3 1 --jobs 2 --run-id "$id" \
+        > "$out.interrupted.out" 2> /dev/null &
+    local pid=$!
+    sleep 3
+    kill -INT "$pid" 2> /dev/null || true
+    wait "$pid" || true
+    if [ ! -s "$journal" ]; then
+        echo "interrupted run left no checkpoint journal at $journal"
+        return 1
+    fi
+    "$BIN/fig3" both 0.3 1 --jobs 2 --resume "$id" > "$out.resumed.out"
+    "$BIN/fig3" both 0.3 1 --jobs 2 > "$out.reference.out"
+    cmp "$out.resumed.out" "$out.reference.out" || {
+        echo "resumed run is not byte-identical to an uninterrupted one"
+        return 1
+    }
+    rm -f "$journal" "$out".*.out
+}
+step "resilience: interrupt + resume" resilience_resume
+
 echo "ci: all green"
