@@ -191,6 +191,17 @@ impl EnergyManager {
         let ladder = *self.config.power.vf().ladder();
         let f_max = ladder.max();
         let cores = machine.config().cores;
+        // Invariant monitoring (see `simx::invariants`) only records into
+        // the machine's monitor — it never alters a decision — so the
+        // DEPBURST_INVARIANTS=off path stays byte-identical.
+        if machine.monitor().on(simx::Invariant::VfMonotonicity) {
+            if let Some(issue) = self.config.power.vf().monotonicity_issue() {
+                let at = machine.now().as_secs();
+                machine
+                    .monitor_mut()
+                    .record(simx::Invariant::VfMonotonicity, at, issue);
+            }
+        }
         let mut denied_transitions = 0u64;
         match machine.set_frequency(f_max) {
             Ok(()) => {}
@@ -340,6 +351,32 @@ impl EnergyManager {
                     }
                 }
             };
+            if machine.monitor().on(simx::Invariant::LadderMembership) && !ladder.contains(chosen)
+            {
+                let at = machine.now().as_secs();
+                machine.monitor_mut().record(
+                    simx::Invariant::LadderMembership,
+                    at,
+                    format!(
+                        "manager chose {} MHz, which is not a ladder operating point",
+                        chosen.mhz()
+                    ),
+                );
+            }
+            if machine.monitor().on(simx::Invariant::PredictorBounds) {
+                let p = self.predictor.predict(&trace, chosen).as_secs();
+                if !p.is_finite() || p < 0.0 {
+                    let at = machine.now().as_secs();
+                    machine.monitor_mut().record(
+                        simx::Invariant::PredictorBounds,
+                        at,
+                        format!(
+                            "prediction at {} MHz is {p} s (want finite and non-negative)",
+                            chosen.mhz()
+                        ),
+                    );
+                }
+            }
             if chosen != freq {
                 match machine.set_frequency(chosen) {
                     Ok(()) => switches += 1,

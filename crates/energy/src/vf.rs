@@ -41,6 +41,36 @@ impl VfCurve {
         &self.ladder
     }
 
+    /// Checks that the curve is physically sane: every ladder operating
+    /// point maps to a finite, strictly positive voltage, and voltage
+    /// never decreases as frequency rises. Returns a description of the
+    /// first problem found, or `None` when the curve is well-formed
+    /// (the `vf-monotonicity` invariant of `simx::invariants`).
+    #[must_use]
+    pub fn monotonicity_issue(&self) -> Option<String> {
+        let mut prev: Option<(Freq, f64)> = None;
+        for f in self.ladder.iter() {
+            let v = self.voltage(f);
+            if !v.is_finite() || v <= 0.0 {
+                return Some(format!(
+                    "voltage at {} MHz is {v} V (want finite and positive)",
+                    f.mhz()
+                ));
+            }
+            if let Some((pf, pv)) = prev {
+                if v < pv {
+                    return Some(format!(
+                        "voltage falls from {pv} V at {} MHz to {v} V at {} MHz",
+                        pf.mhz(),
+                        f.mhz()
+                    ));
+                }
+            }
+            prev = Some((f, v));
+        }
+        None
+    }
+
     /// The supply voltage at `freq` (linear interpolation, clamped to the
     /// ladder's range).
     #[must_use]
@@ -74,6 +104,19 @@ mod tests {
             assert!(v > last);
             last = v;
         }
+    }
+
+    #[test]
+    fn monotonicity_issue_flags_inverted_curves_only() {
+        assert_eq!(VfCurve::haswell().monotonicity_issue(), None);
+        // Swapped rails make voltage fall as frequency rises.
+        let bad = VfCurve::new(FreqLadder::paper_default(), 1.05, 0.65);
+        let issue = bad.monotonicity_issue().expect("inverted curve flagged");
+        assert!(issue.contains("falls"), "unexpected issue text: {issue}");
+        // A non-positive rail is caught before the monotonicity walk.
+        let flat = VfCurve::new(FreqLadder::paper_default(), 0.0, 0.0);
+        let issue = flat.monotonicity_issue().expect("zero-volt curve flagged");
+        assert!(issue.contains("positive"), "unexpected issue text: {issue}");
     }
 
     #[test]

@@ -80,6 +80,17 @@ pub enum DepburstError {
         /// Points in the sweep plan.
         total: usize,
     },
+    /// A runtime invariant monitor check failed (see `simx::invariants`):
+    /// the simulated physics produced self-inconsistent state. Retrying is
+    /// pointless — the same seeded inputs reproduce the same violation.
+    InvariantViolation {
+        /// The kebab-case name of the violated invariant.
+        invariant: String,
+        /// Simulated time of the (first) violation, in seconds.
+        at_secs: f64,
+        /// Human-readable description of the inconsistency.
+        detail: String,
+    },
 }
 
 impl fmt::Display for DepburstError {
@@ -111,6 +122,14 @@ impl fmt::Display for DepburstError {
             DepburstError::SweepIncomplete { failed, total } => write!(
                 f,
                 "sweep incomplete: {failed} of {total} points failed after retries"
+            ),
+            DepburstError::InvariantViolation {
+                invariant,
+                at_secs,
+                detail,
+            } => write!(
+                f,
+                "invariant violation [{invariant}] at t={at_secs} s: {detail}"
             ),
         }
     }
@@ -163,6 +182,14 @@ mod tests {
                     total: 40,
                 },
                 "2 of 40",
+            ),
+            (
+                DepburstError::InvariantViolation {
+                    invariant: "counter-conservation".into(),
+                    at_secs: 0.5,
+                    detail: "crit exceeds active".into(),
+                },
+                "[counter-conservation]",
             ),
         ];
         for (err, needle) in cases {

@@ -16,7 +16,7 @@ use harness::cli;
 use harness::experiments::faults;
 
 fn main() -> ExitCode {
-    cli::main_with("faults", |ctx, args| {
+    cli::main_with_flags("faults", &["--panic-point"], |ctx, args| {
         let (panic_flag, args) = cli::split_flag(args, "--panic-point")?;
         let panic_point: Option<f64> = match panic_flag {
             Some(v) => Some(

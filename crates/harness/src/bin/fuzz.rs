@@ -1,0 +1,104 @@
+//! `fuzz` — seeded structure-aware fuzzing of the simulator under the
+//! full invariant monitor, with shrinking.
+//!
+//! Usage: `fuzz [--seeds N] [--seed S] [--shrink] [--jobs N]`
+//!
+//! Generates `--seeds N` cases (default 25) from campaign seed `--seed S`
+//! (default 1), runs each under `DEPBURST_INVARIANTS=full`, and — with
+//! `--shrink` — reduces every violating case to a minimal reproducer.
+//! Campaigns are byte-for-byte reproducible: same seed, same cases, same
+//! findings, same reproducers.
+//!
+//! Violations are recorded as point failures (`results/fuzz_failures.json`,
+//! exit code 2), with the shrunk reproducer's JSON in the detail.
+//!
+//! The test-only sabotage hook: setting `DEPBURST_BREAK_INVARIANT` to an
+//! invariant name (e.g. `counter-conservation`) deliberately weakens that
+//! check so it fires on healthy data — CI uses it to prove the campaign
+//! machinery catches and shrinks real violations.
+
+use std::process::ExitCode;
+
+use harness::cli::{self, CliResult};
+use harness::fuzz;
+use harness::resilience::{FailureCause, PointFailure};
+use harness::ExecCtx;
+
+fn main() -> ExitCode {
+    cli::main_with_flags("fuzz", &["--seeds", "--seed", "--shrink"], body)
+}
+
+fn body(ctx: &ExecCtx, args: &[String]) -> CliResult {
+    let (seeds, args) = cli::split_flag(args, "--seeds")?;
+    let (seed, args) = cli::split_flag(&args, "--seed")?;
+    let shrink = args.iter().any(|a| a == "--shrink");
+    let rest: Vec<&String> = args.iter().filter(|a| *a != "--shrink").collect();
+    if !rest.is_empty() {
+        return Err(format!("unexpected arguments: {rest:?}").into());
+    }
+    let cases: u64 = match seeds.as_deref() {
+        None => 25,
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("invalid --seeds value {v:?} (want a case count)"))?,
+    };
+    let campaign_seed: u64 = match seed.as_deref() {
+        None => 1,
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("invalid --seed value {v:?} (want an integer seed)"))?,
+    };
+    let sabotage = match std::env::var("DEPBURST_BREAK_INVARIANT") {
+        Err(_) => None,
+        Ok(name) => match simx::Invariant::from_name(name.trim()) {
+            Some(inv) => Some(inv),
+            None => {
+                return Err(format!(
+                    "DEPBURST_BREAK_INVARIANT={name:?} names no invariant (see simx::invariants)"
+                )
+                .into())
+            }
+        },
+    };
+
+    println!("fuzz campaign: seed {campaign_seed}, {cases} case(s), shrink={shrink}");
+    if let Some(inv) = sabotage {
+        println!("sabotage hook armed: {} deliberately weakened", inv.name());
+    }
+    let findings = fuzz::run_campaign(campaign_seed, cases, shrink, sabotage);
+    let mut violations = 0usize;
+    for finding in &findings {
+        match &finding.violation {
+            None => println!(
+                "case {:>3}: ok       {} @ scale {}",
+                finding.index,
+                finding.case.bench,
+                finding.case.scale()
+            ),
+            Some(v) => {
+                violations += 1;
+                println!(
+                    "case {:>3}: VIOLATION [{}] {}",
+                    finding.index, v.invariant, v.detail
+                );
+                let mut detail = format!("[{}] {}", v.invariant, v.detail);
+                if let Some(minimal) = &finding.shrunk {
+                    let json = serde_json::to_string(minimal)?;
+                    println!("          shrunk reproducer: {json}");
+                    detail.push_str(&format!("; shrunk reproducer: {json}"));
+                }
+                ctx.record_failure(PointFailure {
+                    label: format!("fuzz case {} (campaign seed {campaign_seed})", finding.index),
+                    cause: FailureCause::Invariant,
+                    attempts: 1,
+                    detail,
+                });
+            }
+        }
+    }
+    println!(
+        "fuzz campaign done: {} case(s), {violations} violation(s)",
+        findings.len()
+    );
+    Ok(())
+}

@@ -319,6 +319,27 @@ impl SimCache {
         }
     }
 
+    /// Quarantines `key`'s cache envelope (and drops the in-process
+    /// entry): the slot's persisted bytes move to
+    /// `<cache-root>/quarantine/` exactly like a corrupt envelope's
+    /// would. Used when an invariant violation is discovered mid-sweep —
+    /// the entry's inputs produced self-inconsistent physics, so neither
+    /// this run nor a later resume should trust the envelope. A no-op
+    /// beyond the counter when the cache is in-memory or the slot was
+    /// never persisted.
+    pub fn quarantine_key(&self, key: SimKey, why: &str) {
+        self.mem.lock().expect("cache lock").remove(&key.0);
+        if let Some(path) = self.entry_path(key) {
+            if path.exists() {
+                self.quarantine(&path, why);
+                return;
+            }
+        }
+        // Still count the event so the failure report's `quarantined`
+        // field reflects every envelope withdrawn from service.
+        self.quarantined.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Seeds the in-process memo with a summary replayed from a
     /// checkpoint journal (no disk-cache traffic, no stats impact beyond
     /// later memory hits). First write wins, matching `get_or_compute`.
@@ -515,6 +536,31 @@ mod tests {
             .expect("ok");
         assert_eq!(served.gc_count, 5);
         assert_eq!(cache.stats().memory_hits, 1);
+    }
+
+    #[test]
+    fn quarantine_key_withdraws_the_envelope_and_memo_entry() {
+        let dir = std::env::temp_dir().join(format!("depburst-cache-q-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = SimCache::persistent(&dir);
+        cache
+            .get_or_compute(key_for(7), || Ok(dummy_summary(17)))
+            .expect("ok");
+        let path = cache.entry_path(key_for(7)).expect("persistent");
+        assert!(path.exists());
+        cache.quarantine_key(key_for(7), "invariant violation [test]");
+        assert!(!path.exists(), "envelope moved out of the slot");
+        assert!(dir
+            .join("quarantine")
+            .join(path.file_name().expect("file name"))
+            .exists());
+        assert!(cache.peek(key_for(7)).is_none(), "memo entry dropped");
+        assert_eq!(cache.stats().quarantined, 1);
+        // In-memory caches only count the event.
+        let mem = SimCache::in_memory();
+        mem.quarantine_key(key_for(7), "whatever");
+        assert_eq!(mem.stats().quarantined, 1);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

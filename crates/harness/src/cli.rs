@@ -14,6 +14,14 @@
 //!   `results/checkpoints/<ID>.jsonl`.
 //! * `--resume ID` — resume that journal, replaying completed points;
 //!   output is byte-identical to an uninterrupted run.
+//! * `--invariants MODE` — runtime invariant monitor mode (`off`,
+//!   `cheap`, or `full`; env `DEPBURST_INVARIANTS`; default off). See
+//!   `simx::invariants`.
+//!
+//! An unknown `--flag` is a usage error: the diagnostic names the
+//! offending flag, suggests the nearest valid one when the typo is small,
+//! and lists every flag the binary accepts (binary-specific flags such as
+//! the faults sweep's `--panic-point` included).
 //!
 //! Exit codes are standardized across all binaries: **0** success, **1**
 //! usage or internal error, **2** the sweep ran but some points
@@ -44,9 +52,22 @@ pub struct CommonOpts {
     pub run_id: Option<String>,
     /// `--resume ID`.
     pub resume: Option<String>,
-    /// Remaining positional arguments, in order.
+    /// `--invariants MODE`.
+    pub invariants: Option<simx::InvariantMode>,
+    /// Remaining positional arguments (and pass-through binary-specific
+    /// flags), in order.
     pub rest: Vec<String>,
 }
+
+/// The flags every binary understands, for the unknown-flag diagnostic.
+const COMMON_FLAGS: [&str; 6] = [
+    "--jobs",
+    "--point-timeout",
+    "--retries",
+    "--run-id",
+    "--resume",
+    "--invariants",
+];
 
 /// Extracts `--jobs N` / `--jobs=N` from `args`, returning the requested
 /// worker count and the remaining arguments in order. Kept for callers
@@ -114,10 +135,27 @@ fn parse_retries(v: &str) -> Result<u32, String> {
         .map_err(|_| format!("invalid --retries value {v:?} (want a non-negative integer)"))
 }
 
+fn parse_invariants(v: &str) -> Result<simx::InvariantMode, String> {
+    simx::InvariantMode::parse(v).ok_or_else(|| {
+        format!("invalid --invariants value {v:?} (want off, cheap, or full)")
+    })
+}
+
 /// Splits the shared flags from `args`, leaving the binary's positional
-/// arguments (and any experiment-specific flags) in
-/// [`CommonOpts::rest`].
+/// arguments in [`CommonOpts::rest`]. Equivalent to
+/// [`parse_common_with`] with no binary-specific flags: any unrecognized
+/// `--flag` is a usage error.
 pub fn parse_common(args: &[String]) -> Result<CommonOpts, String> {
+    parse_common_with(args, &[])
+}
+
+/// [`parse_common`] for binaries with their own flags: every name in
+/// `extra_flags` (e.g. `"--panic-point"`) passes through to
+/// [`CommonOpts::rest`] untouched — in both its `--flag V` and
+/// `--flag=V` forms — for the binary to extract with [`split_flag`]. Any
+/// other `--`-prefixed token is rejected with a diagnostic that names
+/// the flag, suggests the nearest valid one, and lists them all.
+pub fn parse_common_with(args: &[String], extra_flags: &[&str]) -> Result<CommonOpts, String> {
     let mut opts = CommonOpts::default();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -134,6 +172,9 @@ pub fn parse_common(args: &[String]) -> Result<CommonOpts, String> {
             "--retries" => opts.retries = Some(parse_retries(&value_of("--retries")?)?),
             "--run-id" => opts.run_id = Some(value_of("--run-id")?),
             "--resume" => opts.resume = Some(value_of("--resume")?),
+            "--invariants" => {
+                opts.invariants = Some(parse_invariants(&value_of("--invariants")?)?);
+            }
             other => {
                 if let Some(v) = other.strip_prefix("--jobs=") {
                     opts.jobs = Some(parse_jobs(v)?);
@@ -145,6 +186,15 @@ pub fn parse_common(args: &[String]) -> Result<CommonOpts, String> {
                     opts.run_id = Some(v.to_owned());
                 } else if let Some(v) = other.strip_prefix("--resume=") {
                     opts.resume = Some(v.to_owned());
+                } else if let Some(v) = other.strip_prefix("--invariants=") {
+                    opts.invariants = Some(parse_invariants(v)?);
+                } else if other.starts_with("--") {
+                    let bare = other.split('=').next().unwrap_or(other);
+                    if extra_flags.contains(&bare) {
+                        opts.rest.push(other.to_owned());
+                    } else {
+                        return Err(unknown_flag_error(bare, extra_flags));
+                    }
                 } else {
                     opts.rest.push(other.to_owned());
                 }
@@ -154,10 +204,54 @@ pub fn parse_common(args: &[String]) -> Result<CommonOpts, String> {
     Ok(opts)
 }
 
+/// Renders the unknown-flag usage error: the offending flag, a
+/// nearest-valid-flag suggestion when one is within edit distance 2, and
+/// the full list of flags this binary accepts.
+fn unknown_flag_error(flag: &str, extra_flags: &[&str]) -> String {
+    let mut known: Vec<&str> = COMMON_FLAGS.to_vec();
+    known.extend_from_slice(extra_flags);
+    known.sort_unstable();
+    let suggestion = known
+        .iter()
+        .map(|k| (edit_distance(flag, k), *k))
+        .filter(|(d, _)| *d <= 2)
+        .min()
+        .map(|(_, k)| format!(" (did you mean {k}?)"))
+        .unwrap_or_default();
+    format!(
+        "unknown flag {flag}{suggestion}; valid flags: {}",
+        known.join(", ")
+    )
+}
+
+/// Levenshtein distance between two short flag names (classic
+/// two-row dynamic program; inputs are a handful of bytes, so no
+/// cleverness needed).
+fn edit_distance(a: &str, b: &str) -> usize {
+    let (a, b): (Vec<char>, Vec<char>) = (a.chars().collect(), b.chars().collect());
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut row = vec![0usize; b.len() + 1];
+    for (i, ca) in a.iter().enumerate() {
+        row[0] = i + 1;
+        for (j, cb) in b.iter().enumerate() {
+            let substitute = prev[j] + usize::from(ca != cb);
+            row[j + 1] = substitute.min(prev[j + 1] + 1).min(row[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut row);
+    }
+    prev[b.len()]
+}
+
 /// Builds the execution context `opts` asks for: environment defaults,
 /// overridden by the explicit flags, plus the checkpoint journal when a
 /// run id was given (`--resume` wins over `--run-id`).
 pub fn build_ctx(opts: &CommonOpts) -> std::io::Result<ExecCtx> {
+    if let Some(mode) = opts.invariants {
+        // Machines read DEPBURST_INVARIANTS at construction; exporting the
+        // flag's value here — before any pool worker builds one — makes
+        // the flag and the environment variable exactly equivalent.
+        std::env::set_var("DEPBURST_INVARIANTS", mode.as_str());
+    }
     let mut ctx = ExecCtx::from_env(opts.jobs);
     if let Some(timeout) = opts.point_timeout {
         ctx.point_timeout = timeout;
@@ -184,8 +278,19 @@ pub fn main_with(
     experiment: &str,
     body: impl FnOnce(&ExecCtx, &[String]) -> CliResult,
 ) -> ExitCode {
+    main_with_flags(experiment, &[], body)
+}
+
+/// [`main_with`] for binaries with their own flags (see
+/// [`parse_common_with`]): `extra_flags` pass through to the body's
+/// arguments and join the unknown-flag diagnostic's valid list.
+pub fn main_with_flags(
+    experiment: &str,
+    extra_flags: &[&str],
+    body: impl FnOnce(&ExecCtx, &[String]) -> CliResult,
+) -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
-    let opts = match parse_common(&argv) {
+    let opts = match parse_common_with(&argv, extra_flags) {
         Ok(opts) => opts,
         Err(e) => {
             eprintln!("error: {e}");
@@ -322,6 +427,65 @@ mod tests {
         assert_eq!(v.as_deref(), Some("1.0"));
         assert!(rest.is_empty());
         assert!(split_flag(&strs(&["--panic-point"]), "--panic-point").is_err());
+    }
+
+    #[test]
+    fn unknown_flags_are_diagnosed_with_suggestion_and_list() {
+        let err = parse_common(&strs(&["--job", "4"])).expect_err("unknown flag");
+        assert!(err.contains("unknown flag --job"), "got: {err}");
+        assert!(err.contains("did you mean --jobs?"), "got: {err}");
+        for flag in COMMON_FLAGS {
+            assert!(err.contains(flag), "valid list must include {flag}: {err}");
+        }
+        // The `=`-form reports the bare flag name.
+        let err = parse_common(&strs(&["--restries=1"])).expect_err("typo");
+        assert!(err.contains("unknown flag --restries"), "got: {err}");
+        assert!(err.contains("did you mean --retries?"), "got: {err}");
+        // A flag nothing resembles gets the list but no suggestion.
+        let err = parse_common(&strs(&["--frobnicate"])).expect_err("unknown");
+        assert!(!err.contains("did you mean"), "got: {err}");
+        assert!(err.contains("valid flags:"), "got: {err}");
+    }
+
+    #[test]
+    fn extra_flags_pass_through_and_join_the_diagnostic() {
+        let opts = parse_common_with(
+            &strs(&["--panic-point", "0.5", "--jobs=2", "x"]),
+            &["--panic-point"],
+        )
+        .unwrap();
+        assert_eq!(opts.jobs, Some(2));
+        assert_eq!(opts.rest, strs(&["--panic-point", "0.5", "x"]));
+        let opts =
+            parse_common_with(&strs(&["--panic-point=1.0"]), &["--panic-point"]).unwrap();
+        assert_eq!(opts.rest, strs(&["--panic-point=1.0"]));
+        // A typo of the binary-specific flag is suggested too.
+        let err = parse_common_with(&strs(&["--panic-pont=1.0"]), &["--panic-point"])
+            .expect_err("typo");
+        assert!(err.contains("did you mean --panic-point?"), "got: {err}");
+        // Without the pass-through declaration it is unknown.
+        assert!(parse_common(&strs(&["--panic-point=1.0"])).is_err());
+    }
+
+    #[test]
+    fn invariants_flag_parses_all_modes() {
+        let opts = parse_common(&strs(&["--invariants", "full"])).unwrap();
+        assert_eq!(opts.invariants, Some(simx::InvariantMode::Full));
+        let opts = parse_common(&strs(&["--invariants=cheap"])).unwrap();
+        assert_eq!(opts.invariants, Some(simx::InvariantMode::Cheap));
+        let opts = parse_common(&strs(&["--invariants=off"])).unwrap();
+        assert_eq!(opts.invariants, Some(simx::InvariantMode::Off));
+        assert!(parse_common(&strs(&["--invariants", "loud"])).is_err());
+        assert_eq!(parse_common(&strs(&[])).unwrap().invariants, None);
+    }
+
+    #[test]
+    fn edit_distance_is_the_usual_levenshtein() {
+        assert_eq!(edit_distance("", ""), 0);
+        assert_eq!(edit_distance("--jobs", "--jobs"), 0);
+        assert_eq!(edit_distance("--job", "--jobs"), 1);
+        assert_eq!(edit_distance("--restries", "--retries"), 1);
+        assert_eq!(edit_distance("kitten", "sitting"), 3);
     }
 
     #[test]

@@ -1,0 +1,584 @@
+//! Deterministic structure-aware fuzzing of the simulator under the
+//! invariant monitor, with shrinking.
+//!
+//! A fuzz *case* is drawn from a small grammar of valid-by-construction
+//! inputs: a benchmark and workload seed, a machine shape (cores,
+//! store-queue depth, cache sampling, watchdog stride), a DVFS ladder
+//! (min/step/point-count plus a base and target operating point), and an
+//! optional seeded fault schedule from the measurable classes of
+//! [`simx::faults`]. Every case runs under
+//! [`InvariantMode::Full`](simx::InvariantMode::Full); fault-free cases
+//! additionally run at the target frequency so the *metamorphic*
+//! invariants — non-scaling time invariant under frequency change, total
+//! execution time monotone non-increasing in frequency, predictor output
+//! finite and bounded over the ladder — can compare the two runs.
+//!
+//! Campaigns are a pure function of `(campaign_seed, case count)`: case
+//! generation uses [`SplitMix64`] streams, the simulator is seeded, and
+//! the checks are deterministic, so a campaign's findings — and the
+//! shrunk reproducer of each finding — are byte-for-byte reproducible.
+//!
+//! Shrinking is greedy over a fixed, ordered list of simplifying
+//! transforms (drop the fault schedule, minimum scale, one core, seed 1,
+//! default machine shape, two-point ladder, first benchmark), accepting a
+//! candidate only if it still violates the *same* invariant, and
+//! repeating until a full pass changes nothing. Fixed order + determinism
+//! ⇒ the minimal reproducer is itself deterministic (asserted by a
+//! proptest in `tests/fuzz.rs`).
+
+use depburst::DvfsPredictor;
+use depburst_core::DepburstError;
+use dvfs_trace::{ExecutionTrace, Freq, FreqLadder};
+use serde::Serialize;
+use simx::faults::SplitMix64;
+use simx::{FaultClass, FaultConfig, Invariant, InvariantMode, Machine, MachineConfig, RunOutcome};
+
+/// The fault classes the fuzzer draws schedules from: the measurable
+/// classes that corrupt observations or timing without killing the run.
+/// `PanicPoint` is excluded (it exercises the *harness*, not the
+/// physics) and so are the transition faults (a denied transition aborts
+/// unmanaged runs by design).
+pub const FUZZ_FAULTS: [FaultClass; 5] = [
+    FaultClass::CounterNoise,
+    FaultClass::CounterDropout,
+    FaultClass::CounterSaturation,
+    FaultClass::DelayedHarvest,
+    FaultClass::DramJitter,
+];
+
+/// Menu of work scales, in thousandths (`10` = scale 0.01). Small enough
+/// that a case simulates in tens of milliseconds.
+const SCALE_MILLI: [u32; 4] = [10, 15, 20, 30];
+/// Menu of core counts.
+const CORES: [usize; 3] = [1, 2, 4];
+/// Menu of store-queue depths (42 is the Haswell default).
+const SQ_ENTRIES: [u32; 4] = [8, 16, 42, 64];
+/// Menu of cache sampling ratios (64 is the default).
+const SAMPLE_RATIO: [u32; 3] = [16, 64, 128];
+/// Menu of watchdog poll strides (4096 is the historic default).
+const WATCHDOG_STRIDE: [u32; 3] = [256, 1024, 4096];
+/// Menu of ladder minimum frequencies (MHz).
+const LADDER_MIN_MHZ: [u32; 3] = [800, 1000, 2000];
+/// Menu of ladder steps (MHz); 125 is the paper's.
+const LADDER_STEP_MHZ: [u32; 4] = [100, 125, 200, 500];
+
+/// An optional seeded fault schedule riding on a case.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct FuzzFault {
+    /// The injected class ([`FaultClass::name`] form).
+    pub class: String,
+    /// Intensity in thousandths (`500` = 0.5).
+    pub intensity_milli: u32,
+    /// The injector seed.
+    pub seed: u64,
+}
+
+/// One structure-aware fuzz input: everything a case's machine, ladder,
+/// workload, and fault schedule are built from. Plain data — generation,
+/// mutation (shrinking), and JSON reporting all operate on this.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct FuzzCase {
+    /// The benchmark name (always a valid `dacapo_sim` benchmark).
+    pub bench: String,
+    /// Work scale in thousandths (`10` = scale 0.01).
+    pub scale_milli: u32,
+    /// Workload RNG seed.
+    pub workload_seed: u64,
+    /// Machine core count.
+    pub cores: usize,
+    /// Store-queue depth (entries).
+    pub sq_entries: u32,
+    /// Cache sampling ratio.
+    pub sample_ratio: u32,
+    /// Watchdog poll stride (events per deadline check).
+    pub watchdog_stride: u32,
+    /// DVFS ladder minimum (MHz).
+    pub ladder_min_mhz: u32,
+    /// DVFS ladder step (MHz).
+    pub ladder_step_mhz: u32,
+    /// DVFS ladder operating-point count (≥ 2).
+    pub ladder_points: u32,
+    /// Ladder index the case runs at (the machine's base frequency).
+    pub base_point: u32,
+    /// Ladder index of the metamorphic comparison run
+    /// (`> base_point`, i.e. a strictly higher frequency).
+    pub target_point: u32,
+    /// The fault schedule, if any. Metamorphic checks only run on
+    /// fault-free cases — injected faults corrupt observations on
+    /// purpose, so cross-run comparisons would report the injection, not
+    /// a bug.
+    pub fault: Option<FuzzFault>,
+}
+
+impl FuzzCase {
+    /// The case's work scale as a fraction.
+    #[must_use]
+    pub fn scale(&self) -> f64 {
+        f64::from(self.scale_milli) / 1000.0
+    }
+
+    /// The case's DVFS ladder (valid by construction: the maximum is
+    /// `min + (points - 1) * step`, so alignment cannot fail).
+    #[must_use]
+    pub fn ladder(&self) -> FreqLadder {
+        let min = Freq::from_mhz(self.ladder_min_mhz);
+        let max =
+            Freq::from_mhz(self.ladder_min_mhz + (self.ladder_points - 1) * self.ladder_step_mhz);
+        FreqLadder::new(min, max, self.ladder_step_mhz).expect("fuzz ladders align by construction")
+    }
+
+    /// The frequency at ladder index `point`.
+    #[must_use]
+    pub fn freq_at(&self, point: u32) -> Freq {
+        Freq::from_mhz(self.ladder_min_mhz + point * self.ladder_step_mhz)
+    }
+
+    /// The machine configuration the case describes, at its base
+    /// frequency.
+    #[must_use]
+    pub fn machine_config(&self) -> MachineConfig {
+        let mut mc = MachineConfig::haswell_quad();
+        mc.cores = self.cores;
+        mc.store_queue_entries = self.sq_entries;
+        mc.sample_ratio = self.sample_ratio;
+        mc.watchdog_stride = self.watchdog_stride;
+        mc.initial_freq = self.freq_at(self.base_point);
+        mc
+    }
+
+    /// The fault injector configuration, when the case carries one.
+    #[must_use]
+    pub fn fault_config(&self) -> Option<FaultConfig> {
+        self.fault.as_ref().map(|f| {
+            let class = FaultClass::from_name(&f.class).expect("fuzz faults use valid names");
+            FaultConfig::single(class, f64::from(f.intensity_milli) / 1000.0, f.seed)
+        })
+    }
+}
+
+/// SplitMix64's additive constant, reused to separate per-case streams.
+const CASE_STRIDE: u64 = 0x9E37_79B9_7F4A_7C15;
+
+fn pick<T: Copy>(rng: &mut SplitMix64, menu: &[T]) -> T {
+    menu[(rng.next_u64() % menu.len() as u64) as usize]
+}
+
+/// Generates case `index` of the campaign seeded by `campaign_seed`.
+/// Pure: the same `(campaign_seed, index)` always yields the same case,
+/// independent of every other case.
+#[must_use]
+pub fn generate(campaign_seed: u64, index: u64) -> FuzzCase {
+    let mut rng = SplitMix64::new(campaign_seed ^ index.wrapping_mul(CASE_STRIDE));
+    let benches = dacapo_sim::all_benchmarks();
+    let bench = benches[(rng.next_u64() % benches.len() as u64) as usize]
+        .name
+        .to_owned();
+    let ladder_points = 2 + (rng.next_u64() % 7) as u32; // 2..=8
+    let a = (rng.next_u64() % u64::from(ladder_points)) as u32;
+    let b = (rng.next_u64() % u64::from(ladder_points - 1)) as u32;
+    let b = if b >= a { b + 1 } else { b };
+    let fault = if rng.chance(0.5) {
+        Some(FuzzFault {
+            class: pick(&mut rng, &FUZZ_FAULTS).name().to_owned(),
+            intensity_milli: 50 + (rng.next_u64() % 951) as u32, // 50..=1000
+            seed: rng.next_u64(),
+        })
+    } else {
+        None
+    };
+    FuzzCase {
+        bench,
+        scale_milli: pick(&mut rng, &SCALE_MILLI),
+        workload_seed: 1 + rng.next_u64() % 4,
+        cores: pick(&mut rng, &CORES),
+        sq_entries: pick(&mut rng, &SQ_ENTRIES),
+        sample_ratio: pick(&mut rng, &SAMPLE_RATIO),
+        watchdog_stride: pick(&mut rng, &WATCHDOG_STRIDE),
+        ladder_min_mhz: pick(&mut rng, &LADDER_MIN_MHZ),
+        ladder_step_mhz: pick(&mut rng, &LADDER_STEP_MHZ),
+        ladder_points,
+        base_point: a.min(b),
+        target_point: a.max(b),
+        fault,
+    }
+}
+
+/// An invariant violation a case provoked, keyed by the invariant's
+/// stable name so the shrinker can insist on preserving *this* failure.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct CaseViolation {
+    /// The violated invariant's name (`simx::Invariant::name` form, or
+    /// `"machine-error"` when the simulator failed outright).
+    pub invariant: String,
+    /// Human-readable description.
+    pub detail: String,
+}
+
+/// Tolerances of the metamorphic checks. Generous by design: they must
+/// hold across every machine shape and workload the grammar can draw, at
+/// epoch granularity — a tight bound here would fuzz the tolerance, not
+/// the simulator.
+const NONSCALING_REL_TOL: f64 = 0.30;
+const NONSCALING_ABS_TOL: f64 = 5e-6;
+const MONOTONE_REL_TOL: f64 = 0.05;
+const PREDICTOR_SLACK: f64 = 3.0;
+
+/// Runs one simulation of `case` at `freq` under the full invariant
+/// monitor (plus the optional sabotage hook), returning the execution
+/// time (seconds) and harvested trace.
+fn simulate(
+    case: &FuzzCase,
+    freq: Freq,
+    sabotage: Option<Invariant>,
+) -> depburst_core::Result<(f64, ExecutionTrace)> {
+    let mut mc = case.machine_config();
+    mc.initial_freq = freq;
+    let mut machine = Machine::new(mc);
+    machine.set_invariant_mode(InvariantMode::Full);
+    if let Some(inv) = sabotage {
+        machine.monitor_mut().sabotage(inv);
+    }
+    if let Some(fault) = case.fault_config() {
+        machine.install_faults(fault);
+    }
+    let bench = dacapo_sim::benchmark(&case.bench).expect("fuzz cases name valid benchmarks");
+    let runtime = bench.install(&mut machine, case.scale(), case.workload_seed);
+    let outcome = machine.run()?;
+    let RunOutcome::Completed(end) = outcome else {
+        unreachable!("run() only returns at completion");
+    };
+    let trace = machine.harvest_trace();
+    if machine.monitor().on(Invariant::GcPauseAccounting) {
+        for (at_secs, detail) in runtime.take_gc_violations() {
+            machine
+                .monitor_mut()
+                .record(Invariant::GcPauseAccounting, at_secs, detail);
+        }
+    }
+    if let Some(err) = machine.invariant_error() {
+        return Err(err);
+    }
+    Ok((end.since(dvfs_trace::Time::ZERO).as_secs(), trace))
+}
+
+/// Sum of the frequency-invariant (non-scaling) time counters over a
+/// trace: leading loads, epoch-level stall, and store-queue-full time.
+fn nonscaling_secs(trace: &ExecutionTrace) -> f64 {
+    trace
+        .epochs
+        .iter()
+        .flat_map(|e| e.threads.iter())
+        .map(|s| {
+            s.counters.leading_loads.as_secs()
+                + s.counters.stall.as_secs()
+                + s.counters.sq_full.as_secs()
+        })
+        .sum()
+}
+
+/// Runs `case` under the full invariant monitor and returns its first
+/// violation, or `None` for a clean case. Fault-free cases also run at
+/// the target frequency and go through the metamorphic checks.
+/// `sabotage` threads the test-only invariant-weakening hook through to
+/// the machines (see [`simx::Monitor::sabotage`]).
+#[must_use]
+pub fn run_case(case: &FuzzCase, sabotage: Option<Invariant>) -> Option<CaseViolation> {
+    // The fuzzed ladder's V/f curve must itself be sane before any
+    // machine runs on it.
+    let vf = energyx::VfCurve::new(case.ladder(), 0.65, 1.05);
+    if let Some(detail) = vf.monotonicity_issue() {
+        return Some(CaseViolation {
+            invariant: Invariant::VfMonotonicity.name().to_owned(),
+            detail,
+        });
+    }
+    let base = match simulate(case, case.freq_at(case.base_point), sabotage) {
+        Ok(run) => run,
+        Err(err) => return Some(violation_of(err)),
+    };
+    if case.fault.is_some() {
+        return None;
+    }
+    let target = match simulate(case, case.freq_at(case.target_point), sabotage) {
+        Ok(run) => run,
+        Err(err) => return Some(violation_of(err)),
+    };
+    metamorphic_violation(case, &base, &target)
+}
+
+/// Converts a simulation error into the violation it represents.
+fn violation_of(err: DepburstError) -> CaseViolation {
+    match err {
+        DepburstError::InvariantViolation {
+            invariant,
+            at_secs,
+            detail,
+        } => CaseViolation {
+            invariant,
+            detail: format!("at t={at_secs} s: {detail}"),
+        },
+        other => CaseViolation {
+            invariant: "machine-error".to_owned(),
+            detail: other.to_string(),
+        },
+    }
+}
+
+/// The metamorphic checks over a fault-free case's base- and
+/// target-frequency runs.
+fn metamorphic_violation(
+    case: &FuzzCase,
+    base: &(f64, ExecutionTrace),
+    target: &(f64, ExecutionTrace),
+) -> Option<CaseViolation> {
+    let (base_exec, base_trace) = base;
+    let (target_exec, target_trace) = target;
+    let base_mhz = case.freq_at(case.base_point).mhz();
+    let target_mhz = case.freq_at(case.target_point).mhz();
+
+    // M1: non-scaling time must not shrink with rising frequency the way
+    // scaling work does. The check is directional on purpose: queue and
+    // stall pressure legitimately *grows* at higher frequency (the core
+    // issues faster than memory drains), but memory-bound time melting
+    // away as the clock rises means it was misclassified scaling work.
+    // `base` is the lower frequency by construction.
+    let ns_base = nonscaling_secs(base_trace);
+    let ns_target = nonscaling_secs(target_trace);
+    if ns_base > ns_target * (1.0 + NONSCALING_REL_TOL) + NONSCALING_ABS_TOL {
+        return Some(CaseViolation {
+            invariant: Invariant::MetamorphicNonScaling.name().to_owned(),
+            detail: format!(
+                "non-scaling time fell from {ns_base} s at {base_mhz} MHz to {ns_target} s at \
+                 {target_mhz} MHz: it tracks frequency like scaling work"
+            ),
+        });
+    }
+
+    // M2: execution time is monotone non-increasing in frequency.
+    if *target_exec > base_exec * (1.0 + MONOTONE_REL_TOL) + 1e-9 {
+        return Some(CaseViolation {
+            invariant: Invariant::MetamorphicMonotone.name().to_owned(),
+            detail: format!(
+                "raising the frequency from {base_mhz} to {target_mhz} MHz slowed the run: \
+                 {base_exec} s -> {target_exec} s"
+            ),
+        });
+    }
+
+    // M3: predictor output is finite, non-negative, and within ladder
+    // bounds at every operating point.
+    let ladder = case.ladder();
+    let predictor = depburst::Dep::dep_burst();
+    let at_max = predictor.predict(base_trace, ladder.max()).as_secs();
+    if !at_max.is_finite() || at_max < 0.0 {
+        return Some(CaseViolation {
+            invariant: Invariant::PredictorBounds.name().to_owned(),
+            detail: format!("prediction at the ladder maximum is {at_max} s"),
+        });
+    }
+    for f in ladder.iter() {
+        let p = predictor.predict(base_trace, f).as_secs();
+        if !p.is_finite() || p < 0.0 {
+            return Some(CaseViolation {
+                invariant: Invariant::PredictorBounds.name().to_owned(),
+                detail: format!("prediction at {} MHz is {p} s", f.mhz()),
+            });
+        }
+        // A run can only get slower below the maximum frequency, and no
+        // slower than perfect scaling times a generous slack.
+        let ratio = ladder.max().ghz() / f.ghz();
+        if p > at_max * ratio * PREDICTOR_SLACK + NONSCALING_ABS_TOL {
+            return Some(CaseViolation {
+                invariant: Invariant::PredictorBounds.name().to_owned(),
+                detail: format!(
+                    "prediction at {} MHz is {p} s, beyond {PREDICTOR_SLACK}x perfect-scaling \
+                     bound of the {at_max} s maximum-frequency prediction",
+                    f.mhz()
+                ),
+            });
+        }
+    }
+    None
+}
+
+/// One named shrinking transform over a case.
+type Transform = (&'static str, fn(&FuzzCase) -> FuzzCase);
+
+/// The fixed, ordered shrinking transforms: each simplifies one
+/// dimension toward its most boring value. Order matters — it is part of
+/// the shrinker's determinism contract.
+fn transforms() -> Vec<Transform> {
+    vec![
+        ("drop-fault", |c| FuzzCase {
+            fault: None,
+            ..c.clone()
+        }),
+        ("min-scale", |c| FuzzCase {
+            scale_milli: SCALE_MILLI[0],
+            ..c.clone()
+        }),
+        ("one-core", |c| FuzzCase {
+            cores: 1,
+            ..c.clone()
+        }),
+        ("seed-one", |c| FuzzCase {
+            workload_seed: 1,
+            ..c.clone()
+        }),
+        ("default-sq", |c| FuzzCase {
+            sq_entries: 42,
+            ..c.clone()
+        }),
+        ("default-sampling", |c| FuzzCase {
+            sample_ratio: 64,
+            ..c.clone()
+        }),
+        ("default-stride", |c| FuzzCase {
+            watchdog_stride: 4096,
+            ..c.clone()
+        }),
+        ("two-point-ladder", |c| FuzzCase {
+            ladder_min_mhz: 1000,
+            ladder_step_mhz: 125,
+            ladder_points: 2,
+            base_point: 0,
+            target_point: 1,
+            ..c.clone()
+        }),
+        ("first-bench", |c| FuzzCase {
+            bench: dacapo_sim::all_benchmarks()[0].name.to_owned(),
+            ..c.clone()
+        }),
+    ]
+}
+
+/// Greedily shrinks a violating case to a minimal reproducer: each
+/// transform is accepted only if the candidate still violates the *same*
+/// invariant, and passes repeat until one changes nothing. Deterministic:
+/// same case + same violation (+ same sabotage) → same reproducer.
+#[must_use]
+pub fn shrink(case: &FuzzCase, violation: &CaseViolation, sabotage: Option<Invariant>) -> FuzzCase {
+    let mut current = case.clone();
+    // Each accepted transform is idempotent, so one pass per transform
+    // bounds the loop; the cap is belt-and-braces.
+    for _ in 0..4 {
+        let mut changed = false;
+        for (_, transform) in transforms() {
+            let candidate = transform(&current);
+            if candidate == current {
+                continue;
+            }
+            if let Some(v) = run_case(&candidate, sabotage) {
+                if v.invariant == violation.invariant {
+                    current = candidate;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    current
+}
+
+/// One campaign case's outcome.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Finding {
+    /// The case's index within the campaign.
+    pub index: u64,
+    /// The generated input.
+    pub case: FuzzCase,
+    /// The violation, if the case provoked one.
+    pub violation: Option<CaseViolation>,
+    /// The shrunk minimal reproducer (only when a violation was found
+    /// and shrinking was requested).
+    pub shrunk: Option<FuzzCase>,
+}
+
+/// Runs a campaign of `cases` generated from `campaign_seed`, in order,
+/// optionally shrinking each violating case. Sequential and pure: the
+/// returned findings are byte-for-byte reproducible.
+#[must_use]
+pub fn run_campaign(
+    campaign_seed: u64,
+    cases: u64,
+    shrink_violations: bool,
+    sabotage: Option<Invariant>,
+) -> Vec<Finding> {
+    (0..cases)
+        .map(|index| {
+            let case = generate(campaign_seed, index);
+            let violation = run_case(&case, sabotage);
+            let shrunk = match (&violation, shrink_violations) {
+                (Some(v), true) => Some(shrink(&case, v, sabotage)),
+                _ => None,
+            };
+            Finding {
+                index,
+                case,
+                violation,
+                shrunk,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_and_valid() {
+        for index in 0..64 {
+            let case = generate(42, index);
+            assert_eq!(case, generate(42, index), "same inputs, same case");
+            assert!(case.base_point < case.target_point);
+            assert!(case.target_point < case.ladder_points);
+            let ladder = case.ladder();
+            assert!(ladder.contains(case.freq_at(case.base_point)));
+            assert!(ladder.contains(case.freq_at(case.target_point)));
+            assert!(dacapo_sim::benchmark(&case.bench).is_some());
+            assert!(case.scale() > 0.0);
+            if let Some(fault) = &case.fault {
+                let class = FaultClass::from_name(&fault.class).expect("valid class");
+                assert!(FUZZ_FAULTS.contains(&class), "{class} is fuzz-safe");
+                assert!((50..=1000).contains(&fault.intensity_milli));
+            }
+        }
+        assert_ne!(generate(1, 0), generate(2, 0), "seeds separate campaigns");
+    }
+
+    #[test]
+    fn distinct_indices_draw_distinct_cases() {
+        let cases: Vec<FuzzCase> = (0..16).map(|i| generate(7, i)).collect();
+        let firsts = cases.iter().filter(|c| c.bench == cases[0].bench).count();
+        assert!(firsts < 16, "cases must not all collapse to one benchmark");
+    }
+
+    #[test]
+    fn a_clean_case_runs_without_violations() {
+        // Index chosen arbitrarily; any violation here is a real bug (the
+        // CI campaign covers many more).
+        let case = generate(0xF00D, 0);
+        assert_eq!(run_case(&case, None), None);
+    }
+
+    #[test]
+    fn sabotage_is_caught_and_shrunk() {
+        let case = generate(0xF00D, 1);
+        let sabotage = Some(Invariant::CounterConservation);
+        let violation = run_case(&case, sabotage).expect("sabotaged monitor must fire");
+        assert_eq!(violation.invariant, "counter-conservation");
+        let minimal = shrink(&case, &violation, sabotage);
+        assert_eq!(
+            run_case(&minimal, sabotage).expect("reproducer still fires").invariant,
+            violation.invariant
+        );
+        // The shrinker reached the boring corner of the grammar.
+        assert!(minimal.fault.is_none());
+        assert_eq!(minimal.scale_milli, SCALE_MILLI[0]);
+        assert_eq!(minimal.cores, 1);
+        assert_eq!(minimal.ladder_points, 2);
+    }
+}

@@ -11,6 +11,7 @@
 //! | Fig. 6a/6b (energy manager) | [`experiments::fig6`] | `fig6` |
 //! | Fig. 7 (dynamic vs static-optimal) | [`experiments::fig7`] | `fig7` |
 //! | Fault injection & graceful degradation | [`experiments::faults`] | `faults` |
+//! | Invariant-monitored fuzzing | [`fuzz`] | `fuzz` |
 //!
 //! The [`run`] module holds the single-run plumbing shared by everything.
 //! Long sweeps run resiliently: points are panic-isolated and
@@ -26,6 +27,7 @@ pub mod cache;
 pub mod checkpoint;
 pub mod cli;
 pub mod experiments;
+pub mod fuzz;
 pub mod pool;
 pub mod report;
 pub mod resilience;
@@ -34,4 +36,7 @@ pub mod run;
 pub use cache::{sim_key, CacheStats, SimCache, SimKey};
 pub use checkpoint::Journal;
 pub use resilience::{FailureCause, FailureReport, PointFailure, RetryPolicy};
-pub use run::{run_benchmark, ExecCtx, RunConfig, RunResult, RunSummary, SimPoint, SweepPlan};
+pub use run::{
+    run_benchmark, try_run_benchmark, try_run_benchmark_monitored, ExecCtx, RunConfig, RunResult,
+    RunSummary, SimPoint, SweepPlan,
+};

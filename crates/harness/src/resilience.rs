@@ -99,14 +99,16 @@ impl RetryPolicy {
 }
 
 /// Why a point ultimately failed. Serializes by variant name (`"Panic"`,
-/// `"Timeout"`, `"Error"` — the vendored serde shim has no rename
-/// support).
+/// `"Timeout"`, `"Invariant"`, `"Error"` — the vendored serde shim has no
+/// rename support).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
 pub enum FailureCause {
     /// The evaluation panicked.
     Panic,
     /// The per-point wall-clock watchdog expired.
     Timeout,
+    /// A runtime invariant monitor check failed (see `simx::invariants`).
+    Invariant,
     /// The evaluation returned an error.
     Error,
 }
@@ -204,9 +206,14 @@ pub fn label_seed(label: &str) -> u64 {
 /// True if a failed attempt with this error is worth retrying.
 /// `SweepIncomplete` is not: it means a *nested* sweep already exhausted
 /// its own per-point retries, so the outer layer repeating it would only
-/// multiply work and duplicate failure records.
+/// multiply work and duplicate failure records. `InvariantViolation` is
+/// not either: the monitor's checks are deterministic over seeded inputs,
+/// so a retry reproduces the identical violation.
 fn retryable(err: &DepburstError) -> bool {
-    !matches!(err, DepburstError::SweepIncomplete { .. })
+    !matches!(
+        err,
+        DepburstError::SweepIncomplete { .. } | DepburstError::InvariantViolation { .. }
+    )
 }
 
 /// Evaluates one point with panic isolation, an optional per-attempt
@@ -239,6 +246,7 @@ pub fn attempt_resilient<R>(
                         stats.timeouts.fetch_add(1, Ordering::Relaxed);
                         FailureCause::Timeout
                     }
+                    DepburstError::InvariantViolation { .. } => FailureCause::Invariant,
                     _ => FailureCause::Error,
                 };
                 let fatal = !retryable(&err);
@@ -357,6 +365,30 @@ mod tests {
         let failure = r.expect_err("fails");
         assert_eq!(calls.load(Ordering::SeqCst), 1, "no pointless re-sweep");
         assert_eq!(failure.attempts, 1);
+        assert_eq!(stats.retries(), 0);
+    }
+
+    #[test]
+    fn invariant_violations_are_fatal_and_classified() {
+        let stats = ResilienceStats::default();
+        let calls = AtomicU32::new(0);
+        let r: Result<(), PointFailure> =
+            attempt_resilient(&fast_policy(5), None, &stats, "violator", |_| {
+                calls.fetch_add(1, Ordering::SeqCst);
+                Err(DepburstError::InvariantViolation {
+                    invariant: "counter-conservation".into(),
+                    at_secs: 0.25,
+                    detail: "crit exceeds active".into(),
+                })
+            });
+        let failure = r.expect_err("fails");
+        assert_eq!(failure.cause, FailureCause::Invariant);
+        assert_eq!(
+            calls.load(Ordering::SeqCst),
+            1,
+            "deterministic violations must not be retried"
+        );
+        assert!(failure.detail.contains("counter-conservation"));
         assert_eq!(stats.retries(), 0);
     }
 

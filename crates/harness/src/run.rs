@@ -110,14 +110,45 @@ impl RunResult {
 }
 
 /// Runs `bench` to completion under `config`, reporting simulator
-/// failures (deadlock, protocol violation) as errors.
+/// failures (deadlock, protocol violation) as errors. The invariant
+/// monitor runs at the mode `DEPBURST_INVARIANTS` selects (off by
+/// default); a violation surfaces as
+/// [`DepburstError::InvariantViolation`](depburst_core::DepburstError::InvariantViolation).
 pub fn try_run_benchmark(
     bench: &Benchmark,
     config: RunConfig,
 ) -> depburst_core::Result<RunResult> {
+    run_with_monitor(bench, config, None)
+}
+
+/// [`try_run_benchmark`] with an explicit invariant-monitor mode,
+/// overriding the `DEPBURST_INVARIANTS` environment default. The fuzzer
+/// and the self-check tests use this to force
+/// [`InvariantMode::Full`](simx::InvariantMode::Full) regardless of the
+/// caller's environment.
+pub fn try_run_benchmark_monitored(
+    bench: &Benchmark,
+    config: RunConfig,
+    mode: simx::InvariantMode,
+) -> depburst_core::Result<RunResult> {
+    run_with_monitor(bench, config, Some(mode))
+}
+
+/// The shared body of the plain and monitored entry points. `mode` of
+/// `None` keeps the machine's environment-derived monitor.
+fn run_with_monitor(
+    bench: &Benchmark,
+    config: RunConfig,
+    mode: Option<simx::InvariantMode>,
+) -> depburst_core::Result<RunResult> {
     let mut mc = MachineConfig::haswell_quad();
     mc.initial_freq = config.freq;
     let mut machine = Machine::new(mc);
+    if let Some(mode) = mode {
+        // Before install: the runtime snapshots the machine's mode to
+        // decide whether its threads record GC-handoff violations.
+        machine.set_invariant_mode(mode);
+    }
     let runtime = bench.install(&mut machine, config.scale, config.seed);
     let outcome = machine.run()?;
     let RunOutcome::Completed(end) = outcome else {
@@ -125,6 +156,18 @@ pub fn try_run_benchmark(
     };
     let trace = machine.harvest_trace();
     debug_assert!(trace.validate().is_ok(), "{:?}", trace.validate());
+    // Runtime threads cannot reach the machine's monitor mid-run; merge
+    // the GC-handoff violations they recorded on the side.
+    if machine.monitor().on(simx::Invariant::GcPauseAccounting) {
+        for (at_secs, detail) in runtime.take_gc_violations() {
+            machine
+                .monitor_mut()
+                .record(simx::Invariant::GcPauseAccounting, at_secs, detail);
+        }
+    }
+    if let Some(err) = machine.invariant_error() {
+        return Err(err);
+    }
     Ok(RunResult {
         exec: end.since(dvfs_trace::Time::ZERO),
         gc_time: trace.gc_time(),
@@ -453,6 +496,12 @@ impl ExecCtx {
                             attempts: 1,
                             detail: err.to_string(),
                         });
+                    if failure.cause == FailureCause::Invariant {
+                        // The point's inputs produced self-inconsistent
+                        // physics: withdraw any persisted envelope so a
+                        // resume re-simulates instead of trusting it.
+                        self.cache.quarantine_key(key, &failure.detail);
+                    }
                     Err(failure)
                 }
             }

@@ -75,6 +75,30 @@ fn fig1_is_byte_identical_across_jobs_and_cache_states() {
 }
 
 #[test]
+fn invariant_monitor_mode_never_changes_the_physics() {
+    // The monitor observes; it must not perturb. A run's summary —
+    // every f64 bit included — must be byte-identical whether the
+    // monitor is off (the pre-monitor harness), cheap, or full. The
+    // goldens suite separately pins the off-mode bytes to the
+    // checked-in references, so transitivity pins all three modes to
+    // the pre-monitor behaviour.
+    let bench = dacapo_sim::benchmark("lusearch").expect("exists");
+    let config = harness::RunConfig {
+        freq: dvfs_trace::Freq::from_ghz(2.0),
+        scale: SCALE,
+        seed: 1,
+    };
+    let summary_at = |mode: simx::InvariantMode| {
+        let result = harness::try_run_benchmark_monitored(bench, config, mode)
+            .unwrap_or_else(|e| panic!("clean run under {mode} failed: {e}"));
+        serde_json::to_string_pretty(&result.summarize()).expect("summary serializes")
+    };
+    let off = summary_at(simx::InvariantMode::Off);
+    assert_eq!(off, summary_at(simx::InvariantMode::Cheap), "cheap != off");
+    assert_eq!(off, summary_at(simx::InvariantMode::Full), "full != off");
+}
+
+#[test]
 fn interrupted_journal_resumes_byte_identical() {
     let dir = std::env::temp_dir().join(format!("depburst-resume-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);

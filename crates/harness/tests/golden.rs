@@ -86,6 +86,24 @@ fn summaries_match_goldens() {
 }
 
 #[test]
+fn golden_grid_is_clean_under_the_full_invariant_monitor() {
+    // The golden configurations are the repo's reference physics: every
+    // invariant the monitor knows must hold on them at the strictest
+    // tier. A violation here is a simulator bug (or an over-tight
+    // tolerance), never acceptable drift.
+    for (name, ghz) in GRID {
+        let bench = dacapo_sim::benchmark(name).expect("golden benchmark exists");
+        let config = harness::RunConfig {
+            freq: Freq::from_ghz(ghz),
+            scale: SCALE,
+            seed: SEED,
+        };
+        harness::try_run_benchmark_monitored(bench, config, simx::InvariantMode::Full)
+            .unwrap_or_else(|e| panic!("{name} @ {ghz} GHz violates an invariant: {e}"));
+    }
+}
+
+#[test]
 fn goldens_roundtrip_with_exact_f64_bits() {
     if std::env::var("UPDATE_GOLDENS").ok().as_deref() == Some("1") {
         return; // goldens are being rewritten by the other test

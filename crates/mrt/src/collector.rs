@@ -235,7 +235,7 @@ impl CoordinatorProgram {
 }
 
 impl ThreadProgram for CoordinatorProgram {
-    fn next(&mut self, _ctx: &mut ProgContext) -> Action {
+    fn next(&mut self, ctx: &mut ProgContext) -> Action {
         loop {
             match self.mode {
                 CoordMode::Doorbell => {
@@ -275,6 +275,39 @@ impl ThreadProgram for CoordinatorProgram {
                     };
                 }
                 CoordMode::BeginGc => {
+                    // GC pause accounting, entry side: a collection may
+                    // only begin with every mutator stopped or parked
+                    // safe, and the safepoint counters must stay within
+                    // the live mutator population.
+                    if self.shared.check_gc_invariants() {
+                        let s = &self.shared;
+                        if !s.world_is_stopped() {
+                            s.record_gc_violation(
+                                ctx.now.as_secs(),
+                                format!(
+                                    "collection began with the world running: \
+                                     {} stopped + {} safe < {} mutators",
+                                    s.mutators_stopped.get(),
+                                    s.mutators_safe.get(),
+                                    s.mutators_total.get()
+                                ),
+                            );
+                        }
+                        if s.mutators_stopped.get() + s.mutators_safe.get()
+                            > s.mutators_total.get()
+                        {
+                            s.record_gc_violation(
+                                ctx.now.as_secs(),
+                                format!(
+                                    "safepoint over-count: {} stopped + {} safe exceeds \
+                                     {} live mutators",
+                                    s.mutators_stopped.get(),
+                                    s.mutators_safe.get(),
+                                    s.mutators_total.get()
+                                ),
+                            );
+                        }
+                    }
                     self.mode = CoordMode::StartWorkers { full: false };
                     return Action::MarkPhase(PhaseKind::GcStart);
                 }
@@ -325,6 +358,31 @@ impl ThreadProgram for CoordinatorProgram {
                     };
                 }
                 CoordMode::Finish => {
+                    // GC pause accounting, exit side: the STW window must
+                    // still be intact when the collection's heap effects
+                    // are applied — the phase is Collecting and no mutator
+                    // resumed early (which would attribute mutator work to
+                    // the pause).
+                    if self.shared.check_gc_invariants() {
+                        let s = &self.shared;
+                        if s.phase.get() != GcPhase::Collecting {
+                            s.record_gc_violation(
+                                ctx.now.as_secs(),
+                                format!(
+                                    "collection finishing from phase {:?} (want Collecting)",
+                                    s.phase.get()
+                                ),
+                            );
+                        }
+                        if !s.world_is_stopped() {
+                            s.record_gc_violation(
+                                ctx.now.as_secs(),
+                                "a mutator resumed before the collection finished: \
+                                 pause time leaked into mutator time"
+                                    .to_owned(),
+                            );
+                        }
+                    }
                     let cfg = &self.shared.config;
                     let mut heap = self.shared.heap.borrow_mut();
                     let survivors = heap.nursery_collected(cfg.survivor_fraction);

@@ -205,6 +205,16 @@ pub struct RuntimeShared {
 
     /// Wall-time statistics: completed collections' survivor bytes.
     pub bytes_copied: SyncCell<u64>,
+
+    /// The machine's invariant-monitor depth at install time. Runtime
+    /// threads check the GC-handoff invariants when this is at least
+    /// `Cheap`; at `Off` the checks cost one branch.
+    pub invariant_mode: simx::InvariantMode,
+    /// GC-handoff invariant violations observed by runtime threads. They
+    /// cannot hold a machine borrow while running, so violations collect
+    /// here as `(at_secs, detail)` pairs and the harness merges them into
+    /// the machine's monitor after the run.
+    pub gc_violations: SyncRefCell<Vec<(f64, String)>>,
 }
 
 impl RuntimeShared {
@@ -248,7 +258,28 @@ impl RuntimeShared {
             app_locks,
             app_barriers,
             bytes_copied: SyncCell::new(0),
+            invariant_mode: machine.invariant_mode(),
+            gc_violations: SyncRefCell::new(Vec::new()),
         }
+    }
+
+    /// True if the GC-handoff invariants should be checked (the machine's
+    /// monitor was at least at `cheap` depth when the runtime installed).
+    #[must_use]
+    pub fn check_gc_invariants(&self) -> bool {
+        self.invariant_mode >= simx::InvariantMode::Cheap
+    }
+
+    /// Records a GC-handoff invariant violation for later merging into the
+    /// machine's monitor.
+    pub fn record_gc_violation(&self, at_secs: f64, detail: String) {
+        self.gc_violations.borrow_mut().push((at_secs, detail));
+    }
+
+    /// Drains the recorded GC-handoff violations.
+    #[must_use]
+    pub fn take_gc_violations(&self) -> Vec<(f64, String)> {
+        std::mem::take(&mut *self.gc_violations.borrow_mut())
     }
 
     /// True if mutators must stop at their next safepoint.

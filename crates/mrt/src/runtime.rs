@@ -114,4 +114,13 @@ impl ManagedRuntime {
     pub fn bytes_copied(&self) -> u64 {
         self.shared.bytes_copied.get()
     }
+
+    /// Drains the GC-handoff invariant violations runtime threads recorded
+    /// (`(at_secs, detail)` pairs; empty unless the machine's invariant
+    /// monitor was enabled when the runtime installed). The harness merges
+    /// these into the machine's monitor after the run.
+    #[must_use]
+    pub fn take_gc_violations(&self) -> Vec<(f64, String)> {
+        self.shared.take_gc_violations()
+    }
 }

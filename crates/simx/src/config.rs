@@ -134,6 +134,13 @@ pub struct MachineConfig {
     pub sample_ratio: u32,
     /// Upper bound on sampled addresses per chunk (variance/cost knob).
     pub cache_sample_cap: u32,
+    /// How many events the engine dispatches between wall-clock watchdog
+    /// polls (see [`crate::watchdog`]). The default
+    /// ([`crate::WATCHDOG_STRIDE`]) makes the `Instant::now()` call vanish
+    /// in event-dispatch cost on realistic points; the fuzzer tightens it
+    /// on tiny inputs that dispatch few events. A value of 0 is treated
+    /// as 1 (poll every event).
+    pub watchdog_stride: u32,
 }
 
 impl MachineConfig {
@@ -185,6 +192,7 @@ impl MachineConfig {
             chunk_target: TimeDelta::from_micros(25.0),
             sample_ratio: 64,
             cache_sample_cap: 512,
+            watchdog_stride: crate::WATCHDOG_STRIDE,
         }
     }
 
@@ -237,6 +245,7 @@ impl MachineConfig {
         h.write_f64(self.chunk_target.as_secs());
         h.write_u32(self.sample_ratio);
         h.write_u32(self.cache_sample_cap);
+        h.write_u32(self.watchdog_stride);
     }
 
     /// Stable content digest of the whole configuration (see [`hash_into`]).
@@ -297,5 +306,14 @@ mod tests {
         let mut knob = base.clone();
         knob.core_model.overlap_frac += 1e-9;
         assert_ne!(base.digest(), knob.digest());
+        let mut stride = base.clone();
+        stride.watchdog_stride = 256;
+        assert_ne!(base.digest(), stride.digest());
+    }
+
+    #[test]
+    fn watchdog_stride_defaults_to_the_historic_constant() {
+        assert_eq!(MachineConfig::haswell_quad().watchdog_stride, 4096);
+        assert_eq!(MachineConfig::default().watchdog_stride, crate::WATCHDOG_STRIDE);
     }
 }

@@ -47,6 +47,13 @@ impl StoreQueue {
         self.level
     }
 
+    /// The queue's configured capacity in stores (the occupancy invariant:
+    /// [`StoreQueue::level`] must never exceed this).
+    #[must_use]
+    pub fn capacity(&self) -> f64 {
+        self.capacity
+    }
+
     /// Drains the queue in the background for the elapsed time since the
     /// last update, at `drain_rate` stores/second.
     pub fn decay(&mut self, now: Time, drain_rate: f64) {

@@ -73,6 +73,16 @@ impl FaultClass {
         FaultClass::DramJitter,
     ];
 
+    /// Parses a [`name`](Self::name) back to its class (`None` for
+    /// unknown names). Round-trips every class, including
+    /// [`PanicPoint`](FaultClass::PanicPoint).
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<FaultClass> {
+        let mut classes = FaultClass::ALL.to_vec();
+        classes.push(FaultClass::PanicPoint);
+        classes.into_iter().find(|c| c.name() == name)
+    }
+
     /// A short stable name (used in reports and JSON).
     #[must_use]
     pub fn name(self) -> &'static str {
@@ -608,6 +618,18 @@ mod tests {
         for &s in survivors.iter().take(4) {
             assert!(!outcome(s), "same seed, same draw");
         }
+    }
+
+    #[test]
+    fn class_names_round_trip() {
+        for class in FaultClass::ALL {
+            assert_eq!(FaultClass::from_name(class.name()), Some(class));
+        }
+        assert_eq!(
+            FaultClass::from_name("panic-point"),
+            Some(FaultClass::PanicPoint)
+        );
+        assert_eq!(FaultClass::from_name("no-such-fault"), None);
     }
 
     #[test]

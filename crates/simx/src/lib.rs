@@ -31,6 +31,7 @@ pub mod config;
 pub mod cpu;
 pub mod engine;
 pub mod faults;
+pub mod invariants;
 pub mod mem;
 pub mod os;
 pub mod program;
@@ -42,6 +43,7 @@ mod tracebuild;
 
 pub use config::MachineConfig;
 pub use faults::{FaultClass, FaultConfig, FaultInjector};
+pub use invariants::{Invariant, InvariantMode, InvariantViolation, Monitor};
 pub use machine::{Machine, MachineError, RunOutcome, WATCHDOG_STRIDE};
 pub use program::{
     Action, FutexId, ProgContext, SpawnRequest, ThreadProgram, WaitOutcome, WorkItem,

@@ -11,16 +11,19 @@ use crate::config::MachineConfig;
 use crate::cpu::{ChunkEnv, Core, StoreQueue, WorkCursor};
 use crate::engine::{Event, EventQueue};
 use crate::faults::{FaultConfig, FaultInjector};
+use crate::invariants::{Invariant, InvariantMode, Monitor};
 use crate::mem::{Dram, MemoryHierarchy};
 use crate::os::{FutexTable, Scheduler, SleepKind, Thread, ThreadState};
 use crate::program::{Action, FutexId, SharedWord, SpawnRequest, WaitOutcome};
 use crate::stats::RunStats;
 use crate::tracebuild::TraceBuilder;
 
-/// How many events the engine dispatches between wall-clock watchdog
-/// polls. Large enough that the `Instant::now()` call vanishes in the
-/// event-dispatch cost, small enough that a runaway point is noticed
-/// within milliseconds (realistic points dispatch millions of events).
+/// The default for [`MachineConfig::watchdog_stride`]: how many events the
+/// engine dispatches between wall-clock watchdog polls. Large enough that
+/// the `Instant::now()` call vanishes in the event-dispatch cost, small
+/// enough that a runaway point is noticed within milliseconds (realistic
+/// points dispatch millions of events). Tiny fuzzer inputs override the
+/// config field downward so their few events still poll the watchdog.
 pub const WATCHDOG_STRIDE: u32 = 4096;
 
 /// Why a run stopped.
@@ -137,6 +140,9 @@ pub struct Machine {
     epochs_harvested: usize,
     /// Injects deterministic faults between the machine and its observers.
     faults: Option<FaultInjector>,
+    /// Sanitizer-style runtime invariant monitor (off by default; see
+    /// [`crate::invariants`]).
+    monitor: Monitor,
 }
 
 impl fmt::Debug for Machine {
@@ -183,6 +189,7 @@ impl Machine {
             transitions_denied: 0,
             epochs_harvested: 0,
             faults: None,
+            monitor: Monitor::from_env(),
         }
     }
 
@@ -227,6 +234,40 @@ impl Machine {
         &self.config
     }
 
+    /// The invariant monitor's active checking depth. The managed runtime
+    /// and the energy manager read this at install/start time so every
+    /// layer follows one machine-wide setting.
+    #[must_use]
+    pub fn invariant_mode(&self) -> InvariantMode {
+        self.monitor.mode()
+    }
+
+    /// Read access to the invariant monitor (recorded violations, mode).
+    #[must_use]
+    pub fn monitor(&self) -> &Monitor {
+        &self.monitor
+    }
+
+    /// Mutable access to the invariant monitor. Tests and the fuzzer use
+    /// this to sabotage a check or merge violations observed by layers
+    /// that cannot hold a machine borrow (the managed runtime).
+    pub fn monitor_mut(&mut self) -> &mut Monitor {
+        &mut self.monitor
+    }
+
+    /// Replaces the monitor with a fresh one at `mode`, overriding the
+    /// `DEPBURST_INVARIANTS` environment default read at construction.
+    pub fn set_invariant_mode(&mut self, mode: InvariantMode) {
+        self.monitor = Monitor::new(mode);
+    }
+
+    /// The first recorded invariant violation as a unified error, if the
+    /// monitor caught anything.
+    #[must_use]
+    pub fn invariant_error(&self) -> Option<depburst_core::DepburstError> {
+        self.monitor.first_error()
+    }
+
     /// Registers a futex word with an initial value. Programs share the
     /// returned [`SharedWord`] for their user-space fast paths.
     pub fn register_futex(&mut self, initial: u32) -> (FutexId, SharedWord) {
@@ -268,6 +309,7 @@ impl Machine {
             // leaves a half-simulated point behind.
             injector.maybe_panic_point();
         }
+        let stride = self.config.watchdog_stride.max(1);
         let mut events: u32 = 0;
         loop {
             if self.app_live == 0 {
@@ -281,10 +323,17 @@ impl Machine {
                 return Ok(RunOutcome::DeadlineReached);
             }
             events = events.wrapping_add(1);
-            if events.is_multiple_of(WATCHDOG_STRIDE) && crate::watchdog::expired() {
+            if events.is_multiple_of(stride) && crate::watchdog::expired() {
                 return Err(MachineError::WatchdogExpired { at: self.now });
             }
             let (t, event) = self.queue.pop().expect("peeked");
+            if t < self.now && self.monitor.on(Invariant::EventMonotonicity) {
+                self.monitor.record(
+                    Invariant::EventMonotonicity,
+                    t.as_secs(),
+                    format!("event queue popped {t} after the clock reached {}", self.now),
+                );
+            }
             self.now = t;
             self.dispatch_event(event);
         }
@@ -406,6 +455,33 @@ impl Machine {
             .tracer
             .harvest(self.now, base, |tid| cumulative(threads, cores, self.now, tid));
         self.epochs_harvested += trace.epochs.len();
+        // Invariants run on the pre-fault trace: the injector deliberately
+        // corrupts harvested counters, and the monitor's job is the
+        // machine's own physics, not the (unreliable) measurement path.
+        if self.monitor.enabled() {
+            self.monitor.check_trace(&trace);
+            if self.monitor.on(Invariant::StoreQueueOccupancy) {
+                for (c, sq) in self.store_queues.iter().enumerate() {
+                    if sq.level() > sq.capacity() + 1e-9 {
+                        self.monitor.record(
+                            Invariant::StoreQueueOccupancy,
+                            self.now.as_secs(),
+                            format!(
+                                "store queue {c}: level {:.3} exceeds capacity {:.0}",
+                                sq.level(),
+                                sq.capacity()
+                            ),
+                        );
+                    }
+                }
+            }
+            if self.monitor.on(Invariant::CacheSanity) {
+                for issue in self.hierarchy.sanity_issues() {
+                    self.monitor
+                        .record(Invariant::CacheSanity, self.now.as_secs(), issue);
+                }
+            }
+        }
         match &mut self.faults {
             Some(inj) => inj.filter_harvest(trace),
             None => trace,

@@ -15,6 +15,10 @@ pub struct Cache {
     line_shift: u32,
     set_mask: u64,
     accesses: u64,
+    /// Counted independently in the hit branch (not derived as
+    /// `accesses - misses`) so `hits + misses == accesses` is a real
+    /// cross-check for the invariant monitor.
+    hits: u64,
     misses: u64,
 }
 
@@ -37,6 +41,7 @@ impl Cache {
             line_shift: config.line_size.trailing_zeros(),
             set_mask: sets - 1,
             accesses: 0,
+            hits: 0,
             misses: 0,
         }
     }
@@ -53,6 +58,7 @@ impl Cache {
             // Move to MRU position (front).
             let t = set.remove(pos);
             set.insert(0, t);
+            self.hits += 1;
             true
         } else {
             self.misses += 1;
@@ -77,6 +83,12 @@ impl Cache {
     #[must_use]
     pub fn accesses(&self) -> u64 {
         self.accesses
+    }
+
+    /// Total hits since construction (counted independently of misses).
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits
     }
 
     /// Total misses since construction.
@@ -120,7 +132,17 @@ mod tests {
         assert!(c.access(0x1000));
         assert!(c.access(0x1001)); // same line
         assert_eq!(c.misses(), 1);
+        assert_eq!(c.hits(), 2);
         assert_eq!(c.accesses(), 3);
+    }
+
+    #[test]
+    fn hits_plus_misses_account_for_every_access() {
+        let mut c = tiny();
+        for i in 0..500u64 {
+            c.access((i % 37) * 64);
+        }
+        assert_eq!(c.hits() + c.misses(), c.accesses());
     }
 
     #[test]

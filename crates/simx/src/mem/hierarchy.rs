@@ -208,6 +208,47 @@ impl MemoryHierarchy {
     pub fn l3_misses(&self) -> u64 {
         self.l3.misses()
     }
+
+    /// Walks every cache and returns a description of each accounting
+    /// inconsistency: hit + miss counters that do not sum to the access
+    /// count, or residency exceeding capacity. Empty on a healthy
+    /// hierarchy. (The hierarchy is non-inclusive by design, so no
+    /// inclusion property is checked.) Used by the invariant monitor's
+    /// `full` tier.
+    #[must_use]
+    pub fn sanity_issues(&self) -> Vec<String> {
+        let mut issues = Vec::new();
+        let labelled = self
+            .l1d
+            .iter()
+            .enumerate()
+            .map(|(c, cache)| (format!("l1d[{c}]"), cache))
+            .chain(
+                self.l2
+                    .iter()
+                    .enumerate()
+                    .map(|(c, cache)| (format!("l2[{c}]"), cache)),
+            )
+            .chain(std::iter::once(("l3".to_owned(), &self.l3)));
+        for (label, cache) in labelled {
+            if cache.hits() + cache.misses() != cache.accesses() {
+                issues.push(format!(
+                    "{label}: hits {} + misses {} != accesses {}",
+                    cache.hits(),
+                    cache.misses(),
+                    cache.accesses()
+                ));
+            }
+            if cache.resident_lines() > cache.capacity_lines() {
+                issues.push(format!(
+                    "{label}: {} resident lines exceed capacity {}",
+                    cache.resident_lines(),
+                    cache.capacity_lines()
+                ));
+            }
+        }
+        issues
+    }
 }
 
 /// When only every k-th access is sampled, widen sequential patterns so the
@@ -331,6 +372,19 @@ mod tests {
         let p = AccessPattern::Streaming { base: 0 };
         let mix = h.sample_mix(CoreId(0), p, 1, 0);
         assert_eq!(mix.l1 + mix.l2 + mix.l3 + mix.dram, 0.0);
+    }
+
+    #[test]
+    fn warm_hierarchy_has_no_sanity_issues() {
+        let mut h = hierarchy();
+        let p = AccessPattern::Random {
+            base: 0,
+            working_set: 2 * 1024 * 1024,
+        };
+        for r in 0..4 {
+            h.sample_mix(CoreId((r % 4) as u8), p, r, 50_000);
+        }
+        assert_eq!(h.sanity_issues(), Vec::<String>::new());
     }
 
     #[test]

@@ -122,4 +122,55 @@ resilience_resume() {
 }
 step "resilience: interrupt + resume" resilience_resume
 
+# Invariant gates: the simulator self-checks under the sanitizer-style
+# monitor, and the fuzzer both stays quiet on the honest simulator and
+# catches (and shrinks) a deliberately weakened invariant.
+
+# A fixed-seed fuzz campaign over the clean simulator: 25 structured
+# cases under the full monitor, zero violations, exit 0.
+step "fuzz smoke (25 cases, seed 1)" \
+    eval "$BIN/fuzz --seeds 25 --seed 1 --shrink > /dev/null"
+
+# Sabotage gate: weakening counter conservation via the test-only hook
+# must fire on every case, shrink to a minimal reproducer, serialize the
+# violations as "Invariant" failures, and exit 2.
+invariant_sabotage() {
+    rm -f results/fuzz_failures.json
+    local out=/tmp/depburst-ci-fuzz.out
+    local rc=0
+    DEPBURST_BREAK_INVARIANT=counter-conservation \
+        "$BIN/fuzz" --seeds 3 --seed 42 --shrink > "$out" 2> /dev/null || rc=$?
+    if [ "$rc" -ne 2 ]; then
+        echo "sabotaged fuzz campaign: want exit 2, got $rc"
+        return 1
+    fi
+    grep -q '"Invariant"' results/fuzz_failures.json || {
+        echo "results/fuzz_failures.json lacks an Invariant failure"
+        return 1
+    }
+    grep -q "shrunk reproducer:" "$out" || {
+        echo "sabotaged campaign output lacks a shrunk reproducer"
+        return 1
+    }
+    rm -f "$out"
+}
+step "fuzz sabotage gate" invariant_sabotage
+
+# A full experiment sweep under the strictest monitor tier must finish
+# clean AND print the exact bytes of an unmonitored run: the monitor
+# observes, never perturbs.
+invariant_sweep() {
+    local out=/tmp/depburst-ci-inv
+    rm -f "$out".*.out
+    DEPBURST_INVARIANTS=full \
+        "$BIN/fig3" both "$SCALE" 1 --jobs 2 > "$out.full.out"
+    "$BIN/fig3" both "$SCALE" 1 --jobs 2 > "$out.plain.out"
+    cmp "$out.full.out" "$out.plain.out" || {
+        echo "fig3 under DEPBURST_INVARIANTS=full is not byte-identical"
+        return 1
+    }
+    rm -f "$out".*.out
+}
+step "invariants: monitored fig3 sweep" invariant_sweep
+
 echo "ci: all green"
