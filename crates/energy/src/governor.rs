@@ -1,0 +1,636 @@
+//! Fleet governor: central frequency allocation under a global power
+//! budget, the per-machine local fallback, and the partition-tolerant
+//! **degradation ladder**.
+//!
+//! The ROADMAP's fleet-scale service has one central DVFS governor
+//! allocating frequencies to many machines. A central allocator is only
+//! production-grade if each machine degrades gracefully when the fleet
+//! misbehaves, so control authority forms a three-rung ladder:
+//!
+//! 1. [`GovernorMode::Central`] — the machine runs whatever frequency the
+//!    central governor allocated from the global budget;
+//! 2. [`GovernorMode::LocalDepBurst`] — on partition or sustained
+//!    telemetry loss, the machine falls back to a local DEP+BURST-style
+//!    governor ([`LocalGovernor`]): lowest ladder frequency within a
+//!    tolerable predicted slowdown, the paper's §VI policy applied to the
+//!    machine's own characterization (the Pac-Sim framing: a cheap local
+//!    model stands in when full information is unavailable);
+//! 3. [`GovernorMode::FallbackMax`] — on continued telemetry loss (or a
+//!    crash restart) the machine pins its ladder maximum, the PR 1
+//!    hardened fallback: always safe for latency, never for energy.
+//!
+//! Rejoin is **hysteretic**: each climb back up requires a full window of
+//! confirmed-healthy rounds ([`DegradationConfig::rejoin_threshold`]) and
+//! moves exactly one rung, so a flapping link cannot oscillate a machine
+//! between central and fallback control. [`DegradationLadder`] is a pure
+//! state machine over `(reachable, telemetry_ok)` observations — no
+//! randomness, no clocks — which is what makes failover sequences a pure
+//! function of the chaos schedule and lets
+//! `simx::Invariant::RejoinMonotonicity` check every recorded transition.
+
+use core::fmt;
+
+use dvfs_trace::{Freq, FreqLadder};
+
+use crate::power::PowerModel;
+
+/// Who controls a machine's frequency right now (the ladder rung).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GovernorMode {
+    /// The central governor's allocation applies.
+    Central,
+    /// The machine self-governs with a local DEP+BURST policy.
+    LocalDepBurst,
+    /// The machine pins its maximum frequency (hardened fallback).
+    FallbackMax,
+}
+
+impl GovernorMode {
+    /// Ladder rung height: higher is more centralized.
+    #[must_use]
+    pub fn rung(self) -> u8 {
+        match self {
+            GovernorMode::FallbackMax => 0,
+            GovernorMode::LocalDepBurst => 1,
+            GovernorMode::Central => 2,
+        }
+    }
+
+    /// Stable kebab-case name used in reports and transition logs.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            GovernorMode::Central => "central",
+            GovernorMode::LocalDepBurst => "local-depburst",
+            GovernorMode::FallbackMax => "fallback-max",
+        }
+    }
+
+    /// The rung one step toward central control, if any.
+    #[must_use]
+    pub fn promoted(self) -> Option<GovernorMode> {
+        match self {
+            GovernorMode::FallbackMax => Some(GovernorMode::LocalDepBurst),
+            GovernorMode::LocalDepBurst => Some(GovernorMode::Central),
+            GovernorMode::Central => None,
+        }
+    }
+}
+
+impl fmt::Display for GovernorMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Streak thresholds of the degradation ladder, in rounds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DegradationConfig {
+    /// Consecutive governor-unreachable rounds before leaving
+    /// [`GovernorMode::Central`].
+    pub partition_tolerance: u32,
+    /// Consecutive telemetry-less rounds before dropping one rung
+    /// (central control and the local predictor both starve without
+    /// counter harvests).
+    pub loss_tolerance: u32,
+    /// Consecutive fully-healthy rounds required per one-rung climb back
+    /// up (the hysteresis window).
+    pub rejoin_threshold: u32,
+}
+
+impl Default for DegradationConfig {
+    fn default() -> Self {
+        DegradationConfig {
+            partition_tolerance: 2,
+            loss_tolerance: 4,
+            rejoin_threshold: 3,
+        }
+    }
+}
+
+/// One recorded mode change of a machine's degradation ladder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Transition {
+    /// Fleet round the transition happened in.
+    pub round: u64,
+    /// Mode before.
+    pub from: GovernorMode,
+    /// Mode after.
+    pub to: GovernorMode,
+    /// Why (static label: "partition", "telemetry-loss", "rejoin",
+    /// "crash-restart", ...).
+    pub reason: &'static str,
+}
+
+impl fmt::Display for Transition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "r{} {}→{} ({})",
+            self.round,
+            self.from.name(),
+            self.to.name(),
+            self.reason
+        )
+    }
+}
+
+/// The per-machine degradation state machine. Deterministic: the mode
+/// sequence is a pure function of the observation sequence.
+#[derive(Debug, Clone)]
+pub struct DegradationLadder {
+    config: DegradationConfig,
+    mode: GovernorMode,
+    unreachable_streak: u32,
+    loss_streak: u32,
+    healthy_streak: u32,
+    transitions: Vec<Transition>,
+}
+
+impl DegradationLadder {
+    /// A fresh ladder, starting under central control.
+    #[must_use]
+    pub fn new(config: DegradationConfig) -> Self {
+        DegradationLadder {
+            config,
+            mode: GovernorMode::Central,
+            unreachable_streak: 0,
+            loss_streak: 0,
+            healthy_streak: 0,
+            transitions: Vec::new(),
+        }
+    }
+
+    /// The current mode.
+    #[must_use]
+    pub fn mode(&self) -> GovernorMode {
+        self.mode
+    }
+
+    /// Every recorded transition, in round order.
+    #[must_use]
+    pub fn transitions(&self) -> &[Transition] {
+        &self.transitions
+    }
+
+    /// Feeds one round's health observation and returns the mode that
+    /// governs this round. `governor_reachable` is the control link,
+    /// `telemetry_ok` the counter-harvest path. Demotions move at most
+    /// one rung per round; promotions require a full
+    /// [`DegradationConfig::rejoin_threshold`] healthy window each.
+    pub fn observe(&mut self, round: u64, governor_reachable: bool, telemetry_ok: bool) -> GovernorMode {
+        if governor_reachable {
+            self.unreachable_streak = 0;
+        } else {
+            self.unreachable_streak += 1;
+        }
+        if telemetry_ok {
+            self.loss_streak = 0;
+        } else {
+            self.loss_streak += 1;
+        }
+        if governor_reachable && telemetry_ok {
+            self.healthy_streak += 1;
+        } else {
+            self.healthy_streak = 0;
+        }
+
+        match self.mode {
+            GovernorMode::Central => {
+                if self.unreachable_streak >= self.config.partition_tolerance {
+                    self.shift(round, GovernorMode::LocalDepBurst, "partition");
+                } else if self.loss_streak >= self.config.loss_tolerance {
+                    self.shift(round, GovernorMode::LocalDepBurst, "telemetry-loss");
+                }
+            }
+            GovernorMode::LocalDepBurst => {
+                if self.loss_streak >= self.config.loss_tolerance.saturating_mul(2) {
+                    self.shift(round, GovernorMode::FallbackMax, "telemetry-loss");
+                }
+            }
+            GovernorMode::FallbackMax => {}
+        }
+
+        if self.healthy_streak >= self.config.rejoin_threshold {
+            if let Some(up) = self.mode.promoted() {
+                self.shift(round, up, "rejoin");
+                // Each further rung needs its own full healthy window.
+                self.healthy_streak = 0;
+            }
+        }
+        self.mode
+    }
+
+    /// Drops straight to [`GovernorMode::FallbackMax`] (a crash restart
+    /// reboots into the hardened fallback, whatever the mode was).
+    pub fn force_fallback(&mut self, round: u64, reason: &'static str) {
+        if self.mode != GovernorMode::FallbackMax {
+            self.shift(round, GovernorMode::FallbackMax, reason);
+        }
+        self.unreachable_streak = 0;
+        self.loss_streak = 0;
+        self.healthy_streak = 0;
+    }
+
+    fn shift(&mut self, round: u64, to: GovernorMode, reason: &'static str) {
+        self.transitions.push(Transition {
+            round,
+            from: self.mode,
+            to,
+            reason,
+        });
+        self.mode = to;
+    }
+
+    /// Checks the recorded transition log for rejoin-monotonicity: rounds
+    /// non-decreasing, every transition an actual change, and every
+    /// upward move exactly one rung. Feeds
+    /// `simx::Invariant::RejoinMonotonicity`.
+    #[must_use]
+    pub fn monotonicity_issue(&self) -> Option<String> {
+        let mut prev_round = 0u64;
+        for t in &self.transitions {
+            if t.round < prev_round {
+                return Some(format!("transition log out of order at {t}"));
+            }
+            prev_round = t.round;
+            if t.from == t.to {
+                return Some(format!("self-transition at {t}"));
+            }
+            if t.to.rung() > t.from.rung() && t.to.rung() - t.from.rung() != 1 {
+                return Some(format!("multi-rung rejoin at {t}"));
+            }
+        }
+        None
+    }
+}
+
+/// Which fleet-level frequency policy governs the run (CLI `--policy`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GovernorPolicy {
+    /// Central allocation from the true characterization (upper bound:
+    /// perfect models, perfect telemetry when reachable).
+    Oracle,
+    /// Central allocation from DEP+BURST-style telemetry (stale or lossy
+    /// under chaos — the realistic operating point).
+    DepBurst,
+    /// No central control at all: every machine pins its ladder maximum
+    /// (the naive, budget-oblivious baseline).
+    NaiveStatic,
+}
+
+impl GovernorPolicy {
+    /// Stable CLI spelling.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            GovernorPolicy::Oracle => "oracle",
+            GovernorPolicy::DepBurst => "depburst",
+            GovernorPolicy::NaiveStatic => "naive",
+        }
+    }
+
+    /// Parses a [`GovernorPolicy::name`].
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<Self> {
+        [
+            GovernorPolicy::Oracle,
+            GovernorPolicy::DepBurst,
+            GovernorPolicy::NaiveStatic,
+        ]
+        .into_iter()
+        .find(|p| p.name() == name)
+    }
+}
+
+impl fmt::Display for GovernorPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// What the central governor knows about one reachable machine: its V/f
+/// ladder and a two-component service-time characterization
+/// `s(f) = scaling_s / f_ghz + fixed_s` (frequency-scaling work over
+/// memory/GC work that does not scale — the DEP+BURST decomposition
+/// collapsed to request granularity).
+#[derive(Debug, Clone, Copy)]
+pub struct MachineView<'a> {
+    /// Fleet-wide machine id (allocation order tiebreaker).
+    pub id: usize,
+    /// The machine's own V/f ladder (heterogeneous across the fleet).
+    pub ladder: &'a FreqLadder,
+    /// Frequency-scaling service seconds, normalized to 1 GHz.
+    pub scaling_s: f64,
+    /// Non-scaling service seconds.
+    pub fixed_s: f64,
+    /// Core count (drives the machine's power estimate).
+    pub cores: usize,
+}
+
+impl MachineView<'_> {
+    /// Predicted per-request service time at `freq`, seconds.
+    #[must_use]
+    pub fn service_time(&self, freq: Freq) -> f64 {
+        self.scaling_s / freq.ghz() + self.fixed_s
+    }
+}
+
+/// One central allocation round's outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Allocation {
+    /// Chosen frequency per view, parallel to the input slice.
+    pub freqs: Vec<Freq>,
+    /// Estimated fleet power of the chosen frequencies, watts.
+    pub power_w: f64,
+    /// The budget slice this allocation had to fit, watts.
+    pub available_w: f64,
+}
+
+/// The central DVFS governor: greedy latency-levelling allocation under a
+/// global power budget.
+#[derive(Debug, Clone, Copy)]
+pub struct CentralGovernor {
+    /// Whole-fleet power budget, watts.
+    pub budget_w: f64,
+}
+
+impl CentralGovernor {
+    /// A governor with the given fleet budget.
+    #[must_use]
+    pub fn new(budget_w: f64) -> Self {
+        CentralGovernor { budget_w }
+    }
+
+    /// Allocates frequencies to the reachable machines in `views`.
+    ///
+    /// Unreachable machines (self-governing on lower ladder rungs) keep a
+    /// pro-rata share of the budget: with `fleet_machines` total, the
+    /// reachable set fits inside `budget · |views| / fleet_machines`.
+    ///
+    /// Greedy water-filling: every machine starts at its ladder minimum;
+    /// each step raises the machine with the worst predicted service time
+    /// (ties broken by lower id) one ladder notch, if the power estimate
+    /// still fits; machines whose next notch does not fit are frozen.
+    /// Deterministic — no randomness, order fixed by (latency, id).
+    #[must_use]
+    pub fn allocate(&self, model: &PowerModel, views: &[MachineView<'_>], fleet_machines: usize) -> Allocation {
+        let fleet = fleet_machines.max(views.len()).max(1);
+        let available_w = self.budget_w * views.len() as f64 / fleet as f64;
+
+        let ladders: Vec<Vec<Freq>> = views.iter().map(|v| v.ladder.iter().collect()).collect();
+        let mut idx: Vec<usize> = vec![0; views.len()];
+        let mut frozen: Vec<bool> = vec![false; views.len()];
+        let power_of = |view: &MachineView<'_>, freq: Freq| {
+            model.power(freq, &vec![1.0; view.cores.max(1)]).total()
+        };
+        let mut power_w: f64 = views
+            .iter()
+            .zip(&ladders)
+            .map(|(v, l)| power_of(v, l[0]))
+            .sum();
+
+        loop {
+            // The worst-latency machine that still has headroom.
+            let mut pick: Option<(f64, usize)> = None;
+            for (i, view) in views.iter().enumerate() {
+                if frozen[i] || idx[i] + 1 >= ladders[i].len() {
+                    continue;
+                }
+                let lat = view.service_time(ladders[i][idx[i]]);
+                let better = match pick {
+                    None => true,
+                    Some((best, _)) => lat > best,
+                };
+                if better {
+                    pick = Some((lat, i));
+                }
+            }
+            let Some((_, i)) = pick else { break };
+            let delta = power_of(&views[i], ladders[i][idx[i] + 1]) - power_of(&views[i], ladders[i][idx[i]]);
+            if power_w + delta <= available_w {
+                idx[i] += 1;
+                power_w += delta;
+            } else {
+                frozen[i] = true;
+            }
+        }
+
+        Allocation {
+            freqs: idx.iter().zip(&ladders).map(|(&i, l)| l[i]).collect(),
+            power_w,
+            available_w,
+        }
+    }
+}
+
+/// The local DEP+BURST fallback governor: lowest ladder frequency whose
+/// predicted slowdown vs. the ladder maximum stays within the bound
+/// (paper §VI, applied to the machine's own characterization).
+#[derive(Debug, Clone, Copy)]
+pub struct LocalGovernor {
+    /// Tolerable slowdown vs. the ladder maximum (e.g. `0.05` = 5%).
+    pub slowdown_bound: f64,
+}
+
+impl LocalGovernor {
+    /// A local governor with the given slowdown bound.
+    #[must_use]
+    pub fn new(slowdown_bound: f64) -> Self {
+        LocalGovernor {
+            slowdown_bound: slowdown_bound.max(0.0),
+        }
+    }
+
+    /// Picks the frequency for one machine. Always a member of `ladder`.
+    #[must_use]
+    pub fn choose(&self, view: &MachineView<'_>) -> Freq {
+        let max = view.ladder.max();
+        let budget = view.service_time(max) * (1.0 + self.slowdown_bound);
+        view.ladder
+            .iter()
+            .find(|&f| view.service_time(f) <= budget)
+            .unwrap_or(max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(ladder: &mut DegradationLadder, rounds: &[(bool, bool)]) -> Vec<GovernorMode> {
+        rounds
+            .iter()
+            .enumerate()
+            .map(|(r, &(reach, tel))| ladder.observe(r as u64, reach, tel))
+            .collect()
+    }
+
+    #[test]
+    fn partition_demotes_to_local_after_tolerance() {
+        let mut l = DegradationLadder::new(DegradationConfig::default());
+        let modes = obs(&mut l, &[(true, true), (false, true), (false, true)]);
+        assert_eq!(
+            modes,
+            vec![
+                GovernorMode::Central,
+                GovernorMode::Central,
+                GovernorMode::LocalDepBurst
+            ]
+        );
+        assert_eq!(l.transitions().len(), 1);
+        assert_eq!(l.transitions()[0].reason, "partition");
+    }
+
+    #[test]
+    fn sustained_loss_walks_the_whole_ladder_down() {
+        let cfg = DegradationConfig {
+            loss_tolerance: 2,
+            ..DegradationConfig::default()
+        };
+        let mut l = DegradationLadder::new(cfg);
+        let modes = obs(&mut l, &[(true, false); 5]);
+        assert_eq!(modes[1], GovernorMode::LocalDepBurst, "loss demotes central");
+        assert_eq!(
+            *modes.last().unwrap(),
+            GovernorMode::FallbackMax,
+            "continued loss reaches the hardened fallback"
+        );
+        assert!(l.monotonicity_issue().is_none());
+    }
+
+    #[test]
+    fn rejoin_is_hysteretic_one_rung_per_window() {
+        let cfg = DegradationConfig {
+            rejoin_threshold: 3,
+            ..DegradationConfig::default()
+        };
+        let mut l = DegradationLadder::new(cfg);
+        l.force_fallback(0, "crash-restart");
+        assert_eq!(l.mode(), GovernorMode::FallbackMax);
+        // Two healthy rounds are not enough; flapping resets the window.
+        l.observe(1, true, true);
+        l.observe(2, true, true);
+        l.observe(3, false, true);
+        assert_eq!(l.mode(), GovernorMode::FallbackMax);
+        // A full window climbs exactly one rung...
+        for r in 4..7 {
+            l.observe(r, true, true);
+        }
+        assert_eq!(l.mode(), GovernorMode::LocalDepBurst);
+        // ...and the next rung needs its own full window.
+        l.observe(7, true, true);
+        l.observe(8, true, true);
+        assert_eq!(l.mode(), GovernorMode::LocalDepBurst);
+        l.observe(9, true, true);
+        assert_eq!(l.mode(), GovernorMode::Central);
+        assert!(l.monotonicity_issue().is_none());
+    }
+
+    #[test]
+    fn mode_sequence_is_a_pure_function_of_observations() {
+        let pattern: Vec<(bool, bool)> = (0..40)
+            .map(|r| (r % 7 != 0, r % 5 != 0))
+            .collect();
+        let mut a = DegradationLadder::new(DegradationConfig::default());
+        let mut b = DegradationLadder::new(DegradationConfig::default());
+        assert_eq!(obs(&mut a, &pattern), obs(&mut b, &pattern));
+        assert_eq!(a.transitions(), b.transitions());
+    }
+
+    #[test]
+    fn monotonicity_catches_a_forged_multi_rung_rejoin() {
+        let mut l = DegradationLadder::new(DegradationConfig::default());
+        l.transitions.push(Transition {
+            round: 1,
+            from: GovernorMode::FallbackMax,
+            to: GovernorMode::Central,
+            reason: "forged",
+        });
+        assert!(l.monotonicity_issue().unwrap().contains("multi-rung"));
+    }
+
+    fn ladder() -> FreqLadder {
+        FreqLadder::paper_default()
+    }
+
+    #[test]
+    fn allocation_respects_budget_and_ladders() {
+        let model = PowerModel::haswell_22nm();
+        let l = ladder();
+        let views: Vec<MachineView<'_>> = (0..4)
+            .map(|id| MachineView {
+                id,
+                ladder: &l,
+                scaling_s: 0.8 + 0.1 * id as f64,
+                fixed_s: 0.2,
+                cores: 4,
+            })
+            .collect();
+        let gov = CentralGovernor::new(200.0);
+        let alloc = gov.allocate(&model, &views, 4);
+        assert!(alloc.power_w <= alloc.available_w + 1e-9);
+        for (f, v) in alloc.freqs.iter().zip(&views) {
+            assert!(v.ladder.contains(*f), "{f:?} not on the ladder");
+        }
+        // The heaviest machine (largest scaling_s) gets at least as much
+        // frequency as the lightest.
+        assert!(alloc.freqs[3] >= alloc.freqs[0]);
+    }
+
+    #[test]
+    fn huge_budget_pins_everyone_at_max_and_zero_budget_at_min() {
+        let model = PowerModel::haswell_22nm();
+        let l = ladder();
+        let views: Vec<MachineView<'_>> = (0..3)
+            .map(|id| MachineView {
+                id,
+                ladder: &l,
+                scaling_s: 1.0,
+                fixed_s: 0.1,
+                cores: 4,
+            })
+            .collect();
+        let rich = CentralGovernor::new(1e6).allocate(&model, &views, 3);
+        assert!(rich.freqs.iter().all(|&f| f == l.max()));
+        let poor = CentralGovernor::new(0.0).allocate(&model, &views, 3);
+        assert!(poor.freqs.iter().all(|&f| f == l.min()));
+    }
+
+    #[test]
+    fn unreachable_machines_reserve_their_budget_share() {
+        let model = PowerModel::haswell_22nm();
+        let l = ladder();
+        let views = vec![MachineView {
+            id: 0,
+            ladder: &l,
+            scaling_s: 1.0,
+            fixed_s: 0.1,
+            cores: 4,
+        }];
+        let gov = CentralGovernor::new(400.0);
+        let alone = gov.allocate(&model, &views, 1);
+        let shared = gov.allocate(&model, &views, 4);
+        assert!((alone.available_w - 400.0).abs() < 1e-9);
+        assert!((shared.available_w - 100.0).abs() < 1e-9);
+        assert!(shared.freqs[0] <= alone.freqs[0]);
+    }
+
+    #[test]
+    fn local_governor_honors_the_slowdown_bound_on_the_ladder() {
+        let l = ladder();
+        let view = MachineView {
+            id: 0,
+            ladder: &l,
+            scaling_s: 0.9,
+            fixed_s: 0.3,
+            cores: 4,
+        };
+        let f = LocalGovernor::new(0.10).choose(&view);
+        assert!(l.contains(f));
+        let bound = view.service_time(l.max()) * 1.10;
+        assert!(view.service_time(f) <= bound + 1e-12);
+        // A zero bound forces the maximum.
+        assert_eq!(LocalGovernor::new(0.0).choose(&view), l.max());
+    }
+}

@@ -18,12 +18,17 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod governor;
 mod manager;
 mod metrics;
 mod oracle;
 mod power;
 mod vf;
 
+pub use governor::{
+    Allocation, CentralGovernor, DegradationConfig, DegradationLadder, GovernorMode,
+    GovernorPolicy, LocalGovernor, MachineView, Transition,
+};
 pub use manager::{EnergyManager, HardeningConfig, ManagerConfig, ManagerReport};
 pub use metrics::{select_best, Efficiency, Objective};
 pub use oracle::{static_optimal, try_static_optimal, StaticPoint, StaticSweep};

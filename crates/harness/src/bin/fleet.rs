@@ -1,0 +1,112 @@
+//! Runs the fleet-scale DVFS governor simulation under a seeded chaos
+//! schedule.
+//!
+//! Usage: `cargo run --release -p harness --bin fleet -- [machines]
+//! [rounds] [scale] [seed] [--shards N] [--chaos I] [--chaos-seed S]
+//! [--policy oracle|depburst|naive] [--budget W] [--slo F] [--bench NAME]
+//! [--jobs N] ...`
+//!
+//! `--chaos I` sets every chaos class (machine crash/restart, telemetry
+//! dropout, stale harvest, governor partition, slow links) to intensity
+//! `I` in `[0, 1]`; `--chaos-seed` decouples the chaos schedule from the
+//! workload seed. The run is deterministic for a fixed flag set: any
+//! `--jobs` count, any cache temperature, and any `--resume` of an
+//! interrupted characterization produce byte-identical output. Crashed
+//! rounds are partial **by design** — machines shed traffic and report
+//! it — so chaos alone never makes the process exit nonzero.
+
+use std::process::ExitCode;
+
+use harness::cli;
+use harness::experiments::fleet::{self, FleetConfig};
+use simx::fleet::ChaosConfig;
+
+fn main() -> ExitCode {
+    let extra = [
+        "--shards",
+        "--chaos",
+        "--chaos-seed",
+        "--policy",
+        "--budget",
+        "--slo",
+        "--bench",
+    ];
+    cli::main_with_flags("fleet", &extra, |ctx, args| {
+        let (shards, args) = cli::split_flag(args, "--shards")?;
+        let (chaos, args) = cli::split_flag(&args, "--chaos")?;
+        let (chaos_seed, args) = cli::split_flag(&args, "--chaos-seed")?;
+        let (policy, args) = cli::split_flag(&args, "--policy")?;
+        let (budget, args) = cli::split_flag(&args, "--budget")?;
+        let (slo, args) = cli::split_flag(&args, "--slo")?;
+        let (bench, args) = cli::split_flag(&args, "--bench")?;
+
+        let machines: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(8);
+        let rounds: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(120);
+        let scale: f64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(0.05);
+        let seed: u64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(1);
+
+        let shards: usize = match shards {
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("invalid --shards value {v:?}"))?,
+            None => machines.clamp(1, 4),
+        };
+        let intensity: f64 = match chaos {
+            Some(v) => v
+                .parse::<f64>()
+                .ok()
+                .filter(|i| (0.0..=1.0).contains(i))
+                .ok_or_else(|| format!("invalid --chaos value {v:?} (want [0, 1])"))?,
+            None => 0.0,
+        };
+        let chaos_seed: u64 = match chaos_seed {
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("invalid --chaos-seed value {v:?}"))?,
+            None => seed,
+        };
+
+        let mut config = FleetConfig::new(machines, shards, rounds, scale, seed);
+        config.chaos = ChaosConfig::uniform(intensity, chaos_seed);
+        if let Some(name) = policy {
+            config.policy = energyx::GovernorPolicy::from_name(&name).ok_or_else(|| {
+                format!("unknown --policy {name:?} (want oracle, depburst or naive)")
+            })?;
+        }
+        if let Some(v) = budget {
+            config.budget_w = v
+                .parse::<f64>()
+                .ok()
+                .filter(|w| *w >= 0.0)
+                .ok_or_else(|| format!("invalid --budget value {v:?}"))?;
+        }
+        if let Some(v) = slo {
+            config.slo_factor = v
+                .parse::<f64>()
+                .ok()
+                .filter(|f| *f >= 1.0)
+                .ok_or_else(|| format!("invalid --slo value {v:?} (want >= 1)"))?;
+        }
+        if let Some(name) = bench {
+            let b = dacapo_sim::benchmark(&name)
+                .ok_or_else(|| format!("unknown --bench {name:?}"))?;
+            config.benches = vec![b];
+        }
+
+        eprintln!(
+            "fleet: {machines} machines / {shards} shards, {rounds} rounds, \
+             chaos {intensity} (seed {chaos_seed}), policy {}...",
+            config.policy
+        );
+        let outcome = fleet::run_with(ctx, &config)?;
+        print!("{}", fleet::render(&outcome.report));
+        std::fs::create_dir_all("results")?;
+        let json = serde_json::to_string_pretty(&outcome.report)?;
+        std::fs::write("results/fleet.json", &json)?;
+        eprintln!(
+            "wrote results/fleet.json ({} machines)",
+            outcome.report.machines.len()
+        );
+        Ok(())
+    })
+}

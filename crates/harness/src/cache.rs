@@ -44,6 +44,24 @@ impl SimKey {
     pub fn hex(&self) -> String {
         format!("{:032x}", self.0)
     }
+
+    /// Derives the key this run records under inside `namespace`.
+    ///
+    /// Fleet sweeps run the *same* characterization point on many shards;
+    /// the memo cache must share those (one simulation fleet-wide), but
+    /// the checkpoint journal must not — replaying shard A's point as
+    /// shard B's would corrupt a resumed run if the shards ever diverge.
+    /// Journal entries for namespaced executions therefore key under
+    /// `key.in_namespace("shard3")` while the cache keeps the raw key.
+    #[must_use]
+    pub fn in_namespace(&self, namespace: &str) -> SimKey {
+        let mut h = StableHasher::new();
+        h.write_tag("depburst::sim_key::namespace");
+        h.write_u64((self.0 >> 64) as u64);
+        h.write_u64(self.0 as u64);
+        h.write_str(namespace);
+        SimKey(h.finish())
+    }
 }
 
 /// Computes the cache key of one run: every input the simulation result

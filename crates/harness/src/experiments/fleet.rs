@@ -1,0 +1,867 @@
+//! Fleet-scale DVFS governance under chaos: a sharded multi-machine
+//! simulation where a central governor allocates frequencies to N
+//! machines under a global power budget, and every machine degrades
+//! gracefully — central → local DEP+BURST → fallback-to-max — when the
+//! fleet misbehaves.
+//!
+//! # Structure
+//!
+//! The fleet layers on the existing point pipeline twice over:
+//!
+//! 1. **Characterization** — each shard runs its benchmarks at 1 GHz and
+//!    4 GHz through [`ExecCtx::execute_in`] with a per-shard journal
+//!    namespace; the memo cache shares the points fleet-wide (they are
+//!    the exact points of the golden grid), the checkpoint journal keeps
+//!    each shard's resume state independent. From the two points each
+//!    machine gets the DEP+BURST decomposition at request granularity:
+//!    `s(f) = scaling_s / f_ghz + fixed_s` over [`REQS`] requests.
+//! 2. **Round loop** — simulated time advances in [`ROUND_SECS`] rounds.
+//!    Per round, the central governor (sequential, pure) batches one
+//!    allocation from the telemetry it has; then every shard steps its
+//!    machines in parallel on the context's pool ([`ExecCtx::map`]
+//!    preserves order, each step is a pure function of its inputs), and
+//!    the machines' telemetry is batched back — delayed, staled, or
+//!    dropped per the chaos schedule.
+//!
+//! # Chaos and degradation
+//!
+//! A seeded [`ChaosSchedule`] (pure function of the chaos config) injects
+//! machine crash/restart outages, telemetry dropout, stale harvests,
+//! governor↔machine partitions and slow links. Each machine runs a
+//! [`DegradationLadder`]; its transitions land in the report, feed the
+//! `rejoin-monotonicity` invariant, and explain every SLO/energy number.
+//! Crashed rounds are *partial by design*: the machine sheds its traffic
+//! and its row says so — the sweep itself never loses a point.
+//!
+//! At zero chaos intensity a fleet of one lusearch machine reproduces the
+//! single-machine golden byte-for-byte (the characterization points are
+//! the golden points), which is what pins this whole subsystem to the
+//! paper pipeline.
+
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+use std::f64::consts::TAU;
+use std::sync::Arc;
+
+use dacapo_sim::{all_benchmarks, Benchmark};
+use dvfs_trace::{Freq, FreqLadder};
+use energyx::{
+    CentralGovernor, DegradationConfig, DegradationLadder, GovernorMode, GovernorPolicy,
+    LocalGovernor, MachineView, PowerModel,
+};
+use serde::Serialize;
+use simx::faults::SplitMix64;
+use simx::fleet::{ChaosConfig, ChaosSchedule, ChaosState, FleetTopology};
+use simx::{Invariant, InvariantViolation};
+
+use crate::report::TextTable;
+use crate::run::{ExecCtx, RunSummary, SimPoint, SweepPlan};
+
+/// Requests one characterization run stands for: per-request service
+/// time is the run's execution time over this many requests.
+pub const REQS: f64 = 100.0;
+
+/// Simulated seconds per fleet round.
+pub const ROUND_SECS: f64 = 1.0;
+
+/// Stream salt of the per-machine traffic draws.
+const TRAFFIC_SALT: u64 = 0x0074_7261_6666_6963;
+
+/// Baseline utilization of a machine's max-frequency capacity.
+const BASE_UTIL: f64 = 0.6;
+
+/// Relative tolerance on the fleet-power overshoot metric.
+const OVERSHOOT_REL_TOL: f64 = 0.05;
+
+/// The whole fleet experiment configuration.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Simulated machines.
+    pub machines: usize,
+    /// Shards (parallel step granularity and journal namespaces).
+    pub shards: usize,
+    /// Fleet rounds to simulate.
+    pub rounds: usize,
+    /// Characterization work scale (1.0 = the paper's full runs).
+    pub scale: f64,
+    /// Master seed: characterization runs use it directly, per-machine
+    /// traffic streams derive from it.
+    pub seed: u64,
+    /// The chaos schedule configuration (its own seed).
+    pub chaos: ChaosConfig,
+    /// Central allocation policy under comparison.
+    pub policy: GovernorPolicy,
+    /// Global fleet power budget, watts.
+    pub budget_w: f64,
+    /// Latency SLO as a multiple of the unloaded max-frequency service
+    /// time (per machine).
+    pub slo_factor: f64,
+    /// Slowdown bound of the degraded local DEP+BURST governor.
+    pub local_slowdown: f64,
+    /// Degradation-ladder thresholds.
+    pub degradation: DegradationConfig,
+    /// Benchmark pool; machine `i` runs `benches[i % benches.len()]`.
+    pub benches: Vec<&'static Benchmark>,
+}
+
+impl FleetConfig {
+    /// A fleet with the default knobs: every benchmark in rotation, no
+    /// chaos, oracle policy, a budget of 60 W per machine.
+    #[must_use]
+    pub fn new(machines: usize, shards: usize, rounds: usize, scale: f64, seed: u64) -> Self {
+        FleetConfig {
+            machines: machines.max(1),
+            shards,
+            rounds,
+            scale,
+            seed,
+            chaos: ChaosConfig::none(seed),
+            policy: GovernorPolicy::Oracle,
+            budget_w: 60.0 * machines.max(1) as f64,
+            slo_factor: 2.0,
+            local_slowdown: 0.10,
+            degradation: DegradationConfig::default(),
+            benches: all_benchmarks().iter().collect(),
+        }
+    }
+}
+
+/// The V/f ladder of machine `m` — heterogeneous by position so the
+/// central governor and the membership proptests face three distinct
+/// ladders, all inside the paper's 1–4 GHz envelope.
+#[must_use]
+pub fn machine_ladder(machine: usize) -> FreqLadder {
+    match machine % 3 {
+        0 => FreqLadder::paper_default(),
+        1 => FreqLadder::new(Freq::from_ghz(1.0), Freq::from_ghz(3.5), 250)
+            .expect("1–3.5 GHz / 250 MHz ladder"),
+        _ => FreqLadder::new(Freq::from_mhz(1250), Freq::from_mhz(3750), 125)
+            .expect("1.25–3.75 GHz / 125 MHz ladder"),
+    }
+}
+
+/// One characterization point the fleet executed (exact golden-grid
+/// points at the golden scale/seed — tests compare these byte-for-byte).
+#[derive(Debug, Clone)]
+pub struct CharactPoint {
+    /// Benchmark name.
+    pub bench: String,
+    /// Characterization frequency, GHz.
+    pub ghz: f64,
+    /// The memoized summary.
+    pub summary: Arc<RunSummary>,
+}
+
+/// Per-machine fleet outcome.
+#[derive(Debug, Clone, Serialize)]
+pub struct MachineRow {
+    /// Fleet-wide machine id.
+    pub machine: usize,
+    /// Owning shard.
+    pub shard: usize,
+    /// The benchmark this machine serves.
+    pub benchmark: String,
+    /// Rounds spent under central control.
+    pub rounds_central: u32,
+    /// Rounds self-governed by the local DEP+BURST policy.
+    pub rounds_local: u32,
+    /// Rounds pinned at the hardened fallback maximum.
+    pub rounds_fallback: u32,
+    /// Rounds down (crashed) — partial by design.
+    pub rounds_down: u32,
+    /// Crash outages the chaos schedule dealt this machine.
+    pub crashes: u32,
+    /// Requests served.
+    pub served: f64,
+    /// Requests shed while down.
+    pub shed: f64,
+    /// Fraction of up-rounds meeting the latency SLO.
+    pub slo_attainment: f64,
+    /// Mean per-request latency over up-rounds, seconds.
+    pub mean_latency_s: f64,
+    /// Energy consumed, joules.
+    pub energy_j: f64,
+    /// Every degradation-ladder transition, rendered.
+    pub transitions: Vec<String>,
+}
+
+/// Fleet-level aggregates.
+#[derive(Debug, Clone, Serialize)]
+pub struct FleetSummary {
+    /// Machines simulated.
+    pub machines: usize,
+    /// Shards.
+    pub shards: usize,
+    /// Rounds simulated.
+    pub rounds: usize,
+    /// Allocation policy name.
+    pub policy: String,
+    /// Chaos seed.
+    pub chaos_seed: u64,
+    /// Crash outages fleet-wide.
+    pub crash_events: usize,
+    /// Partition outages fleet-wide.
+    pub partition_events: usize,
+    /// Global power budget, watts.
+    pub budget_w: f64,
+    /// Rounds where actual fleet power exceeded the budget (plus
+    /// tolerance) — the naive policy's signature failure.
+    pub overshoot_rounds: usize,
+    /// Total requests served.
+    pub served: f64,
+    /// Total requests shed.
+    pub shed: f64,
+    /// Served-weighted mean SLO attainment over machines.
+    pub slo_attainment: f64,
+    /// Fleet energy, joules.
+    pub energy_j: f64,
+    /// Machine-rounds spent below central control (local + fallback +
+    /// down).
+    pub degraded_machine_rounds: u64,
+}
+
+/// The serializable fleet report.
+#[derive(Debug, Clone, Serialize)]
+pub struct FleetReport {
+    /// Per-machine rows, in machine order.
+    pub machines: Vec<MachineRow>,
+    /// Fleet aggregates.
+    pub summary: FleetSummary,
+}
+
+/// Everything a fleet run produces: the report plus the raw
+/// characterization points (for golden-identity tests).
+#[derive(Debug, Clone)]
+pub struct FleetOutcome {
+    /// The report.
+    pub report: FleetReport,
+    /// The characterization points, in execution order.
+    pub charact: Vec<CharactPoint>,
+}
+
+/// Static per-machine parameters plus mutable round state; owned by the
+/// machine's shard and moved through the pool every round.
+#[derive(Debug, Clone)]
+struct MachineState {
+    id: usize,
+    shard: usize,
+    bench: &'static str,
+    ladder: FreqLadder,
+    scaling_s: f64,
+    fixed_s: f64,
+    cores: usize,
+    slo_s: f64,
+    cap_max: f64,
+    alloc_per_req: f64,
+    bytes_per_gc: f64,
+    gc_pause_s: f64,
+    traffic_seed: u64,
+    local: LocalGovernor,
+    // Mutable round state.
+    ladder_state: DegradationLadder,
+    freq: Freq,
+    backlog: f64,
+    alloc_acc: f64,
+    pending_gc_s: f64,
+    was_crashed: bool,
+    // Accumulators.
+    rounds_central: u32,
+    rounds_local: u32,
+    rounds_fallback: u32,
+    rounds_down: u32,
+    crashes: u32,
+    served: f64,
+    shed: f64,
+    lat_sum: f64,
+    lat_rounds: u32,
+    slo_ok: u32,
+    energy_j: f64,
+}
+
+/// What one machine reports after a round (the telemetry payload plus
+/// the fleet-side accounting inputs).
+#[derive(Debug, Clone, Copy)]
+struct RoundOut {
+    machine: usize,
+    /// Mode the round ran under; `None` = down.
+    mode: Option<GovernorMode>,
+    /// Backlog after the round (the telemetry content).
+    backlog: f64,
+    /// Frequency the round ran at (ladder-membership check).
+    freq: Freq,
+    /// Energy spent this round, joules.
+    energy: f64,
+}
+
+/// One shard's step input: its machine states plus each machine's
+/// per-round (chaos, central assignment) pair.
+type ShardStep = (Vec<MachineState>, Vec<(ChaosState, Option<Freq>)>);
+
+/// A delayed telemetry datagram on the governor's ingest queue.
+#[derive(Debug, Clone, Copy)]
+struct Telemetry {
+    due: usize,
+    backlog: f64,
+    mode: GovernorMode,
+}
+
+/// The governor's last-known view of one machine.
+#[derive(Debug, Clone, Copy)]
+struct Known {
+    backlog: f64,
+    mode: GovernorMode,
+}
+
+fn violation(invariant: Invariant, round: usize, detail: String) -> depburst_core::DepburstError {
+    InvariantViolation {
+        invariant,
+        at_secs: round as f64 * ROUND_SECS,
+        detail,
+    }
+    .to_error()
+}
+
+/// This round's arrival count for one machine: a diurnal-ish wave over
+/// [`BASE_UTIL`] of max-frequency capacity, with seeded jitter and rare
+/// bursts. Stateless — a pure function of (traffic seed, round) — so
+/// shard stepping order can never perturb it.
+fn arrivals(state: &MachineState, round: usize) -> f64 {
+    let mut rng = SplitMix64::new(
+        state.traffic_seed ^ (round as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+    );
+    let wave = 1.0 + 0.3 * (TAU * (round % 32) as f64 / 32.0).sin();
+    let burst = if rng.chance(0.1) { 1.8 } else { 1.0 };
+    let jitter = 1.0 + 0.1 * rng.next_signed();
+    BASE_UTIL * state.cap_max * wave * burst * jitter
+}
+
+/// Steps one machine through one round: degradation-ladder observation,
+/// frequency selection, request service with GC debt, and metric
+/// accumulation. Pure in (state, round, chaos, central assignment).
+fn step_machine(
+    state: &mut MachineState,
+    round: usize,
+    chaos: ChaosState,
+    central: Option<Freq>,
+    model: &PowerModel,
+) -> RoundOut {
+    if chaos.crashed {
+        if !state.was_crashed {
+            state.crashes += 1;
+            // A restart reboots into the hardened fallback whatever the
+            // mode was; re-earning central control takes full healthy
+            // windows.
+            state.ladder_state.force_fallback(round as u64, "crash-restart");
+            state.freq = state.ladder.max();
+        }
+        state.was_crashed = true;
+        state.shed += state.backlog + arrivals(state, round);
+        state.backlog = 0.0;
+        state.alloc_acc = 0.0;
+        state.pending_gc_s = 0.0;
+        state.rounds_down += 1;
+        return RoundOut {
+            machine: state.id,
+            mode: None,
+            backlog: 0.0,
+            freq: state.ladder.max(),
+            energy: 0.0,
+        };
+    }
+    state.was_crashed = false;
+
+    let mode = state
+        .ladder_state
+        .observe(round as u64, !chaos.partitioned, !chaos.telemetry_lost);
+    let view = MachineView {
+        id: state.id,
+        ladder: &state.ladder,
+        scaling_s: state.scaling_s,
+        fixed_s: state.fixed_s,
+        cores: state.cores,
+    };
+    let freq = match mode {
+        GovernorMode::Central => {
+            // A fresh assignment only lands when the control link is up;
+            // otherwise the machine holds its last allocated frequency.
+            if let Some(f) = central {
+                if !chaos.partitioned {
+                    state.freq = state.ladder.floor(f);
+                }
+            }
+            state.freq
+        }
+        GovernorMode::LocalDepBurst => state.local.choose(&view),
+        GovernorMode::FallbackMax => state.ladder.max(),
+    };
+    state.freq = freq;
+    match mode {
+        GovernorMode::Central => state.rounds_central += 1,
+        GovernorMode::LocalDepBurst => state.rounds_local += 1,
+        GovernorMode::FallbackMax => state.rounds_fallback += 1,
+    }
+
+    // Service: capacity is the round minus last round's GC debt.
+    let service_s = view.service_time(freq);
+    let budget_s = (ROUND_SECS - state.pending_gc_s).max(ROUND_SECS * 0.25);
+    state.pending_gc_s = 0.0;
+    let mu = budget_s / service_s;
+    let arr = arrivals(state, round);
+    let demand = state.backlog + arr;
+    let served = demand.min(mu);
+    state.backlog = demand - served;
+
+    // GC debt for the next round: served requests allocate; full heaps
+    // collect at the characterized (non-scaling) pause.
+    if state.bytes_per_gc > 0.0 {
+        state.alloc_acc += served * state.alloc_per_req;
+        let gcs = (state.alloc_acc / state.bytes_per_gc).floor();
+        if gcs > 0.0 {
+            state.alloc_acc -= gcs * state.bytes_per_gc;
+            state.pending_gc_s = (gcs * state.gc_pause_s).min(ROUND_SECS * 0.75);
+        }
+    }
+
+    let latency = service_s * (1.0 + state.backlog / mu.max(1e-12));
+    let util = (served / mu.max(1e-12)).min(1.0);
+    let power = model.power(freq, &vec![util; state.cores]).total();
+    let energy = power * ROUND_SECS;
+
+    state.served += served;
+    state.lat_sum += latency;
+    state.lat_rounds += 1;
+    state.slo_ok += u32::from(latency <= state.slo_s);
+    state.energy_j += energy;
+
+    RoundOut {
+        machine: state.id,
+        mode: Some(mode),
+        backlog: state.backlog,
+        freq,
+        energy,
+    }
+}
+
+/// Runs the fleet on `ctx`: characterization through the memoized,
+/// journaled point pipeline (per-shard namespaces), then the round loop
+/// with per-shard parallel stepping. The outcome is a pure function of
+/// the config — any worker count, any cache temperature.
+///
+/// # Errors
+/// Characterization failures propagate as the usual sweep errors; a
+/// power-budget or rejoin-monotonicity violation surfaces as
+/// `DepburstError::InvariantViolation`.
+pub fn run_with(ctx: &ExecCtx, config: &FleetConfig) -> depburst_core::Result<FleetOutcome> {
+    let topo = FleetTopology::new(config.machines, config.shards, config.seed);
+    let machines = topo.machines;
+    let bench_of: Vec<&'static Benchmark> = (0..machines)
+        .map(|m| config.benches[m % config.benches.len()])
+        .collect();
+
+    // Characterization: per shard (its own journal namespace), each
+    // distinct benchmark at 1 GHz and 4 GHz. The memo cache collapses
+    // repeats across shards into one simulation each.
+    let mut charact = Vec::new();
+    let mut fit: BTreeMap<&'static str, (Arc<RunSummary>, Arc<RunSummary>)> = BTreeMap::new();
+    for shard in 0..topo.shards {
+        let mut names: Vec<&'static Benchmark> = Vec::new();
+        for m in topo.machines_in(shard) {
+            if !names.iter().any(|b| b.name == bench_of[m].name) {
+                names.push(bench_of[m]);
+            }
+        }
+        let mut plan = SweepPlan::new();
+        for bench in &names {
+            for ghz in [1.0, 4.0] {
+                plan.push(SimPoint::new(
+                    bench,
+                    Freq::from_ghz(ghz),
+                    config.scale,
+                    config.seed,
+                ));
+            }
+        }
+        let namespace = format!("shard{shard}");
+        let results = ctx.execute_in(Some(&namespace), &plan)?;
+        for (i, bench) in names.iter().enumerate() {
+            let t1 = results[2 * i].clone();
+            let t4 = results[2 * i + 1].clone();
+            charact.push(CharactPoint {
+                bench: bench.name.to_owned(),
+                ghz: 1.0,
+                summary: t1.clone(),
+            });
+            charact.push(CharactPoint {
+                bench: bench.name.to_owned(),
+                ghz: 4.0,
+                summary: t4.clone(),
+            });
+            fit.entry(bench.name).or_insert((t1, t4));
+        }
+    }
+
+    let model = PowerModel::haswell_22nm();
+    let cores = simx::MachineConfig::haswell_quad().cores;
+    let schedule = ChaosSchedule::generate(&config.chaos, machines, config.rounds);
+
+    // Per-shard machine state.
+    let mut shards: Vec<Vec<MachineState>> = (0..topo.shards)
+        .map(|shard| {
+            topo.machines_in(shard)
+                .map(|m| {
+                    let bench = bench_of[m];
+                    let (t1, t4) = &fit[bench.name];
+                    let (t1, t4) = (t1.exec.as_secs(), t4.exec.as_secs());
+                    // Two-point DEP+BURST fit: T(f) = A / f_ghz + B.
+                    let a = ((t1 - t4) * 4.0 / 3.0).max(0.0);
+                    let b = (t4 - a / 4.0).max(t4 * 0.01).max(1e-9);
+                    let ladder = machine_ladder(m);
+                    let scaling_s = a / REQS;
+                    let fixed_s = b / REQS;
+                    let s_max = scaling_s / ladder.max().ghz() + fixed_s;
+                    let summary4 = &fit[bench.name].1;
+                    let gc_count = summary4.gc_count as f64;
+                    MachineState {
+                        id: m,
+                        shard,
+                        bench: bench.name,
+                        scaling_s,
+                        fixed_s,
+                        cores,
+                        slo_s: config.slo_factor * s_max,
+                        cap_max: ROUND_SECS / s_max,
+                        alloc_per_req: summary4.allocated as f64 / REQS,
+                        bytes_per_gc: if gc_count > 0.0 {
+                            summary4.allocated as f64 / gc_count
+                        } else {
+                            0.0
+                        },
+                        gc_pause_s: if gc_count > 0.0 {
+                            summary4.gc_time.as_secs() / gc_count
+                        } else {
+                            0.0
+                        },
+                        traffic_seed: topo.machine_seed(m) ^ TRAFFIC_SALT,
+                        local: LocalGovernor::new(config.local_slowdown),
+                        ladder_state: DegradationLadder::new(config.degradation),
+                        freq: ladder.max(),
+                        ladder,
+                        backlog: 0.0,
+                        alloc_acc: 0.0,
+                        pending_gc_s: 0.0,
+                        was_crashed: false,
+                        rounds_central: 0,
+                        rounds_local: 0,
+                        rounds_fallback: 0,
+                        rounds_down: 0,
+                        crashes: 0,
+                        served: 0.0,
+                        shed: 0.0,
+                        lat_sum: 0.0,
+                        lat_rounds: 0,
+                        slo_ok: 0,
+                        energy_j: 0.0,
+                    }
+                })
+                .collect()
+        })
+        .collect();
+
+    let governor = CentralGovernor::new(config.budget_w);
+    // The governor's delayed-telemetry ingest (DepBurst policy): what it
+    // currently believes, and the in-flight datagrams.
+    let mut known: Vec<Known> = (0..machines)
+        .map(|_| Known {
+            backlog: 0.0,
+            mode: GovernorMode::Central,
+        })
+        .collect();
+    let mut inflight: Vec<VecDeque<Telemetry>> = vec![VecDeque::new(); machines];
+    let mut prev_backlog: Vec<f64> = vec![0.0; machines];
+    let mut overshoot_rounds = 0usize;
+
+    for round in 0..config.rounds {
+        // Deliver due telemetry.
+        for (m, queue) in inflight.iter_mut().enumerate() {
+            while queue.front().is_some_and(|t| t.due <= round) {
+                let t = queue.pop_front().expect("front checked");
+                known[m] = Known {
+                    backlog: t.backlog,
+                    mode: t.mode,
+                };
+            }
+        }
+
+        // Central allocation for this round's batch.
+        let mut assigned: Vec<Option<Freq>> = vec![None; machines];
+        let mut alloc_check: Option<(f64, f64)> = None;
+        match config.policy {
+            GovernorPolicy::NaiveStatic => {
+                // No budget awareness: central says "maximum" to every
+                // reachable machine.
+                for states in &shards {
+                    for s in states {
+                        assigned[s.id] = Some(s.ladder.max());
+                    }
+                }
+            }
+            GovernorPolicy::Oracle | GovernorPolicy::DepBurst => {
+                // Candidates: machines the governor believes are under
+                // central control and can reach right now. The oracle
+                // reads true state; DepBurst trusts its (possibly stale,
+                // lossy, delayed) telemetry.
+                let mut ids = Vec::new();
+                let mut loads = Vec::new();
+                for states in &shards {
+                    for s in states {
+                        let chaos = schedule.state(round, s.id);
+                        if chaos.crashed || chaos.partitioned {
+                            continue;
+                        }
+                        let (mode, backlog) = match config.policy {
+                            GovernorPolicy::Oracle => (s.ladder_state.mode(), s.backlog),
+                            _ => (known[s.id].mode, known[s.id].backlog),
+                        };
+                        if mode == GovernorMode::Central {
+                            ids.push(s.id);
+                            loads.push((s, backlog));
+                        }
+                    }
+                }
+                let views: Vec<MachineView<'_>> = loads
+                    .iter()
+                    .map(|(s, backlog)| MachineView {
+                        id: s.id,
+                        ladder: &s.ladder,
+                        // Load-weighted demand: queued machines look
+                        // slower, so the latency-levelling allocator
+                        // feeds them first.
+                        scaling_s: s.scaling_s * (1.0 + backlog / s.cap_max),
+                        fixed_s: s.fixed_s,
+                        cores: s.cores,
+                    })
+                    .collect();
+                if !views.is_empty() {
+                    let alloc = governor.allocate(&model, &views, machines);
+                    for (id, freq) in ids.iter().zip(&alloc.freqs) {
+                        assigned[*id] = Some(*freq);
+                    }
+                    alloc_check = Some((alloc.power_w, alloc.available_w));
+                }
+            }
+        }
+        if let Some((power_w, available_w)) = alloc_check {
+            if power_w > available_w * (1.0 + 1e-9) + 1e-9 {
+                return Err(violation(
+                    Invariant::PowerBudgetConservation,
+                    round,
+                    format!(
+                        "central allocation estimates {power_w:.1} W over a \
+                         {available_w:.1} W slice"
+                    ),
+                ));
+            }
+        }
+
+        // Parallel shard step: pure per-machine functions, plan order.
+        let inputs: Vec<ShardStep> = shards
+            .drain(..)
+            .map(|states| {
+                let ins = states
+                    .iter()
+                    .map(|s| (schedule.state(round, s.id), assigned[s.id]))
+                    .collect();
+                (states, ins)
+            })
+            .collect();
+        let stepped: Vec<(Vec<MachineState>, Vec<RoundOut>)> =
+            ctx.map(inputs, |(mut states, ins)| {
+                let outs = states
+                    .iter_mut()
+                    .zip(&ins)
+                    .map(|(state, &(chaos, central))| {
+                        step_machine(state, round, chaos, central, &model)
+                    })
+                    .collect();
+                (states, outs)
+            });
+
+        // Gather: ladder membership, power accounting, telemetry batch.
+        let mut round_power = 0.0;
+        for (states, outs) in &stepped {
+            for (state, out) in states.iter().zip(outs) {
+                if !state.ladder.contains(out.freq) {
+                    return Err(violation(
+                        Invariant::LadderMembership,
+                        round,
+                        format!("machine {} ran off-ladder at {}", out.machine, out.freq),
+                    ));
+                }
+                round_power += out.energy / ROUND_SECS;
+                let chaos = schedule.state(round, out.machine);
+                if let Some(mode) = out.mode {
+                    if !chaos.telemetry_lost {
+                        // Stale harvests deliver the previous round's
+                        // value; slow links arrive late; both on
+                        // time-ordered queues so delivery order is
+                        // deterministic.
+                        let content = if chaos.stale {
+                            prev_backlog[out.machine]
+                        } else {
+                            out.backlog
+                        };
+                        inflight[out.machine].push_back(Telemetry {
+                            due: round + 1 + chaos.link_delay as usize,
+                            backlog: content,
+                            mode,
+                        });
+                    }
+                }
+                prev_backlog[out.machine] = out.backlog;
+            }
+        }
+        if round_power > config.budget_w * (1.0 + OVERSHOOT_REL_TOL) {
+            overshoot_rounds += 1;
+        }
+        shards = stepped.into_iter().map(|(states, _)| states).collect();
+    }
+
+    // Post-run invariants and report assembly.
+    let mut rows = Vec::with_capacity(machines);
+    for states in &shards {
+        for s in states {
+            if let Some(issue) = s.ladder_state.monotonicity_issue() {
+                return Err(violation(
+                    Invariant::RejoinMonotonicity,
+                    config.rounds,
+                    format!("machine {}: {issue}", s.id),
+                ));
+            }
+            rows.push(MachineRow {
+                machine: s.id,
+                shard: s.shard,
+                benchmark: s.bench.to_owned(),
+                rounds_central: s.rounds_central,
+                rounds_local: s.rounds_local,
+                rounds_fallback: s.rounds_fallback,
+                rounds_down: s.rounds_down,
+                crashes: s.crashes,
+                served: s.served,
+                shed: s.shed,
+                slo_attainment: if s.lat_rounds > 0 {
+                    f64::from(s.slo_ok) / f64::from(s.lat_rounds)
+                } else {
+                    0.0
+                },
+                mean_latency_s: if s.lat_rounds > 0 {
+                    s.lat_sum / f64::from(s.lat_rounds)
+                } else {
+                    0.0
+                },
+                energy_j: s.energy_j,
+                transitions: s
+                    .ladder_state
+                    .transitions()
+                    .iter()
+                    .map(|t| t.to_string())
+                    .collect(),
+            });
+        }
+    }
+    rows.sort_by_key(|r| r.machine);
+
+    let served: f64 = rows.iter().map(|r| r.served).sum();
+    let shed: f64 = rows.iter().map(|r| r.shed).sum();
+    let energy_j: f64 = rows.iter().map(|r| r.energy_j).sum();
+    let slo = if served > 0.0 {
+        rows.iter().map(|r| r.slo_attainment * r.served).sum::<f64>() / served
+    } else {
+        0.0
+    };
+    let degraded: u64 = rows
+        .iter()
+        .map(|r| u64::from(r.rounds_local + r.rounds_fallback + r.rounds_down))
+        .sum();
+
+    let summary = FleetSummary {
+        machines,
+        shards: topo.shards,
+        rounds: config.rounds,
+        policy: config.policy.name().to_owned(),
+        chaos_seed: config.chaos.seed,
+        crash_events: schedule.crash_events(),
+        partition_events: schedule.partition_events(),
+        budget_w: config.budget_w,
+        overshoot_rounds,
+        served,
+        shed,
+        slo_attainment: slo,
+        energy_j,
+        degraded_machine_rounds: degraded,
+    };
+    Ok(FleetOutcome {
+        report: FleetReport {
+            machines: rows,
+            summary,
+        },
+        charact,
+    })
+}
+
+/// Renders the fleet report as the experiment's text table plus the
+/// summary block.
+#[must_use]
+pub fn render(report: &FleetReport) -> String {
+    let mut table = TextTable::new(&[
+        "machine", "shard", "bench", "central", "local", "fallback", "down", "crashes", "slo",
+        "lat(ms)", "energy(J)", "transitions",
+    ]);
+    for r in &report.machines {
+        table.row(vec![
+            r.machine.to_string(),
+            r.shard.to_string(),
+            r.benchmark.clone(),
+            r.rounds_central.to_string(),
+            r.rounds_local.to_string(),
+            r.rounds_fallback.to_string(),
+            r.rounds_down.to_string(),
+            r.crashes.to_string(),
+            format!("{:.1}%", r.slo_attainment * 100.0),
+            format!("{:.2}", r.mean_latency_s * 1e3),
+            format!("{:.1}", r.energy_j),
+            r.transitions.len().to_string(),
+        ]);
+    }
+    let s = &report.summary;
+    format!(
+        "{}\nfleet: {} machines / {} shards, {} rounds, policy {} \
+         (chaos seed {})\n\
+         outages: {} crashes, {} partitions; degraded machine-rounds: {}\n\
+         budget {:.0} W, overshoot rounds: {}\n\
+         served {:.0}, shed {:.0}, SLO attainment {:.1}%, energy {:.1} J\n",
+        table.render(),
+        s.machines,
+        s.shards,
+        s.rounds,
+        s.policy,
+        s.chaos_seed,
+        s.crash_events,
+        s.partition_events,
+        s.degraded_machine_rounds,
+        s.budget_w,
+        s.overshoot_rounds,
+        s.served,
+        s.shed,
+        s.slo_attainment * 100.0,
+        s.energy_j,
+    )
+}
+
+/// Runs a fleet sequentially (tests and quick scripts).
+///
+/// # Panics
+/// Panics if the run fails; prefer [`run_with`] in binaries.
+#[must_use]
+pub fn run(config: &FleetConfig) -> FleetOutcome {
+    run_with(&ExecCtx::sequential(), config).unwrap_or_else(|e| panic!("fleet: {e}"))
+}

@@ -12,3 +12,4 @@ pub mod fig7;
 pub mod percore;
 
 pub mod faults;
+pub mod fleet;

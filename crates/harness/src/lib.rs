@@ -11,6 +11,7 @@
 //! | Fig. 6a/6b (energy manager) | [`experiments::fig6`] | `fig6` |
 //! | Fig. 7 (dynamic vs static-optimal) | [`experiments::fig7`] | `fig7` |
 //! | Fault injection & graceful degradation | [`experiments::faults`] | `faults` |
+//! | Fleet-scale governor under chaos | [`experiments::fleet`] | `fleet` |
 //! | Invariant-monitored fuzzing | [`fuzz`] | `fuzz` |
 //!
 //! The [`run`] module holds the single-run plumbing shared by everything.

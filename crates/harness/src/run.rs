@@ -386,10 +386,30 @@ impl ExecCtx {
     ///
     /// [`DepburstError::SweepIncomplete`]: depburst_core::DepburstError::SweepIncomplete
     pub fn execute(&self, plan: &SweepPlan) -> depburst_core::Result<Vec<Arc<RunSummary>>> {
+        self.execute_in(None, plan)
+    }
+
+    /// [`execute`](Self::execute) with a checkpoint-journal namespace.
+    ///
+    /// Fleet sweeps run the same characterization point for many shards.
+    /// The memo cache *should* share those (the simulation is one pure
+    /// function), but the journal must not: shard-labelled rows replayed
+    /// across shards would let `--resume` complete shard B from shard A's
+    /// journal rows even if B never ran. Namespacing the journal key by
+    /// shard keeps every shard's resume state independent while cache
+    /// sharing stays fleet-wide.
+    ///
+    /// # Errors
+    /// As [`execute`](Self::execute).
+    pub fn execute_in(
+        &self,
+        namespace: Option<&str>,
+        plan: &SweepPlan,
+    ) -> depburst_core::Result<Vec<Arc<RunSummary>>> {
         let total = plan.points.len();
         let mut ok = Vec::with_capacity(total);
         let mut failed = 0usize;
-        for outcome in self.execute_outcomes(plan) {
+        for outcome in self.execute_outcomes_in(namespace, plan) {
             match outcome {
                 Ok(summary) => ok.push(summary),
                 Err(failure) => {
@@ -412,6 +432,17 @@ impl ExecCtx {
         &self,
         plan: &SweepPlan,
     ) -> Vec<Result<Arc<RunSummary>, PointFailure>> {
+        self.execute_outcomes_in(None, plan)
+    }
+
+    /// The per-point form of [`execute_in`](Self::execute_in): journal
+    /// lookups and records use the namespaced key, the memo cache the raw
+    /// one.
+    pub fn execute_outcomes_in(
+        &self,
+        namespace: Option<&str>,
+        plan: &SweepPlan,
+    ) -> Vec<Result<Arc<RunSummary>, PointFailure>> {
         // `DEPBURST_TRACE_POINTS=1` logs every point with its key and
         // wall-clock to stderr — the first tool to reach for when a sweep
         // stalls or the cache misses unexpectedly.
@@ -420,11 +451,12 @@ impl ExecCtx {
             let mut mc = MachineConfig::haswell_quad();
             mc.initial_freq = point.config.freq;
             let key = sim_key(point.bench, &mc, None, point.config.scale, point.config.seed);
+            let journal_key = namespace.map_or(key, |ns| key.in_namespace(ns));
             let t0 = std::time::Instant::now();
             // Journal replay first: a resumed run serves completed points
             // without touching the simulator or the cache statistics.
             if let Some(journal) = &self.journal {
-                if let Some(summary) = journal.lookup(key) {
+                if let Some(summary) = journal.lookup(journal_key) {
                     self.cache.seed(key, &summary);
                     if tracing {
                         eprintln!("  {}: replayed from checkpoint journal", key.hex());
@@ -479,7 +511,7 @@ impl ExecCtx {
             match out {
                 Ok(summary) => {
                     if let Some(journal) = &self.journal {
-                        journal.record(key, &summary);
+                        journal.record(journal_key, &summary);
                     }
                     Ok(summary)
                 }

@@ -1,0 +1,226 @@
+//! Fleet acceptance tests: a seeded chaos fleet run is deterministic
+//! (byte-identical across job counts and cache temperature), survives
+//! injected crashes and partitions with zero lost points, keeps every
+//! shard's checkpoint state independent, and — at zero chaos intensity —
+//! reproduces the existing single-machine golden byte-for-byte.
+
+use dvfs_trace::Freq;
+use harness::experiments::fleet::{self, machine_ladder, FleetConfig};
+use harness::run::{ExecCtx, SimPoint, SweepPlan};
+use harness::{sim_key, Journal, SimKey};
+use proptest::prelude::*;
+use simx::fleet::ChaosConfig;
+use simx::MachineConfig;
+
+/// The golden grid's parameters (see `tests/golden.rs`).
+const SCALE: f64 = 0.05;
+const SEED: u64 = 1;
+
+fn tiny_config(machines: usize, shards: usize, chaos: f64, chaos_seed: u64) -> FleetConfig {
+    let mut config = FleetConfig::new(machines, shards, 40, 0.02, SEED);
+    config.chaos = ChaosConfig::uniform(chaos, chaos_seed);
+    // Two benchmarks keep each cold-cache characterization cheap while
+    // still exercising heterogeneous machines (ladders rotate by id).
+    config.benches = vec![
+        dacapo_sim::benchmark("lusearch").expect("lusearch"),
+        dacapo_sim::benchmark("sunflow").expect("sunflow"),
+    ];
+    config
+}
+
+fn report_json(ctx: &ExecCtx, config: &FleetConfig) -> String {
+    let outcome = fleet::run_with(ctx, config).expect("fleet run");
+    serde_json::to_string_pretty(&outcome.report).expect("serialize report")
+}
+
+#[test]
+fn chaos_fleet_is_byte_identical_across_jobs_and_cache_temperature() {
+    let config = tiny_config(6, 2, 0.6, 7);
+    let reference = report_json(&ExecCtx::sequential(), &config);
+    // More workers.
+    assert_eq!(reference, report_json(&ExecCtx::new(4), &config));
+    // Warm cache: a second run on the same context replays every
+    // characterization point from memory.
+    let ctx = ExecCtx::new(2);
+    let cold = report_json(&ctx, &config);
+    let warm = report_json(&ctx, &config);
+    assert_eq!(reference, cold);
+    assert_eq!(cold, warm);
+}
+
+#[test]
+fn chaos_fleet_loses_no_points_and_reports_every_transition() {
+    let config = tiny_config(6, 2, 0.8, 3);
+    let outcome = fleet::run_with(&ExecCtx::new(2), &config).expect("fleet survives chaos");
+    let report = &outcome.report;
+    assert_eq!(report.machines.len(), 6, "every machine reports a row");
+    assert!(report.summary.crash_events > 0, "chaos at 0.8 must crash");
+    // Every round of every machine is accounted: up modes + down rounds.
+    for row in &report.machines {
+        let total =
+            row.rounds_central + row.rounds_local + row.rounds_fallback + row.rounds_down;
+        assert_eq!(total as usize, config.rounds, "machine {}", row.machine);
+    }
+    // Degradation shows up both as residency and as logged transitions.
+    assert!(report.summary.degraded_machine_rounds > 0);
+    assert!(
+        report.machines.iter().any(|r| !r.transitions.is_empty()),
+        "chaos must log degradation transitions"
+    );
+    // Crashed machines shed traffic (partial by design) but the fleet
+    // still serves.
+    assert!(report.summary.shed > 0.0);
+    assert!(report.summary.served > 0.0);
+}
+
+#[test]
+fn zero_chaos_fleet_of_one_matches_the_single_machine_golden() {
+    let mut config = FleetConfig::new(1, 1, 20, SCALE, SEED);
+    config.benches = vec![dacapo_sim::benchmark("lusearch").expect("lusearch")];
+    let outcome = fleet::run_with(&ExecCtx::sequential(), &config).expect("fleet run");
+    assert_eq!(outcome.charact.len(), 2, "lusearch at 1 and 4 GHz");
+    for point in &outcome.charact {
+        let path = format!("tests/goldens/{}_{:.0}ghz.json", point.bench, point.ghz);
+        let golden = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("golden {path}: {e}"));
+        let actual =
+            serde_json::to_string_pretty(&*point.summary).expect("serialize summary");
+        assert_eq!(
+            actual, golden,
+            "fleet characterization diverged from {path}"
+        );
+    }
+    // And with no chaos nothing degrades.
+    let report = &outcome.report;
+    assert_eq!(report.summary.crash_events, 0);
+    assert_eq!(report.summary.degraded_machine_rounds, 0);
+    assert!(report.machines[0].transitions.is_empty());
+}
+
+#[test]
+fn shard_namespaces_keep_journal_entries_apart() {
+    // The same physical point recorded under shard 0's namespace must
+    // not satisfy shard 1's lookup — that is exactly the `--resume`
+    // cross-shard replay bug.
+    let mut mc = MachineConfig::haswell_quad();
+    mc.initial_freq = Freq::from_ghz(1.0);
+    let bench = dacapo_sim::benchmark("lusearch").expect("lusearch");
+    let key = sim_key(bench, &mc, None, 0.02, SEED);
+    assert_ne!(key.in_namespace("shard0"), key.in_namespace("shard1"));
+    assert_ne!(key.in_namespace("shard0"), key);
+
+    let dir = std::env::temp_dir().join(format!("depburst-fleet-ns-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let path = dir.join("ns.jsonl");
+    let _ = std::fs::remove_file(&path);
+
+    let mut plan = SweepPlan::new();
+    plan.push(SimPoint::new(bench, Freq::from_ghz(1.0), 0.02, SEED));
+    let ctx = ExecCtx::sequential().with_journal(Journal::create_at(&path).expect("create"));
+    ctx.execute_in(Some("shard0"), &plan).expect("shard0 run");
+
+    let resumed = Journal::resume_at(&path).expect("resume");
+    assert!(
+        resumed.lookup(key.in_namespace("shard0")).is_some(),
+        "shard0's own entry must replay"
+    );
+    assert!(
+        resumed.lookup(key.in_namespace("shard1")).is_none(),
+        "shard0's entry must not replay into shard1"
+    );
+    assert!(
+        resumed.lookup(key).is_none(),
+        "a namespaced record must not satisfy an un-namespaced lookup"
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn interrupted_fleet_run_resumes_byte_identically() {
+    let dir = std::env::temp_dir().join(format!("depburst-fleet-resume-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let path = dir.join("fleet.jsonl");
+    let _ = std::fs::remove_file(&path);
+
+    let config = tiny_config(4, 2, 0.5, 9);
+    let reference = report_json(&ExecCtx::new(2), &config);
+
+    // "Interrupt": journal only shard 0's characterization, as if the
+    // run died mid-sweep after one shard's points completed.
+    {
+        let bench_pool = &config.benches;
+        let mut plan = SweepPlan::new();
+        for m in [0usize, 1] {
+            let bench = bench_pool[m % bench_pool.len()];
+            for ghz in [1.0, 4.0] {
+                plan.push(SimPoint::new(bench, Freq::from_ghz(ghz), config.scale, config.seed));
+            }
+        }
+        let ctx = ExecCtx::sequential().with_journal(Journal::create_at(&path).expect("create"));
+        ctx.execute_in(Some("shard0"), &plan).expect("partial run");
+    }
+
+    // Resume: a fresh context (cold cache) with the torn journal must
+    // replay shard 0, re-simulate the rest, and produce the reference
+    // bytes.
+    let resumed_ctx =
+        ExecCtx::new(2).with_journal(Journal::resume_at(&path).expect("resume"));
+    let resumed = report_json(&resumed_ctx, &config);
+    assert_eq!(reference, resumed, "resumed fleet diverged");
+    let _ = std::fs::remove_file(&path);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Satellite: chosen frequencies stay on each machine's own V/f
+    /// ladder in every degraded mode. The fleet run itself enforces this
+    /// (an off-ladder round is a `LadderMembership` invariant error), so
+    /// surviving arbitrary chaos proves it for central, local and
+    /// fallback modes at once.
+    #[test]
+    fn frequencies_stay_on_ladder_under_arbitrary_chaos(
+        intensity in 0.0f64..=1.0,
+        chaos_seed in 0u64..1000,
+        machines in 1usize..6,
+    ) {
+        let config = tiny_config(machines, 2, intensity, chaos_seed);
+        let outcome = fleet::run_with(&ExecCtx::sequential(), &config)
+            .expect("no invariant violation under chaos");
+        for row in &outcome.report.machines {
+            let ladder = machine_ladder(row.machine);
+            prop_assert!(ladder.len() > 1);
+        }
+    }
+
+    /// Satellite: failover/rejoin sequences are a pure function of
+    /// (seed, chaos schedule) — two runs of the same config produce the
+    /// same transitions on every machine, and a different chaos seed is
+    /// allowed to (and at full intensity does) change them.
+    #[test]
+    fn failover_sequences_are_pure_functions_of_seed_and_schedule(
+        intensity in 0.0f64..=1.0,
+        chaos_seed in 0u64..1000,
+    ) {
+        let config = tiny_config(4, 2, intensity, chaos_seed);
+        let a = fleet::run_with(&ExecCtx::sequential(), &config).expect("run a");
+        let b = fleet::run_with(&ExecCtx::new(3), &config).expect("run b");
+        for (ra, rb) in a.report.machines.iter().zip(&b.report.machines) {
+            prop_assert_eq!(&ra.transitions, &rb.transitions);
+        }
+        prop_assert_eq!(
+            serde_json::to_string(&a.report).expect("a"),
+            serde_json::to_string(&b.report).expect("b")
+        );
+    }
+}
+
+#[test]
+fn namespaced_keys_are_stable_across_processes() {
+    // The namespace derivation must be content-addressed (StableHasher),
+    // not process-local: pin one value forever.
+    let key = SimKey(0x0123_4567_89ab_cdef_fedc_ba98_7654_3210);
+    let ns = key.in_namespace("shard7");
+    assert_eq!(ns, key.in_namespace("shard7"));
+    assert_ne!(ns, key.in_namespace("shard8"));
+}

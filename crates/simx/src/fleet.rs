@@ -1,0 +1,482 @@
+//! Fleet topology and the seeded deterministic chaos schedule.
+//!
+//! The ROADMAP's north star is a fleet-scale energy-management service: a
+//! central DVFS governor allocating frequencies to many machines under a
+//! global power budget. This module holds the simulator-side substrate —
+//! how machines map onto shards, how per-machine random streams derive
+//! from one fleet seed, and the **chaos schedule**: a pure function of
+//! `(ChaosConfig, machines, rounds)` stating, for every round and
+//! machine, which fleet-level faults ([`crate::FaultClass::CHAOS`]) are
+//! active.
+//!
+//! Design rules, inherited from [`crate::faults`]:
+//!
+//! * every stream is a per-(class, machine) [`SplitMix64`], so one
+//!   machine's chaos never perturbs another's and one class's intensity
+//!   never shifts another class's draws;
+//! * zero intensity consumes no randomness: an all-zero [`ChaosConfig`]
+//!   yields a schedule of default [`ChaosState`]s, bit-identical to not
+//!   generating one at all;
+//! * crash and partition faults are *outages with duration* (a machine
+//!   that crashes stays down for a drawn number of rounds, then
+//!   restarts); telemetry dropout and staleness are per-round Bernoulli
+//!   events; a slow link delays a round's telemetry by one to three
+//!   rounds.
+
+use crate::faults::{FaultClass, SplitMix64};
+
+/// How machines map onto shards, and how per-machine streams derive from
+/// the fleet seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FleetTopology {
+    /// Number of simulated machines.
+    pub machines: usize,
+    /// Number of shards machines are partitioned into (contiguous
+    /// blocks; clamped to `[1, machines]`).
+    pub shards: usize,
+    /// The fleet seed every per-machine stream derives from.
+    pub seed: u64,
+}
+
+impl FleetTopology {
+    /// A topology of `machines` machines in `shards` contiguous shards.
+    #[must_use]
+    pub fn new(machines: usize, shards: usize, seed: u64) -> Self {
+        let machines = machines.max(1);
+        FleetTopology {
+            machines,
+            shards: shards.clamp(1, machines),
+            seed,
+        }
+    }
+
+    /// The shard owning `machine`. Machines are split into contiguous
+    /// blocks, the first `machines % shards` shards holding one extra.
+    #[must_use]
+    pub fn shard_of(&self, machine: usize) -> usize {
+        let base = self.machines / self.shards;
+        let extra = self.machines % self.shards;
+        // The first `extra` shards hold `base + 1` machines each.
+        let boundary = extra * (base + 1);
+        if machine < boundary {
+            machine / (base + 1)
+        } else {
+            extra + (machine - boundary) / base
+        }
+    }
+
+    /// The machines of `shard`, as a contiguous range.
+    #[must_use]
+    pub fn machines_in(&self, shard: usize) -> std::ops::Range<usize> {
+        let base = self.machines / self.shards;
+        let extra = self.machines % self.shards;
+        let start = shard.min(extra) * (base + 1) + shard.saturating_sub(extra) * base;
+        let len = base + usize::from(shard < extra);
+        start..(start + len).min(self.machines)
+    }
+
+    /// The per-machine seed for machine-local streams (traffic, local
+    /// decisions). Derived, not sequential, so adjacent machines'
+    /// streams are uncorrelated.
+    #[must_use]
+    pub fn machine_seed(&self, machine: usize) -> u64 {
+        SplitMix64::new(self.seed ^ (machine as u64).wrapping_mul(0xA076_1D64_78BD_642F)).next_u64()
+    }
+}
+
+/// Per-class chaos intensities (each in `[0, 1]`; zero disables the
+/// class) plus the seed every chaos stream derives from. The fleet
+/// counterpart of [`crate::FaultConfig`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaosConfig {
+    /// Seed for all chaos streams (independent of the workload seed).
+    pub seed: u64,
+    /// Machine crash/restart outages.
+    pub crash: f64,
+    /// Per-round whole-telemetry loss.
+    pub telemetry_loss: f64,
+    /// Per-round stale (previous-round) telemetry delivery.
+    pub stale_telemetry: f64,
+    /// Governor↔machine partition outages.
+    pub partition: f64,
+    /// Per-round slow-link telemetry delay.
+    pub slow_link: f64,
+    /// Mean duration, in rounds, of crash and partition outages.
+    pub mean_outage_rounds: u32,
+}
+
+impl ChaosConfig {
+    /// An inert configuration: every class disabled.
+    #[must_use]
+    pub fn none(seed: u64) -> Self {
+        ChaosConfig {
+            seed,
+            crash: 0.0,
+            telemetry_loss: 0.0,
+            stale_telemetry: 0.0,
+            partition: 0.0,
+            slow_link: 0.0,
+            mean_outage_rounds: 6,
+        }
+    }
+
+    /// Every class at the same intensity (the fleet binary's single
+    /// `--chaos` knob).
+    #[must_use]
+    pub fn uniform(intensity: f64, seed: u64) -> Self {
+        let i = intensity.clamp(0.0, 1.0);
+        ChaosConfig {
+            crash: i,
+            telemetry_loss: i,
+            stale_telemetry: i,
+            partition: i,
+            slow_link: i,
+            ..Self::none(seed)
+        }
+    }
+
+    /// The intensity slot of a chaos class (`None` for machine-local
+    /// classes, which live in [`crate::FaultConfig`] instead).
+    #[must_use]
+    pub fn intensity(&self, class: FaultClass) -> Option<f64> {
+        match class {
+            FaultClass::MachineCrash => Some(self.crash),
+            FaultClass::TelemetryLoss => Some(self.telemetry_loss),
+            FaultClass::StaleTelemetry => Some(self.stale_telemetry),
+            FaultClass::GovernorPartition => Some(self.partition),
+            FaultClass::SlowLink => Some(self.slow_link),
+            _ => None,
+        }
+    }
+
+    /// True if every class is disabled (the schedule is all-default).
+    #[must_use]
+    pub fn is_inert(&self) -> bool {
+        self.crash <= 0.0
+            && self.telemetry_loss <= 0.0
+            && self.stale_telemetry <= 0.0
+            && self.partition <= 0.0
+            && self.slow_link <= 0.0
+    }
+}
+
+/// The chaos active on one machine in one round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ChaosState {
+    /// The machine is down (crashed, not yet restarted).
+    pub crashed: bool,
+    /// This round's telemetry is lost entirely.
+    pub telemetry_lost: bool,
+    /// This round's telemetry delivers the previous round's snapshot.
+    pub stale: bool,
+    /// The governor↔machine control link is partitioned.
+    pub partitioned: bool,
+    /// Rounds this round's telemetry is delayed by the slow link
+    /// (0 = on time).
+    pub link_delay: u8,
+}
+
+impl ChaosState {
+    /// True if no chaos touches the machine this round.
+    #[must_use]
+    pub fn is_clear(&self) -> bool {
+        *self == ChaosState::default()
+    }
+}
+
+/// Per-class stream salts, in the style of [`crate::faults`].
+const CRASH_SALT: u64 = 0x0063_7261_7368;
+const LOSS_SALT: u64 = 0x6C6F_7373;
+const STALE_SALT: u64 = 0x0073_7461_6C65;
+const PARTITION_SALT: u64 = 0x7061_7274;
+const LINK_SALT: u64 = 0x6C69_6E6B;
+
+/// Per-round event probability at intensity 1.0 for the Bernoulli
+/// classes (dropout, staleness, slow link).
+const BERNOULLI_RATE: f64 = 0.35;
+
+/// Per-round outage-start probability at intensity 1.0 for the windowed
+/// classes (crash, partition), while no outage is in progress.
+const OUTAGE_RATE: f64 = 0.08;
+
+/// The full chaos schedule of a fleet run: for every `(round, machine)`,
+/// the active [`ChaosState`]. A pure function of
+/// `(ChaosConfig, machines, rounds)` — regenerating it, on any worker
+/// count, in any process, yields identical states.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaosSchedule {
+    machines: usize,
+    rounds: usize,
+    /// Round-major: `states[round * machines + machine]`.
+    states: Vec<ChaosState>,
+}
+
+impl ChaosSchedule {
+    /// Generates the schedule. Each (class, machine) pair draws from its
+    /// own salted stream, walked over the rounds in order; disabled
+    /// classes consume no randomness at all.
+    #[must_use]
+    pub fn generate(config: &ChaosConfig, machines: usize, rounds: usize) -> Self {
+        let mut states = vec![ChaosState::default(); rounds * machines];
+        for machine in 0..machines {
+            let msalt = (machine as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let mut crash = OutageWalk::new(
+                SplitMix64::new(config.seed ^ CRASH_SALT ^ msalt),
+                config.crash,
+                config.mean_outage_rounds,
+            );
+            let mut partition = OutageWalk::new(
+                SplitMix64::new(config.seed ^ PARTITION_SALT ^ msalt),
+                config.partition,
+                config.mean_outage_rounds,
+            );
+            let mut loss = SplitMix64::new(config.seed ^ LOSS_SALT ^ msalt);
+            let mut stale = SplitMix64::new(config.seed ^ STALE_SALT ^ msalt);
+            let mut link = SplitMix64::new(config.seed ^ LINK_SALT ^ msalt);
+            for round in 0..rounds {
+                let state = &mut states[round * machines + machine];
+                state.crashed = crash.step();
+                state.partitioned = partition.step();
+                state.telemetry_lost = loss.chance(config.telemetry_loss * BERNOULLI_RATE);
+                state.stale = stale.chance(config.stale_telemetry * BERNOULLI_RATE);
+                if link.chance(config.slow_link * BERNOULLI_RATE) {
+                    // One to three rounds of delay; the draw is made only
+                    // when the event fires, so lower intensities do not
+                    // shift later rounds' delays.
+                    state.link_delay = 1 + (link.next_u64() % 3) as u8;
+                }
+            }
+        }
+        ChaosSchedule {
+            machines,
+            rounds,
+            states,
+        }
+    }
+
+    /// The chaos on `machine` in `round`. Out-of-range queries (a fleet
+    /// loop probing past the horizon) are clear.
+    #[must_use]
+    pub fn state(&self, round: usize, machine: usize) -> ChaosState {
+        if round >= self.rounds || machine >= self.machines {
+            return ChaosState::default();
+        }
+        self.states[round * self.machines + machine]
+    }
+
+    /// Number of scheduled rounds.
+    #[must_use]
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    /// True if no `(round, machine)` cell carries any chaos.
+    #[must_use]
+    pub fn is_clear(&self) -> bool {
+        self.states.iter().all(ChaosState::is_clear)
+    }
+
+    /// How many distinct crash outages (down-transitions) the schedule
+    /// contains, summed over machines.
+    #[must_use]
+    pub fn crash_events(&self) -> usize {
+        self.transitions(|s| s.crashed)
+    }
+
+    /// How many distinct partition outages the schedule contains.
+    #[must_use]
+    pub fn partition_events(&self) -> usize {
+        self.transitions(|s| s.partitioned)
+    }
+
+    fn transitions(&self, flag: impl Fn(&ChaosState) -> bool) -> usize {
+        let mut events = 0;
+        for machine in 0..self.machines {
+            let mut prev = false;
+            for round in 0..self.rounds {
+                let now = flag(&self.states[round * self.machines + machine]);
+                events += usize::from(now && !prev);
+                prev = now;
+            }
+        }
+        events
+    }
+}
+
+/// A windowed-outage walk: while healthy, each round draws the start
+/// event; on a start, the outage duration is drawn once and the walk
+/// reports "down" for that many rounds. At zero intensity no randomness
+/// is consumed.
+#[derive(Debug)]
+struct OutageWalk {
+    rng: SplitMix64,
+    intensity: f64,
+    mean_rounds: u32,
+    remaining: u32,
+}
+
+impl OutageWalk {
+    fn new(rng: SplitMix64, intensity: f64, mean_rounds: u32) -> Self {
+        OutageWalk {
+            rng,
+            intensity,
+            mean_rounds: mean_rounds.max(1),
+            remaining: 0,
+        }
+    }
+
+    fn step(&mut self) -> bool {
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            return true;
+        }
+        if self.rng.chance(self.intensity * OUTAGE_RATE) {
+            // Uniform in [1, 2·mean − 1]: mean `mean_rounds`, never zero.
+            let span = u64::from(2 * self.mean_rounds - 1);
+            self.remaining = (1 + self.rng.next_u64() % span) as u32;
+            self.remaining -= 1; // this round is the first down round
+            return true;
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shards_partition_the_machines_contiguously() {
+        for (machines, shards) in [(1, 1), (8, 2), (10, 3), (7, 7), (5, 9)] {
+            let topo = FleetTopology::new(machines, shards, 1);
+            let mut covered = Vec::new();
+            for shard in 0..topo.shards {
+                for m in topo.machines_in(shard) {
+                    assert_eq!(topo.shard_of(m), shard, "{machines}/{shards} machine {m}");
+                    covered.push(m);
+                }
+            }
+            assert_eq!(
+                covered,
+                (0..machines).collect::<Vec<_>>(),
+                "{machines} machines over {shards} shards must tile exactly"
+            );
+        }
+    }
+
+    #[test]
+    fn machine_seeds_are_deterministic_and_distinct() {
+        let topo = FleetTopology::new(16, 4, 99);
+        let seeds: Vec<u64> = (0..16).map(|m| topo.machine_seed(m)).collect();
+        let again: Vec<u64> = (0..16).map(|m| topo.machine_seed(m)).collect();
+        assert_eq!(seeds, again);
+        let mut unique = seeds.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), seeds.len(), "per-machine seeds must differ");
+    }
+
+    #[test]
+    fn zero_intensity_schedule_is_all_clear() {
+        let schedule = ChaosSchedule::generate(&ChaosConfig::none(5), 8, 64);
+        assert!(schedule.is_clear());
+        assert_eq!(schedule.crash_events(), 0);
+        assert!(ChaosConfig::none(5).is_inert());
+        assert!(!ChaosConfig::uniform(0.5, 5).is_inert());
+    }
+
+    #[test]
+    fn schedule_is_a_pure_function_of_its_inputs() {
+        let config = ChaosConfig::uniform(0.7, 42);
+        let a = ChaosSchedule::generate(&config, 6, 80);
+        let b = ChaosSchedule::generate(&config, 6, 80);
+        assert_eq!(a, b);
+        let c = ChaosSchedule::generate(&ChaosConfig::uniform(0.7, 43), 6, 80);
+        assert_ne!(a, c, "a different chaos seed must change the schedule");
+    }
+
+    #[test]
+    fn classes_draw_from_independent_streams() {
+        // Turning one class off must not shift another class's events.
+        let full = ChaosSchedule::generate(&ChaosConfig::uniform(0.8, 7), 4, 60);
+        let mut no_crash = ChaosConfig::uniform(0.8, 7);
+        no_crash.crash = 0.0;
+        let partial = ChaosSchedule::generate(&no_crash, 4, 60);
+        for round in 0..60 {
+            for m in 0..4 {
+                let f = full.state(round, m);
+                let p = partial.state(round, m);
+                assert!(!p.crashed);
+                assert_eq!(f.telemetry_lost, p.telemetry_lost);
+                assert_eq!(f.stale, p.stale);
+                assert_eq!(f.partitioned, p.partitioned);
+                assert_eq!(f.link_delay, p.link_delay);
+            }
+        }
+    }
+
+    #[test]
+    fn crashes_are_outages_with_duration() {
+        let config = ChaosConfig {
+            crash: 1.0,
+            mean_outage_rounds: 4,
+            ..ChaosConfig::none(3)
+        };
+        let schedule = ChaosSchedule::generate(&config, 2, 200);
+        assert!(schedule.crash_events() >= 2, "full intensity must crash");
+        // Outages have duration: some crash run must span several rounds
+        // (a pure per-round Bernoulli at this rate would make multi-round
+        // runs rare), and machines must also spend time healthy.
+        let mut longest = 0u32;
+        let mut healthy = 0usize;
+        for m in 0..2 {
+            let mut run = 0u32;
+            for round in 0..200 {
+                if schedule.state(round, m).crashed {
+                    run += 1;
+                    longest = longest.max(run);
+                } else {
+                    run = 0;
+                    healthy += 1;
+                }
+            }
+        }
+        assert!(longest >= 2, "no multi-round outage in 400 machine-rounds");
+        assert!(healthy > 0, "machines must restart after an outage");
+    }
+
+    #[test]
+    fn slow_link_delays_are_bounded() {
+        let config = ChaosConfig {
+            slow_link: 1.0,
+            ..ChaosConfig::none(11)
+        };
+        let schedule = ChaosSchedule::generate(&config, 3, 100);
+        let mut fired = false;
+        for round in 0..100 {
+            for m in 0..3 {
+                let d = schedule.state(round, m).link_delay;
+                assert!(d <= 3);
+                fired |= d > 0;
+            }
+        }
+        assert!(fired, "full intensity must delay some telemetry");
+    }
+
+    #[test]
+    fn out_of_range_queries_are_clear() {
+        let schedule = ChaosSchedule::generate(&ChaosConfig::uniform(1.0, 1), 2, 10);
+        assert!(schedule.state(10, 0).is_clear());
+        assert!(schedule.state(0, 2).is_clear());
+    }
+
+    #[test]
+    fn intensity_maps_chaos_classes_only() {
+        let config = ChaosConfig::uniform(0.4, 1);
+        for class in FaultClass::CHAOS {
+            assert_eq!(config.intensity(class), Some(0.4));
+        }
+        assert_eq!(config.intensity(FaultClass::CounterNoise), None);
+        assert_eq!(config.intensity(FaultClass::PanicPoint), None);
+    }
+}

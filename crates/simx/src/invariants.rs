@@ -120,11 +120,19 @@ pub enum Invariant {
     /// Predictor outputs are finite, non-negative and within the bounds
     /// the ladder's frequency ratios imply.
     PredictorBounds,
+    /// Fleet: the sum of power the central governor allocates to
+    /// reachable machines never exceeds the global budget (plus relative
+    /// tolerance), in any round and under any chaos.
+    PowerBudgetConservation,
+    /// Fleet: a machine rejoining after a partition climbs the
+    /// degradation ladder exactly one rung per confirmed-healthy window —
+    /// never jumping from fallback-to-max straight to central control.
+    RejoinMonotonicity,
 }
 
 impl Invariant {
     /// Every invariant, in catalog order.
-    pub const ALL: [Invariant; 10] = [
+    pub const ALL: [Invariant; 12] = [
         Invariant::EventMonotonicity,
         Invariant::CounterConservation,
         Invariant::CacheSanity,
@@ -135,6 +143,8 @@ impl Invariant {
         Invariant::MetamorphicNonScaling,
         Invariant::MetamorphicMonotone,
         Invariant::PredictorBounds,
+        Invariant::PowerBudgetConservation,
+        Invariant::RejoinMonotonicity,
     ];
 
     /// The stable kebab-case name used in reports, skip lists and the
@@ -152,6 +162,8 @@ impl Invariant {
             Invariant::MetamorphicNonScaling => "metamorphic-nonscaling",
             Invariant::MetamorphicMonotone => "metamorphic-monotone",
             Invariant::PredictorBounds => "predictor-bounds",
+            Invariant::PowerBudgetConservation => "power-budget-conservation",
+            Invariant::RejoinMonotonicity => "rejoin-monotonicity",
         }
     }
 
@@ -169,7 +181,9 @@ impl Invariant {
             | Invariant::CounterConservation
             | Invariant::GcPauseAccounting
             | Invariant::LadderMembership
-            | Invariant::VfMonotonicity => InvariantMode::Cheap,
+            | Invariant::VfMonotonicity
+            | Invariant::PowerBudgetConservation
+            | Invariant::RejoinMonotonicity => InvariantMode::Cheap,
             Invariant::CacheSanity
             | Invariant::StoreQueueOccupancy
             | Invariant::MetamorphicNonScaling

@@ -31,6 +31,7 @@ pub mod config;
 pub mod cpu;
 pub mod engine;
 pub mod faults;
+pub mod fleet;
 pub mod invariants;
 pub mod mem;
 pub mod os;
@@ -43,6 +44,7 @@ mod tracebuild;
 
 pub use config::MachineConfig;
 pub use faults::{FaultClass, FaultConfig, FaultInjector};
+pub use fleet::{ChaosConfig, ChaosSchedule, ChaosState, FleetTopology};
 pub use invariants::{Invariant, InvariantMode, InvariantViolation, Monitor};
 pub use machine::{Machine, MachineError, RunOutcome, WATCHDOG_STRIDE};
 pub use program::{

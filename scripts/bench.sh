@@ -1,0 +1,43 @@
+#!/bin/bash
+# Benchmarks the fleet simulation and writes the committed snapshot
+# BENCH_fleet.json at the repo root — the ROADMAP's benchmark
+# trajectory: re-run after performance-relevant PRs and check the new
+# numbers in next to the old file's history.
+#
+# The workload is fixed (64 machines, 4 shards, 200 rounds, chaos 0.5,
+# seed 1) so snapshots compare across commits; wall time excludes the
+# build. Characterization points are simulated cold (in-process cache
+# only), so the number covers the full pipeline, not just the round loop.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+MACHINES=64
+SHARDS=4
+ROUNDS=200
+SCALE=0.02
+JOBS=4
+
+cargo build --release -q -p harness
+
+t0=$(date +%s.%N)
+target/release/fleet "$MACHINES" "$ROUNDS" "$SCALE" 1 \
+    --shards "$SHARDS" --chaos 0.5 --chaos-seed 7 --policy depburst \
+    --jobs "$JOBS" > /dev/null 2> /dev/null
+t1=$(date +%s.%N)
+
+awk -v a="$t0" -v b="$t1" -v m="$MACHINES" -v r="$ROUNDS" \
+    -v sh="$SHARDS" -v j="$JOBS" -v sc="$SCALE" 'BEGIN {
+    secs = b - a
+    printf "{\n"
+    printf "  \"benchmark\": \"fleet\",\n"
+    printf "  \"machines\": %d,\n", m
+    printf "  \"shards\": %d,\n", sh
+    printf "  \"rounds\": %d,\n", r
+    printf "  \"scale\": %s,\n", sc
+    printf "  \"jobs\": %d,\n", j
+    printf "  \"wall_seconds\": %.3f,\n", secs
+    printf "  \"machine_rounds_per_second\": %.0f\n", m * r / secs
+    printf "}\n"
+}' > BENCH_fleet.json
+
+cat BENCH_fleet.json

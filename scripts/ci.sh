@@ -51,6 +51,7 @@ smoke table2   "$BIN/table2"
 smoke ablation "$BIN/ablation $SCALE 1 --jobs 2"
 smoke percore  "$BIN/percore $SCALE 1 lusearch --jobs 2"
 smoke faults   "$BIN/faults $SCALE 1 10 --jobs 2"
+smoke fleet    "$BIN/fleet 4 40 $SCALE 1 --shards 2 --jobs 2"
 smoke dvfs-lab "$BIN/dvfs-lab bench"
 
 # Resilience gates: the failure paths must be structured — a dead point
@@ -121,6 +122,30 @@ resilience_resume() {
     rm -f "$journal" "$out".*.out
 }
 step "resilience: interrupt + resume" resilience_resume
+
+# Chaos gate: a tiny fleet under a fixed chaos seed must be
+# byte-identical at --jobs 1 and --jobs 4, exit 0 even though some rows
+# are partial by design (crashed machines shed traffic in-model — the
+# sweep itself loses no points), and the report must show degradation
+# transitions actually happened.
+chaos_gate() {
+    local out=/tmp/depburst-ci-fleet
+    rm -f "$out".*.out
+    "$BIN/fleet" 8 40 "$SCALE" 1 --shards 2 --chaos 0.5 --chaos-seed 7 \
+        --policy depburst --jobs 1 > "$out.j1.out" 2> /dev/null
+    "$BIN/fleet" 8 40 "$SCALE" 1 --shards 2 --chaos 0.5 --chaos-seed 7 \
+        --policy depburst --jobs 4 > "$out.j4.out" 2> /dev/null
+    cmp "$out.j1.out" "$out.j4.out" || {
+        echo "chaos fleet is not byte-identical across --jobs 1 / --jobs 4"
+        return 1
+    }
+    grep -q "crash-restart\|partition" results/fleet.json || {
+        echo "chaos fleet report lacks degradation transitions"
+        return 1
+    }
+    rm -f "$out".*.out
+}
+step "chaos gate: fleet determinism under faults" chaos_gate
 
 # Invariant gates: the simulator self-checks under the sanitizer-style
 # monitor, and the fuzzer both stays quiet on the honest simulator and
