@@ -5,7 +5,7 @@
 //! regenerations are the `harness` binaries (`table1`, `table2`, `fig1`,
 //! `fig3`, `fig4`, `fig6`, `fig7`).
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use depburst::{paper_roster, Dep, DvfsPredictor};
 use dvfs_trace::{ExecutionTrace, Freq};
 use harness::experiments::{fig3, fig6, table2};
@@ -20,6 +20,33 @@ fn captured_trace(name: &str) -> (ExecutionTrace, f64) {
     let bench = dacapo_sim::benchmark(name).expect("known benchmark");
     let r = run_benchmark(bench, RunConfig::at_ghz(1.0).scaled(0.05));
     (r.trace, r.exec.as_secs())
+}
+
+/// Simulator-core throughput: one benchmark point measured in dispatched
+/// events per second (the metric `scripts/bench.sh` snapshots into
+/// `BENCH_sim.json`). Criterion's throughput mode reports both wall time
+/// and Kelem/s, so hot-path regressions show up in the unit the
+/// benchmark trajectory tracks.
+fn bench_simcore(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simcore_event_throughput");
+    g.sample_size(10);
+    for (name, ghz) in [("lusearch", 2.0), ("xalan", 2.0), ("sunflow", 1.0)] {
+        let bench = dacapo_sim::benchmark(name).expect("known benchmark");
+        // The event count is a deterministic function of (bench, freq,
+        // scale, seed): measure it once, then feed it to Criterion as the
+        // per-iteration element count.
+        let events = run_benchmark(bench, RunConfig::at_ghz(ghz).scaled(SCALE))
+            .stats
+            .events_dispatched;
+        g.throughput(Throughput::Elements(events));
+        g.bench_function(format!("{name}_{ghz}ghz"), |b| {
+            b.iter(|| {
+                let r = run_benchmark(bench, RunConfig::at_ghz(ghz).scaled(SCALE));
+                std::hint::black_box(r.stats.events_dispatched)
+            });
+        });
+    }
+    g.finish();
 }
 
 /// Table I: simulating one managed benchmark run at 1 GHz.
@@ -128,6 +155,7 @@ fn energy_model() -> energyx::PowerModel {
 
 criterion_group!(
     paper,
+    bench_simcore,
     bench_table1,
     bench_table2,
     bench_fig1,

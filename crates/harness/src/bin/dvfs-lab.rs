@@ -90,6 +90,7 @@ fn cmd_run(args: &[String]) -> CliResult {
         "  sq-full      app {}, GC {} (the BURST counter)",
         s.application.sq_full, s.gc.sq_full
     );
+    println!("  events       {} dispatched", r.stats.events_dispatched);
     Ok(())
 }
 

@@ -398,10 +398,10 @@ mod tests {
         journal.record(SimKey(1), &summary(1));
         drop(journal);
         let mut bytes = std::fs::read(&path).expect("read");
-        let stale = String::from_utf8(bytes.clone())
-            .expect("utf8")
-            .replace("\"schema\":1", "\"schema\":999");
-        bytes = stale.into_bytes();
+        let current = format!("\"schema\":{SCHEMA_VERSION}");
+        let text = String::from_utf8(bytes.clone()).expect("utf8");
+        assert!(text.contains(&current), "journal must carry the schema tag");
+        bytes = text.replace(&current, "\"schema\":999").into_bytes();
         std::fs::write(&path, &bytes).expect("rewrite");
         let resumed = Journal::resume_at(&path).expect("resume");
         assert_eq!(resumed.loaded(), 0, "stale schema must not replay");

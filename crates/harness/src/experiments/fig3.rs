@@ -105,9 +105,10 @@ pub fn collect_with(
     let results = ctx.execute(&plan)?;
     let mut next = results.iter();
 
-    let mut cells: Vec<Fig3Cell> = Vec::new();
+    let mut cells: Vec<Fig3Cell> = Vec::with_capacity(all_benchmarks().len() * targets.len());
     for bench in all_benchmarks() {
-        let mut acc: Vec<Vec<Vec<f64>>> = vec![vec![Vec::new(); models.len()]; targets.len()];
+        let mut acc: Vec<Vec<Vec<f64>>> =
+            vec![vec![Vec::with_capacity(seeds.len()); models.len()]; targets.len()];
         let mut actuals = vec![0.0f64; targets.len()];
         for _seed in seeds {
             let base = next.next().expect("plan covers base run");

@@ -61,10 +61,10 @@ pub fn collect_with(
     }
     let results = ctx.execute(&plan)?;
     let mut next = results.iter();
-    let mut rows = Vec::new();
+    let mut rows = Vec::with_capacity(all_benchmarks().len());
     for bench in all_benchmarks() {
-        let mut pe = Vec::new();
-        let mut ae = Vec::new();
+        let mut pe = Vec::with_capacity(seeds.len());
+        let mut ae = Vec::with_capacity(seeds.len());
         for _seed in seeds {
             let base = next.next().expect("plan covers base run");
             let actual = next.next().expect("plan covers target run");

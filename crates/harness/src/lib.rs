@@ -34,7 +34,7 @@ pub mod report;
 pub mod resilience;
 pub mod run;
 
-pub use cache::{sim_key, CacheStats, SimCache, SimKey};
+pub use cache::{bench_digest, fault_digest, sim_key, sim_key_from_digests, CacheStats, SimCache, SimKey};
 pub use checkpoint::Journal;
 pub use resilience::{FailureCause, FailureReport, PointFailure, RetryPolicy};
 pub use run::{

@@ -13,7 +13,7 @@ use dvfs_trace::{ExecutionTrace, Freq, TimeDelta};
 use serde::{Deserialize, Serialize};
 use simx::{Machine, MachineConfig, RunOutcome, RunStats};
 
-use crate::cache::{sim_key, SimCache};
+use crate::cache::{SimCache, SimKey};
 use crate::checkpoint::Journal;
 use crate::pool;
 use crate::resilience::{
@@ -447,10 +447,38 @@ impl ExecCtx {
         // wall-clock to stderr — the first tool to reach for when a sweep
         // stalls or the cache misses unexpectedly.
         let tracing = std::env::var_os("DEPBURST_TRACE_POINTS").is_some();
-        let outcomes = pool::map(plan.points.clone(), self.jobs, |point| {
-            let mut mc = MachineConfig::haswell_quad();
-            mc.initial_freq = point.config.freq;
-            let key = sim_key(point.bench, &mc, None, point.config.scale, point.config.seed);
+        // Key derivation walks the benchmark spec and the whole machine
+        // config; a sweep shares a handful of (benchmark, frequency)
+        // combinations across hundreds of points, so digest each input
+        // once up front and compose per-point keys from the digests.
+        let fault_d = crate::cache::fault_digest(None);
+        let mut bench_digests: HashMap<usize, u128> = HashMap::new();
+        let mut machine_digests: HashMap<u64, u128> = HashMap::new();
+        let keyed: Vec<(SimPoint, SimKey)> = plan
+            .points
+            .iter()
+            .map(|point| {
+                let bd = *bench_digests
+                    .entry(point.bench as *const Benchmark as usize)
+                    .or_insert_with(|| crate::cache::bench_digest(point.bench));
+                let md = *machine_digests
+                    .entry(point.config.freq.hz().to_bits())
+                    .or_insert_with(|| {
+                        let mut mc = MachineConfig::haswell_quad();
+                        mc.initial_freq = point.config.freq;
+                        mc.digest()
+                    });
+                let key = crate::cache::sim_key_from_digests(
+                    bd,
+                    md,
+                    fault_d,
+                    point.config.scale,
+                    point.config.seed,
+                );
+                (*point, key)
+            })
+            .collect();
+        let outcomes = pool::map(keyed, self.jobs, |(point, key)| {
             let journal_key = namespace.map_or(key, |ns| key.in_namespace(ns));
             let t0 = std::time::Instant::now();
             // Journal replay first: a resumed run serves completed points

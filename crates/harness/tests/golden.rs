@@ -104,6 +104,39 @@ fn golden_grid_is_clean_under_the_full_invariant_monitor() {
 }
 
 #[test]
+fn every_invariant_tier_produces_byte_identical_summaries() {
+    // The batched counter harvest accumulates per-slice counters on the
+    // core bank and copies them back to threads only at slice boundaries —
+    // but the invariant monitor (and `Machine::stats`) read cumulative
+    // counters *mid-run*. This test proves the harvest path is observation
+    // independent: every monitor tier, including the tiers that read
+    // counters at each harvest, serializes to the exact same bytes.
+    for (name, ghz) in GRID {
+        let bench = dacapo_sim::benchmark(name).expect("golden benchmark exists");
+        let config = harness::RunConfig {
+            freq: Freq::from_ghz(ghz),
+            scale: SCALE,
+            seed: SEED,
+        };
+        let tiers = [
+            simx::InvariantMode::Off,
+            simx::InvariantMode::Cheap,
+            simx::InvariantMode::Full,
+        ];
+        let jsons: Vec<String> = tiers
+            .iter()
+            .map(|&mode| {
+                let r = harness::try_run_benchmark_monitored(bench, config, mode)
+                    .unwrap_or_else(|e| panic!("{name} @ {ghz} GHz under {mode:?}: {e}"));
+                serde_json::to_string_pretty(&r.summarize()).expect("summary serializes")
+            })
+            .collect();
+        assert_eq!(jsons[0], jsons[1], "{name} @ {ghz} GHz: off vs cheap tier drift");
+        assert_eq!(jsons[0], jsons[2], "{name} @ {ghz} GHz: off vs full tier drift");
+    }
+}
+
+#[test]
 fn goldens_roundtrip_with_exact_f64_bits() {
     if std::env::var("UPDATE_GOLDENS").ok().as_deref() == Some("1") {
         return; // goldens are being rewritten by the other test

@@ -134,6 +134,16 @@ pub struct MachineConfig {
     pub sample_ratio: u32,
     /// Upper bound on sampled addresses per chunk (variance/cost knob).
     pub cache_sample_cap: u32,
+    /// Upper bound on DRAM miss rounds *simulated in full* per memory
+    /// chunk. The per-miss DRAM round loop is the simulator's hottest code
+    /// by far (profiling: >80% of a single-point run); a chunk whose round
+    /// count exceeds this cap simulates the first `dram_round_sample_cap`
+    /// rounds exactly through the banked DRAM model and extrapolates the
+    /// remainder from the sampled rounds' mean timing. `0` disables
+    /// sampling (every round simulated exactly). Like `sample_ratio` this
+    /// is a fidelity/cost knob, not an architectural parameter; results
+    /// remain a deterministic pure function of the configuration.
+    pub dram_round_sample_cap: u32,
     /// How many events the engine dispatches between wall-clock watchdog
     /// polls (see [`crate::watchdog`]). The default
     /// ([`crate::WATCHDOG_STRIDE`]) makes the `Instant::now()` call vanish
@@ -192,6 +202,7 @@ impl MachineConfig {
             chunk_target: TimeDelta::from_micros(25.0),
             sample_ratio: 64,
             cache_sample_cap: 512,
+            dram_round_sample_cap: 24,
             watchdog_stride: crate::WATCHDOG_STRIDE,
         }
     }
@@ -245,6 +256,7 @@ impl MachineConfig {
         h.write_f64(self.chunk_target.as_secs());
         h.write_u32(self.sample_ratio);
         h.write_u32(self.cache_sample_cap);
+        h.write_u32(self.dram_round_sample_cap);
         h.write_u32(self.watchdog_stride);
     }
 
@@ -309,6 +321,9 @@ mod tests {
         let mut stride = base.clone();
         stride.watchdog_stride = 256;
         assert_ne!(base.digest(), stride.digest());
+        let mut cap = base.clone();
+        cap.dram_round_sample_cap = 0;
+        assert_ne!(base.digest(), cap.digest());
     }
 
     #[test]

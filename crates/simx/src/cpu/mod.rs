@@ -9,6 +9,6 @@ mod work;
 
 pub use chunk::Chunk;
 pub use counters::{CritEstimator, LeadingLoadsEstimator};
-pub use core_unit::{Core, Running};
-pub use storeq::{AbsorbResult, StoreQueue};
+pub use core_unit::{CoreBank, Running};
+pub use storeq::{AbsorbResult, StoreQueue, StoreQueues};
 pub use work::{ChunkEnv, WorkCursor};

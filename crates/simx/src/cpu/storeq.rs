@@ -114,6 +114,86 @@ impl StoreQueue {
     }
 }
 
+/// All cores' store queues, struct-of-arrays: one shared capacity (the
+/// queues are architecturally identical) plus per-core occupancy columns,
+/// preallocated at machine construction. The scalar fluid model lives in
+/// [`StoreQueue`]; this collection loads one core's slots into a register
+/// copy, runs the same model, and writes the slots back — so the per-core
+/// and scalar paths cannot drift apart.
+#[derive(Debug, Clone)]
+pub struct StoreQueues {
+    capacity: f64,
+    level: Vec<f64>,
+    last_update: Vec<Time>,
+}
+
+impl StoreQueues {
+    /// Empty queues with `entries` slots each for `cores` cores.
+    #[must_use]
+    pub fn new(entries: u32, cores: usize) -> Self {
+        StoreQueues {
+            capacity: f64::from(entries),
+            level: vec![0.0; cores],
+            last_update: vec![Time::ZERO; cores],
+        }
+    }
+
+    /// Number of store queues (one per core).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.level.len()
+    }
+
+    /// True if the bank has no queues.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.level.is_empty()
+    }
+
+    /// Core `c`'s current occupancy in stores.
+    #[must_use]
+    pub fn level(&self, c: usize) -> f64 {
+        self.level[c]
+    }
+
+    /// The configured capacity in stores (shared by all queues; the
+    /// occupancy invariant: no level may exceed this).
+    #[must_use]
+    pub fn capacity(&self) -> f64 {
+        self.capacity
+    }
+
+    /// Runs the scalar model `f` against core `c`'s queue state.
+    fn with_queue<R>(&mut self, c: usize, f: impl FnOnce(&mut StoreQueue) -> R) -> R {
+        let mut q = StoreQueue {
+            capacity: self.capacity,
+            level: self.level[c],
+            last_update: self.last_update[c],
+        };
+        let r = f(&mut q);
+        self.level[c] = q.level;
+        self.last_update[c] = q.last_update;
+        r
+    }
+
+    /// [`StoreQueue::decay`] applied to core `c`'s queue.
+    pub fn decay(&mut self, c: usize, now: Time, drain_rate: f64) {
+        self.with_queue(c, |q| q.decay(now, drain_rate));
+    }
+
+    /// [`StoreQueue::absorb`] applied to core `c`'s queue.
+    pub fn absorb(
+        &mut self,
+        c: usize,
+        now: Time,
+        stores: f64,
+        issue_rate: f64,
+        drain_rate: f64,
+    ) -> AbsorbResult {
+        self.with_queue(c, |q| q.absorb(now, stores, issue_rate, drain_rate))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -185,5 +265,22 @@ mod tests {
         let r = q.absorb(Time::ZERO, stores, issue, drain);
         assert!(r.duration.as_secs() >= stores / issue - 1e-15);
         assert!(r.duration.as_secs() <= stores / drain + 1e-15);
+    }
+
+    #[test]
+    fn soa_bank_matches_scalar_queue_exactly() {
+        let mut bank = StoreQueues::new(CAP, 3);
+        let mut scalar = StoreQueue::new(CAP);
+        // Interleave operations on several cores; core 1 must track the
+        // scalar queue bit-for-bit, and its neighbours stay untouched.
+        let a = bank.absorb(1, Time::ZERO, 10_000.0, 4e9, 1e9);
+        let b = scalar.absorb(Time::ZERO, 10_000.0, 4e9, 1e9);
+        assert_eq!(a, b);
+        bank.absorb(0, Time::ZERO, 500.0, 4e9, 1e9);
+        bank.decay(1, Time::from_secs(1e-6), 1e9);
+        scalar.decay(Time::from_secs(1e-6), 1e9);
+        assert_eq!(bank.level(1).to_bits(), scalar.level().to_bits());
+        assert_eq!(bank.level(2), 0.0);
+        assert_eq!(bank.capacity(), f64::from(CAP));
     }
 }

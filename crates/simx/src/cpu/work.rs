@@ -21,7 +21,7 @@
 
 use dvfs_trace::{CoreId, DvfsCounters, Freq, Time, TimeDelta};
 
-use super::{Chunk, StoreQueue};
+use super::{Chunk, StoreQueues};
 use crate::config::MachineConfig;
 use crate::mem::{AccessPattern, Dram, MemoryHierarchy};
 use crate::program::WorkItem;
@@ -41,8 +41,8 @@ pub struct ChunkEnv<'a> {
     pub hierarchy: &'a mut MemoryHierarchy,
     /// The DRAM device (shared).
     pub dram: &'a mut Dram,
-    /// The executing core's store queue.
-    pub store_queue: &'a mut StoreQueue,
+    /// All cores' store queues (indexed by `core`).
+    pub store_queues: &'a mut StoreQueues,
 }
 
 /// Progress state of a work item being executed chunk by chunk.
@@ -267,43 +267,8 @@ fn memory_chunk(env: &mut ChunkEnv<'_>, spec: MemoryChunkSpec) -> Chunk {
     let l3_count = a as f64 * mix.l3;
     let miss_count = (a as f64 * mix.dram).round() as u64;
 
-    // --- DRAM miss rounds: `width` independent chains progress together;
-    // rounds are serialized by dependence. Ground truth comes from the
-    // per-round critical latency; the CRIT and leading-loads *counters*
-    // observe the same (issue, completion) intervals through their
-    // published streaming algorithms.
     let width = spec.mlp.round().max(1.0) as u64;
     let rounds = miss_count.div_ceil(width.max(1));
-    let mut dram_time = 0.0; // ground truth: sum of per-round critical latency
-    let mut crit_est = super::CritEstimator::new();
-    let mut ll_est = super::LeadingLoadsEstimator::new();
-    let mut round_maxes: Vec<f64> = Vec::new();
-    let mut issued = 0u64;
-    let mut t_cursor = env.now;
-    for _ in 0..rounds {
-        let in_round = width.min(miss_count - issued);
-        let mut round_max = 0.0f64;
-        for k in 0..in_round {
-            let idx = issued + k;
-            // Spread successive misses across banks/rows with a cheap hash
-            // of the request index (a linear stride would alias with the
-            // bank interleave and create systematic conflicts).
-            let line = mix
-                .dram_lines
-                .get_cyclic(idx)
-                .wrapping_add(mix16(spec.seed, idx));
-            let lat = env.dram.read(t_cursor, line).as_secs();
-            crit_est.observe(t_cursor, t_cursor + TimeDelta::from_secs(lat));
-            ll_est.observe(t_cursor, t_cursor + TimeDelta::from_secs(lat));
-            round_max = round_max.max(lat);
-            let _ = k;
-        }
-        issued += in_round;
-        dram_time += round_max;
-        round_maxes.push(round_max);
-        // Advance the issue clock past this round plus its dependence gap.
-        t_cursor += TimeDelta::from_secs(round_max + cm.round_gap_cycles * cycle);
-    }
 
     // --- Shared L3 hits: fixed uncore latency, partially hidden by the ROB
     // (hiding shrinks, in wall-clock terms, as core frequency rises).
@@ -313,12 +278,105 @@ fn memory_chunk(env: &mut ChunkEnv<'_>, spec: MemoryChunkSpec) -> Chunk {
     let l3_time = l3_count * l3_visible_unit / l3_par;
 
     // --- Scaling compute: the interleaved instructions, L2 hit service,
-    // and per-round dependence gaps.
+    // and per-round dependence gaps. Computed before the miss loop so the
+    // per-round stall contribution can be folded in as rounds complete
+    // instead of buffering every round's critical latency.
     let instructions = (a as f64 * spec.compute_per_access).round() as u64;
     let l2_cycles = f64::from(env.config.l2.latency_cycles);
     let compute_time = instructions as f64 / (spec.ipc * f)
         + l2_count * l2_cycles * cycle / 2.0
         + rounds as f64 * cm.round_gap_cycles * cycle;
+    let compute_per_round = if rounds > 0 {
+        compute_time / rounds as f64
+    } else {
+        0.0
+    };
+    let slack = cm.stall_slack_cycles * cycle;
+    let round_gap = cm.round_gap_cycles * cycle;
+
+    // --- DRAM miss rounds: `width` independent chains progress together;
+    // rounds are serialized by dependence. Ground truth comes from the
+    // per-round critical latency; the CRIT and leading-loads *counters*
+    // observe the same (issue, completion) intervals through their
+    // published streaming algorithms.
+    //
+    // This loop is the simulator's hottest code (profiling: >80% of a
+    // single-point run at tens of millions of iterations), and it is
+    // latency-bound on the serial FP dependence t_cursor → read →
+    // round_max → t_cursor, so shaving instructions barely helps. Instead,
+    // a chunk with more rounds than `dram_round_sample_cap` simulates only
+    // that many rounds exactly and extrapolates the rest from the sample's
+    // mean round timing (the cap guarantees every sampled round is
+    // full-width, since `rounds > cap` implies `miss_count > cap * width`).
+    let cap = u64::from(env.config.dram_round_sample_cap);
+    let sim_rounds = if cap > 0 { rounds.min(cap) } else { rounds };
+    let stats_before = env.dram.stats();
+    let mut dram_time = 0.0; // ground truth: sum of per-round critical latency
+    let mut stall = 0.0f64; // per-round stall, folded in round order
+    let mut crit_est = super::CritEstimator::new();
+    let mut ll_est = super::LeadingLoadsEstimator::new();
+    let mut issued = 0u64;
+    let mut t_cursor = env.now;
+    // The representative-line cursor walks the sample buffer cyclically;
+    // tracking it incrementally avoids a u64 modulo per miss.
+    let n_lines = mix.dram_lines.len() as u64;
+    let mut line_cursor = 0u64;
+    for _ in 0..sim_rounds {
+        let in_round = width.min(miss_count - issued);
+        let mut round_max = 0.0f64;
+        for k in 0..in_round {
+            let idx = issued + k;
+            // Spread successive misses across banks/rows with a cheap hash
+            // of the request index (a linear stride would alias with the
+            // bank interleave and create systematic conflicts).
+            let base = if n_lines == 0 {
+                idx
+            } else {
+                mix.dram_lines.get(line_cursor as usize)
+            };
+            line_cursor += 1;
+            if line_cursor == n_lines {
+                line_cursor = 0;
+            }
+            let line = base.wrapping_add(mix16(spec.seed, idx));
+            let lat = env.dram.read(t_cursor, line).as_secs();
+            crit_est.observe(t_cursor, t_cursor + TimeDelta::from_secs(lat));
+            ll_est.observe(t_cursor, t_cursor + TimeDelta::from_secs(lat));
+            round_max = round_max.max(lat);
+        }
+        issued += in_round;
+        dram_time += round_max;
+        stall += (round_max - compute_per_round - slack).max(0.0);
+        // Advance the issue clock past this round plus its dependence gap.
+        t_cursor += TimeDelta::from_secs(round_max + round_gap);
+    }
+    // Counter estimates from the simulated rounds (the estimators saw the
+    // same miss stream the ground truth was built from, but through their
+    // own algorithms).
+    let mut crit = crit_est.non_scaling().as_secs();
+    let mut ll = ll_est.non_scaling();
+    if sim_rounds < rounds {
+        // Extrapolate the unsimulated tail: remaining rounds are charged
+        // the sampled rounds' mean timing, and the DRAM device is credited
+        // the remaining reads so aggregate stats (read counts, row-hit
+        // rate, mean latency) still describe the whole run.
+        let grow = rounds as f64 / sim_rounds as f64;
+        let tail = grow - 1.0;
+        dram_time += dram_time * tail;
+        stall += stall * tail;
+        crit += crit * tail;
+        ll += ll * tail;
+        let sampled = env.dram.stats();
+        let rem_misses = miss_count - issued;
+        let miss_ratio = rem_misses as f64 / issued as f64;
+        let hits = sampled.read_row_hits - stats_before.read_row_hits;
+        env.dram.credit_extrapolated_reads(
+            rem_misses,
+            (hits as f64 * miss_ratio).round() as u64,
+            (sampled.total_read_latency - stats_before.total_read_latency) * miss_ratio,
+            (sampled.total_queue_delay - stats_before.total_queue_delay) * miss_ratio,
+        );
+    }
 
     // --- Composition: the OoO engine overlaps part of the compute under
     // outstanding misses.
@@ -326,27 +384,13 @@ fn memory_chunk(env: &mut ChunkEnv<'_>, spec: MemoryChunkSpec) -> Chunk {
     let duration = compute_time + dram_time + l3_time - overlap;
     let scaling = compute_time - overlap;
 
-    // --- Counter estimates (the estimators saw the same miss stream the
-    // ground truth was built from, but through their own algorithms).
-    let crit = crit_est.non_scaling().as_secs();
-    let compute_per_round = if rounds > 0 {
-        compute_time / rounds as f64
-    } else {
-        0.0
-    };
-    let slack = cm.stall_slack_cycles * cycle;
-    let stall: f64 = round_maxes
-        .iter()
-        .map(|&m| (m - compute_per_round - slack).max(0.0))
-        .sum();
-
     Chunk {
         duration: TimeDelta::from_secs(duration),
         scaling: TimeDelta::from_secs(scaling),
         counters: DvfsCounters {
             active: TimeDelta::from_secs(duration),
             crit: TimeDelta::from_secs(crit),
-            leading_loads: ll_est.non_scaling(),
+            leading_loads: ll,
             stall: TimeDelta::from_secs(stall),
             sq_full: TimeDelta::ZERO,
             instructions: instructions + a,
@@ -395,8 +439,8 @@ fn store_chunk(
     };
 
     let absorbed = env
-        .store_queue
-        .absorb(env.now, stores as f64, issue_rate, drain_rate);
+        .store_queues
+        .absorb(env.core.index(), env.now, stores as f64, issue_rate, drain_rate);
     let duration = absorbed.duration;
     let sq_full = absorbed.sq_full;
     let scaling = (duration - sq_full).clamp_non_negative();
@@ -425,11 +469,11 @@ mod tests {
     use super::*;
     use crate::mem::{Dram, MemoryHierarchy};
 
-    fn env_parts() -> (MachineConfig, MemoryHierarchy, Dram, StoreQueue) {
+    fn env_parts() -> (MachineConfig, MemoryHierarchy, Dram, StoreQueues) {
         let config = MachineConfig::haswell_quad();
         let hierarchy = MemoryHierarchy::new(&config);
         let dram = Dram::new(config.dram);
-        let sq = StoreQueue::new(config.store_queue_entries);
+        let sq = StoreQueues::new(config.store_queue_entries, config.cores);
         (config, hierarchy, dram, sq)
     }
 
@@ -446,7 +490,7 @@ mod tests {
                 config: &config,
                 hierarchy: &mut hierarchy,
                 dram: &mut dram,
-                store_queue: &mut sq,
+                store_queues: &mut sq,
             };
             match cursor.next_chunk(&mut env) {
                 Some(chunk) => {
@@ -589,7 +633,7 @@ mod tests {
                 config: &config,
                 hierarchy: &mut hierarchy,
                 dram: &mut dram,
-                store_queue: &mut sq,
+                store_queues: &mut sq,
             };
             while let Some(chunk) = cursor.next_chunk(&mut env) {
                 env.now += chunk.duration;
@@ -625,7 +669,7 @@ mod tests {
                 config: &config,
                 hierarchy: &mut hierarchy,
                 dram: &mut dram,
-                store_queue: &mut sq,
+                store_queues: &mut sq,
             };
             match cursor.next_chunk(&mut env) {
                 Some(c) => {
@@ -658,7 +702,7 @@ mod tests {
                 config: &config,
                 hierarchy: &mut hierarchy,
                 dram: &mut dram,
-                store_queue: &mut sq,
+                store_queues: &mut sq,
             };
             match cursor.next_chunk(&mut env) {
                 Some(chunk) => {

@@ -8,7 +8,7 @@ use dvfs_trace::{
 };
 
 use crate::config::MachineConfig;
-use crate::cpu::{ChunkEnv, Core, StoreQueue, WorkCursor};
+use crate::cpu::{ChunkEnv, CoreBank, StoreQueues, WorkCursor};
 use crate::engine::{Event, EventQueue};
 use crate::faults::{FaultConfig, FaultInjector};
 use crate::invariants::{Invariant, InvariantMode, Monitor};
@@ -118,13 +118,11 @@ pub struct Machine {
     /// per-core extension lets experiments scale core subsets).
     freqs: Vec<Freq>,
     queue: EventQueue,
-    cores: Vec<Core>,
-    /// Per-core slice generation (survives chunk boundaries; bumped when
-    /// the core's *thread* changes).
-    slice_gens: Vec<u64>,
-    /// Per-core accumulated busy time (for per-core energy accounting).
-    core_busy: Vec<TimeDelta>,
-    store_queues: Vec<StoreQueue>,
+    /// Per-core state (occupancy, generations, busy time, slice counter
+    /// accumulators), struct-of-arrays.
+    cores: CoreBank,
+    /// Per-core store queues, struct-of-arrays.
+    store_queues: StoreQueues,
     threads: Vec<Thread>,
     sched: Scheduler,
     futexes: FutexTable,
@@ -137,6 +135,7 @@ pub struct Machine {
     preemptions: u64,
     dvfs_transitions: u64,
     transitions_denied: u64,
+    events_dispatched: u64,
     epochs_harvested: usize,
     /// Injects deterministic faults between the machine and its observers.
     faults: Option<FaultInjector>,
@@ -160,20 +159,12 @@ impl Machine {
     /// Builds an idle machine.
     #[must_use]
     pub fn new(config: MachineConfig) -> Self {
-        let cores = (0..config.cores)
-            .map(|i| Core::new(dvfs_trace::CoreId(i as u8)))
-            .collect();
-        let store_queues = (0..config.cores)
-            .map(|_| StoreQueue::new(config.store_queue_entries))
-            .collect();
         Machine {
             freqs: vec![config.initial_freq; config.cores],
             hierarchy: MemoryHierarchy::new(&config),
             dram: Dram::new(config.dram),
-            cores,
-            slice_gens: vec![0; config.cores],
-            core_busy: vec![TimeDelta::ZERO; config.cores],
-            store_queues,
+            cores: CoreBank::new(config.cores),
+            store_queues: StoreQueues::new(config.store_queue_entries, config.cores),
             config,
             now: Time::ZERO,
             queue: EventQueue::new(),
@@ -187,6 +178,7 @@ impl Machine {
             preemptions: 0,
             dvfs_transitions: 0,
             transitions_denied: 0,
+            events_dispatched: 0,
             epochs_harvested: 0,
             faults: None,
             monitor: Monitor::from_env(),
@@ -326,6 +318,7 @@ impl Machine {
             if events.is_multiple_of(stride) && crate::watchdog::expired() {
                 return Err(MachineError::WatchdogExpired { at: self.now });
             }
+            self.events_dispatched += 1;
             let (t, event) = self.queue.pop().expect("peeked");
             if t < self.now && self.monitor.on(Invariant::EventMonotonicity) {
                 self.monitor.record(
@@ -425,18 +418,20 @@ impl Machine {
     fn retime_core(&mut self, c: usize, freq: Freq, stall: TimeDelta) {
         let ratio = self.freqs[c].scaling_ratio_to(freq);
         self.freqs[c] = freq;
-        let Some((tid, done, rest)) = self.cores[c].interrupt(self.now) else {
+        let Some((tid, done, rest)) = self.cores.interrupt(c, self.now) else {
             return;
         };
-        self.core_busy[c] += done.duration;
-        self.threads[tid.index()].counters += done.counters;
+        self.cores.add_busy(c, done.duration);
+        // The thread stays on this core across the re-time, so the commit
+        // lands in the core's slice accumulator, not the thread table.
+        self.cores.add_slice_counters(c, done.counters);
         let retimed = rest.retimed(ratio);
         let restart = self.now + stall;
-        let generation = self.cores[c].start_chunk(tid, retimed, restart);
+        let generation = self.cores.start_chunk(c, tid, retimed, restart);
         self.queue.push(
             restart + retimed.duration,
             Event::ChunkDone {
-                core: self.cores[c].id,
+                core: self.cores.id(c),
                 generation,
             },
         );
@@ -461,15 +456,15 @@ impl Machine {
         if self.monitor.enabled() {
             self.monitor.check_trace(&trace);
             if self.monitor.on(Invariant::StoreQueueOccupancy) {
-                for (c, sq) in self.store_queues.iter().enumerate() {
-                    if sq.level() > sq.capacity() + 1e-9 {
+                for c in 0..self.store_queues.len() {
+                    if self.store_queues.level(c) > self.store_queues.capacity() + 1e-9 {
                         self.monitor.record(
                             Invariant::StoreQueueOccupancy,
                             self.now.as_secs(),
                             format!(
                                 "store queue {c}: level {:.3} exceeds capacity {:.0}",
-                                sq.level(),
-                                sq.capacity()
+                                self.store_queues.level(c),
+                                self.store_queues.capacity()
                             ),
                         );
                     }
@@ -499,10 +494,10 @@ impl Machine {
             elapsed: self.now.since(Time::ZERO),
             core_busy: {
                 // Include in-flight chunk progress.
-                let mut busy = self.core_busy.clone();
-                for (c, core) in self.cores.iter().enumerate() {
-                    if let Some(r) = &core.running {
-                        busy[c] += r.counters_at(self.now).active;
+                let mut busy = self.cores.busy_snapshot();
+                for (c, b) in busy.iter_mut().enumerate() {
+                    if let Some(r) = self.cores.running(c) {
+                        *b += r.counters_at(self.now).active;
                     }
                 }
                 busy
@@ -515,6 +510,7 @@ impl Machine {
             preemptions: self.preemptions,
             dvfs_transitions: self.dvfs_transitions,
             transitions_denied: self.transitions_denied,
+            events_dispatched: self.events_dispatched,
         }
     }
 
@@ -544,14 +540,17 @@ impl Machine {
         match event {
             Event::ChunkDone { core, generation } => {
                 let c = core.index();
-                if self.cores[c].generation != generation || self.cores[c].is_idle() {
+                if self.cores.generation(c) != generation || self.cores.is_idle(c) {
                     return;
                 }
-                let Ok(running) = self.cores[c].finish_chunk() else {
+                let Ok(running) = self.cores.finish_chunk(c) else {
                     return; // stale event for an idle core: nothing to commit
                 };
-                self.core_busy[c] += running.chunk.duration;
-                self.threads[running.thread.index()].counters += running.chunk.counters;
+                self.cores.add_busy(c, running.chunk.duration);
+                // Batched harvest: the thread stays reserved on this core,
+                // so the commit extends the slice accumulator; the thread
+                // table is updated only when the thread leaves the core.
+                self.cores.add_slice_counters(c, running.chunk.counters);
                 self.continue_thread(running.thread);
             }
             Event::TimerFire { thread } => {
@@ -569,7 +568,7 @@ impl Machine {
     }
 
     fn handle_timeslice(&mut self, c: usize, generation: u64) {
-        if self.slice_gens[c] != generation || self.cores[c].is_idle() {
+        if self.cores.slice_gen(c) != generation || self.cores.is_idle(c) {
             return;
         }
         let threads = &self.threads;
@@ -581,21 +580,25 @@ impl Machine {
             self.queue.push(
                 self.now + self.config.timeslice,
                 Event::TimeSlice {
-                    core: self.cores[c].id,
+                    core: self.cores.id(c),
                     generation,
                 },
             );
             return;
         }
-        let Some((tid, done, rest)) = self.cores[c].interrupt(self.now) else {
+        let Some((tid, done, rest)) = self.cores.interrupt(c, self.now) else {
             return; // between chunks; the thread is about to decide anyway
         };
-        self.core_busy[c] += done.duration;
+        self.cores.add_busy(c, done.duration);
         self.preemptions += 1;
         let freq = self.freqs[c];
+        // The thread leaves the core: fold the final partial chunk into the
+        // slice accumulator, then store the running total back to the
+        // thread table where off-core reads find it.
+        self.cores.add_slice_counters(c, done.counters);
         {
             let t = &mut self.threads[tid.index()];
-            t.counters += done.counters;
+            t.counters = self.cores.slice_total(c);
             if rest.duration > TimeDelta::ZERO {
                 t.resume_chunk = Some((rest, freq));
             }
@@ -603,7 +606,7 @@ impl Machine {
         }
         self.epoch_boundary(EpochEnd::Stall(tid));
         self.sched.enqueue(tid);
-        self.slice_gens[c] += 1;
+        self.cores.bump_slice_gen(c);
         self.dispatch_idle_cores();
     }
 
@@ -631,11 +634,11 @@ impl Machine {
                     let mut env = ChunkEnv {
                         now: self.now,
                         freq: self.freqs[c],
-                        core: self.cores[c].id,
+                        core: self.cores.id(c),
                         config: &self.config,
                         hierarchy: &mut self.hierarchy,
                         dram: &mut self.dram,
-                        store_queue: &mut self.store_queues[c],
+                        store_queues: &mut self.store_queues,
                     };
                     self.threads[tid.index()]
                         .cursor
@@ -670,11 +673,11 @@ impl Machine {
     }
 
     fn begin_chunk(&mut self, c: usize, tid: ThreadId, chunk: crate::cpu::Chunk) {
-        let generation = self.cores[c].start_chunk(tid, chunk, self.now);
+        let generation = self.cores.start_chunk(c, tid, chunk, self.now);
         self.queue.push(
             self.now + chunk.duration,
             Event::ChunkDone {
-                core: self.cores[c].id,
+                core: self.cores.id(c),
                 generation,
             },
         );
@@ -764,16 +767,19 @@ impl Machine {
     /// already changed state).
     fn free_core_of(&mut self, tid: ThreadId) {
         for c in 0..self.cores.len() {
-            if self.cores[c].occupant() == Some(tid) {
+            if self.cores.occupant(c) == Some(tid) {
                 // Threads block between chunks, so normally only the
                 // reservation is held; commit any in-flight work
                 // defensively.
-                if let Some((_, done, _)) = self.cores[c].interrupt(self.now) {
-                    self.core_busy[c] += done.duration;
-                    self.threads[tid.index()].counters += done.counters;
+                if let Some((_, done, _)) = self.cores.interrupt(c, self.now) {
+                    self.cores.add_busy(c, done.duration);
+                    self.cores.add_slice_counters(c, done.counters);
                 }
-                self.cores[c].release();
-                self.slice_gens[c] += 1;
+                // The thread leaves the core: its running total moves from
+                // the slice accumulator back to the thread table.
+                self.threads[tid.index()].counters = self.cores.slice_total(c);
+                self.cores.release(c);
+                self.cores.bump_slice_gen(c);
                 return;
             }
         }
@@ -798,7 +804,7 @@ impl Machine {
             // Find an (idle core, eligible thread) pair, FIFO per core.
             let mut assignment = None;
             for c in 0..self.cores.len() {
-                if !self.cores[c].is_idle() {
+                if !self.cores.is_idle(c) {
                     continue;
                 }
                 let threads = &self.threads;
@@ -819,14 +825,15 @@ impl Machine {
     }
 
     fn schedule_in(&mut self, tid: ThreadId, c: usize) {
-        let core_id = self.cores[c].id;
+        let core_id = self.cores.id(c);
         self.threads[tid.index()].state = ThreadState::Running(core_id);
         // Claim the core immediately so nested dispatches cannot hand it to
-        // another thread before this one starts its first chunk.
-        self.cores[c].reserved = Some(tid);
-        self.cores[c].slice_start = self.now;
-        self.slice_gens[c] += 1;
-        let generation = self.slice_gens[c];
+        // another thread before this one starts its first chunk. Seeding
+        // the slice accumulator with the thread's counters here is what
+        // lets every subsequent chunk commit stay core-local.
+        self.cores
+            .reserve(c, tid, self.now, self.threads[tid.index()].counters);
+        let generation = self.cores.bump_slice_gen(c);
         self.queue.push(
             self.now + self.config.timeslice,
             Event::TimeSlice {
@@ -849,7 +856,7 @@ impl Machine {
                 .boundary(now, end, |tid| cumulative(threads, cores, now, tid));
         }
         for c in 0..self.cores.len() {
-            if let Some(tid) = self.cores[c].occupant() {
+            if let Some(tid) = self.cores.occupant(c) {
                 let snapshot = cumulative(&self.threads, &self.cores, self.now, tid);
                 self.tracer.note_running(tid, snapshot);
             }
@@ -858,17 +865,21 @@ impl Machine {
 }
 
 /// Cumulative counters for a thread: committed chunks plus interpolated
-/// progress of any in-flight chunk.
-fn cumulative(threads: &[Thread], cores: &[Core], now: Time, tid: ThreadId) -> DvfsCounters {
-    let mut total = threads[tid.index()].counters;
-    for core in cores {
-        if let Some(r) = &core.running {
-            if r.thread == tid {
+/// progress of any in-flight chunk. While a thread is resident on a core
+/// its committed total lives in that core's slice accumulator (the thread
+/// table is only synchronized when it leaves); off-core threads read
+/// straight from the thread table.
+fn cumulative(threads: &[Thread], cores: &CoreBank, now: Time, tid: ThreadId) -> DvfsCounters {
+    for c in 0..cores.len() {
+        if cores.occupant(c) == Some(tid) {
+            let mut total = cores.slice_total(c);
+            if let Some(r) = cores.running(c) {
                 total += r.counters_at(now);
             }
+            return total;
         }
     }
-    total
+    threads[tid.index()].counters
 }
 
 /// Control flow after applying an action.

@@ -2,18 +2,28 @@
 //!
 //! The caches track tags only (this is a timing simulator, not a functional
 //! one). Associativity is small (4–16), so each set is a recency-ordered
-//! `Vec` scanned linearly — faster than pointer-chasing structures at these
-//! sizes and trivially correct.
+//! run scanned linearly — faster than pointer-chasing structures at these
+//! sizes and trivially correct. Sets live in one flat preallocated tag
+//! array (`ways` slots per set) rather than a `Vec` per set: `access` is
+//! called for every sampled address of every chunk, and the flat layout
+//! spares the per-set pointer chase and keeps neighbouring sets on the
+//! same cache line of the *host* machine.
 
 use crate::config::CacheConfig;
 
 /// A set-associative, true-LRU, write-allocate cache.
 #[derive(Debug, Clone)]
 pub struct Cache {
-    sets: Vec<Vec<u64>>,
+    /// Flat tag store: `associativity` slots per set, slots `0..lens[set]`
+    /// valid and recency-ordered (MRU first).
+    tags: Vec<u64>,
+    /// Number of resident lines per set.
+    lens: Vec<u8>,
     associativity: usize,
     line_shift: u32,
     set_mask: u64,
+    /// Bits consumed by the set index (precomputed `set_mask.count_ones()`).
+    index_bits: u32,
     accesses: u64,
     /// Counted independently in the hit branch (not derived as
     /// `accesses - misses`) so `hits + misses == accesses` is a real
@@ -35,11 +45,15 @@ impl Cache {
             config.line_size.is_power_of_two(),
             "line size must be a power of two"
         );
+        let ways = config.associativity as usize;
+        assert!(ways <= u8::MAX as usize, "associativity must fit in u8");
         Cache {
-            sets: vec![Vec::with_capacity(config.associativity as usize); sets as usize],
-            associativity: config.associativity as usize,
+            tags: vec![0; sets as usize * ways],
+            lens: vec![0; sets as usize],
+            associativity: ways,
             line_shift: config.line_size.trailing_zeros(),
             set_mask: sets - 1,
+            index_bits: (sets - 1).count_ones(),
             accesses: 0,
             hits: 0,
             misses: 0,
@@ -52,20 +66,36 @@ impl Cache {
         self.accesses += 1;
         let line = addr >> self.line_shift;
         let set_idx = (line & self.set_mask) as usize;
-        let tag = line >> self.set_mask.count_ones();
-        let set = &mut self.sets[set_idx];
+        let tag = line >> self.index_bits;
+        let base = set_idx * self.associativity;
+        let len = usize::from(self.lens[set_idx]);
+        let set = &mut self.tags[base..base + len];
+        // Fast path: repeated accesses to the hottest line hit at the MRU
+        // slot and need no reordering.
+        if len > 0 && set[0] == tag {
+            self.hits += 1;
+            return true;
+        }
         if let Some(pos) = set.iter().position(|&t| t == tag) {
-            // Move to MRU position (front).
-            let t = set.remove(pos);
-            set.insert(0, t);
+            // Move to MRU position (front), sliding the more recent
+            // entries down one slot.
+            set.copy_within(0..pos, 1);
+            set[0] = tag;
             self.hits += 1;
             true
         } else {
             self.misses += 1;
-            if set.len() == self.associativity {
-                set.pop();
-            }
-            set.insert(0, tag);
+            // On a full set the LRU (last) entry falls off the end of the
+            // shifted window; otherwise the set grows by one.
+            let keep = if len == self.associativity {
+                len - 1
+            } else {
+                self.lens[set_idx] = (len + 1) as u8;
+                len
+            };
+            let set = &mut self.tags[base..=base + keep];
+            set.copy_within(0..keep, 1);
+            set[0] = tag;
             false
         }
     }
@@ -75,8 +105,10 @@ impl Cache {
     pub fn probe(&self, addr: u64) -> bool {
         let line = addr >> self.line_shift;
         let set_idx = (line & self.set_mask) as usize;
-        let tag = line >> self.set_mask.count_ones();
-        self.sets[set_idx].contains(&tag)
+        let tag = line >> self.index_bits;
+        let base = set_idx * self.associativity;
+        let len = usize::from(self.lens[set_idx]);
+        self.tags[base..base + len].contains(&tag)
     }
 
     /// Total accesses since construction.
@@ -100,13 +132,13 @@ impl Cache {
     /// Number of lines currently resident.
     #[must_use]
     pub fn resident_lines(&self) -> usize {
-        self.sets.iter().map(Vec::len).sum()
+        self.lens.iter().map(|&l| usize::from(l)).sum()
     }
 
     /// Maximum lines the cache can hold.
     #[must_use]
     pub fn capacity_lines(&self) -> usize {
-        self.sets.len() * self.associativity
+        self.lens.len() * self.associativity
     }
 }
 
@@ -188,5 +220,22 @@ mod tests {
         assert!(c.probe(0x40));
         assert!(c.probe(0x80));
         assert!(c.probe(0xC0));
+    }
+
+    #[test]
+    fn full_set_eviction_keeps_mru_order() {
+        let mut c = tiny();
+        // Fill set 0 (stride 256), then keep inserting: each new line must
+        // evict exactly the least-recently-used one.
+        c.access(0x000);
+        c.access(0x100); // set full: [0x100, 0x000]
+        c.access(0x200); // evicts 0x000: [0x200, 0x100]
+        assert!(!c.probe(0x000));
+        assert!(c.probe(0x100));
+        c.access(0x100); // MRU refresh: [0x100, 0x200]
+        c.access(0x300); // evicts 0x200
+        assert!(c.probe(0x100));
+        assert!(!c.probe(0x200));
+        assert_eq!(c.resident_lines(), 4 - 2); // only set 0 holds 2 lines
     }
 }

@@ -41,6 +41,23 @@ pub struct DramStats {
     pub total_queue_delay: TimeDelta,
 }
 
+/// How line addresses map to (bank, row): shift/mask when the bank and
+/// row counts are powers of two (the common case — `read` is the hottest
+/// call in the whole simulator and u64 division dominates it otherwise),
+/// with a division fallback for arbitrary geometries. Both paths compute
+/// the exact same mapping.
+#[derive(Debug, Clone, Copy)]
+enum AddrMap {
+    /// `bank = addr & bank_mask`, `row = (addr >> row_shift) & row_mask`.
+    Pow2 {
+        bank_mask: u64,
+        row_shift: u32,
+        row_mask: u64,
+    },
+    /// General geometry: divide/modulo as documented on `bank_and_row`.
+    Div,
+}
+
 /// The DRAM device shared by all cores.
 #[derive(Debug, Clone)]
 pub struct Dram {
@@ -53,6 +70,10 @@ pub struct Dram {
     write_free: Time,
     stats: DramStats,
     jitter: Option<LatencyJitter>,
+    addr_map: AddrMap,
+    /// Hoisted per-read constants (pure functions of `config`).
+    service_cap_secs: f64,
+    write_cap_secs: f64,
 }
 
 impl Dram {
@@ -60,6 +81,21 @@ impl Dram {
     #[must_use]
     pub fn new(config: DramConfig) -> Self {
         let banks = config.banks as usize;
+        let addr_map = if config.banks.is_power_of_two() && config.rows_per_bank.is_power_of_two()
+        {
+            AddrMap::Pow2 {
+                bank_mask: u64::from(config.banks) - 1,
+                // 64 lines (4 KB) per row page: drop the bank bits and the
+                // 6 in-row line bits before masking the row index.
+                row_shift: config.banks.trailing_zeros() + 6,
+                row_mask: u64::from(config.rows_per_bank) - 1,
+            }
+        } else {
+            AddrMap::Div
+        };
+        let service_cap_secs = 3.0
+            * (config.cas + config.row_miss_penalty + config.line_transfer).as_secs();
+        let write_cap_secs = 4.0 * config.write_line_service.as_secs();
         Dram {
             config,
             bank_free: vec![Time::ZERO; banks],
@@ -67,6 +103,9 @@ impl Dram {
             write_free: Time::ZERO,
             stats: DramStats::default(),
             jitter: None,
+            addr_map,
+            service_cap_secs,
+            write_cap_secs,
         }
     }
 
@@ -80,12 +119,25 @@ impl Dram {
         });
     }
 
+    #[inline]
     fn bank_and_row(&self, line_addr: u64) -> (usize, u64) {
-        let banks = u64::from(self.config.banks);
-        let bank = (line_addr % banks) as usize;
-        // 64 lines (4 KB) per row page.
-        let row = (line_addr / banks / 64) % u64::from(self.config.rows_per_bank);
-        (bank, row)
+        match self.addr_map {
+            AddrMap::Pow2 {
+                bank_mask,
+                row_shift,
+                row_mask,
+            } => (
+                (line_addr & bank_mask) as usize,
+                (line_addr >> row_shift) & row_mask,
+            ),
+            AddrMap::Div => {
+                let banks = u64::from(self.config.banks);
+                let bank = (line_addr % banks) as usize;
+                // 64 lines (4 KB) per row page.
+                let row = (line_addr / banks / 64) % u64::from(self.config.rows_per_bank);
+                (bank, row)
+            }
+        }
     }
 
     /// Services a read (line fill) for the line containing `line_addr`
@@ -100,7 +152,7 @@ impl Dram {
             // Proportional to write-path pressure, capped at one write
             // burst's worth of bus occupancy.
             let backlog = self.write_free.since(now).as_secs();
-            TimeDelta::from_secs(backlog.min(4.0 * self.config.write_line_service.as_secs()))
+            TimeDelta::from_secs(backlog.min(self.write_cap_secs))
         } else {
             TimeDelta::ZERO
         };
@@ -110,11 +162,13 @@ impl Dram {
         // real out-of-order controller would interleave around. The cap
         // keeps genuine contention (a couple of queued services) while
         // clipping the batch artifact.
-        let service_cap = 3.0
-            * (self.config.cas + self.config.row_miss_penalty + self.config.line_transfer)
-                .as_secs();
         let queue = if self.bank_free[bank] > now {
-            TimeDelta::from_secs(self.bank_free[bank].since(now).as_secs().min(service_cap))
+            TimeDelta::from_secs(
+                self.bank_free[bank]
+                    .since(now)
+                    .as_secs()
+                    .min(self.service_cap_secs),
+            )
         } else {
             TimeDelta::ZERO
         };
@@ -140,6 +194,24 @@ impl Dram {
         }
         self.stats.total_read_latency += latency;
         latency
+    }
+
+    /// Credits statistics for reads that were *extrapolated* rather than
+    /// individually serviced (see `MachineConfig::dram_round_sample_cap`):
+    /// a memory chunk that samples only a prefix of its miss rounds reports
+    /// the unsimulated remainder here so aggregate read counts, row-hit
+    /// rates, and mean latencies still describe the whole run.
+    pub fn credit_extrapolated_reads(
+        &mut self,
+        reads: u64,
+        row_hits: u64,
+        total_latency: TimeDelta,
+        queue_delay: TimeDelta,
+    ) {
+        self.stats.reads += reads;
+        self.stats.read_row_hits += row_hits;
+        self.stats.total_read_latency += total_latency;
+        self.stats.total_queue_delay += queue_delay;
     }
 
     /// Reserves write-drain bandwidth for `lines` line writes starting at

@@ -81,6 +81,18 @@ impl SampleLines {
         }
     }
 
+    /// The `i`-th recorded line without cycling. Hot callers that already
+    /// track a wrapped cursor use this to skip `get_cyclic`'s modulo.
+    ///
+    /// # Panics
+    /// Panics if `i >= self.len()`.
+    #[must_use]
+    #[inline]
+    pub fn get(&self, i: usize) -> u64 {
+        assert!(i < self.len as usize, "SampleLines index out of range");
+        self.lines[i]
+    }
+
     /// Number of recorded lines.
     #[must_use]
     pub fn len(&self) -> usize {
@@ -179,27 +191,47 @@ impl MemoryHierarchy {
             .div_ceil(k)
             .clamp(1, u64::from(self.sample_cap));
         // Sample every k-th access of the stream so the sample spans the
-        // same footprint as the full stream.
+        // same footprint as the full stream. The default ratio is a power
+        // of two, so address compression is a shift on that path.
+        let k_shift = if k.is_power_of_two() {
+            Some(k.trailing_zeros())
+        } else {
+            None
+        };
         let mut stream = AddressStream::new(scaled_pattern(pattern, k), seed);
         let mut mix = SampledMix::default();
+        // Hoisted borrows + integer tallies: this loop runs for every
+        // sampled access of every chunk, so the per-level walk is inlined
+        // here (same levels, same order, same state updates as `access`)
+        // instead of paying two indexed lookups and an enum round-trip per
+        // sample.
+        let c = core.index();
+        let l1 = &mut self.l1d[c];
+        let l2 = &mut self.l2[c];
+        let l3 = &mut self.l3;
+        let (mut n_l1, mut n_l2, mut n_l3, mut n_dram) = (0u64, 0u64, 0u64, 0u64);
         for _ in 0..n {
-            let addr = stream.next_addr() / k;
-            let outcome = self.access(core, addr);
-            match outcome.class {
-                AccessClass::L1 => mix.l1 += 1.0,
-                AccessClass::L2 => mix.l2 += 1.0,
-                AccessClass::L3 => mix.l3 += 1.0,
-                AccessClass::Dram => {
-                    mix.dram += 1.0;
-                    mix.dram_lines.push(outcome.line_addr);
-                }
+            let raw = stream.next_addr();
+            let addr = match k_shift {
+                Some(s) => raw >> s,
+                None => raw / k,
+            };
+            if l1.access(addr) {
+                n_l1 += 1;
+            } else if l2.access(addr) {
+                n_l2 += 1;
+            } else if l3.access(addr) {
+                n_l3 += 1;
+            } else {
+                n_dram += 1;
+                mix.dram_lines.push(addr >> 6);
             }
         }
         let total = n as f64;
-        mix.l1 /= total;
-        mix.l2 /= total;
-        mix.l3 /= total;
-        mix.dram /= total;
+        mix.l1 = n_l1 as f64 / total;
+        mix.l2 = n_l2 as f64 / total;
+        mix.l3 = n_l3 as f64 / total;
+        mix.dram = n_dram as f64 / total;
         mix
     }
 

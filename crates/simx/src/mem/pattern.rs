@@ -36,11 +36,21 @@ pub enum AccessPattern {
 }
 
 /// A deterministic stream of byte addresses drawn from a pattern.
+///
+/// Address generation runs once per *sampled* access, which adds up to
+/// tens of millions of calls per point, so the per-call arithmetic avoids
+/// hardware division: the strided offset is carried incrementally (one
+/// conditional subtract replaces the modulo) and the random pattern maps
+/// the PRNG output into the working set by multiplicative range reduction
+/// (a high-half multiply) instead of a remainder. Both are exact,
+/// deterministic functions of (pattern, seed, index).
 #[derive(Debug, Clone)]
 pub struct AddressStream {
     pattern: AccessPattern,
     state: u64,
     index: u64,
+    /// Strided patterns: `(index * stride) mod ws`, carried across calls.
+    stride_pos: u64,
 }
 
 impl AddressStream {
@@ -51,6 +61,7 @@ impl AddressStream {
             pattern,
             state: seed ^ 0x9E37_79B9_7F4A_7C15,
             index: 0,
+            stride_pos: 0,
         }
     }
 
@@ -66,11 +77,21 @@ impl AddressStream {
                 working_set,
             } => {
                 let ws = working_set.max(stride.max(1));
-                base + (i * stride) % ws
+                let addr = base + self.stride_pos;
+                // stride <= ws by construction, so one conditional
+                // subtract keeps the carried position in [0, ws).
+                self.stride_pos += stride;
+                if self.stride_pos >= ws {
+                    self.stride_pos -= ws;
+                }
+                addr
             }
             AccessPattern::Random { base, working_set } => {
                 let r = splitmix64(&mut self.state);
-                base + r % working_set.max(1)
+                // Multiplicative range reduction: maps uniform u64 `r` to
+                // uniform [0, ws) with a high-half multiply.
+                let ws = working_set.max(1);
+                base + ((u128::from(r) * u128::from(ws)) >> 64) as u64
             }
         }
     }

@@ -29,6 +29,9 @@ pub struct RunStats {
     pub dvfs_transitions: u64,
     /// DVFS transitions refused by an injected fault.
     pub transitions_denied: u64,
+    /// Discrete events dispatched by the engine (the denominator of the
+    /// benchmark suite's events-per-second throughput metric).
+    pub events_dispatched: u64,
 }
 
 impl RunStats {

@@ -46,6 +46,7 @@ pub struct DvfsCounters {
 impl DvfsCounters {
     /// An all-zero counter set.
     #[must_use]
+    #[inline]
     pub fn zero() -> Self {
         Self::default()
     }
@@ -58,6 +59,7 @@ impl DvfsCounters {
     /// otherwise underflow the `u64` event counts and produce negative
     /// time deltas, so every field saturates at zero instead.
     #[must_use]
+    #[inline]
     pub fn delta_since(&self, earlier: &DvfsCounters) -> DvfsCounters {
         DvfsCounters {
             active: (self.active - earlier.active).clamp_non_negative(),
@@ -74,6 +76,7 @@ impl DvfsCounters {
 
     /// True if every field is zero (the thread did not run).
     #[must_use]
+    #[inline]
     pub fn is_zero(&self) -> bool {
         self.active == TimeDelta::ZERO
             && self.instructions == 0
@@ -85,6 +88,7 @@ impl DvfsCounters {
     /// minus the estimate, clamped at zero (a non-scaling estimate may
     /// slightly exceed measured active time at epoch granularity).
     #[must_use]
+    #[inline]
     pub fn scaling_given(&self, non_scaling: TimeDelta) -> TimeDelta {
         (self.active - non_scaling).clamp_non_negative()
     }
@@ -92,6 +96,7 @@ impl DvfsCounters {
 
 impl Add for DvfsCounters {
     type Output = DvfsCounters;
+    #[inline]
     fn add(self, rhs: DvfsCounters) -> DvfsCounters {
         DvfsCounters {
             active: self.active + rhs.active,
@@ -108,6 +113,7 @@ impl Add for DvfsCounters {
 }
 
 impl AddAssign for DvfsCounters {
+    #[inline]
     fn add_assign(&mut self, rhs: DvfsCounters) {
         *self = *self + rhs;
     }
@@ -115,6 +121,7 @@ impl AddAssign for DvfsCounters {
 
 impl Sub for DvfsCounters {
     type Output = DvfsCounters;
+    #[inline]
     fn sub(self, rhs: DvfsCounters) -> DvfsCounters {
         self.delta_since(&rhs)
     }

@@ -18,6 +18,7 @@ pub struct Freq(u32);
 impl Freq {
     /// Creates a frequency from megahertz.
     #[must_use]
+    #[inline]
     pub fn from_mhz(mhz: u32) -> Self {
         Freq(mhz)
     }
@@ -28,6 +29,7 @@ impl Freq {
     /// Panics if `ghz` is not representable at megahertz resolution or is
     /// non-positive.
     #[must_use]
+    #[inline]
     pub fn from_ghz(ghz: f64) -> Self {
         let mhz = ghz * 1e3;
         assert!(
@@ -39,36 +41,42 @@ impl Freq {
 
     /// This frequency in megahertz.
     #[must_use]
+    #[inline]
     pub fn mhz(self) -> u32 {
         self.0
     }
 
     /// This frequency in gigahertz.
     #[must_use]
+    #[inline]
     pub fn ghz(self) -> f64 {
         f64::from(self.0) * 1e-3
     }
 
     /// This frequency in hertz.
     #[must_use]
+    #[inline]
     pub fn hz(self) -> f64 {
         f64::from(self.0) * 1e6
     }
 
     /// The duration of one clock cycle at this frequency.
     #[must_use]
+    #[inline]
     pub fn cycle_time(self) -> TimeDelta {
         TimeDelta::from_secs(1.0 / self.hz())
     }
 
     /// The time taken to execute `cycles` clock cycles at this frequency.
     #[must_use]
+    #[inline]
     pub fn cycles_to_time(self, cycles: f64) -> TimeDelta {
         TimeDelta::from_secs(cycles / self.hz())
     }
 
     /// The number of clock cycles elapsing in `delta` at this frequency.
     #[must_use]
+    #[inline]
     pub fn time_to_cycles(self, delta: TimeDelta) -> f64 {
         delta.as_secs() * self.hz()
     }
@@ -77,12 +85,14 @@ impl Freq {
     /// frequency-scaled duration measured at `self` grows when re-run at
     /// `target` (paper §II-A: scaling component × base/target).
     #[must_use]
+    #[inline]
     pub fn scaling_ratio_to(self, target: Freq) -> f64 {
         f64::from(self.0) / f64::from(target.0)
     }
 }
 
 impl fmt::Display for Freq {
+    #[inline]
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         if self.0.is_multiple_of(1000) {
             write!(f, "{} GHz", self.0 / 1000)
@@ -104,12 +114,14 @@ pub struct FreqLadder {
 impl FreqLadder {
     /// The paper's ladder: 1.0 GHz to 4.0 GHz in 125 MHz steps (25 states).
     #[must_use]
+    #[inline]
     pub fn paper_default() -> Self {
         Self::new(Freq::from_ghz(1.0), Freq::from_ghz(4.0), 125)
             .expect("the paper ladder is well-formed")
     }
 
     /// Creates a ladder. `max - min` must be a whole number of steps.
+    #[inline]
     pub fn new(min: Freq, max: Freq, step_mhz: u32) -> Result<Self, LadderError> {
         if step_mhz == 0 {
             return Err(LadderError::ZeroStep);
@@ -125,36 +137,42 @@ impl FreqLadder {
 
     /// The lowest operating point.
     #[must_use]
+    #[inline]
     pub fn min(&self) -> Freq {
         self.min
     }
 
     /// The highest operating point.
     #[must_use]
+    #[inline]
     pub fn max(&self) -> Freq {
         self.max
     }
 
     /// The step between adjacent operating points, in MHz.
     #[must_use]
+    #[inline]
     pub fn step_mhz(&self) -> u32 {
         self.step_mhz
     }
 
     /// The number of operating points on the ladder.
     #[must_use]
+    #[inline]
     pub fn len(&self) -> usize {
         ((self.max.mhz() - self.min.mhz()) / self.step_mhz) as usize + 1
     }
 
     /// A ladder always contains at least one point.
     #[must_use]
+    #[inline]
     pub fn is_empty(&self) -> bool {
         false
     }
 
     /// True if `freq` is one of the ladder's operating points.
     #[must_use]
+    #[inline]
     pub fn contains(&self, freq: Freq) -> bool {
         freq >= self.min
             && freq <= self.max
@@ -162,12 +180,14 @@ impl FreqLadder {
     }
 
     /// Iterates the operating points from lowest to highest.
+    #[inline]
     pub fn iter(&self) -> impl DoubleEndedIterator<Item = Freq> + '_ {
         (0..self.len() as u32).map(move |i| Freq::from_mhz(self.min.mhz() + i * self.step_mhz))
     }
 
     /// The nearest ladder point at or below `freq` (clamped to `min`).
     #[must_use]
+    #[inline]
     pub fn floor(&self, freq: Freq) -> Freq {
         if freq <= self.min {
             return self.min;
@@ -204,6 +224,7 @@ pub enum LadderError {
 }
 
 impl fmt::Display for LadderError {
+    #[inline]
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             LadderError::ZeroStep => write!(f, "frequency ladder step must be non-zero"),

@@ -13,12 +13,14 @@ pub struct ThreadId(pub u32);
 impl ThreadId {
     /// The numeric id.
     #[must_use]
+    #[inline]
     pub fn index(self) -> usize {
         self.0 as usize
     }
 }
 
 impl fmt::Display for ThreadId {
+    #[inline]
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "t{}", self.0)
     }
@@ -33,12 +35,14 @@ pub struct CoreId(pub u8);
 impl CoreId {
     /// The numeric id.
     #[must_use]
+    #[inline]
     pub fn index(self) -> usize {
         self.0 as usize
     }
 }
 
 impl fmt::Display for CoreId {
+    #[inline]
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "core{}", self.0)
     }

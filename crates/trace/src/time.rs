@@ -28,12 +28,14 @@ impl Time {
 
     /// Creates an instant from seconds since the start of simulation.
     #[must_use]
+    #[inline]
     pub fn from_secs(secs: f64) -> Self {
         Time(secs)
     }
 
     /// Seconds since the start of simulation.
     #[must_use]
+    #[inline]
     pub fn as_secs(self) -> f64 {
         self.0
     }
@@ -41,6 +43,7 @@ impl Time {
     /// The duration elapsed since `earlier`. Panics in debug builds if
     /// `earlier` is later than `self`.
     #[must_use]
+    #[inline]
     pub fn since(self, earlier: Time) -> TimeDelta {
         debug_assert!(
             self.0 >= earlier.0 - 1e-12,
@@ -53,12 +56,14 @@ impl Time {
 
     /// The later of two instants.
     #[must_use]
+    #[inline]
     pub fn max(self, other: Time) -> Time {
         Time(self.0.max(other.0))
     }
 
     /// The earlier of two instants.
     #[must_use]
+    #[inline]
     pub fn min(self, other: Time) -> Time {
         Time(self.0.min(other.0))
     }
@@ -70,78 +75,91 @@ impl TimeDelta {
 
     /// Creates a duration from seconds.
     #[must_use]
+    #[inline]
     pub fn from_secs(secs: f64) -> Self {
         TimeDelta(secs)
     }
 
     /// Creates a duration from milliseconds.
     #[must_use]
+    #[inline]
     pub fn from_millis(ms: f64) -> Self {
         TimeDelta(ms * 1e-3)
     }
 
     /// Creates a duration from microseconds.
     #[must_use]
+    #[inline]
     pub fn from_micros(us: f64) -> Self {
         TimeDelta(us * 1e-6)
     }
 
     /// Creates a duration from nanoseconds.
     #[must_use]
+    #[inline]
     pub fn from_nanos(ns: f64) -> Self {
         TimeDelta(ns * 1e-9)
     }
 
     /// This duration in seconds.
     #[must_use]
+    #[inline]
     pub fn as_secs(self) -> f64 {
         self.0
     }
 
     /// This duration in milliseconds.
     #[must_use]
+    #[inline]
     pub fn as_millis(self) -> f64 {
         self.0 * 1e3
     }
 
     /// This duration in microseconds.
     #[must_use]
+    #[inline]
     pub fn as_micros(self) -> f64 {
         self.0 * 1e6
     }
 
     /// This duration in nanoseconds.
     #[must_use]
+    #[inline]
     pub fn as_nanos(self) -> f64 {
         self.0 * 1e9
     }
 
     /// The larger of two durations.
     #[must_use]
+    #[inline]
     pub fn max(self, other: TimeDelta) -> TimeDelta {
         TimeDelta(self.0.max(other.0))
     }
 
     /// The smaller of two durations.
     #[must_use]
+    #[inline]
     pub fn min(self, other: TimeDelta) -> TimeDelta {
         TimeDelta(self.0.min(other.0))
     }
 
     /// Clamps a (possibly negative) duration to be non-negative.
     #[must_use]
+    #[inline]
     pub fn clamp_non_negative(self) -> TimeDelta {
         TimeDelta(self.0.max(0.0))
     }
 
     /// True if this duration is negative beyond floating-point noise.
     #[must_use]
+    #[inline]
     pub fn is_negative(self) -> bool {
         self.0 < -1e-15
     }
 
     /// The ratio `self / other`. Returns 0 when `other` is zero.
     #[must_use]
+    #[inline]
     pub fn ratio(self, other: TimeDelta) -> f64 {
         if other.0 == 0.0 {
             0.0
@@ -153,12 +171,14 @@ impl TimeDelta {
 
 impl Add<TimeDelta> for Time {
     type Output = Time;
+    #[inline]
     fn add(self, rhs: TimeDelta) -> Time {
         Time(self.0 + rhs.0)
     }
 }
 
 impl AddAssign<TimeDelta> for Time {
+    #[inline]
     fn add_assign(&mut self, rhs: TimeDelta) {
         self.0 += rhs.0;
     }
@@ -166,6 +186,7 @@ impl AddAssign<TimeDelta> for Time {
 
 impl Sub<TimeDelta> for Time {
     type Output = Time;
+    #[inline]
     fn sub(self, rhs: TimeDelta) -> Time {
         Time(self.0 - rhs.0)
     }
@@ -173,6 +194,7 @@ impl Sub<TimeDelta> for Time {
 
 impl Sub<Time> for Time {
     type Output = TimeDelta;
+    #[inline]
     fn sub(self, rhs: Time) -> TimeDelta {
         TimeDelta(self.0 - rhs.0)
     }
@@ -180,12 +202,14 @@ impl Sub<Time> for Time {
 
 impl Add for TimeDelta {
     type Output = TimeDelta;
+    #[inline]
     fn add(self, rhs: TimeDelta) -> TimeDelta {
         TimeDelta(self.0 + rhs.0)
     }
 }
 
 impl AddAssign for TimeDelta {
+    #[inline]
     fn add_assign(&mut self, rhs: TimeDelta) {
         self.0 += rhs.0;
     }
@@ -193,12 +217,14 @@ impl AddAssign for TimeDelta {
 
 impl Sub for TimeDelta {
     type Output = TimeDelta;
+    #[inline]
     fn sub(self, rhs: TimeDelta) -> TimeDelta {
         TimeDelta(self.0 - rhs.0)
     }
 }
 
 impl SubAssign for TimeDelta {
+    #[inline]
     fn sub_assign(&mut self, rhs: TimeDelta) {
         self.0 -= rhs.0;
     }
@@ -206,6 +232,7 @@ impl SubAssign for TimeDelta {
 
 impl Neg for TimeDelta {
     type Output = TimeDelta;
+    #[inline]
     fn neg(self) -> TimeDelta {
         TimeDelta(-self.0)
     }
@@ -213,6 +240,7 @@ impl Neg for TimeDelta {
 
 impl Mul<f64> for TimeDelta {
     type Output = TimeDelta;
+    #[inline]
     fn mul(self, rhs: f64) -> TimeDelta {
         TimeDelta(self.0 * rhs)
     }
@@ -220,6 +248,7 @@ impl Mul<f64> for TimeDelta {
 
 impl Mul<TimeDelta> for f64 {
     type Output = TimeDelta;
+    #[inline]
     fn mul(self, rhs: TimeDelta) -> TimeDelta {
         TimeDelta(self * rhs.0)
     }
@@ -227,6 +256,7 @@ impl Mul<TimeDelta> for f64 {
 
 impl Div<f64> for TimeDelta {
     type Output = TimeDelta;
+    #[inline]
     fn div(self, rhs: f64) -> TimeDelta {
         TimeDelta(self.0 / rhs)
     }
@@ -234,30 +264,35 @@ impl Div<f64> for TimeDelta {
 
 impl Div<TimeDelta> for TimeDelta {
     type Output = f64;
+    #[inline]
     fn div(self, rhs: TimeDelta) -> f64 {
         self.0 / rhs.0
     }
 }
 
 impl Sum for TimeDelta {
+    #[inline]
     fn sum<I: Iterator<Item = TimeDelta>>(iter: I) -> TimeDelta {
         TimeDelta(iter.map(|d| d.0).sum())
     }
 }
 
 impl fmt::Display for Time {
+    #[inline]
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{}", format_seconds(self.0))
     }
 }
 
 impl fmt::Display for TimeDelta {
+    #[inline]
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{}", format_seconds(self.0))
     }
 }
 
 /// Human-readable rendering with an auto-selected unit.
+#[inline]
 fn format_seconds(s: f64) -> String {
     let a = s.abs();
     if a >= 1.0 {
@@ -276,6 +311,7 @@ impl Eq for Time {}
 
 #[allow(clippy::derive_ord_xor_partial_ord)]
 impl Ord for Time {
+    #[inline]
     fn cmp(&self, other: &Self) -> core::cmp::Ordering {
         self.0
             .partial_cmp(&other.0)

@@ -54,6 +54,44 @@ smoke faults   "$BIN/faults $SCALE 1 10 --jobs 2"
 smoke fleet    "$BIN/fleet 4 40 $SCALE 1 --shards 2 --jobs 2"
 smoke dvfs-lab "$BIN/dvfs-lab bench"
 
+# Bench smoke + throughput floor: a tiny-scale simulator point, timed,
+# with its events/second compared against the committed BENCH_sim.json
+# snapshot. Warn-only — CI machines vary too much for a hard gate — but
+# an order-of-magnitude collapse shows up in every CI log. The fresh
+# measurement runs at reduced scale; per-run fixed costs make its
+# events/second conservative relative to the full-scale snapshot, so a
+# floor of snapshot/4 has headroom for noise, not for regressions.
+bench_floor() {
+    local t0 t1 out events secs eps snap_eps
+    t0=$(date +%s.%N)
+    out=$("$BIN/dvfs-lab" run lusearch 2 0.2) || {
+        echo "bench smoke: dvfs-lab run exited nonzero"
+        return 1
+    }
+    t1=$(date +%s.%N)
+    events=$(echo "$out" | awk '/events/ { print $2 }')
+    if [ -z "$events" ]; then
+        echo "bench smoke: no dispatched-event count in dvfs-lab output"
+        return 1
+    fi
+    secs=$(awk -v a="$t0" -v b="$t1" 'BEGIN { printf "%.3f", b - a }')
+    eps=$(awk -v e="$events" -v s="$secs" 'BEGIN { printf "%.0f", e / s }')
+    echo "bench smoke: ${events} events in ${secs}s (${eps} events/s)"
+    if [ ! -f BENCH_sim.json ]; then
+        echo "warning: no BENCH_sim.json snapshot to compare against"
+        return 0
+    fi
+    snap_eps=$(awk -F'[ ,:]+' '/"events_per_second"/ { print $3 }' BENCH_sim.json)
+    if [ -n "$snap_eps" ] && \
+        awk -v a="$eps" -v b="$snap_eps" 'BEGIN { exit !(a * 4 < b) }'; then
+        echo "warning: throughput ${eps} events/s is below a quarter of the" \
+             "committed snapshot (${snap_eps} events/s) — possible regression" \
+             "(warn-only; rerun scripts/bench.sh on a quiet machine to confirm)"
+    fi
+    return 0
+}
+step "bench smoke + throughput floor (warn-only)" bench_floor
+
 # Resilience gates: the failure paths must be structured — a dead point
 # yields a failure report and exit code 2, never a crashed sweep — and
 # an interrupted run must resume byte-identically from its checkpoint
