@@ -64,6 +64,34 @@ impl SimKey {
         h.write_str(namespace);
         SimKey(h.finish())
     }
+
+    /// Derives the key a *sampled* execution of this point caches and
+    /// journals under (see `simx::sampling`): the exact key plus the
+    /// digest of the sampling configuration. A sampled result is an
+    /// extrapolation, not a simulation — it must never collide with the
+    /// exact entry for the same point, and two different region
+    /// placements must not collide with each other. The probe/measure
+    /// prefix runs themselves are plain exact runs at reduced scales and
+    /// key normally.
+    #[must_use]
+    pub fn with_sampling(&self, sampling: u128) -> SimKey {
+        let mut h = StableHasher::new();
+        h.write_tag("depburst::sim_key::sampled");
+        h.write_u64((self.0 >> 64) as u64);
+        h.write_u64(self.0 as u64);
+        h.write_u64((sampling >> 64) as u64);
+        h.write_u64(sampling as u64);
+        SimKey(h.finish())
+    }
+}
+
+/// Stable digest of a sampled-tier configuration (the second input of
+/// [`SimKey::with_sampling`]).
+#[must_use]
+pub fn sampling_digest(cfg: &simx::SamplingConfig) -> u128 {
+    let mut h = StableHasher::new();
+    cfg.hash_into(&mut h);
+    h.finish()
 }
 
 /// Computes the cache key of one run: every input the simulation result
@@ -474,6 +502,7 @@ mod tests {
                 markers: vec![],
                 threads: vec![],
             },
+            sampled: None,
         }
     }
 
@@ -664,6 +693,25 @@ mod tests {
         // The inert-injector equivalence holds through the digest form.
         let inert = FaultConfig::none(0);
         assert_eq!(fault_digest(Some(&inert)), fd);
+    }
+
+    #[test]
+    fn sampled_keys_never_collide_with_exact_or_each_other() {
+        let base = key_for(1);
+        let cfg = simx::SamplingConfig::default();
+        let sampled = base.with_sampling(sampling_digest(&cfg));
+        assert_ne!(sampled, base, "sampled result must not shadow the exact one");
+        let wider = simx::SamplingConfig {
+            measure_fraction: 0.5,
+            ..cfg
+        };
+        assert_ne!(
+            base.with_sampling(sampling_digest(&wider)),
+            sampled,
+            "different region placements are different results"
+        );
+        assert_eq!(base.with_sampling(sampling_digest(&cfg)), sampled);
+        assert_ne!(base.in_namespace("x"), sampled);
     }
 
     #[test]

@@ -318,6 +318,7 @@ mod tests {
                 markers: vec![],
                 threads: vec![],
             },
+            sampled: None,
         })
     }
 

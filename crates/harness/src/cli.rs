@@ -17,6 +17,9 @@
 //! * `--invariants MODE` — runtime invariant monitor mode (`off`,
 //!   `cheap`, or `full`; env `DEPBURST_INVARIANTS`; default off). See
 //!   `simx::invariants`.
+//! * `--sampling SETTING` — sampled execution tier (`off`, `on`, or a
+//!   measure fraction in (probe, 1); env `DEPBURST_SAMPLING`; default
+//!   off). See `simx::sampling`.
 //!
 //! An unknown `--flag` is a usage error: the diagnostic names the
 //! offending flag, suggests the nearest valid one when the typo is small,
@@ -54,19 +57,24 @@ pub struct CommonOpts {
     pub resume: Option<String>,
     /// `--invariants MODE`.
     pub invariants: Option<simx::InvariantMode>,
+    /// `--sampling SETTING`: `Some(None)` = explicit `off`,
+    /// `Some(Some(cfg))` = the sampled tier, `None` = not given (use the
+    /// env).
+    pub sampling: Option<Option<simx::SamplingConfig>>,
     /// Remaining positional arguments (and pass-through binary-specific
     /// flags), in order.
     pub rest: Vec<String>,
 }
 
 /// The flags every binary understands, for the unknown-flag diagnostic.
-const COMMON_FLAGS: [&str; 6] = [
+const COMMON_FLAGS: [&str; 7] = [
     "--jobs",
     "--point-timeout",
     "--retries",
     "--run-id",
     "--resume",
     "--invariants",
+    "--sampling",
 ];
 
 /// Extracts `--jobs N` / `--jobs=N` from `args`, returning the requested
@@ -141,6 +149,10 @@ fn parse_invariants(v: &str) -> Result<simx::InvariantMode, String> {
     })
 }
 
+fn parse_sampling(v: &str) -> Result<Option<simx::SamplingConfig>, String> {
+    crate::run::parse_sampling_setting(v).map_err(|e| format!("invalid --sampling value: {e}"))
+}
+
 /// Splits the shared flags from `args`, leaving the binary's positional
 /// arguments in [`CommonOpts::rest`]. Equivalent to
 /// [`parse_common_with`] with no binary-specific flags: any unrecognized
@@ -175,6 +187,7 @@ pub fn parse_common_with(args: &[String], extra_flags: &[&str]) -> Result<Common
             "--invariants" => {
                 opts.invariants = Some(parse_invariants(&value_of("--invariants")?)?);
             }
+            "--sampling" => opts.sampling = Some(parse_sampling(&value_of("--sampling")?)?),
             other => {
                 if let Some(v) = other.strip_prefix("--jobs=") {
                     opts.jobs = Some(parse_jobs(v)?);
@@ -188,6 +201,8 @@ pub fn parse_common_with(args: &[String], extra_flags: &[&str]) -> Result<Common
                     opts.resume = Some(v.to_owned());
                 } else if let Some(v) = other.strip_prefix("--invariants=") {
                     opts.invariants = Some(parse_invariants(v)?);
+                } else if let Some(v) = other.strip_prefix("--sampling=") {
+                    opts.sampling = Some(parse_sampling(v)?);
                 } else if other.starts_with("--") {
                     let bare = other.split('=').next().unwrap_or(other);
                     if extra_flags.contains(&bare) {
@@ -258,6 +273,9 @@ pub fn build_ctx(opts: &CommonOpts) -> std::io::Result<ExecCtx> {
     }
     if let Some(retries) = opts.retries {
         ctx.policy.retries = retries;
+    }
+    if let Some(sampling) = opts.sampling {
+        ctx.sampling = sampling;
     }
     let journal = match (&opts.resume, &opts.run_id) {
         (Some(id), _) => Some(Journal::resume(id)?),
@@ -477,6 +495,26 @@ mod tests {
         assert_eq!(opts.invariants, Some(simx::InvariantMode::Off));
         assert!(parse_common(&strs(&["--invariants", "loud"])).is_err());
         assert_eq!(parse_common(&strs(&[])).unwrap().invariants, None);
+    }
+
+    #[test]
+    fn sampling_flag_parses_all_settings() {
+        let opts = parse_common(&strs(&["--sampling", "on"])).unwrap();
+        assert_eq!(opts.sampling, Some(Some(simx::SamplingConfig::default())));
+        let opts = parse_common(&strs(&["--sampling=off"])).unwrap();
+        assert_eq!(opts.sampling, Some(None));
+        let opts = parse_common(&strs(&["--sampling=0.5"])).unwrap();
+        let cfg = opts.sampling.flatten().expect("fraction enables sampling");
+        assert_eq!(cfg.measure_fraction, 0.5);
+        assert_eq!(
+            cfg.probe_fraction,
+            simx::SamplingConfig::default().probe_fraction
+        );
+        // Fractions outside (probe, 1) and junk are usage errors.
+        assert!(parse_common(&strs(&["--sampling", "1.5"])).is_err());
+        assert!(parse_common(&strs(&["--sampling", "0.01"])).is_err());
+        assert!(parse_common(&strs(&["--sampling", "sometimes"])).is_err());
+        assert_eq!(parse_common(&strs(&[])).unwrap().sampling, None);
     }
 
     #[test]

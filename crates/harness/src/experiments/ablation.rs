@@ -78,10 +78,8 @@ pub fn model_ablation_with(
                 errors: variants
                     .iter()
                     .map(|v| {
-                        (
-                            v.name(),
-                            relative_error(v.predict(&base.trace, target), actual.exec),
-                        )
+                        let predicted = base.rescale_prediction(v.predict(&base.trace, target));
+                        (v.name(), relative_error(predicted, actual.exec))
                     })
                     .collect(),
             }
@@ -292,8 +290,14 @@ pub fn regression_ablation_with(
             let model = trainer.fit().expect("six benchmarks suffice");
             RegressionRow {
                 benchmark: held_out.clone(),
-                regression: relative_error(model.predict(&base.trace, target), actual.exec),
-                dep_burst: relative_error(dep.predict(&base.trace, target), actual.exec),
+                regression: relative_error(
+                    base.rescale_prediction(model.predict(&base.trace, target)),
+                    actual.exec,
+                ),
+                dep_burst: relative_error(
+                    base.rescale_prediction(dep.predict(&base.trace, target)),
+                    actual.exec,
+                ),
             }
         })
         .collect())

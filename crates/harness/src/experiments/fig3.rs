@@ -116,7 +116,7 @@ pub fn collect_with(
                 let actual = next.next().expect("plan covers target run");
                 actuals[ti] += actual.exec.as_secs() / seeds.len() as f64;
                 for (mi, model) in models.iter().enumerate() {
-                    let predicted = model.predict(&base.trace, target);
+                    let predicted = base.rescale_prediction(model.predict(&base.trace, target));
                     acc[ti][mi].push(relative_error(predicted, actual.exec));
                 }
             }

@@ -68,9 +68,12 @@ pub fn collect_with(
         for _seed in seeds {
             let base = next.next().expect("plan covers base run");
             let actual = next.next().expect("plan covers target run");
-            pe.push(relative_error(per.predict(&base.trace, target), actual.exec));
+            pe.push(relative_error(
+                base.rescale_prediction(per.predict(&base.trace, target)),
+                actual.exec,
+            ));
             ae.push(relative_error(
-                across.predict(&base.trace, target),
+                base.rescale_prediction(across.predict(&base.trace, target)),
                 actual.exec,
             ));
         }

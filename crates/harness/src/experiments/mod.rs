@@ -13,3 +13,5 @@ pub mod percore;
 
 pub mod faults;
 pub mod fleet;
+
+pub mod sampling_error;

@@ -78,7 +78,7 @@ pub struct RunResult {
 /// consume from a plain (unmanaged, whole-chip) run, in a serializable
 /// form. `RunStats` itself does not persist — the only statistic the
 /// figures need from it is the total active time, captured here.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunSummary {
     /// Wall-clock execution time.
     pub exec: TimeDelta,
@@ -90,8 +90,78 @@ pub struct RunSummary {
     pub allocated: u64,
     /// Summed scheduled time over all threads (drives the energy model).
     pub total_active: TimeDelta,
-    /// The full execution trace (input to the predictors).
+    /// The full execution trace (input to the predictors). For a sampled
+    /// summary this is the *measure region's* trace: a step-identical
+    /// prefix of the full run (see `simx::sampling`), not the whole run.
     pub trace: ExecutionTrace,
+    /// Present when this summary was extrapolated by the sampled tier
+    /// rather than simulated in full. Absent (and skipped during
+    /// serialization, keeping exact envelopes byte-identical to the
+    /// pre-sampling schema) for exact runs.
+    pub sampled: Option<SampledInfo>,
+}
+
+// Hand-written (the vendored serde shim has no field attributes): the
+// `sampled` entry is omitted when `None`, so exact summaries serialize
+// byte-identically to the pre-sampling schema, and envelopes written
+// before the field existed still deserialize.
+impl Serialize for RunSummary {
+    fn to_value(&self) -> serde::Value {
+        let mut entries = vec![
+            ("exec".to_string(), self.exec.to_value()),
+            ("gc_time".to_string(), self.gc_time.to_value()),
+            ("gc_count".to_string(), self.gc_count.to_value()),
+            ("allocated".to_string(), self.allocated.to_value()),
+            ("total_active".to_string(), self.total_active.to_value()),
+            ("trace".to_string(), self.trace.to_value()),
+        ];
+        if let Some(sampled) = &self.sampled {
+            entries.push(("sampled".to_string(), sampled.to_value()));
+        }
+        serde::Value::Map(entries)
+    }
+}
+
+impl Deserialize for RunSummary {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::DeError> {
+        let serde::Value::Map(entries) = value else {
+            return Err(serde::DeError::new(format!(
+                "expected map for RunSummary, found {value:?}"
+            )));
+        };
+        Ok(RunSummary {
+            exec: serde::de_field(entries, "exec")?,
+            gc_time: serde::de_field(entries, "gc_time")?,
+            gc_count: serde::de_field(entries, "gc_count")?,
+            allocated: serde::de_field(entries, "allocated")?,
+            total_active: serde::de_field(entries, "total_active")?,
+            trace: serde::de_field(entries, "trace")?,
+            sampled: match value.get("sampled") {
+                None | Some(serde::Value::Null) => None,
+                Some(v) => Some(SampledInfo::from_value(v)?),
+            },
+        })
+    }
+}
+
+/// How a sampled summary was produced, and how much to trust it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SampledInfo {
+    /// Rounds fraction of the probe prefix.
+    pub probe_fraction: f64,
+    /// Rounds fraction of the measure prefix the estimate came from.
+    pub measure_fraction: f64,
+    /// True when the region scheduler widened the measure region after a
+    /// failed recurrence check.
+    pub extended: bool,
+    /// Half-width of the execution-time confidence interval.
+    pub exec_half_ci: TimeDelta,
+    /// Half-width of the GC-time confidence interval.
+    pub gc_half_ci: TimeDelta,
+    /// Measured phase recurrence of the measure region.
+    pub recurrence: f64,
+    /// Epoch-signature clusters found in the measure region.
+    pub clusters: usize,
 }
 
 impl RunResult {
@@ -105,7 +175,69 @@ impl RunResult {
             allocated: self.allocated,
             total_active: self.stats.total_active(),
             trace: self.trace.clone(),
+            sampled: None,
         }
+    }
+}
+
+impl RunSummary {
+    /// Adjusts `predicted` — a model's predicted execution time for this
+    /// summary's *traced window* at some target frequency — to whole-run
+    /// terms. An exact summary returns it unchanged (its trace covers
+    /// the whole run). A sampled summary carries only the measure
+    /// region's trace, so the raw prediction is a region time; the
+    /// predicted slowdown ratio is applied to the extrapolated whole-run
+    /// execution time instead.
+    #[must_use]
+    pub fn rescale_prediction(&self, predicted: TimeDelta) -> TimeDelta {
+        if self.sampled.is_none() {
+            return predicted;
+        }
+        let window = self.trace.total.as_secs();
+        if window <= 0.0 {
+            return predicted;
+        }
+        self.exec * (predicted.as_secs() / window)
+    }
+}
+
+/// Parses a `DEPBURST_SAMPLING` / `--sampling` setting: `off`/`0`/empty
+/// disables the sampled tier, `on`/`1` enables it with the default
+/// [`SamplingConfig`](simx::SamplingConfig), and a bare fraction enables
+/// it with that measure fraction (the probe keeps its default).
+pub fn parse_sampling_setting(value: &str) -> Result<Option<simx::SamplingConfig>, String> {
+    match value {
+        "" | "0" | "off" => Ok(None),
+        "1" | "on" => Ok(Some(simx::SamplingConfig::default())),
+        other => {
+            let f: f64 = other
+                .parse()
+                .map_err(|_| format!("expected off/on or a measure fraction, got {other:?}"))?;
+            let cfg = simx::SamplingConfig {
+                measure_fraction: f,
+                ..simx::SamplingConfig::default()
+            };
+            if !(f.is_finite() && f > cfg.probe_fraction && f < 1.0) {
+                return Err(format!(
+                    "measure fraction {f} outside (probe {}, 1)",
+                    cfg.probe_fraction
+                ));
+            }
+            Ok(Some(cfg))
+        }
+    }
+}
+
+/// Views a prefix sub-run's summary as a region measurement for the
+/// extrapolator.
+fn region_of(summary: &RunSummary, fraction: f64) -> simx::RegionMeasurement {
+    simx::RegionMeasurement {
+        fraction,
+        exec: summary.exec,
+        gc_time: summary.gc_time,
+        gc_count: summary.gc_count,
+        allocated: summary.allocated,
+        total_active: summary.total_active,
     }
 }
 
@@ -248,6 +380,12 @@ pub struct ExecCtx {
     pub policy: RetryPolicy,
     /// Per-point wall-clock budget (None = no watchdog).
     pub point_timeout: Option<Duration>,
+    /// When set, plan points execute on the sampled tier: two prefix
+    /// regions are simulated (as ordinary cacheable exact runs at
+    /// reduced scales) and the whole-run summary is extrapolated — see
+    /// `simx::sampling`. Sampled results key under
+    /// [`SimKey::with_sampling`], so they never collide with exact ones.
+    pub sampling: Option<simx::SamplingConfig>,
     /// The checkpoint journal, when the run is resumable.
     journal: Option<Journal>,
     /// Ultimate point failures accumulated across this context's sweeps.
@@ -269,6 +407,7 @@ impl ExecCtx {
             cache: SimCache::in_memory(),
             policy: RetryPolicy::default(),
             point_timeout: None,
+            sampling: None,
             journal: None,
             failures: Mutex::new(Vec::new()),
             stashed: Mutex::new(HashMap::new()),
@@ -296,6 +435,12 @@ impl ExecCtx {
             .and_then(|v| v.trim().parse::<f64>().ok())
             .filter(|secs| *secs > 0.0)
             .map(Duration::from_secs_f64);
+        if let Ok(v) = std::env::var("DEPBURST_SAMPLING") {
+            match parse_sampling_setting(v.trim()) {
+                Ok(sampling) => ctx.sampling = sampling,
+                Err(e) => eprintln!("warning: ignoring DEPBURST_SAMPLING: {e}"),
+            }
+        }
         ctx
     }
 
@@ -317,6 +462,14 @@ impl ExecCtx {
     #[must_use]
     pub fn with_timeout(mut self, timeout: Option<Duration>) -> Self {
         self.point_timeout = timeout;
+        self
+    }
+
+    /// Selects the sampled execution tier (builder style); `None`
+    /// restores full-fidelity execution.
+    #[must_use]
+    pub fn with_sampling(mut self, sampling: Option<simx::SamplingConfig>) -> Self {
+        self.sampling = sampling;
         self
     }
 
@@ -406,10 +559,35 @@ impl ExecCtx {
         namespace: Option<&str>,
         plan: &SweepPlan,
     ) -> depburst_core::Result<Vec<Arc<RunSummary>>> {
+        self.collect_sweep(plan, self.execute_outcomes_in(namespace, plan))
+    }
+
+    /// [`execute`](Self::execute) with an explicit sampling setting,
+    /// overriding this context's [`sampling`](ExecCtx::sampling) field.
+    /// The sampled-vs-exact validation experiment uses this to run both
+    /// tiers of the same plan through one shared cache and journal
+    /// (sampled keys never collide with exact ones, so the arms coexist).
+    ///
+    /// # Errors
+    /// As [`execute`](Self::execute).
+    pub fn execute_with(
+        &self,
+        plan: &SweepPlan,
+        sampling: Option<&simx::SamplingConfig>,
+    ) -> depburst_core::Result<Vec<Arc<RunSummary>>> {
+        self.collect_sweep(plan, self.execute_outcomes_with(None, plan, sampling))
+    }
+
+    /// Folds per-point outcomes into the complete-or-failed sweep result.
+    fn collect_sweep(
+        &self,
+        plan: &SweepPlan,
+        outcomes: Vec<Result<Arc<RunSummary>, PointFailure>>,
+    ) -> depburst_core::Result<Vec<Arc<RunSummary>>> {
         let total = plan.points.len();
         let mut ok = Vec::with_capacity(total);
         let mut failed = 0usize;
-        for outcome in self.execute_outcomes_in(namespace, plan) {
+        for outcome in outcomes {
             match outcome {
                 Ok(summary) => ok.push(summary),
                 Err(failure) => {
@@ -443,6 +621,17 @@ impl ExecCtx {
         namespace: Option<&str>,
         plan: &SweepPlan,
     ) -> Vec<Result<Arc<RunSummary>, PointFailure>> {
+        self.execute_outcomes_with(namespace, plan, self.sampling.as_ref())
+    }
+
+    /// The engine under every `execute` variant, with the sampling
+    /// setting fully explicit.
+    fn execute_outcomes_with(
+        &self,
+        namespace: Option<&str>,
+        plan: &SweepPlan,
+        sampling: Option<&simx::SamplingConfig>,
+    ) -> Vec<Result<Arc<RunSummary>, PointFailure>> {
         // `DEPBURST_TRACE_POINTS=1` logs every point with its key and
         // wall-clock to stderr — the first tool to reach for when a sweep
         // stalls or the cache misses unexpectedly.
@@ -452,9 +641,13 @@ impl ExecCtx {
         // combinations across hundreds of points, so digest each input
         // once up front and compose per-point keys from the digests.
         let fault_d = crate::cache::fault_digest(None);
+        // A sampled sweep keys its points under (exact key × sampling
+        // digest): exact and sampled results can never collide, nor can
+        // two different region placements.
+        let sampling_d = sampling.map(crate::cache::sampling_digest);
         let mut bench_digests: HashMap<usize, u128> = HashMap::new();
         let mut machine_digests: HashMap<u64, u128> = HashMap::new();
-        let keyed: Vec<(SimPoint, SimKey)> = plan
+        let keyed: Vec<(SimPoint, SimKey, (u128, u128))> = plan
             .points
             .iter()
             .map(|point| {
@@ -468,17 +661,18 @@ impl ExecCtx {
                         mc.initial_freq = point.config.freq;
                         mc.digest()
                     });
-                let key = crate::cache::sim_key_from_digests(
+                let exact = crate::cache::sim_key_from_digests(
                     bd,
                     md,
                     fault_d,
                     point.config.scale,
                     point.config.seed,
                 );
-                (*point, key)
+                let key = sampling_d.map_or(exact, |sd| exact.with_sampling(sd));
+                (*point, key, (bd, md))
             })
             .collect();
-        let outcomes = pool::map(keyed, self.jobs, |(point, key)| {
+        let outcomes = pool::map(keyed, self.jobs, |(point, key, (bd, md))| {
             let journal_key = namespace.map_or(key, |ns| key.in_namespace(ns));
             let t0 = std::time::Instant::now();
             // Journal replay first: a resumed run serves completed points
@@ -496,36 +690,45 @@ impl ExecCtx {
                 "{} @ {} seed {} scale {}",
                 point.bench.name, point.config.freq, point.config.seed, point.config.scale
             );
-            let out = self.cache.get_or_compute(key, || {
-                if tracing {
-                    eprintln!("  {}: miss, simulating", key.hex());
-                }
-                match attempt_resilient(
-                    &self.policy,
-                    self.point_timeout,
-                    &self.rstats,
-                    &label,
-                    |_attempt| {
-                        // Plain cacheable points carry no fault injector,
-                        // so the attempt index cannot change the result —
-                        // a retry re-runs the identical pure simulation.
-                        try_run_benchmark(point.bench, point.config).map(|r| r.summarize())
-                    },
-                ) {
-                    Ok(summary) => Ok(summary),
-                    Err(failure) => {
-                        // The cache's error channel carries only a
-                        // DepburstError; stash the structured failure so
-                        // it survives the crossing.
-                        let detail = failure.detail.clone();
-                        self.stashed
-                            .lock()
-                            .expect("stash lock")
-                            .insert(key.0, failure);
-                        Err(depburst_core::DepburstError::Machine { detail })
+            let out = if let Some(cfg) = sampling {
+                self.cache.get_or_compute(key, || {
+                    if tracing {
+                        eprintln!("  {}: miss, sampling", key.hex());
                     }
-                }
-            });
+                    self.compute_sampled(point, cfg, bd, md, fault_d, key, &label, tracing)
+                })
+            } else {
+                self.cache.get_or_compute(key, || {
+                    if tracing {
+                        eprintln!("  {}: miss, simulating", key.hex());
+                    }
+                    match attempt_resilient(
+                        &self.policy,
+                        self.point_timeout,
+                        &self.rstats,
+                        &label,
+                        |_attempt| {
+                            // Plain cacheable points carry no fault injector,
+                            // so the attempt index cannot change the result —
+                            // a retry re-runs the identical pure simulation.
+                            try_run_benchmark(point.bench, point.config).map(|r| r.summarize())
+                        },
+                    ) {
+                        Ok(summary) => Ok(summary),
+                        Err(failure) => {
+                            // The cache's error channel carries only a
+                            // DepburstError; stash the structured failure so
+                            // it survives the crossing.
+                            let detail = failure.detail.clone();
+                            self.stashed
+                                .lock()
+                                .expect("stash lock")
+                                .insert(key.0, failure);
+                            Err(depburst_core::DepburstError::Machine { detail })
+                        }
+                    }
+                })
+            };
             if tracing {
                 eprintln!(
                     "point {} @ {} seed {} [{}] in {:.3}s",
@@ -570,6 +773,108 @@ impl ExecCtx {
             journal.flush();
         }
         outcomes
+    }
+
+    /// Computes one sampled point: simulate the probe and measure prefix
+    /// regions (as ordinary cacheable exact runs at reduced scales,
+    /// shared through the memo cache with any other consumer of those
+    /// scales), extrapolate the whole run, and — when the measure
+    /// region fails its phase-recurrence check — let the region
+    /// scheduler widen it once and re-extrapolate.
+    ///
+    /// Sub-run failures stash their structured `PointFailure` under
+    /// `stash_key` (the sampled point's key) so the caller's error path
+    /// reports the sampled point, not an anonymous sub-run.
+    #[allow(clippy::too_many_arguments)]
+    fn compute_sampled(
+        &self,
+        point: SimPoint,
+        cfg: &simx::SamplingConfig,
+        bd: u128,
+        md: u128,
+        fault_d: u128,
+        stash_key: SimKey,
+        label: &str,
+        tracing: bool,
+    ) -> depburst_core::Result<RunSummary> {
+        let run_region = |fraction: f64| -> depburst_core::Result<Arc<RunSummary>> {
+            let sub_scale = point.config.scale * fraction;
+            let sub_key = crate::cache::sim_key_from_digests(
+                bd,
+                md,
+                fault_d,
+                sub_scale,
+                point.config.seed,
+            );
+            let sub_config = RunConfig {
+                scale: sub_scale,
+                ..point.config
+            };
+            self.cache.get_or_compute(sub_key, || {
+                if tracing {
+                    eprintln!("  {}: region {fraction} miss, simulating", sub_key.hex());
+                }
+                let sub_label = format!("{label} [region {fraction}]");
+                match attempt_resilient(
+                    &self.policy,
+                    self.point_timeout,
+                    &self.rstats,
+                    &sub_label,
+                    |_attempt| {
+                        try_run_benchmark(point.bench, sub_config).map(|r| r.summarize())
+                    },
+                ) {
+                    Ok(summary) => Ok(summary),
+                    Err(failure) => {
+                        let detail = failure.detail.clone();
+                        self.stashed
+                            .lock()
+                            .expect("stash lock")
+                            .insert(stash_key.0, failure);
+                        Err(depburst_core::DepburstError::Machine { detail })
+                    }
+                }
+            })
+        };
+        let schedule = cfg.schedule();
+        let probe = run_region(schedule.probe)?;
+        let mut measure = run_region(schedule.measure)?;
+        let mut measure_fraction = schedule.measure;
+        let mut extended = false;
+        let mut x = simx::sampling::extrapolate(
+            &region_of(&probe, schedule.probe),
+            &region_of(&measure, measure_fraction),
+            &measure.trace,
+            cfg,
+        );
+        if let Some(wider) = cfg.extension(x.recurrence) {
+            measure = run_region(wider)?;
+            measure_fraction = wider;
+            extended = true;
+            x = simx::sampling::extrapolate(
+                &region_of(&probe, schedule.probe),
+                &region_of(&measure, measure_fraction),
+                &measure.trace,
+                cfg,
+            );
+        }
+        Ok(RunSummary {
+            exec: x.exec,
+            gc_time: x.gc_time,
+            gc_count: x.gc_count,
+            allocated: x.allocated,
+            total_active: x.total_active,
+            trace: measure.trace.clone(),
+            sampled: Some(SampledInfo {
+                probe_fraction: schedule.probe,
+                measure_fraction,
+                extended,
+                exec_half_ci: x.exec_half_ci,
+                gc_half_ci: x.gc_half_ci,
+                recurrence: x.recurrence,
+                clusters: x.clusters,
+            }),
+        })
     }
 
     /// Maps `f` over `items` on this context's pool, preserving input

@@ -74,6 +74,104 @@ fn fig1_is_byte_identical_across_jobs_and_cache_states() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// The sampled tier must satisfy the same determinism contract as exact
+/// execution: pool width, cache temperature, and disk replay may not
+/// change a byte. Sampled points decompose into probe/measure sub-runs
+/// plus an extrapolation — every stage must be pure for this to hold.
+#[test]
+fn sampled_runs_are_byte_identical_across_jobs_and_cache_states() {
+    let dir = std::env::temp_dir().join(format!("depburst-sampled-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cfg = Some(simx::SamplingConfig::default());
+
+    // jobs=1, in-memory cache.
+    let sequential = fig1_report(&ExecCtx::sequential().with_sampling(cfg));
+
+    // jobs=4, persisting both the sampled envelopes and their exact
+    // sub-runs to `dir`.
+    let par_ctx = ExecCtx::new(4)
+        .with_cache(SimCache::persistent(&dir))
+        .with_sampling(cfg);
+    let parallel = fig1_report(&par_ctx);
+    assert_eq!(
+        sequential, parallel,
+        "sampled jobs=4 produced different bytes than jobs=1"
+    );
+    let cold = par_ctx.cache.stats();
+    assert!(cold.misses > 0, "cold sampled pass must simulate");
+
+    // Warm memo: nothing re-simulates, bytes unchanged.
+    let warm = fig1_report(&par_ctx);
+    let stats = par_ctx.cache.stats();
+    assert_eq!(parallel, warm, "warm cache changed the sampled bytes");
+    assert_eq!(stats.misses, cold.misses, "warm sampled pass must not simulate");
+
+    // A fresh context replays the sampled envelopes from disk without
+    // re-running the extrapolator or any sub-run.
+    let replay_ctx = ExecCtx::new(2)
+        .with_cache(SimCache::persistent(&dir))
+        .with_sampling(cfg);
+    let replayed = fig1_report(&replay_ctx);
+    assert_eq!(sequential, replayed, "disk-replayed sampled report differs");
+    assert_eq!(
+        replay_ctx.cache.stats().misses,
+        0,
+        "persisted sampled envelopes must satisfy every point"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A sampled sweep interrupted mid-journal must resume byte-identically,
+/// exactly like the exact tier: surviving sampled envelopes replay, the
+/// lost tail re-runs its probe/measure sub-runs and re-extrapolates.
+#[test]
+fn sampled_interrupted_journal_resumes_byte_identical() {
+    let dir = std::env::temp_dir().join(format!("depburst-sampled-resume-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let journal_path = dir.join("run.jsonl");
+    let cfg = Some(simx::SamplingConfig::default());
+
+    let baseline = fig1_report(&ExecCtx::sequential().with_sampling(cfg));
+
+    {
+        let ctx = ExecCtx::new(4)
+            .with_journal(Journal::create_at(&journal_path).expect("create journal"))
+            .with_sampling(cfg);
+        let full = fig1_report(&ctx);
+        assert_eq!(baseline, full, "journaled sampled run changed the bytes");
+        assert!(
+            ctx.journal().expect("journal attached").appends() > 2,
+            "journal must record the sampled points"
+        );
+    }
+
+    // Tear the journal mid-line, as a crash would.
+    let text = std::fs::read_to_string(&journal_path).expect("journal readable");
+    let lines: Vec<&str> = text.lines().collect();
+    assert!(lines.len() >= 4, "need enough records to interrupt");
+    let half = lines.len() / 2;
+    let mut torn = lines[..half].join("\n");
+    torn.push('\n');
+    torn.push_str(&lines[half][..lines[half].len() / 2]);
+    std::fs::write(&journal_path, &torn).expect("truncate journal");
+
+    let ctx = ExecCtx::new(2)
+        .with_journal(Journal::resume_at(&journal_path).expect("resume journal"))
+        .with_sampling(cfg);
+    let resumed = fig1_report(&ctx);
+    assert_eq!(baseline, resumed, "resumed sampled run differs from baseline");
+    let journal = ctx.journal().expect("journal attached");
+    assert!(journal.replays() > 0, "resume must replay sampled records");
+    assert_eq!(journal.loaded(), half, "torn final line must be dropped");
+    assert!(
+        ctx.cache.stats().misses > 0,
+        "lost sampled tail must be recomputed"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn invariant_monitor_mode_never_changes_the_physics() {
     // The monitor observes; it must not perturb. A run's summary —

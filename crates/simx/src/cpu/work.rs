@@ -690,6 +690,115 @@ mod tests {
         assert!((t.as_nanos() - 1200.0).abs() < 1e-6);
     }
 
+    mod round_sampling_properties {
+        use super::*;
+        use crate::mem::DramStats;
+        use proptest::prelude::*;
+
+        /// Runs `item` to completion on a fresh machine whose
+        /// `dram_round_sample_cap` is `cap`, returning everything the cap
+        /// could possibly perturb: elapsed time, the full counter set,
+        /// and the DRAM device's aggregate statistics.
+        fn run_with_cap(item: WorkItem, ghz: f64, cap: u32) -> (TimeDelta, DvfsCounters, DramStats) {
+            let mut config = MachineConfig::haswell_quad();
+            config.dram_round_sample_cap = cap;
+            let mut hierarchy = MemoryHierarchy::new(&config);
+            let mut dram = Dram::new(config.dram);
+            let mut sq = StoreQueues::new(config.store_queue_entries, config.cores);
+            let mut cursor = WorkCursor::new(item);
+            let mut now = Time::ZERO;
+            let mut total = DvfsCounters::zero();
+            loop {
+                let mut env = ChunkEnv {
+                    now,
+                    freq: Freq::from_ghz(ghz),
+                    core: CoreId(0),
+                    config: &config,
+                    hierarchy: &mut hierarchy,
+                    dram: &mut dram,
+                    store_queues: &mut sq,
+                };
+                match cursor.next_chunk(&mut env) {
+                    Some(chunk) => {
+                        now += chunk.duration;
+                        total += chunk.counters;
+                    }
+                    None => break,
+                }
+            }
+            (now.since(Time::ZERO), total, dram.stats())
+        }
+
+        fn memory_item(accesses: u64, ws_log: u32, mlp: u8, seed: u64) -> WorkItem {
+            WorkItem::Memory {
+                accesses,
+                pattern: AccessPattern::Random {
+                    base: 0,
+                    working_set: 1 << ws_log,
+                },
+                mlp: f64::from(mlp),
+                compute_per_access: 2.0,
+                ipc: 2.0,
+                seed,
+            }
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(12))]
+
+            /// cap = 0 (sampling disabled) and a cap no chunk can exceed
+            /// must take the exact same code path — both simulate every
+            /// round — so their outputs are byte-identical down to the
+            /// last f64 bit: time, every counter, every DRAM statistic.
+            #[test]
+            fn cap_zero_and_saturating_cap_are_byte_identical(
+                accesses in 2_000u64..30_000,
+                ws_log in 22u32..29,
+                mlp in 1u8..=8,
+                seed in 0u64..=u64::MAX,
+            ) {
+                let item = memory_item(accesses, ws_log, mlp, seed);
+                let exact = run_with_cap(item, 2.0, 0);
+                let saturating = run_with_cap(item, 2.0, u32::MAX);
+                prop_assert_eq!(exact.0, saturating.0, "elapsed time diverged");
+                prop_assert_eq!(exact.1, saturating.1, "counters diverged");
+                prop_assert_eq!(exact.2, saturating.2, "DRAM stats diverged");
+            }
+
+            /// A tiny cap extrapolates almost every round, and
+            /// `credit_extrapolated_reads` must keep the aggregate DRAM
+            /// statistics describing the *whole* run: the device's read
+            /// count equals the LLC-miss counter exactly (every miss is a
+            /// DRAM read, simulated or credited), row hits never exceed
+            /// reads, and the credited latencies stay physical.
+            #[test]
+            fn tiny_cap_conserves_aggregate_dram_read_stats(
+                accesses in 5_000u64..30_000,
+                ws_log in 26u32..29,
+                mlp in 1u8..=8,
+                cap in 1u32..12,
+                seed in 0u64..=u64::MAX,
+            ) {
+                let item = memory_item(accesses, ws_log, mlp, seed);
+                let (elapsed, counters, stats) = run_with_cap(item, 2.0, cap);
+                prop_assert_eq!(
+                    stats.reads, counters.llc_misses,
+                    "extrapolated reads must be credited back to the device"
+                );
+                prop_assert!(stats.read_row_hits <= stats.reads);
+                prop_assert!(stats.total_read_latency >= TimeDelta::ZERO);
+                prop_assert!(stats.total_queue_delay >= TimeDelta::ZERO);
+                if stats.reads > 0 {
+                    prop_assert!(
+                        stats.total_read_latency > TimeDelta::ZERO,
+                        "credited reads must carry latency"
+                    );
+                }
+                prop_assert!(elapsed > TimeDelta::ZERO);
+            }
+        }
+    }
+
     fn run_to_completion_cursor(mut cursor: WorkCursor, ghz: f64) -> (TimeDelta, DvfsCounters) {
         let (config, mut hierarchy, mut dram, mut sq) = env_parts();
         let mut now = Time::ZERO;

@@ -70,15 +70,22 @@ const BUCKET_WIDTH: f64 = 1e-6;
 /// Deterministic discrete-event queue (flat calendar).
 #[derive(Debug)]
 pub struct EventQueue {
-    /// Ring of day-buckets; `buckets[cursor]` covers `[base, base + width)`.
+    /// Ring of day-buckets; the bucket holding an event is a pure function
+    /// of its time — `bucket_index(t) & 63` — never of queue state.
     /// Buckets are unsorted — pops select the minimum `(time, seq)` by
     /// scanning, which keeps ties exact regardless of storage order.
+    ///
+    /// The purity is load-bearing: an earlier implementation derived the
+    /// slot from a drifting f64 `base` (advanced by `+= width` on every
+    /// cursor step), and the accumulated rounding let two pushes of the
+    /// *same* time land in adjacent buckets — popping a later-seq tie
+    /// first and silently breaking the heap contract. The adversarial
+    /// boundary-cluster proptest below pins this.
     buckets: Vec<Vec<Scheduled>>,
-    /// Start time (seconds) of the bucket at `cursor`.
-    base: f64,
-    /// Index of the current bucket.
-    cursor: usize,
-    /// Events at or beyond `base + N_BUCKETS * width`.
+    /// Bucket number (global, not ring slot) of the current bucket; the
+    /// ring covers bucket numbers `[base_idx, base_idx + N_BUCKETS)`.
+    base_idx: u64,
+    /// Events in buckets at or beyond `base_idx + N_BUCKETS`.
     overflow: Vec<Scheduled>,
     /// Events currently stored in `buckets` (not `overflow`).
     in_buckets: usize,
@@ -105,8 +112,7 @@ impl Default for EventQueue {
     fn default() -> Self {
         EventQueue {
             buckets: (0..N_BUCKETS).map(|_| Vec::new()).collect(),
-            base: 0.0,
-            cursor: 0,
+            base_idx: 0,
             overflow: Vec::new(),
             in_buckets: 0,
             occupied: 0,
@@ -125,10 +131,36 @@ impl EventQueue {
         Self::default()
     }
 
-    /// Horizon of the bucket ring in seconds.
+    /// Global bucket number of a time. A pure function of `t` alone:
+    /// monotone in `t`, so bucket order always agrees with time order,
+    /// and equal times always share a bucket (FIFO reduces to the
+    /// in-bucket seq scan).
     #[inline]
-    fn horizon() -> f64 {
-        N_BUCKETS as f64 * BUCKET_WIDTH
+    fn bucket_index(t: f64) -> u64 {
+        (t / BUCKET_WIDTH) as u64
+    }
+
+    /// Ring slot of the current bucket.
+    #[inline]
+    fn cursor(&self) -> usize {
+        (self.base_idx & (N_BUCKETS as u64 - 1)) as usize
+    }
+
+    /// Files `s` (bucket number `idx`) into the ring. Bucket numbers at or
+    /// behind the cursor (possible only through FP rounding at a bucket
+    /// boundary, or for overflow events the cursor has overtaken) clamp
+    /// into the cursor bucket; the min-scan still orders them correctly
+    /// since every other bucket holds strictly later times.
+    #[inline]
+    fn file(&mut self, s: Scheduled, idx: u64) {
+        let slot = if idx <= self.base_idx {
+            self.cursor()
+        } else {
+            (idx & (N_BUCKETS as u64 - 1)) as usize
+        };
+        self.buckets[slot].push(s);
+        self.occupied |= 1 << slot;
+        self.in_buckets += 1;
     }
 
     /// Schedules `event` at `time`. Events scheduled for the same instant
@@ -137,27 +169,14 @@ impl EventQueue {
         let seq = self.next_seq;
         self.next_seq += 1;
         let s = Scheduled { time, seq, event };
-        let t = time.as_secs();
-        if t >= self.base + Self::horizon() {
+        let idx = Self::bucket_index(time.as_secs());
+        if idx >= self.base_idx + N_BUCKETS as u64 {
             self.overflow.push(s);
             if self.over_min.is_none_or(|m| s.key() < m) {
                 self.over_min = Some(s.key());
             }
         } else {
-            // Times before `base` (possible only through FP rounding at a
-            // bucket boundary) clamp into the cursor bucket; the min-scan
-            // still orders them correctly since every other bucket holds
-            // strictly later times.
-            let k = if t <= self.base {
-                0
-            } else {
-                ((t - self.base) / BUCKET_WIDTH) as usize
-            };
-            let k = k.min(N_BUCKETS - 1);
-            let slot = (self.cursor + k) & (N_BUCKETS - 1);
-            self.buckets[slot].push(s);
-            self.occupied |= 1 << slot;
-            self.in_buckets += 1;
+            self.file(s, idx);
         }
         self.len += 1;
         if self.cached_min.is_none_or(|m| s.key() < m) {
@@ -183,12 +202,13 @@ impl EventQueue {
         }
         // Jump the cursor to the first occupied bucket and find its
         // minimum (one rotate + count-trailing-zeros on the mask).
-        let ahead = self.occupied.rotate_right(self.cursor as u32).trailing_zeros() as usize;
-        if ahead > 0 {
-            self.cursor = (self.cursor + ahead) & (N_BUCKETS - 1);
-            self.base += ahead as f64 * BUCKET_WIDTH;
-        }
-        let bucket = &self.buckets[self.cursor];
+        let ahead = self
+            .occupied
+            .rotate_right(self.cursor() as u32)
+            .trailing_zeros() as u64;
+        self.base_idx += ahead;
+        let cur = self.cursor();
+        let bucket = &self.buckets[cur];
         let mut best = 0;
         for i in 1..bucket.len() {
             if bucket[i].key() < bucket[best].key() {
@@ -199,9 +219,9 @@ impl EventQueue {
             Some(m) if m < bucket[best].key() => self.take_overflow(m),
             _ => {
                 self.in_buckets -= 1;
-                let s = self.buckets[self.cursor].swap_remove(best);
-                if self.buckets[self.cursor].is_empty() {
-                    self.occupied &= !(1 << self.cursor);
+                let s = self.buckets[cur].swap_remove(best);
+                if self.buckets[cur].is_empty() {
+                    self.occupied &= !(1 << cur);
                 }
                 s
             }
@@ -229,31 +249,22 @@ impl EventQueue {
     /// when all buckets are empty and overflow is not.
     fn refill_from_overflow(&mut self) {
         debug_assert!(self.in_buckets == 0 && !self.overflow.is_empty());
-        let min_t = self
+        // Re-anchor the ring at the minimum's bucket (never behind the
+        // current base — time only moves forward).
+        let min_idx = self
             .overflow
             .iter()
-            .map(|s| s.time.as_secs())
-            .fold(f64::INFINITY, f64::min);
-        // Re-anchor the ring at the minimum's bucket boundary (never
-        // behind the current base — time only moves forward).
-        let base = (min_t / BUCKET_WIDTH).floor() * BUCKET_WIDTH;
-        self.base = base.max(self.base);
-        self.cursor = 0;
-        let horizon_end = self.base + Self::horizon();
+            .map(|s| Self::bucket_index(s.time.as_secs()))
+            .min()
+            .expect("refill requires a non-empty overflow band");
+        self.base_idx = self.base_idx.max(min_idx);
+        let horizon_end = self.base_idx + N_BUCKETS as u64;
         let mut i = 0;
         while i < self.overflow.len() {
-            let t = self.overflow[i].time.as_secs();
-            if t < horizon_end {
+            let idx = Self::bucket_index(self.overflow[i].time.as_secs());
+            if idx < horizon_end {
                 let s = self.overflow.swap_remove(i);
-                let k = if t <= self.base {
-                    0
-                } else {
-                    ((t - self.base) / BUCKET_WIDTH) as usize
-                };
-                let slot = k.min(N_BUCKETS - 1);
-                self.buckets[slot].push(s);
-                self.occupied |= 1 << slot;
-                self.in_buckets += 1;
+                self.file(s, idx);
             } else {
                 i += 1;
             }
@@ -270,8 +281,9 @@ impl EventQueue {
             return None;
         }
         let bucket_min = (self.in_buckets > 0).then(|| {
-            let ahead = self.occupied.rotate_right(self.cursor as u32).trailing_zeros();
-            let bucket = &self.buckets[(self.cursor + ahead as usize) & (N_BUCKETS - 1)];
+            let cursor = self.cursor();
+            let ahead = self.occupied.rotate_right(cursor as u32).trailing_zeros();
+            let bucket = &self.buckets[(cursor + ahead as usize) & (N_BUCKETS - 1)];
             bucket
                 .iter()
                 .map(Scheduled::key)
@@ -498,6 +510,108 @@ mod tests {
                 }
                 while let Some(e) = heap.pop() {
                     prop_assert_eq!(cal.pop(), Some(e));
+                }
+                prop_assert!(cal.is_empty());
+            }
+
+            /// Adversarial schedules aimed squarely at the cached-minima
+            /// bookkeeping (`cached_min` / `over_min`): clusters of exact
+            /// ties placed on bucket-boundary multiples (FP clamp paths),
+            /// deep far-future clusters that make the overflow band the
+            /// true minimum while buckets are still occupied, pushes tied
+            /// to the current cached minimum (which must NOT displace it —
+            /// FIFO), pushes behind the cursor, and pop bursts that drain
+            /// the ring so `refill_from_overflow` re-anchors the calendar.
+            /// Every step cross-checks peek/len/pop against the heap
+            /// oracle, so a stale cached minimum shows up immediately as a
+            /// divergent peek.
+            #[test]
+            fn cached_minima_survive_adversarial_overflow_schedules(
+                ops in proptest::collection::vec(
+                    (0u8..6, 0u32..=u32::MAX, 1usize..6),
+                    1..200,
+                )
+            ) {
+                let mut cal = EventQueue::new();
+                let mut heap = reference::HeapQueue::new();
+                let mut now = 0.0f64;
+                let mut thread = 0u32;
+                for (i, &(kind, raw, count)) in ops.iter().enumerate() {
+                    let r = f64::from(raw) / f64::from(u32::MAX);
+                    match kind {
+                        0 => {
+                            // Pop burst: drains buckets (forcing overflow
+                            // refills) and invalidates cached minima
+                            // `count` times in a row.
+                            for _ in 0..count {
+                                prop_assert_eq!(cal.pop(), heap.pop(), "pop at op {}", i);
+                            }
+                        }
+                        1 => {
+                            // Tie cluster pinned to an exact bucket
+                            // boundary: `t = k * BUCKET_WIDTH` lands on
+                            // the FP seam between two buckets, and may be
+                            // in the ring or the overflow band depending
+                            // on how far the cursor has advanced.
+                            let k = (now / BUCKET_WIDTH).ceil() + (raw % 200) as f64;
+                            let tm = Time::from_secs(k * BUCKET_WIDTH);
+                            for _ in 0..count {
+                                let ev = Event::TimerFire { thread: ThreadId(thread % 8) };
+                                thread += 1;
+                                cal.push(tm, ev);
+                                heap.push(tm, ev);
+                            }
+                        }
+                        2 => {
+                            // Deep far-future cluster: overflow band holds
+                            // these for many horizons; identical times
+                            // exercise over_min's FIFO tie handling.
+                            let tm = Time::from_secs(now + 1e-3 + r * 1e-2);
+                            for _ in 0..count {
+                                let ev = Event::TimerFire { thread: ThreadId(thread % 8) };
+                                thread += 1;
+                                cal.push(tm, ev);
+                                heap.push(tm, ev);
+                            }
+                        }
+                        3 => {
+                            // Push at exactly the current minimum: the
+                            // cached minimum must keep the earlier seq.
+                            let tm = heap.peek_time().unwrap_or(Time::from_secs(now));
+                            let ev = Event::TimerFire { thread: ThreadId(thread % 8) };
+                            thread += 1;
+                            cal.push(tm, ev);
+                            heap.push(tm, ev);
+                        }
+                        4 => {
+                            // Push behind the cursor (clamps into the
+                            // cursor bucket) — possible through FP
+                            // rounding in the real simulator.
+                            let tm = Time::from_secs((now - r * 1e-6).max(0.0));
+                            let ev = Event::TimerFire { thread: ThreadId(thread % 8) };
+                            thread += 1;
+                            cal.push(tm, ev);
+                            heap.push(tm, ev);
+                        }
+                        _ => {
+                            // In-horizon filler keeping the ring occupied
+                            // while overflow holds the minimum's rivals.
+                            let tm = Time::from_secs(now + r * 4e-5);
+                            let ev = Event::TimerFire { thread: ThreadId(thread % 8) };
+                            thread += 1;
+                            cal.push(tm, ev);
+                            heap.push(tm, ev);
+                        }
+                    }
+                    prop_assert_eq!(cal.peek_time(), heap.peek_time(), "peek at op {}", i);
+                    prop_assert_eq!(cal.len(), heap.len(), "len at op {}", i);
+                    if let Some(pt) = heap.peek_time() {
+                        now = now.max(pt.as_secs());
+                    }
+                }
+                while let Some(e) = heap.pop() {
+                    prop_assert_eq!(cal.pop(), Some(e));
+                    prop_assert_eq!(cal.peek_time(), heap.peek_time());
                 }
                 prop_assert!(cal.is_empty());
             }

@@ -36,6 +36,7 @@ pub mod invariants;
 pub mod mem;
 pub mod os;
 pub mod program;
+pub mod sampling;
 pub mod watchdog;
 
 mod machine;
@@ -50,6 +51,7 @@ pub use machine::{Machine, MachineError, RunOutcome, WATCHDOG_STRIDE};
 pub use program::{
     Action, FutexId, ProgContext, SpawnRequest, ThreadProgram, WaitOutcome, WorkItem,
 };
+pub use sampling::{Extrapolation, RegionMeasurement, RegionSchedule, SamplingConfig};
 pub use stats::RunStats;
 
 #[cfg(test)]

@@ -26,6 +26,7 @@ mod epoch;
 mod freq;
 mod ids;
 mod phase;
+mod signature;
 mod thread_info;
 mod summary;
 mod time;
@@ -36,6 +37,9 @@ pub use epoch::{EpochEnd, EpochRecord, ThreadSlice};
 pub use freq::{Freq, FreqLadder, LadderError};
 pub use ids::{CoreId, ThreadId};
 pub use phase::{PhaseKind, PhaseMarker};
+pub use signature::{
+    recurrence, EpochSignature, RecurrenceReport, SignatureCluster, SignatureClusterer,
+};
 pub use summary::{RoleSummary, TraceSummary};
 pub use thread_info::{ThreadInfo, ThreadRole};
 pub use time::{Time, TimeDelta};

@@ -43,6 +43,7 @@ smoke() {
 }
 smoke fig1     "$BIN/fig1 $SCALE 1 --jobs 2"
 smoke fig3     "$BIN/fig3 both $SCALE 1 --jobs 2"
+smoke fig3-sampled "$BIN/fig3 both $SCALE 1 --jobs 2 --sampling on"
 smoke fig4     "$BIN/fig4 $SCALE 1 --jobs 2"
 smoke fig6     "$BIN/fig6 10 $SCALE 1 --jobs 2"
 smoke fig7     "$BIN/fig7 10 $SCALE 1 500 --jobs 2"
@@ -82,6 +83,11 @@ bench_floor() {
         return 0
     fi
     snap_eps=$(awk -F'[ ,:]+' '/"events_per_second"/ { print $3 }' BENCH_sim.json)
+    # Always leave the committed-vs-measured pair in the CI log, pass or
+    # warn: the warn-only floor is useless for trend-spotting unless every
+    # run records what it saw next to what was committed.
+    echo "bench smoke: committed snapshot ${snap_eps:-<none>} events/s," \
+         "measured ${eps} events/s (floor: measured * 4 >= committed)"
     if [ -n "$snap_eps" ] && \
         awk -v a="$eps" -v b="$snap_eps" 'BEGIN { exit !(a * 4 < b) }'; then
         echo "warning: throughput ${eps} events/s is below a quarter of the" \
@@ -235,5 +241,69 @@ invariant_sweep() {
     rm -f "$out".*.out
 }
 step "invariants: monitored fig3 sweep" invariant_sweep
+
+# Sampled-tier invariant gate: the monitor must not perturb the sampled
+# pipeline either — probe/measure sub-runs execute under the monitor, so
+# a sampled sweep under the cheap and full tiers must print the exact
+# bytes of the unmonitored sampled run.
+invariant_sampled_sweep() {
+    local out=/tmp/depburst-ci-inv-sampled
+    rm -f "$out".*.out
+    "$BIN/fig3" both "$SCALE" 1 --jobs 2 --sampling on > "$out.off.out"
+    DEPBURST_INVARIANTS=cheap \
+        "$BIN/fig3" both "$SCALE" 1 --jobs 2 --sampling on > "$out.cheap.out"
+    DEPBURST_INVARIANTS=full \
+        "$BIN/fig3" both "$SCALE" 1 --jobs 2 --sampling on > "$out.full.out"
+    cmp "$out.off.out" "$out.cheap.out" || {
+        echo "sampled fig3 under DEPBURST_INVARIANTS=cheap is not byte-identical"
+        return 1
+    }
+    cmp "$out.off.out" "$out.full.out" || {
+        echo "sampled fig3 under DEPBURST_INVARIANTS=full is not byte-identical"
+        return 1
+    }
+    rm -f "$out".*.out
+}
+step "invariants: monitored sampled fig3 sweep" invariant_sampled_sweep
+
+# Sampling accuracy-regression gate: the checked-in sampled-vs-exact
+# validation report must show every workload × frequency cell within the
+# accepted bound for both execution time and GC time. The report is the
+# committed evidence behind the sampled tier; regenerate it with
+#
+#   target/release/sampling_error 1.0 3 --jobs 4
+#
+# after touching the extrapolator, and this gate fails loudly if the
+# committed numbers regressed past the bound (or the report went missing
+# or lost coverage) instead of letting every figure the sampled tier
+# feeds silently degrade.
+sampling_accuracy_gate() {
+    local json=results/sampling_error.json
+    local bound=0.02
+    if [ ! -f "$json" ]; then
+        echo "missing $json — run: target/release/sampling_error 1.0 3 --jobs 4"
+        return 1
+    fi
+    local max_exec max_gc cells
+    max_exec=$(awk -F'[ ,:]+' '/"max_exec_error"/ { print $3 }' "$json")
+    max_gc=$(awk -F'[ ,:]+' '/"max_gc_error"/ { print $3 }' "$json")
+    cells=$(grep -c '"benchmark"' "$json")
+    if [ -z "$max_exec" ] || [ -z "$max_gc" ]; then
+        echo "$json lacks the max_exec_error/max_gc_error summaries"
+        return 1
+    fi
+    if [ "$cells" -lt 28 ]; then
+        echo "$json covers only $cells cells (want all 7 workloads × 4 frequencies)"
+        return 1
+    fi
+    echo "sampling accuracy: max |exec err| ${max_exec}, max |gc err| ${max_gc}" \
+         "over ${cells} cells (bound ${bound})"
+    awk -v e="$max_exec" -v g="$max_gc" -v b="$bound" \
+        'BEGIN { exit !(e <= b && g <= b) }' || {
+        echo "sampled-tier prediction error exceeds ${bound} — extrapolator regression"
+        return 1
+    }
+}
+step "sampling accuracy gate (≤ 2% vs exact goldens)" sampling_accuracy_gate
 
 echo "ci: all green"
