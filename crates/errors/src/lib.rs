@@ -80,6 +80,16 @@ pub enum DepburstError {
         /// Points in the sweep plan.
         total: usize,
     },
+    /// Durable storage failed underneath the harness: a cache or
+    /// checkpoint-journal operation hit an unrecoverable I/O error, or a
+    /// simulated crash point fired (see `harness::vfs`). The run fails
+    /// closed rather than continuing on untrustworthy state.
+    Storage {
+        /// The storage operation that failed (e.g. `append`, `rename`).
+        op: String,
+        /// The rendered I/O error.
+        detail: String,
+    },
     /// A runtime invariant monitor check failed (see `simx::invariants`):
     /// the simulated physics produced self-inconsistent state. Retrying is
     /// pointless — the same seeded inputs reproduce the same violation.
@@ -123,6 +133,9 @@ impl fmt::Display for DepburstError {
                 f,
                 "sweep incomplete: {failed} of {total} points failed after retries"
             ),
+            DepburstError::Storage { op, detail } => {
+                write!(f, "storage error during {op}: {detail}")
+            }
             DepburstError::InvariantViolation {
                 invariant,
                 at_secs,
@@ -190,6 +203,13 @@ mod tests {
                     detail: "crit exceeds active".into(),
                 },
                 "[counter-conservation]",
+            ),
+            (
+                DepburstError::Storage {
+                    op: "append".into(),
+                    detail: "no space left on device".into(),
+                },
+                "storage error during append",
             ),
         ];
         for (err, needle) in cases {

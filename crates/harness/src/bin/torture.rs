@@ -1,0 +1,95 @@
+//! Runs the storage-fault crash-consistency torture sweep over a small
+//! fig. 3 run: crash at every selected VFS operation, resume, and demand
+//! byte-identical output or a structured storage failure; flip bits in a
+//! persisted envelope and demand quarantine; soak both cache and journal
+//! in every probabilistic fault class at once.
+//!
+//! Usage: `cargo run --release -p harness --bin torture -- [scale] [seed]
+//! [--dense N] [--stride N] [--max-points N] [--bitflips N] [--soak F]
+//! [--storage-seed N]`
+//!
+//! Unlike the other binaries this one does not take the shared harness
+//! flags: it builds its own execution contexts (a fresh one per crash
+//! point, pinned to one worker so the fault schedule is deterministic).
+//!
+//! Exit codes: 0 = every durability contract held, 1 = usage or
+//! infrastructure error, 2 = contract breach — a silent corruption, a
+//! served bit flip, or a soak pass whose output diverged.
+
+use std::process::ExitCode;
+
+use harness::cli;
+use harness::experiments::torture::{self, TortureConfig};
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<ExitCode, Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = TortureConfig::default();
+    let (dense, args) = cli::split_flag(&args, "--dense")?;
+    if let Some(v) = dense {
+        cfg.dense = v.parse().map_err(|_| format!("invalid --dense value {v:?}"))?;
+    }
+    let (stride, args) = cli::split_flag(&args, "--stride")?;
+    if let Some(v) = stride {
+        cfg.stride = v.parse().map_err(|_| format!("invalid --stride value {v:?}"))?;
+    }
+    let (max_points, args) = cli::split_flag(&args, "--max-points")?;
+    if let Some(v) = max_points {
+        cfg.max_points = v.parse().map_err(|_| format!("invalid --max-points value {v:?}"))?;
+    }
+    let (bitflips, args) = cli::split_flag(&args, "--bitflips")?;
+    if let Some(v) = bitflips {
+        cfg.bitflips = v.parse().map_err(|_| format!("invalid --bitflips value {v:?}"))?;
+    }
+    let (soak, args) = cli::split_flag(&args, "--soak")?;
+    if let Some(v) = soak {
+        cfg.soak_intensity = v
+            .parse::<f64>()
+            .ok()
+            .filter(|i| (0.0..=1.0).contains(i))
+            .ok_or_else(|| format!("invalid --soak value {v:?} (want an intensity in [0, 1])"))?;
+    }
+    let (storage_seed, args) = cli::split_flag(&args, "--storage-seed")?;
+    if let Some(v) = storage_seed {
+        cfg.storage_seed =
+            v.parse().map_err(|_| format!("invalid --storage-seed value {v:?}"))?;
+    }
+    if let Some(flag) = args.iter().find(|a| a.starts_with("--")) {
+        return Err(format!(
+            "unknown flag {flag} (valid: --dense, --stride, --max-points, --bitflips, \
+             --soak, --storage-seed)"
+        )
+        .into());
+    }
+    if let Some(v) = args.first() {
+        cfg.scale = v
+            .parse::<f64>()
+            .ok()
+            .filter(|s| *s > 0.0)
+            .ok_or_else(|| format!("invalid scale {v:?}"))?;
+    }
+    if let Some(v) = args.get(1) {
+        cfg.seed = v.parse().map_err(|_| format!("invalid seed {v:?}"))?;
+    }
+
+    let report = torture::run(&cfg)?;
+    print!("{}", report.render());
+    std::fs::create_dir_all("results")?;
+    std::fs::write("results/torture.txt", report.render())?;
+    std::fs::write("results/torture.json", serde_json::to_string_pretty(&report)?)?;
+    eprintln!("wrote results/torture.json");
+    Ok(if report.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(cli::EXIT_POINT_FAILURES)
+    })
+}

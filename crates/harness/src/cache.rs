@@ -28,13 +28,17 @@ use serde::{Deserialize, Serialize};
 use simx::{FaultConfig, MachineConfig};
 
 use crate::run::RunSummary;
+use crate::vfs::{fnv1a64, write_atomic, RealVfs, Vfs};
 
 /// Version of the cached-entry schema. Bump on any change to the
 /// simulator's observable behaviour, the workload models, or the
 /// [`RunSummary`] layout — stale entries are then simply never looked at.
 /// v2: DRAM round sampling (`dram_round_sample_cap`), the multiplicative
 /// random address map, and digest-composed keys.
-pub const SCHEMA_VERSION: u32 = 2;
+/// v3: FNV-1a integrity checksum on every envelope and journal record
+/// (backward compatible by construction: old entries live under `v2/`
+/// and are simply never read).
+pub const SCHEMA_VERSION: u32 = 3;
 
 /// The content digest keying one simulation run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -166,8 +170,31 @@ struct CacheEnvelope {
     schema: u32,
     /// Hex content key, re-checked on load (defends against renamed files).
     key: String,
+    /// FNV-1a 64 digest (16 hex digits) of the serialized `summary`
+    /// field, re-checked on load: bit rot anywhere in the payload is
+    /// detected and the envelope quarantined, never served.
+    checksum: String,
     /// The cached result.
     summary: RunSummary,
+}
+
+/// The checksum field's rendering of a serialized summary. Shared with
+/// the checkpoint journal, whose records carry the same framing.
+pub(crate) fn summary_checksum(summary_json: &str) -> String {
+    format!("{:016x}", fnv1a64(summary_json.as_bytes()))
+}
+
+/// Composes the envelope text around an already-serialized summary,
+/// byte-identical to serializing a [`CacheEnvelope`] (asserted by a
+/// test) without re-walking the multi-KB summary a second time. The
+/// non-payload fields are plain hex/integers, so no JSON escaping is
+/// needed. Shared with the checkpoint journal: a journal record is the
+/// same `{schema, key, checksum, summary}` framing, one per line.
+pub(crate) fn compose_envelope(key: SimKey, checksum: &str, summary_json: &str) -> String {
+    format!(
+        "{{\"schema\":{SCHEMA_VERSION},\"key\":\"{}\",\"checksum\":\"{checksum}\",\"summary\":{summary_json}}}",
+        key.hex()
+    )
 }
 
 /// Hit/miss counters of a cache (for CI logs and tests).
@@ -196,6 +223,9 @@ pub struct SimCache {
     in_flight: Mutex<HashSet<u128>>,
     flight_done: Condvar,
     dir: Option<PathBuf>,
+    /// The storage layer all persistence I/O routes through. [`RealVfs`]
+    /// by default; the storage-fault harness swaps in a `FaultyVfs`.
+    vfs: Arc<dyn Vfs>,
     memory_hits: AtomicU64,
     disk_hits: AtomicU64,
     misses: AtomicU64,
@@ -218,6 +248,7 @@ impl SimCache {
             in_flight: Mutex::new(HashSet::new()),
             flight_done: Condvar::new(),
             dir: None,
+            vfs: Arc::new(RealVfs),
             memory_hits: AtomicU64::new(0),
             disk_hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -254,6 +285,22 @@ impl SimCache {
     #[must_use]
     pub fn is_persistent(&self) -> bool {
         self.dir.is_some()
+    }
+
+    /// Routes this cache's persistence I/O through `vfs` (builder
+    /// style). The default is [`RealVfs`]; the torture harness installs
+    /// a `FaultyVfs` here.
+    #[must_use]
+    pub fn with_vfs(mut self, vfs: Arc<dyn Vfs>) -> Self {
+        self.vfs = vfs;
+        self
+    }
+
+    /// Routes this cache's persistence I/O through `vfs` (in place; the
+    /// `--storage-faults` flag installs the injector on an already-built
+    /// context).
+    pub fn set_vfs(&mut self, vfs: Arc<dyn Vfs>) {
+        self.vfs = vfs;
     }
 
     /// The hit/miss counters so far.
@@ -331,10 +378,30 @@ impl SimCache {
     fn load_from_disk(&self, key: SimKey) -> Option<RunSummary> {
         let path = self.entry_path(key)?;
         // An absent entry is the ordinary cold-cache case, not corruption.
-        let bytes = std::fs::read(&path).ok()?;
+        let bytes = self.vfs.read(&path).ok()?;
         match serde_json::from_slice::<CacheEnvelope>(&bytes) {
             Ok(envelope) if envelope.schema == SCHEMA_VERSION && envelope.key == key.hex() => {
-                Some(envelope.summary)
+                // Integrity framing: the checksum was computed over the
+                // summary's serialization at store time. Re-serializing
+                // the parsed summary reproduces those exact bytes (the
+                // shim serializer is canonical and summaries roundtrip
+                // with exact f64 bit patterns — asserted by the golden
+                // suite), so any bit flip in the payload since the write
+                // lands here instead of in an experiment's numbers.
+                let reserialized = serde_json::to_string(&envelope.summary).ok()?;
+                let computed = summary_checksum(&reserialized);
+                if computed == envelope.checksum {
+                    Some(envelope.summary)
+                } else {
+                    self.quarantine(
+                        &path,
+                        &format!(
+                            "checksum mismatch (stored {}, computed {computed})",
+                            envelope.checksum
+                        ),
+                    );
+                    None
+                }
             }
             Ok(envelope) => {
                 // Stale schema or a renamed file: quarantine rather than
@@ -367,7 +434,10 @@ impl SimCache {
         };
         let qdir = schema_dir.parent().unwrap_or(schema_dir).join("quarantine");
         let dest = qdir.join(path.file_name().unwrap_or_default());
-        let moved = std::fs::create_dir_all(&qdir).and_then(|()| std::fs::rename(path, &dest));
+        let moved = self
+            .vfs
+            .create_dir_all(&qdir)
+            .and_then(|()| self.vfs.rename(path, &dest));
         match moved {
             Ok(()) => eprintln!(
                 "warning: quarantined corrupt cache entry {} -> {}: {why}",
@@ -389,19 +459,19 @@ impl SimCache {
         let Some(path) = self.entry_path(key) else {
             return;
         };
-        let envelope = CacheEnvelope {
-            schema: SCHEMA_VERSION,
-            key: key.hex(),
-            summary: summary.clone(),
-        };
-        let Ok(json) = serde_json::to_string(&envelope) else {
+        // Serialize the summary once; the envelope is composed around it
+        // (rather than cloning the summary into a CacheEnvelope and
+        // walking it a second time) and the checksum covers exactly the
+        // bytes between `"summary":` and the closing brace.
+        let Ok(summary_json) = serde_json::to_string(summary) else {
             self.persist_failures.fetch_add(1, Ordering::Relaxed);
             return;
         };
+        let json = compose_envelope(key, &summary_checksum(&summary_json), &summary_json);
         if let Some(parent) = path.parent() {
-            let _ = std::fs::create_dir_all(parent); // a failure surfaces in the write below
+            let _ = self.vfs.create_dir_all(parent); // a failure surfaces in the write below
         }
-        if write_atomically(&path, json.as_bytes()).is_err() {
+        if write_atomic(self.vfs.as_ref(), &path, json.as_bytes()).is_err() {
             self.persist_failures.fetch_add(1, Ordering::Relaxed);
         }
     }
@@ -417,7 +487,7 @@ impl SimCache {
     pub fn quarantine_key(&self, key: SimKey, why: &str) {
         self.mem.lock().expect("cache lock").remove(&key.0);
         if let Some(path) = self.entry_path(key) {
-            if path.exists() {
+            if self.vfs.exists(&path) {
                 self.quarantine(&path, why);
                 return;
             }
@@ -462,14 +532,6 @@ impl Drop for FlightGuard<'_> {
             .remove(&self.key.0);
         self.cache.flight_done.notify_all();
     }
-}
-
-/// Writes via a unique temp file + rename so concurrent writers of the
-/// same key (or an interrupted run) never leave a torn JSON file behind.
-fn write_atomically(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
-    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
-    std::fs::write(&tmp, bytes)?;
-    std::fs::rename(&tmp, path)
 }
 
 #[cfg(test)]
@@ -586,6 +648,71 @@ mod tests {
             .get_or_compute(key_for(4), || panic!("must hit disk"))
             .expect("ok");
         assert_eq!(replayed.gc_count, 11);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn composed_envelope_matches_the_derived_serializer() {
+        // `store_to_disk` composes the envelope text manually around the
+        // once-serialized summary; the loader parses it with the derived
+        // Deserialize. The two must agree byte-for-byte, or the checksum
+        // verified on load would not be the checksum computed at store.
+        let summary = dummy_summary(23);
+        let summary_json = serde_json::to_string(&summary).expect("serialize");
+        let checksum = summary_checksum(&summary_json);
+        let composed = compose_envelope(key_for(1), &checksum, &summary_json);
+        let parsed: CacheEnvelope = serde_json::from_str(&composed).expect("parses");
+        assert_eq!(parsed.schema, SCHEMA_VERSION);
+        assert_eq!(parsed.key, key_for(1).hex());
+        assert_eq!(parsed.checksum, checksum);
+        assert_eq!(parsed.summary, summary);
+        assert_eq!(
+            serde_json::to_string(&parsed).expect("re-serialize"),
+            composed,
+            "manual composition is byte-identical to the derived serializer"
+        );
+    }
+
+    #[test]
+    fn checksum_framing_detects_payload_bit_flips() {
+        let dir =
+            std::env::temp_dir().join(format!("depburst-cache-flip-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let writer = SimCache::persistent(&dir);
+        writer
+            .get_or_compute(key_for(12), || Ok(dummy_summary(31)))
+            .expect("ok");
+        let path = writer.entry_path(key_for(12)).expect("persistent");
+        let good = std::fs::read(&path).expect("envelope");
+        // Flip one bit inside the payload (past the header fields) such
+        // that the envelope still parses: pick a digit of a number after
+        // the `"summary":` marker, so the checksum branch (not the
+        // schema/key mismatch branch) is the one that must catch it.
+        let text = String::from_utf8(good.clone()).expect("utf8");
+        let payload_at = text.find("\"summary\":").expect("summary field");
+        let pos = payload_at
+            + good[payload_at..]
+                .iter()
+                .position(|b| b.is_ascii_digit())
+                .expect("numbers in payload");
+        let mut bad = good.clone();
+        bad[pos] ^= 0x01; // '0' <-> '1', '2' <-> '3', ... stays a digit
+        assert_ne!(bad, good);
+        std::fs::write(&path, &bad).expect("corrupt");
+        let reader = SimCache::persistent(&dir);
+        let served = reader
+            .get_or_compute(key_for(12), || Ok(dummy_summary(31)))
+            .expect("recomputes");
+        assert_eq!(served.gc_count, 31, "served from recompute, not the flipped bytes");
+        let stats = reader.stats();
+        assert_eq!(stats.disk_hits, 0, "the corrupt envelope must not count as a hit");
+        assert_eq!(stats.quarantined, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(
+            std::fs::read(dir.join("quarantine").join(path.file_name().expect("name")))
+                .expect("quarantined"),
+            bad
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 

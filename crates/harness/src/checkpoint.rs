@@ -1,54 +1,85 @@
 //! Append-only checkpoint journal for interruptible sweeps.
 //!
 //! Every completed simulation point is appended as one JSON line —
-//! `{schema, key, summary}` — to `results/checkpoints/<run-id>.jsonl`
-//! (directory overridable via `DEPBURST_CHECKPOINT_DIR`), fsynced in
-//! batches of [`FLUSH_BATCH`]. A SIGINT'd or crashed sweep restarted with
-//! `--resume <run-id>` replays the journaled points instead of
-//! re-simulating them, and — because summaries roundtrip JSON with exact
-//! f64 bit patterns (asserted by the golden suite) and results assemble
-//! in plan order — the resumed run's output is byte-identical to an
-//! uninterrupted one (asserted by `tests/determinism.rs` and the CI
-//! interrupt-resume step).
+//! `{schema, key, checksum, summary}` — to
+//! `results/checkpoints/<run-id>.jsonl` (directory overridable via
+//! `DEPBURST_CHECKPOINT_DIR`), fsynced in batches of [`FLUSH_BATCH`]. A
+//! SIGINT'd or crashed sweep restarted with `--resume <run-id>` replays
+//! the journaled points instead of re-simulating them, and — because
+//! summaries roundtrip JSON with exact f64 bit patterns (asserted by the
+//! golden suite) and results assemble in plan order — the resumed run's
+//! output is byte-identical to an uninterrupted one (asserted by
+//! `tests/determinism.rs` and the CI interrupt-resume step).
 //!
 //! Torn writes: a run killed mid-append can leave a truncated final line.
 //! Replay tolerates it — the fragment is skipped with a warning, the file
 //! is re-terminated with a newline so subsequent appends start clean, and
-//! the lost point simply re-simulates.
+//! the lost point simply re-simulates. The `checksum` field (FNV-1a over
+//! the record's serialized summary, shared framing with the disk cache)
+//! extends the same fail-closed posture to *silent* corruption: a record
+//! whose payload rotted since the write is skipped and counted, never
+//! replayed into an experiment's numbers.
+//!
+//! All file I/O routes through a [`Vfs`] ([`RealVfs`] by default), so the
+//! storage-fault torture harness can subject the journal to torn
+//! appends, dropped fsyncs, and crash points. Fsync errors are *counted*
+//! (surfaced in [`JournalStats`] and the end-of-run report), not
+//! swallowed: a journal that cannot sync still works in-process, but the
+//! operator learns resumability is at risk.
 
 use std::collections::HashMap;
-use std::fs::{File, OpenOptions};
-use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use serde::{Deserialize, Serialize};
 
-use crate::cache::{SimKey, SCHEMA_VERSION};
+use crate::cache::{compose_envelope, summary_checksum, SimKey, SCHEMA_VERSION};
 use crate::run::RunSummary;
+use crate::vfs::{RealVfs, Vfs};
 
 /// Records appended between fsyncs. Small enough that an interrupt loses
 /// at most a few points, large enough to amortize the sync cost over a
 /// sweep writing multi-megabyte trace summaries.
 pub const FLUSH_BATCH: usize = 4;
 
-/// One journal line. Shares [`SCHEMA_VERSION`] with the disk cache: both
+/// One journal line. Shares [`SCHEMA_VERSION`] and the
+/// `{schema, key, checksum, summary}` framing with the disk cache: both
 /// persist the same `RunSummary` payload, so they go stale together.
 #[derive(Debug, Serialize, Deserialize)]
 struct JournalRecord {
     schema: u32,
     key: String,
+    checksum: String,
     summary: RunSummary,
 }
 
 #[derive(Debug)]
 struct JournalState {
-    file: File,
     /// Appends since the last fsync.
     unsynced: usize,
     /// Everything known to be in the journal (replayed + appended).
     seen: HashMap<u128, Arc<RunSummary>>,
+}
+
+/// Counters describing a journal's health, for the end-of-run report.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct JournalStats {
+    /// Records loaded from the file at open.
+    pub loaded: usize,
+    /// Points served from the journal instead of simulating.
+    pub replays: u64,
+    /// Records appended by this process.
+    pub appends: u64,
+    /// Appends that failed (full disk, torn write, crash): those points
+    /// are not resumable.
+    pub append_failures: u64,
+    /// Fsyncs that returned an error: recent appends may not survive a
+    /// crash.
+    pub fsync_failures: u64,
+    /// Lines skipped at open (torn, unparsable, stale schema, or
+    /// checksum mismatch).
+    pub corrupt_lines: u64,
 }
 
 /// An append-only journal of completed point results, keyed by
@@ -57,11 +88,14 @@ struct JournalState {
 #[derive(Debug)]
 pub struct Journal {
     path: PathBuf,
+    vfs: Arc<dyn Vfs>,
     state: Mutex<JournalState>,
-    /// Points served from the journal instead of simulating.
     replays: AtomicU64,
-    /// Records appended by this process.
     appends: AtomicU64,
+    append_failures: AtomicU64,
+    fsync_failures: AtomicU64,
+    /// Lines skipped during replay at open.
+    corrupt_lines: u64,
     /// Records loaded from the file at open.
     loaded: usize,
 }
@@ -101,109 +135,162 @@ impl Journal {
     /// Starts a fresh journal for `run_id` (truncating any previous one —
     /// a new `--run-id` means a new run).
     pub fn create(run_id: &str) -> std::io::Result<Self> {
-        Self::create_at(Self::path_for(run_id)?)
+        Self::create_with(run_id, Arc::new(RealVfs))
+    }
+
+    /// [`create`](Self::create) with an explicit storage layer.
+    pub fn create_with(run_id: &str, vfs: Arc<dyn Vfs>) -> std::io::Result<Self> {
+        Self::create_at_with(Self::path_for(run_id)?, vfs)
     }
 
     /// Resumes the journal for `run_id`, replaying its completed points.
     /// A missing journal is not an error — the run starts from nothing,
     /// with a warning.
     pub fn resume(run_id: &str) -> std::io::Result<Self> {
-        Self::resume_at(Self::path_for(run_id)?)
+        Self::resume_with(run_id, Arc::new(RealVfs))
+    }
+
+    /// [`resume`](Self::resume) with an explicit storage layer.
+    pub fn resume_with(run_id: &str, vfs: Arc<dyn Vfs>) -> std::io::Result<Self> {
+        Self::resume_at_with(Self::path_for(run_id)?, vfs)
     }
 
     /// [`create`](Self::create) at an explicit path (tests).
     pub fn create_at(path: impl Into<PathBuf>) -> std::io::Result<Self> {
+        Self::create_at_with(path, Arc::new(RealVfs))
+    }
+
+    /// [`create_at`](Self::create_at) with an explicit storage layer.
+    pub fn create_at_with(path: impl Into<PathBuf>, vfs: Arc<dyn Vfs>) -> std::io::Result<Self> {
         let path = path.into();
         if let Some(parent) = path.parent() {
-            std::fs::create_dir_all(parent)?;
+            vfs.create_dir_all(parent)?;
         }
-        let file = File::create(&path)?;
+        vfs.write(&path, b"")?;
         Ok(Journal {
             path,
+            vfs,
             state: Mutex::new(JournalState {
-                file,
                 unsynced: 0,
                 seen: HashMap::new(),
             }),
             replays: AtomicU64::new(0),
             appends: AtomicU64::new(0),
+            append_failures: AtomicU64::new(0),
+            fsync_failures: AtomicU64::new(0),
+            corrupt_lines: 0,
             loaded: 0,
         })
     }
 
     /// [`resume`](Self::resume) at an explicit path (tests).
     pub fn resume_at(path: impl Into<PathBuf>) -> std::io::Result<Self> {
+        Self::resume_at_with(path, Arc::new(RealVfs))
+    }
+
+    /// [`resume_at`](Self::resume_at) with an explicit storage layer.
+    pub fn resume_at_with(path: impl Into<PathBuf>, vfs: Arc<dyn Vfs>) -> std::io::Result<Self> {
         let path = path.into();
-        if !path.exists() {
+        if !vfs.exists(&path) {
             eprintln!(
                 "warning: no checkpoint journal at {}; starting from scratch",
                 path.display()
             );
-            return Self::create_at(path);
+            return Self::create_at_with(path, vfs);
         }
-        let bytes = std::fs::read(&path)?;
-        let seen = Self::replay_lines(&path, &bytes);
+        let bytes = vfs.read(&path)?;
+        let (seen, corrupt_lines) = Self::replay_lines(&path, &bytes);
         let loaded = seen.len();
-        let mut file = OpenOptions::new().append(true).open(&path)?;
         if bytes.last().is_some_and(|b| *b != b'\n') {
             // A torn final line: terminate it so our appends start on a
             // fresh line (the fragment stays behind, skipped on replay).
-            file.write_all(b"\n")?;
+            vfs.append(&path, b"\n")?;
         }
         Ok(Journal {
             path,
-            state: Mutex::new(JournalState {
-                file,
-                unsynced: 0,
-                seen,
-            }),
+            vfs,
+            state: Mutex::new(JournalState { unsynced: 0, seen }),
             replays: AtomicU64::new(0),
             appends: AtomicU64::new(0),
+            append_failures: AtomicU64::new(0),
+            fsync_failures: AtomicU64::new(0),
+            corrupt_lines,
             loaded,
         })
     }
 
-    /// Tolerant line-by-line replay: skips (with a warning) unparsable
-    /// lines — expected for at most the final, torn one — and records
-    /// from a different schema version.
-    fn replay_lines(path: &Path, bytes: &[u8]) -> HashMap<u128, Arc<RunSummary>> {
+    /// Tolerant line-by-line replay: skips (with a warning, and a count)
+    /// unparsable lines — expected for at most the final, torn one —
+    /// records from a different schema version, and records whose
+    /// checksum no longer matches their payload. Returns the surviving
+    /// records and how many lines were skipped.
+    fn replay_lines(path: &Path, bytes: &[u8]) -> (HashMap<u128, Arc<RunSummary>>, u64) {
         let text = String::from_utf8_lossy(bytes);
         let mut seen = HashMap::new();
+        let mut corrupt = 0u64;
         let lines: Vec<&str> = text.split('\n').filter(|l| !l.trim().is_empty()).collect();
         let last = lines.len().saturating_sub(1);
         for (i, line) in lines.iter().enumerate() {
             match serde_json::from_str::<JournalRecord>(line) {
                 Ok(record) if record.schema == SCHEMA_VERSION => {
-                    match u128::from_str_radix(&record.key, 16) {
-                        Ok(key) => {
-                            seen.insert(key, Arc::new(record.summary));
+                    let key = match u128::from_str_radix(&record.key, 16) {
+                        Ok(key) => key,
+                        Err(_) => {
+                            corrupt += 1;
+                            eprintln!(
+                                "warning: checkpoint journal {}: line {} has a malformed key; skipping",
+                                path.display(),
+                                i + 1
+                            );
+                            continue;
                         }
-                        Err(_) => eprintln!(
-                            "warning: checkpoint journal {}: line {} has a malformed key; skipping",
+                    };
+                    // Same integrity argument as the cache: the shim
+                    // serializer is canonical, so re-serializing the
+                    // parsed summary reproduces the exact bytes the
+                    // store-time checksum covered.
+                    let verified = serde_json::to_string(&record.summary)
+                        .is_ok_and(|json| summary_checksum(&json) == record.checksum);
+                    if verified {
+                        seen.insert(key, Arc::new(record.summary));
+                    } else {
+                        corrupt += 1;
+                        eprintln!(
+                            "warning: checkpoint journal {}: line {} fails its checksum \
+                             (payload corrupted since the write); that point will re-simulate",
                             path.display(),
                             i + 1
-                        ),
+                        );
                     }
                 }
-                Ok(record) => eprintln!(
-                    "warning: checkpoint journal {}: line {} has schema {} (want {SCHEMA_VERSION}); skipping",
-                    path.display(),
-                    i + 1,
-                    record.schema
-                ),
-                Err(parse_err) if i == last => eprintln!(
-                    "warning: checkpoint journal {}: final line is truncated (torn write); \
-                     that point will re-simulate: {parse_err}",
-                    path.display()
-                ),
-                Err(parse_err) => eprintln!(
-                    "warning: checkpoint journal {}: skipping unparsable line {}: {parse_err}",
-                    path.display(),
-                    i + 1
-                ),
+                Ok(record) => {
+                    corrupt += 1;
+                    eprintln!(
+                        "warning: checkpoint journal {}: line {} has schema {} (want {SCHEMA_VERSION}); skipping",
+                        path.display(),
+                        i + 1,
+                        record.schema
+                    );
+                }
+                Err(parse_err) if i == last => {
+                    corrupt += 1;
+                    eprintln!(
+                        "warning: checkpoint journal {}: final line is truncated (torn write); \
+                         that point will re-simulate: {parse_err}",
+                        path.display()
+                    );
+                }
+                Err(parse_err) => {
+                    corrupt += 1;
+                    eprintln!(
+                        "warning: checkpoint journal {}: skipping unparsable line {}: {parse_err}",
+                        path.display(),
+                        i + 1
+                    );
+                }
             }
         }
-        seen
+        (seen, corrupt)
     }
 
     /// The journal's on-disk path.
@@ -230,46 +317,66 @@ impl Journal {
 
     /// Appends a completed point (idempotent: a key already in the
     /// journal — replayed or appended — is skipped). Append errors are
-    /// reported once to stderr and otherwise non-fatal: a full disk must
-    /// not kill the sweep, it only costs resumability of later points.
+    /// counted and reported to stderr but otherwise non-fatal: a full
+    /// disk must not kill the sweep, it only costs resumability of later
+    /// points. A failed append may have persisted a partial line, so a
+    /// best-effort newline re-terminates the file — replay skips the
+    /// fragment and subsequent appends start clean.
     pub fn record(&self, key: SimKey, summary: &Arc<RunSummary>) {
         let mut state = self.state.lock().expect("journal lock");
         if state.seen.contains_key(&key.0) {
             return;
         }
-        let record = JournalRecord {
-            schema: SCHEMA_VERSION,
-            key: key.hex(),
-            summary: (**summary).clone(),
-        };
-        let Ok(mut line) = serde_json::to_string(&record) else {
-            eprintln!("warning: checkpoint journal: unserializable record for {}", key.hex());
+        let Ok(summary_json) = serde_json::to_string(&**summary) else {
+            eprintln!(
+                "warning: checkpoint journal: unserializable record for {}",
+                key.hex()
+            );
             return;
         };
+        let mut line = compose_envelope(key, &summary_checksum(&summary_json), &summary_json);
         line.push('\n');
-        if let Err(write_err) = state.file.write_all(line.as_bytes()) {
+        if let Err(write_err) = self.vfs.append(&self.path, line.as_bytes()) {
+            self.append_failures.fetch_add(1, Ordering::Relaxed);
             eprintln!(
                 "warning: checkpoint journal {}: append failed ({write_err}); \
                  this point will not be resumable",
                 self.path.display()
             );
+            let _ = self.vfs.append(&self.path, b"\n"); // heal a torn partial line
             return;
         }
         state.seen.insert(key.0, Arc::clone(summary));
         state.unsynced += 1;
         if state.unsynced >= FLUSH_BATCH {
-            let _ = state.file.sync_data();
-            state.unsynced = 0;
+            self.sync(&mut state);
         }
         self.appends.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Fsyncs the journal, counting (and reporting once) failures
+    /// instead of swallowing them: an fsync that errors means recent
+    /// appends may not survive a crash, which the operator — and the
+    /// end-of-run report — should know about.
+    fn sync(&self, state: &mut JournalState) {
+        if let Err(sync_err) = self.vfs.fsync(&self.path) {
+            let prior = self.fsync_failures.fetch_add(1, Ordering::Relaxed);
+            if prior == 0 {
+                eprintln!(
+                    "warning: checkpoint journal {}: fsync failed ({sync_err}); \
+                     recent appends may not survive a crash",
+                    self.path.display()
+                );
+            }
+        }
+        state.unsynced = 0;
     }
 
     /// Flushes and fsyncs any unsynced appends (end of an execute pass).
     pub fn flush(&self) {
         let mut state = self.state.lock().expect("journal lock");
         if state.unsynced > 0 {
-            let _ = state.file.sync_data();
-            state.unsynced = 0;
+            self.sync(&mut state);
         }
     }
 
@@ -290,6 +397,19 @@ impl Journal {
     pub fn loaded(&self) -> usize {
         self.loaded
     }
+
+    /// The journal's health counters so far.
+    #[must_use]
+    pub fn stats(&self) -> JournalStats {
+        JournalStats {
+            loaded: self.loaded,
+            replays: self.replays.load(Ordering::Relaxed),
+            appends: self.appends.load(Ordering::Relaxed),
+            append_failures: self.append_failures.load(Ordering::Relaxed),
+            fsync_failures: self.fsync_failures.load(Ordering::Relaxed),
+            corrupt_lines: self.corrupt_lines,
+        }
+    }
 }
 
 impl Drop for Journal {
@@ -301,6 +421,7 @@ impl Drop for Journal {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::vfs::{FaultyVfs, StorageFaultConfig};
     use dvfs_trace::{ExecutionTrace, Freq, Time, TimeDelta};
 
     fn summary(marker: u64) -> Arc<RunSummary> {
@@ -348,6 +469,9 @@ mod tests {
         }
         assert_eq!(resumed.replays(), 5);
         assert!(resumed.lookup(SimKey(99)).is_none());
+        let stats = resumed.stats();
+        assert_eq!(stats.corrupt_lines, 0);
+        assert_eq!(stats.append_failures, 0);
         let _ = std::fs::remove_file(&path);
     }
 
@@ -369,6 +493,7 @@ mod tests {
 
         let resumed = Journal::resume_at(&path).expect("torn journals resume");
         assert_eq!(resumed.loaded(), 2, "intact records survive the tear");
+        assert_eq!(resumed.stats().corrupt_lines, 1, "the fragment is counted");
         // Appending after the tear must start on a fresh line.
         resumed.record(SimKey(3), &summary(3));
         drop(resumed);
@@ -406,7 +531,89 @@ mod tests {
         std::fs::write(&path, &bytes).expect("rewrite");
         let resumed = Journal::resume_at(&path).expect("resume");
         assert_eq!(resumed.loaded(), 0, "stale schema must not replay");
+        assert_eq!(resumed.stats().corrupt_lines, 1);
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupted_payloads_fail_their_checksum_and_reexecute() {
+        let path = tmp("checksum");
+        let _ = std::fs::remove_file(&path);
+        let journal = Journal::create_at(&path).expect("create");
+        journal.record(SimKey(1), &summary(1));
+        journal.record(SimKey(2), &summary(2));
+        drop(journal);
+        // Rot one digit inside the *first* record's payload: the line
+        // still parses, but the checksum no longer covers its bytes.
+        let text = std::fs::read_to_string(&path).expect("read");
+        let corrupted = text.replacen("\"gc_count\":1", "\"gc_count\":7", 1);
+        assert_ne!(corrupted, text, "the payload digit was found and flipped");
+        std::fs::write(&path, corrupted).expect("rot");
+
+        let resumed = Journal::resume_at(&path).expect("resume");
+        assert_eq!(resumed.loaded(), 1, "only the intact record replays");
+        assert!(
+            resumed.lookup(SimKey(1)).is_none(),
+            "the rotted record must not be served"
+        );
+        assert_eq!(resumed.lookup(SimKey(2)).expect("intact").gc_count, 2);
+        assert_eq!(resumed.stats().corrupt_lines, 1);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn fsync_failures_are_counted_not_swallowed() {
+        let path = tmp("fsync");
+        let _ = std::fs::remove_file(&path);
+        let journal = Journal::create_at(&path).expect("create");
+        journal.record(SimKey(1), &summary(1));
+        // Yank the file out from under the journal: the explicit flush's
+        // fsync cannot open it and must count the failure.
+        std::fs::remove_file(&path).expect("yank");
+        journal.flush();
+        let stats = journal.stats();
+        assert_eq!(stats.fsync_failures, 1);
+        assert_eq!(stats.appends, 1);
+        // Dropping flushes again only if unsynced > 0; it is not, so the
+        // count stays stable.
+        drop(journal);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn append_failures_are_counted_and_the_sweep_survives() {
+        let dir = std::env::temp_dir().join(format!("depburst-journal-af-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("run.jsonl");
+        // Every append tears: records are lost (not resumable) but
+        // `record` itself never errors out of the sweep.
+        let vfs = Arc::new(FaultyVfs::new(StorageFaultConfig {
+            torn_write: 1.0,
+            ..StorageFaultConfig::none(4)
+        }));
+        let journal = Journal::create_at_with(&path, vfs).expect_err("create's write also tears");
+        // The constructor itself surfaces the torn create as an error —
+        // build the journal against the real fs, then install the faulty
+        // appends by re-resuming through the injector.
+        let _ = journal;
+        Journal::create_at(&path).expect("create for real");
+        let vfs = Arc::new(FaultyVfs::new(StorageFaultConfig {
+            torn_write: 1.0,
+            ..StorageFaultConfig::none(4)
+        }));
+        let journal = Journal::resume_at_with(&path, vfs).expect("resume through the injector");
+        journal.record(SimKey(1), &summary(1));
+        journal.record(SimKey(2), &summary(2));
+        let stats = journal.stats();
+        assert_eq!(stats.append_failures, 2);
+        assert_eq!(stats.appends, 0);
+        drop(journal);
+        // Both records were torn mid-line and healed with newlines; a
+        // real resume skips the fragments instead of dying.
+        let resumed = Journal::resume_at(&path).expect("resume");
+        assert_eq!(resumed.loaded(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -20,6 +20,11 @@
 //! * `--sampling SETTING` — sampled execution tier (`off`, `on`, or a
 //!   measure fraction in (probe, 1); env `DEPBURST_SAMPLING`; default
 //!   off). See `simx::sampling`.
+//! * `--storage-faults SPEC` — storage-fault injection on the cache and
+//!   checkpoint journal (`off`, an intensity in `[0, 1]`, `seed=N`,
+//!   `crash=N`, comma-separated; env `DEPBURST_STORAGE_FAULTS`; default
+//!   off — all durable I/O goes straight through the real filesystem).
+//!   See `harness::vfs`.
 //!
 //! An unknown `--flag` is a usage error: the diagnostic names the
 //! offending flag, suggests the nearest valid one when the typo is small,
@@ -61,13 +66,16 @@ pub struct CommonOpts {
     /// `Some(Some(cfg))` = the sampled tier, `None` = not given (use the
     /// env).
     pub sampling: Option<Option<simx::SamplingConfig>>,
+    /// `--storage-faults SPEC`: `Some(None)` = explicit `off`,
+    /// `Some(Some(cfg))` = an injector, `None` = not given (use the env).
+    pub storage_faults: Option<Option<crate::vfs::StorageFaultConfig>>,
     /// Remaining positional arguments (and pass-through binary-specific
     /// flags), in order.
     pub rest: Vec<String>,
 }
 
 /// The flags every binary understands, for the unknown-flag diagnostic.
-const COMMON_FLAGS: [&str; 7] = [
+const COMMON_FLAGS: [&str; 8] = [
     "--jobs",
     "--point-timeout",
     "--retries",
@@ -75,6 +83,7 @@ const COMMON_FLAGS: [&str; 7] = [
     "--resume",
     "--invariants",
     "--sampling",
+    "--storage-faults",
 ];
 
 /// Extracts `--jobs N` / `--jobs=N` from `args`, returning the requested
@@ -153,6 +162,11 @@ fn parse_sampling(v: &str) -> Result<Option<simx::SamplingConfig>, String> {
     crate::run::parse_sampling_setting(v).map_err(|e| format!("invalid --sampling value: {e}"))
 }
 
+fn parse_storage(v: &str) -> Result<Option<crate::vfs::StorageFaultConfig>, String> {
+    crate::vfs::parse_storage_faults(v)
+        .map_err(|e| format!("invalid --storage-faults value: {e}"))
+}
+
 /// Splits the shared flags from `args`, leaving the binary's positional
 /// arguments in [`CommonOpts::rest`]. Equivalent to
 /// [`parse_common_with`] with no binary-specific flags: any unrecognized
@@ -188,6 +202,9 @@ pub fn parse_common_with(args: &[String], extra_flags: &[&str]) -> Result<Common
                 opts.invariants = Some(parse_invariants(&value_of("--invariants")?)?);
             }
             "--sampling" => opts.sampling = Some(parse_sampling(&value_of("--sampling")?)?),
+            "--storage-faults" => {
+                opts.storage_faults = Some(parse_storage(&value_of("--storage-faults")?)?);
+            }
             other => {
                 if let Some(v) = other.strip_prefix("--jobs=") {
                     opts.jobs = Some(parse_jobs(v)?);
@@ -203,6 +220,8 @@ pub fn parse_common_with(args: &[String], extra_flags: &[&str]) -> Result<Common
                     opts.invariants = Some(parse_invariants(v)?);
                 } else if let Some(v) = other.strip_prefix("--sampling=") {
                     opts.sampling = Some(parse_sampling(v)?);
+                } else if let Some(v) = other.strip_prefix("--storage-faults=") {
+                    opts.storage_faults = Some(parse_storage(v)?);
                 } else if other.starts_with("--") {
                     let bare = other.split('=').next().unwrap_or(other);
                     if extra_flags.contains(&bare) {
@@ -277,9 +296,45 @@ pub fn build_ctx(opts: &CommonOpts) -> std::io::Result<ExecCtx> {
     if let Some(sampling) = opts.sampling {
         ctx.sampling = sampling;
     }
+    match opts.storage_faults {
+        // Explicit `--storage-faults off` clears an env-installed one.
+        Some(None) => ctx = ctx.without_storage(),
+        Some(Some(cfg)) => ctx = ctx.with_storage_faults(cfg),
+        None => {}
+    }
+    // Build the journal *after* storage so it shares the injector. An
+    // invalid run id is a usage error, but a journal that cannot be
+    // created or read is a *degraded* run, not a dead one: checkpointing
+    // is best-effort (mirroring how append/fsync failures are counted,
+    // never fatal), so the sweep proceeds non-resumable with a loud
+    // warning instead of dying before it starts.
     let journal = match (&opts.resume, &opts.run_id) {
-        (Some(id), _) => Some(Journal::resume(id)?),
-        (None, Some(id)) => Some(Journal::create(id)?),
+        (Some(id), _) => {
+            Journal::path_for(id)?;
+            match Journal::resume_with(id, ctx.storage_vfs()) {
+                Ok(journal) => Some(journal),
+                Err(e) => {
+                    eprintln!(
+                        "warning: cannot resume checkpoint journal {id}: {e}; \
+                         continuing without checkpointing"
+                    );
+                    None
+                }
+            }
+        }
+        (None, Some(id)) => {
+            Journal::path_for(id)?;
+            match Journal::create_with(id, ctx.storage_vfs()) {
+                Ok(journal) => Some(journal),
+                Err(e) => {
+                    eprintln!(
+                        "warning: cannot create checkpoint journal {id}: {e}; \
+                         this run will not be resumable"
+                    );
+                    None
+                }
+            }
+        }
         (None, None) => None,
     };
     if let Some(journal) = journal {
@@ -336,6 +391,41 @@ fn finish(experiment: &str, ctx: &ExecCtx, result: CliResult) -> ExitCode {
             "warning: {} cache persist attempt(s) failed; those points will re-simulate next run",
             cache.persist_failures
         );
+    }
+    if let Some(journal) = ctx.journal() {
+        let js = journal.stats();
+        if js.append_failures > 0 {
+            eprintln!(
+                "warning: {} checkpoint append(s) failed; those points are not resumable",
+                js.append_failures
+            );
+        }
+        if js.fsync_failures > 0 {
+            eprintln!(
+                "warning: {} checkpoint fsync(s) failed; recent appends may not survive a crash",
+                js.fsync_failures
+            );
+        }
+    }
+    if let Some(storage) = ctx.storage() {
+        let s = storage.stats();
+        eprintln!(
+            "storage faults: {} ops, {} torn writes, {} dropped fsyncs, {} rename failures, \
+             {} enospc, {} corrupted reads{}",
+            s.ops,
+            s.torn_writes,
+            s.dropped_fsyncs,
+            s.rename_failures,
+            s.enospc_failures,
+            s.corrupted_reads,
+            if s.crashed { ", CRASHED" } else { "" }
+        );
+        // A fired crash point escalates to a structured storage failure:
+        // the run must exit through the failure-report path, never as a
+        // clean success over half-written state.
+        if let Some(failure) = ctx.storage_failure() {
+            ctx.record_failure(failure);
+        }
     }
     let report_path = format!("results/{experiment}_failures.json");
     let report = ctx.failure_report(experiment);
@@ -518,6 +608,23 @@ mod tests {
     }
 
     #[test]
+    fn storage_faults_flag_parses_specs() {
+        let opts = parse_common(&strs(&["--storage-faults", "off"])).unwrap();
+        assert_eq!(opts.storage_faults, Some(None));
+        let opts = parse_common(&strs(&["--storage-faults=0.2,seed=7"])).unwrap();
+        let cfg = opts.storage_faults.flatten().expect("injector on");
+        assert_eq!(cfg.seed, 7);
+        assert!(cfg.torn_write > 0.0);
+        let opts = parse_common(&strs(&["--storage-faults=crash=12"])).unwrap();
+        assert_eq!(
+            opts.storage_faults.flatten().expect("crash mode").crash_after,
+            Some(12)
+        );
+        assert!(parse_common(&strs(&["--storage-faults", "2.0"])).is_err());
+        assert_eq!(parse_common(&strs(&[])).unwrap().storage_faults, None);
+    }
+
+    #[test]
     fn edit_distance_is_the_usual_levenshtein() {
         assert_eq!(edit_distance("", ""), 0);
         assert_eq!(edit_distance("--jobs", "--jobs"), 0);
@@ -541,5 +648,31 @@ mod tests {
         // A bad run id is a usage error, not a panic.
         let bad = parse_common(&strs(&["--run-id", "../escape"])).unwrap();
         assert!(build_ctx(&bad).is_err());
+    }
+
+    #[test]
+    fn unwritable_journal_degrades_the_run_instead_of_killing_it() {
+        // crash=0 fails the very first VFS operation, so the journal can
+        // never be created: the context must still build — checkpointing
+        // is best-effort — just without a journal. The id is still
+        // validated strictly even on that path.
+        let opts = parse_common(&strs(&[
+            "--run-id",
+            "cli-degraded",
+            "--storage-faults",
+            "crash=0",
+        ]))
+        .unwrap();
+        let ctx = build_ctx(&opts).expect("degraded, not dead");
+        assert!(ctx.journal().is_none());
+        assert!(ctx.storage().expect("injector installed").crashed());
+        let bad = parse_common(&strs(&[
+            "--run-id",
+            "../escape",
+            "--storage-faults",
+            "crash=0",
+        ]))
+        .unwrap();
+        assert!(build_ctx(&bad).is_err(), "id validation must stay hard");
     }
 }

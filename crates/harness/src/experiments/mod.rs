@@ -15,3 +15,5 @@ pub mod faults;
 pub mod fleet;
 
 pub mod sampling_error;
+
+pub mod torture;

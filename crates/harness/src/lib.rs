@@ -13,13 +13,17 @@
 //! | Fault injection & graceful degradation | [`experiments::faults`] | `faults` |
 //! | Fleet-scale governor under chaos | [`experiments::fleet`] | `fleet` |
 //! | Invariant-monitored fuzzing | [`fuzz`] | `fuzz` |
+//! | Storage-fault crash-consistency torture | [`experiments::torture`] | `torture` |
 //!
 //! The [`run`] module holds the single-run plumbing shared by everything.
 //! Long sweeps run resiliently: points are panic-isolated and
 //! watchdog-bounded with deterministic retry ([`resilience`]), completed
 //! points checkpoint to an append-only journal for `--resume`
 //! ([`checkpoint`]), and ultimate failures surface as a structured
-//! end-of-run report with a nonzero exit code ([`cli`]).
+//! end-of-run report with a nonzero exit code ([`cli`]). All durable I/O
+//! — cache envelopes and journal records, both carrying FNV-1a integrity
+//! checksums — routes through the [`vfs`] storage abstraction, whose
+//! deterministic fault injector the torture harness drives.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -33,6 +37,7 @@ pub mod pool;
 pub mod report;
 pub mod resilience;
 pub mod run;
+pub mod vfs;
 
 pub use cache::{bench_digest, fault_digest, sim_key, sim_key_from_digests, CacheStats, SimCache, SimKey};
 pub use checkpoint::Journal;
@@ -41,3 +46,4 @@ pub use run::{
     run_benchmark, try_run_benchmark, try_run_benchmark_monitored, ExecCtx, RunConfig, RunResult,
     RunSummary, SimPoint, SweepPlan,
 };
+pub use vfs::{FaultyVfs, RealVfs, StorageFaultConfig, StorageFaultStats, Vfs};

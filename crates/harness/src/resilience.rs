@@ -99,8 +99,8 @@ impl RetryPolicy {
 }
 
 /// Why a point ultimately failed. Serializes by variant name (`"Panic"`,
-/// `"Timeout"`, `"Invariant"`, `"Error"` — the vendored serde shim has no
-/// rename support).
+/// `"Timeout"`, `"Invariant"`, `"Storage"`, `"Error"` — the vendored
+/// serde shim has no rename support).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
 pub enum FailureCause {
     /// The evaluation panicked.
@@ -109,6 +109,10 @@ pub enum FailureCause {
     Timeout,
     /// A runtime invariant monitor check failed (see `simx::invariants`).
     Invariant,
+    /// Durable storage failed underneath the harness (crash point fired,
+    /// unrecoverable cache/journal I/O — see `harness::vfs`). The point
+    /// fails closed rather than continuing on untrustworthy state.
+    Storage,
     /// The evaluation returned an error.
     Error,
 }
@@ -173,6 +177,11 @@ pub struct FailureReport {
     pub quarantined: u64,
     /// Cache persist attempts that failed.
     pub cache_persist_failures: u64,
+    /// Checkpoint-journal appends that failed (points not resumable).
+    pub journal_append_failures: u64,
+    /// Checkpoint-journal fsyncs that failed (recent appends may not
+    /// survive a crash).
+    pub journal_fsync_failures: u64,
     /// The per-point failures.
     pub failures: Vec<PointFailure>,
 }
@@ -436,6 +445,8 @@ mod tests {
             timeouts: 1,
             quarantined: 1,
             cache_persist_failures: 0,
+            journal_append_failures: 0,
+            journal_fsync_failures: 2,
             failures: vec![],
         };
         let line = report.summary_line();

@@ -19,6 +19,7 @@ use crate::pool;
 use crate::resilience::{
     attempt_resilient, FailureCause, FailureReport, PointFailure, ResilienceStats, RetryPolicy,
 };
+use crate::vfs::{parse_storage_faults, FaultyVfs, RealVfs, StorageFaultConfig, Vfs};
 
 /// Parameters of one benchmark run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -388,6 +389,11 @@ pub struct ExecCtx {
     pub sampling: Option<simx::SamplingConfig>,
     /// The checkpoint journal, when the run is resumable.
     journal: Option<Journal>,
+    /// The storage-fault injector, when one is installed (torture runs
+    /// and `--storage-faults`). Shared with the cache; the journal is
+    /// built over it via [`storage_vfs`](Self::storage_vfs). `None` means
+    /// all durable I/O goes straight through [`RealVfs`].
+    storage: Option<Arc<FaultyVfs>>,
     /// Ultimate point failures accumulated across this context's sweeps.
     failures: Mutex<Vec<PointFailure>>,
     /// Failures stashed by key while they cross the cache's error channel
@@ -409,6 +415,7 @@ impl ExecCtx {
             point_timeout: None,
             sampling: None,
             journal: None,
+            storage: None,
             failures: Mutex::new(Vec::new()),
             stashed: Mutex::new(HashMap::new()),
             rstats: ResilienceStats::default(),
@@ -439,6 +446,13 @@ impl ExecCtx {
             match parse_sampling_setting(v.trim()) {
                 Ok(sampling) => ctx.sampling = sampling,
                 Err(e) => eprintln!("warning: ignoring DEPBURST_SAMPLING: {e}"),
+            }
+        }
+        if let Ok(v) = std::env::var("DEPBURST_STORAGE_FAULTS") {
+            match parse_storage_faults(&v) {
+                Ok(Some(cfg)) => ctx = ctx.with_storage_faults(cfg),
+                Ok(None) => {}
+                Err(e) => eprintln!("warning: ignoring DEPBURST_STORAGE_FAULTS: {e}"),
             }
         }
         ctx
@@ -486,6 +500,69 @@ impl ExecCtx {
         self.journal.as_ref()
     }
 
+    /// Installs a storage-fault injector (builder style): the cache's
+    /// disk I/O routes through it immediately, and journals built via
+    /// [`storage_vfs`](Self::storage_vfs) share it. Install the injector
+    /// *before* the journal so both layers see one fault schedule.
+    #[must_use]
+    pub fn with_storage(mut self, vfs: Arc<FaultyVfs>) -> Self {
+        self.cache.set_vfs(Arc::clone(&vfs) as Arc<dyn Vfs>);
+        self.storage = Some(vfs);
+        self
+    }
+
+    /// [`with_storage`](Self::with_storage) from a fault configuration.
+    #[must_use]
+    pub fn with_storage_faults(self, cfg: StorageFaultConfig) -> Self {
+        self.with_storage(Arc::new(FaultyVfs::new(cfg)))
+    }
+
+    /// Removes any installed injector, restoring direct [`RealVfs`] I/O
+    /// (an explicit `--storage-faults off` over an env-installed one).
+    #[must_use]
+    pub fn without_storage(mut self) -> Self {
+        self.cache.set_vfs(Arc::new(RealVfs));
+        self.storage = None;
+        self
+    }
+
+    /// The installed storage-fault injector, if any.
+    #[must_use]
+    pub fn storage(&self) -> Option<&Arc<FaultyVfs>> {
+        self.storage.as_ref()
+    }
+
+    /// The storage layer journals (and any other durable consumer)
+    /// should be built over: the installed injector, or [`RealVfs`].
+    #[must_use]
+    pub fn storage_vfs(&self) -> Arc<dyn Vfs> {
+        self.storage
+            .as_ref()
+            .map_or_else(|| Arc::new(RealVfs) as Arc<dyn Vfs>, |s| {
+                Arc::clone(s) as Arc<dyn Vfs>
+            })
+    }
+
+    /// When the injected crash point has fired, the structured
+    /// storage failure the run should exit with (the process is "dead";
+    /// results past this point would be fiction).
+    #[must_use]
+    pub fn storage_failure(&self) -> Option<PointFailure> {
+        let storage = self.storage.as_ref()?;
+        if !storage.crashed() {
+            return None;
+        }
+        Some(PointFailure {
+            label: "storage".to_owned(),
+            cause: FailureCause::Storage,
+            attempts: 0,
+            detail: format!(
+                "simulated power loss after {} VFS operations; the sweep fails closed",
+                storage.op_count()
+            ),
+        })
+    }
+
     /// Records a point's ultimate failure into the run's report.
     pub fn record_failure(&self, failure: PointFailure) {
         self.failures.lock().expect("failures lock").push(failure);
@@ -511,6 +588,7 @@ impl ExecCtx {
             return None;
         }
         let cache = self.cache.stats();
+        let journal = self.journal.as_ref().map(Journal::stats).unwrap_or_default();
         Some(FailureReport {
             experiment: experiment.to_owned(),
             failed_points: failures.len(),
@@ -519,6 +597,8 @@ impl ExecCtx {
             timeouts: self.rstats.timeouts(),
             quarantined: cache.quarantined,
             cache_persist_failures: cache.persist_failures,
+            journal_append_failures: journal.append_failures,
+            journal_fsync_failures: journal.fsync_failures,
             failures,
         })
     }
@@ -673,6 +753,20 @@ impl ExecCtx {
             })
             .collect();
         let outcomes = pool::map(keyed, self.jobs, |(point, key, (bd, md))| {
+            // A fired crash point means the simulated machine lost power:
+            // remaining points fail closed instead of simulating against
+            // storage that no longer accepts writes.
+            if self.storage.as_ref().is_some_and(|s| s.crashed()) {
+                return Err(PointFailure {
+                    label: format!(
+                        "{} @ {} seed {}",
+                        point.bench.name, point.config.freq, point.config.seed
+                    ),
+                    cause: FailureCause::Storage,
+                    attempts: 0,
+                    detail: "simulated power loss: storage crashed; abandoning the sweep".into(),
+                });
+            }
             let journal_key = namespace.map_or(key, |ns| key.in_namespace(ns));
             let t0 = std::time::Instant::now();
             // Journal replay first: a resumed run serves completed points

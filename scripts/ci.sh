@@ -191,6 +191,63 @@ chaos_gate() {
 }
 step "chaos gate: fleet determinism under faults" chaos_gate
 
+# Durability gates: the storage layer must never serve corrupted bytes.
+# The torture binary crash-tests a small fig3 run at a handful of VFS
+# operation indices (resume must be byte-identical or fail closed with a
+# structured Storage exit), then runs the checksum sabotage sweep:
+# single bits flipped in a persisted cache envelope must be quarantined
+# and recomputed, never served. tests/storage.rs enforces the same
+# quarantine property in-process; this gate drives it through the real
+# binary. The full crash-point matrix (every operation index) is the
+# committed results/torture.json — regenerate with
+#
+#   target/release/torture
+#
+# after touching the vfs, cache, or checkpoint layers.
+torture_gate() {
+    local json=/tmp/depburst-ci-torture.json
+    local rc=0
+    # Run from /tmp so the smoke sweep does not clobber the committed
+    # full-matrix results/torture.json evidence.
+    (cd /tmp && "$OLDPWD/$BIN/torture" "$SCALE" 1 --dense 4 --stride 31 \
+        --max-points 10 --bitflips 48 > /dev/null 2> /dev/null \
+        && cp results/torture.json "$json") || rc=$?
+    if [ "$rc" -ne 0 ]; then
+        echo "torture sweep: want exit 0, got $rc"
+        return 1
+    fi
+    grep -q '"silent_corruptions": 0' "$json" || {
+        echo "torture smoke found silent corruptions (or wrote no report)"
+        return 1
+    }
+    grep -q '"bitflips_missed": 0' "$json" || {
+        echo "torture smoke served a flipped bit instead of quarantining it"
+        return 1
+    }
+    rm -f "$json"
+}
+step "durability: torture smoke + bit-flip sabotage" torture_gate
+
+# Fault-soaked runs may lose durability, never bytes: a fig3 sweep with
+# every probabilistic storage fault active (over a persistent cache and
+# a journal, so the injector actually sees traffic) must print exactly
+# the bytes of a clean run and exit 0.
+storage_identity() {
+    local out=/tmp/depburst-ci-storage
+    local cache=/tmp/depburst-ci-storage-cache
+    local id="ci-storage-$$"
+    rm -rf "$out".*.out "$cache"
+    "$BIN/fig3" both "$SCALE" 1 --jobs 2 > "$out.plain.out" 2> /dev/null
+    DEPBURST_CACHE="$cache" "$BIN/fig3" both "$SCALE" 1 --jobs 2 \
+        --storage-faults 0.4,seed=5 --run-id "$id" > "$out.faulty.out" 2> /dev/null
+    cmp "$out.plain.out" "$out.faulty.out" || {
+        echo "fig3 under --storage-faults is not byte-identical to a clean run"
+        return 1
+    }
+    rm -rf "$out".*.out "$cache" "results/checkpoints/${id}.jsonl"
+}
+step "durability: fault-soaked sweep identity" storage_identity
+
 # Invariant gates: the simulator self-checks under the sanitizer-style
 # monitor, and the fuzzer both stays quiet on the honest simulator and
 # catches (and shrinks) a deliberately weakened invariant.
