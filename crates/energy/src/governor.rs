@@ -179,6 +179,24 @@ impl DegradationLadder {
     /// one rung per round; promotions require a full
     /// [`DegradationConfig::rejoin_threshold`] healthy window each.
     pub fn observe(&mut self, round: u64, governor_reachable: bool, telemetry_ok: bool) -> GovernorMode {
+        self.observe_health(round, governor_reachable, telemetry_ok, true)
+    }
+
+    /// [`DegradationLadder::observe`] with the thermal dimension: a round
+    /// under emergency throttle (or worse) is `thermal_ok = false`. A
+    /// thermally constrained machine is pinned at its V/f floor and
+    /// cannot follow central allocations, so such rounds never count
+    /// toward the rejoin window — but they do not demote either (the
+    /// throttle ladder, not governor authority, is handling the machine).
+    /// With `thermal_ok = true` this is exactly `observe`, so thermal-off
+    /// fleets are bit-identical to pre-thermal ones.
+    pub fn observe_health(
+        &mut self,
+        round: u64,
+        governor_reachable: bool,
+        telemetry_ok: bool,
+        thermal_ok: bool,
+    ) -> GovernorMode {
         if governor_reachable {
             self.unreachable_streak = 0;
         } else {
@@ -189,7 +207,7 @@ impl DegradationLadder {
         } else {
             self.loss_streak += 1;
         }
-        if governor_reachable && telemetry_ok {
+        if governor_reachable && telemetry_ok && thermal_ok {
             self.healthy_streak += 1;
         } else {
             self.healthy_streak = 0;
@@ -345,6 +363,10 @@ pub struct Allocation {
     pub power_w: f64,
     /// The budget slice this allocation had to fit, watts.
     pub available_w: f64,
+    /// The unavoidable floor: estimated power with every machine pinned
+    /// to its ladder minimum, watts. Water-filling cannot go below it, so
+    /// `power_w` may legitimately exceed a slice smaller than this.
+    pub floor_w: f64,
 }
 
 /// The central DVFS governor: greedy latency-levelling allocation under a
@@ -389,6 +411,7 @@ impl CentralGovernor {
             .zip(&ladders)
             .map(|(v, l)| power_of(v, l[0]))
             .sum();
+        let floor_w = power_w;
 
         loop {
             // The worst-latency machine that still has headroom.
@@ -420,6 +443,7 @@ impl CentralGovernor {
             freqs: idx.iter().zip(&ladders).map(|(&i, l)| l[i]).collect(),
             power_w,
             available_w,
+            floor_w,
         }
     }
 }
@@ -451,6 +475,247 @@ impl LocalGovernor {
             .iter()
             .find(|&f| view.service_time(f) <= budget)
             .unwrap_or(max)
+    }
+}
+
+/// The root of the hierarchical governor: it owns no machines, only the
+/// split of the effective global budget across region aggregators.
+///
+/// Region *shares* (fractions summing to one) are the persistent state.
+/// Budget **cuts** propagate instantly — a brownout multiplies every
+/// region's watts through the effective budget the same round — but
+/// share *redistribution* is damped and dead-banded, so demand swings
+/// and shock windows cannot oscillate watts back and forth across
+/// regions (the anti-cascade hysteresis). When the root itself is down,
+/// shares freeze and every region keeps allocating autonomously inside
+/// its frozen share; machines notice nothing. That asymmetry — flat
+/// central control dies with its root, a hierarchy only stops
+/// *rebalancing* — is the whole point of the extra tier.
+#[derive(Debug, Clone)]
+pub struct HierarchicalGovernor {
+    /// Fraction of the share gap closed per rebalance (`0..=1`).
+    pub damping: f64,
+    /// Largest per-region share gap that is left alone (hysteresis).
+    pub deadband: f64,
+    shares: Vec<f64>,
+}
+
+impl HierarchicalGovernor {
+    /// A root over `regions` regions, starting at equal shares, with the
+    /// default damping (30% per round) and deadband (2% of share).
+    #[must_use]
+    pub fn new(regions: usize) -> Self {
+        let regions = regions.max(1);
+        HierarchicalGovernor {
+            damping: 0.3,
+            deadband: 0.02,
+            shares: vec![1.0 / regions as f64; regions],
+        }
+    }
+
+    /// Number of regions.
+    #[must_use]
+    pub fn regions(&self) -> usize {
+        self.shares.len()
+    }
+
+    /// The current region shares (always summing to 1 within float
+    /// rounding).
+    #[must_use]
+    pub fn shares(&self) -> &[f64] {
+        &self.shares
+    }
+
+    /// One rebalance step toward demand-proportional shares. `demand` is
+    /// any non-negative per-region load proxy (reachable machines,
+    /// queued work); `root_down` freezes the shares entirely — the
+    /// regions run autonomously on what they last held.
+    pub fn rebalance(&mut self, demand: &[f64], root_down: bool) {
+        self.rebalance_masked(demand, &[], root_down);
+    }
+
+    /// One rebalance step with anti-cascade containment: regions marked
+    /// `frozen` (typically: their aggregator is unreachable, so their
+    /// demand signal is silence, not absence) keep their current share
+    /// untouched, and only the active regions' slice of the budget is
+    /// redistributed among the active regions. Without this, an orphaned
+    /// region's share bleeds to its siblings round over round — the
+    /// siblings run hotter on the windfall, and the region rejoins into a
+    /// starved, floor-power slice: a textbook failure cascade.
+    ///
+    /// An empty `frozen` mask means no region is frozen.
+    pub fn rebalance_masked(&mut self, demand: &[f64], frozen: &[bool], root_down: bool) {
+        if root_down || demand.len() != self.shares.len() {
+            return;
+        }
+        if !frozen.is_empty() && frozen.len() != self.shares.len() {
+            return;
+        }
+        let is_frozen = |r: usize| frozen.get(r).copied().unwrap_or(false);
+        let frozen_mass: f64 = self
+            .shares
+            .iter()
+            .enumerate()
+            .filter(|(r, _)| is_frozen(*r))
+            .map(|(_, s)| s)
+            .sum();
+        let active_mass = (1.0 - frozen_mass).max(0.0);
+        let total: f64 = demand
+            .iter()
+            .enumerate()
+            .filter(|(r, _)| !is_frozen(*r))
+            .map(|(_, d)| d.max(0.0))
+            .sum();
+        if total <= 0.0 || active_mass <= 0.0 {
+            return;
+        }
+        let desired: Vec<f64> = demand
+            .iter()
+            .enumerate()
+            .map(|(r, d)| {
+                if is_frozen(r) {
+                    self.shares[r]
+                } else {
+                    active_mass * d.max(0.0) / total
+                }
+            })
+            .collect();
+        let gap = desired
+            .iter()
+            .zip(&self.shares)
+            .map(|(d, s)| (d - s).abs())
+            .fold(0.0f64, f64::max);
+        if gap <= self.deadband {
+            return;
+        }
+        for (share, d) in self.shares.iter_mut().zip(&desired) {
+            *share += (d - *share) * self.damping;
+        }
+        // Renormalize only the active mass: rounding drift must never
+        // leak into (or out of) a frozen region's share.
+        let active_sum: f64 = self
+            .shares
+            .iter()
+            .enumerate()
+            .filter(|(r, _)| !is_frozen(*r))
+            .map(|(_, s)| s)
+            .sum();
+        if active_sum > 0.0 {
+            for (r, share) in self.shares.iter_mut().enumerate() {
+                if !is_frozen(r) {
+                    *share *= active_mass / active_sum;
+                }
+            }
+        }
+    }
+
+    /// The watts region `region` may allocate this round, given the
+    /// effective (possibly browned-out) global budget. Cuts flow through
+    /// immediately; only share redistribution is damped.
+    #[must_use]
+    pub fn region_budget(&self, region: usize, effective_w: f64) -> f64 {
+        self.shares.get(region).copied().unwrap_or(0.0) * effective_w
+    }
+}
+
+/// Trip parameters of the fleet's overshoot breaker.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BreakerConfig {
+    /// Relative overshoot of the effective budget tolerated before the
+    /// breaker trips anyone.
+    pub rel_tol: f64,
+    /// Rounds a tripped machine holds the V/f floor.
+    pub hold_rounds: u32,
+    /// Release stagger stride: the k-th machine tripped in one round is
+    /// released `k * stagger_rounds` later than the first, so a tripped
+    /// cohort cannot re-inrush together (anti-cascade).
+    pub stagger_rounds: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            rel_tol: 0.10,
+            hold_rounds: 3,
+            stagger_rounds: 2,
+        }
+    }
+}
+
+/// The power-integrity breaker at the feed: when measured fleet power
+/// exceeds the effective budget beyond tolerance, the worst overshooting
+/// machines are forced to their V/f floor for a hold, released staggered.
+/// Deterministic — candidates are ordered by (power, id).
+///
+/// This is the physical backstop under the governors: a fleet whose
+/// machines degraded to budget-*oblivious* local control (a flat root
+/// crash during a brownout) overshoots, trips, and pays for it in
+/// latency; a hierarchy that kept its machines centrally governed fits
+/// the budget and never meets the breaker.
+#[derive(Debug, Clone)]
+pub struct OvershootBreaker {
+    config: BreakerConfig,
+    /// Per machine: first round it is free again (0 = not tripped).
+    tripped_until: Vec<u64>,
+    trips: u64,
+}
+
+impl OvershootBreaker {
+    /// A breaker over `machines` machines.
+    #[must_use]
+    pub fn new(machines: usize, config: BreakerConfig) -> Self {
+        OvershootBreaker {
+            config,
+            tripped_until: vec![0; machines],
+            trips: 0,
+        }
+    }
+
+    /// Total trip events so far.
+    #[must_use]
+    pub fn trips(&self) -> u64 {
+        self.trips
+    }
+
+    /// True if `machine` must run its V/f floor in `round`.
+    #[must_use]
+    pub fn is_tripped(&self, round: u64, machine: usize) -> bool {
+        self.tripped_until.get(machine).is_some_and(|&until| round < until)
+    }
+
+    /// Feeds one round's measured per-machine powers. If the fleet
+    /// overshoots `effective_w` beyond tolerance, trips machines —
+    /// heaviest overshooters first — until the projected shed covers the
+    /// excess. Returns how many machines were newly tripped.
+    pub fn observe(&mut self, round: u64, effective_w: f64, power_w: &[f64]) -> usize {
+        let total: f64 = power_w.iter().sum();
+        let excess = total - effective_w * (1.0 + self.config.rel_tol);
+        if excess <= 0.0 {
+            return 0;
+        }
+        let fair = effective_w / power_w.len().max(1) as f64;
+        let mut candidates: Vec<(usize, f64)> = power_w
+            .iter()
+            .copied()
+            .enumerate()
+            .filter(|&(m, p)| p > fair && !self.is_tripped(round + 1, m))
+            .collect();
+        candidates.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(core::cmp::Ordering::Equal).then(a.0.cmp(&b.0)));
+        let mut shed = 0.0;
+        let mut newly = 0usize;
+        for (m, p) in candidates {
+            if shed >= excess {
+                break;
+            }
+            // Forcing the floor recovers most of a busy machine's draw.
+            shed += p * 0.8;
+            let hold = u64::from(self.config.hold_rounds)
+                + newly as u64 * u64::from(self.config.stagger_rounds);
+            self.tripped_until[m] = round + 1 + hold;
+            self.trips += 1;
+            newly += 1;
+        }
+        newly
     }
 }
 
@@ -632,5 +897,138 @@ mod tests {
         assert!(view.service_time(f) <= bound + 1e-12);
         // A zero bound forces the maximum.
         assert_eq!(LocalGovernor::new(0.0).choose(&view), l.max());
+    }
+
+    #[test]
+    fn thermal_emergency_blocks_rejoin_but_never_demotes() {
+        let cfg = DegradationConfig {
+            rejoin_threshold: 2,
+            ..DegradationConfig::default()
+        };
+        // A thermally-unhappy but connected machine stays where it is.
+        let mut hot = DegradationLadder::new(cfg);
+        for r in 0..6 {
+            assert_eq!(
+                hot.observe_health(r, true, true, false),
+                GovernorMode::Central,
+                "thermal distress alone must not demote"
+            );
+        }
+        // After a partition heals, a thermal emergency holds the rejoin.
+        let mut l = DegradationLadder::new(cfg);
+        l.observe_health(0, false, true, true);
+        l.observe_health(1, false, true, true);
+        assert_eq!(l.mode(), GovernorMode::LocalDepBurst);
+        for r in 2..8 {
+            assert_eq!(
+                l.observe_health(r, true, true, false),
+                GovernorMode::LocalDepBurst,
+                "rejoin streak must not accumulate while throttling"
+            );
+        }
+        assert_eq!(l.observe_health(8, true, true, true), GovernorMode::LocalDepBurst);
+        assert_eq!(l.observe_health(9, true, true, true), GovernorMode::Central);
+        assert!(l.monotonicity_issue().is_none());
+    }
+
+    #[test]
+    fn observe_health_with_thermal_ok_matches_observe() {
+        let cfg = DegradationConfig::default();
+        let mut a = DegradationLadder::new(cfg);
+        let mut b = DegradationLadder::new(cfg);
+        let pattern = [
+            (true, true),
+            (false, true),
+            (false, false),
+            (true, false),
+            (true, true),
+            (true, true),
+            (true, true),
+            (true, true),
+        ];
+        for (r, &(reach, tel)) in pattern.iter().enumerate() {
+            let ma = a.observe(r as u64, reach, tel);
+            let mb = b.observe_health(r as u64, reach, tel, true);
+            assert_eq!(ma, mb);
+        }
+        assert_eq!(a.transitions().len(), b.transitions().len());
+    }
+
+    #[test]
+    fn hierarchy_starts_equal_and_conserves_the_budget() {
+        let h = HierarchicalGovernor::new(4);
+        assert_eq!(h.regions(), 4);
+        let total: f64 = (0..4).map(|r| h.region_budget(r, 240.0)).sum();
+        assert!((total - 240.0).abs() < 1e-9);
+        for r in 0..4 {
+            assert!((h.region_budget(r, 240.0) - 60.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn hierarchy_rebalance_is_damped_and_freezes_when_root_is_down() {
+        let mut h = HierarchicalGovernor::new(2);
+        // Root down: shares frozen no matter the demand skew.
+        h.rebalance(&[10.0, 0.0], true);
+        assert!((h.shares()[0] - 0.5).abs() < 1e-12);
+        // Root up: one step moves partway toward demand, not all the way.
+        h.rebalance(&[3.0, 1.0], false);
+        assert!(h.shares()[0] > 0.5 && h.shares()[0] < 0.75);
+        let after_one = h.shares()[0];
+        // Repeated steps converge toward the demand split.
+        for _ in 0..50 {
+            h.rebalance(&[3.0, 1.0], false);
+        }
+        assert!(h.shares()[0] > after_one);
+        assert!((h.shares()[0] - 0.75).abs() < h.deadband + 1e-9);
+        let total: f64 = h.shares().iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hierarchy_deadband_suppresses_small_swings() {
+        let mut h = HierarchicalGovernor::new(2);
+        h.rebalance(&[1.01, 0.99], false);
+        assert!((h.shares()[0] - 0.5).abs() < 1e-12, "inside the deadband nothing moves");
+    }
+
+    #[test]
+    fn breaker_ignores_fleets_inside_the_budget() {
+        let mut b = OvershootBreaker::new(3, BreakerConfig::default());
+        assert_eq!(b.observe(0, 300.0, &[100.0, 100.0, 100.0]), 0);
+        assert_eq!(b.trips(), 0);
+        assert!(!b.is_tripped(1, 0));
+    }
+
+    #[test]
+    fn breaker_trips_heaviest_overshooters_with_staggered_release() {
+        let cfg = BreakerConfig {
+            rel_tol: 0.10,
+            hold_rounds: 2,
+            stagger_rounds: 3,
+        };
+        let mut b = OvershootBreaker::new(3, cfg);
+        // 420 W against a 200 W budget: machine 2 then machine 1 trip.
+        let newly = b.observe(5, 200.0, &[60.0, 160.0, 200.0]);
+        assert_eq!(newly, 2);
+        assert_eq!(b.trips(), 2);
+        assert!(!b.is_tripped(6, 0), "the light machine rides through");
+        assert!(b.is_tripped(6, 1) && b.is_tripped(6, 2));
+        // First trip (machine 2) holds 2 rounds, second adds one stagger.
+        assert!(!b.is_tripped(8, 2));
+        assert!(b.is_tripped(8, 1));
+        assert!(!b.is_tripped(11, 1));
+    }
+
+    #[test]
+    fn breaker_is_deterministic_on_ties() {
+        let mut a = OvershootBreaker::new(4, BreakerConfig::default());
+        let mut b = OvershootBreaker::new(4, BreakerConfig::default());
+        let powers = [150.0, 150.0, 150.0, 150.0];
+        a.observe(0, 300.0, &powers);
+        b.observe(0, 300.0, &powers);
+        for m in 0..4 {
+            assert_eq!(a.is_tripped(1, m), b.is_tripped(1, m));
+        }
     }
 }

@@ -26,8 +26,9 @@ mod power;
 mod vf;
 
 pub use governor::{
-    Allocation, CentralGovernor, DegradationConfig, DegradationLadder, GovernorMode,
-    GovernorPolicy, LocalGovernor, MachineView, Transition,
+    Allocation, BreakerConfig, CentralGovernor, DegradationConfig, DegradationLadder,
+    GovernorMode, GovernorPolicy, HierarchicalGovernor, LocalGovernor, MachineView,
+    OvershootBreaker, Transition,
 };
 pub use manager::{EnergyManager, HardeningConfig, ManagerConfig, ManagerReport};
 pub use metrics::{select_best, Efficiency, Objective};

@@ -90,6 +90,16 @@ pub enum DepburstError {
         /// The rendered I/O error.
         detail: String,
     },
+    /// A CLI option combination the invoked experiment cannot honor
+    /// (e.g. `--sampling on` on the fleet, whose round loop is not a
+    /// sampled-execution consumer). Fails closed at startup, before any
+    /// simulation work runs.
+    UnsupportedOption {
+        /// The offending option, as typed.
+        option: String,
+        /// Why the experiment cannot honor it.
+        detail: String,
+    },
     /// A runtime invariant monitor check failed (see `simx::invariants`):
     /// the simulated physics produced self-inconsistent state. Retrying is
     /// pointless — the same seeded inputs reproduce the same violation.
@@ -135,6 +145,9 @@ impl fmt::Display for DepburstError {
             ),
             DepburstError::Storage { op, detail } => {
                 write!(f, "storage error during {op}: {detail}")
+            }
+            DepburstError::UnsupportedOption { option, detail } => {
+                write!(f, "unsupported option {option}: {detail}")
             }
             DepburstError::InvariantViolation {
                 invariant,
@@ -210,6 +223,13 @@ mod tests {
                     detail: "no space left on device".into(),
                 },
                 "storage error during append",
+            ),
+            (
+                DepburstError::UnsupportedOption {
+                    option: "--sampling".into(),
+                    detail: "the fleet round loop has no sampled tier".into(),
+                },
+                "unsupported option --sampling",
             ),
         ];
         for (err, needle) in cases {

@@ -1,13 +1,20 @@
 //! `fuzz` — seeded structure-aware fuzzing of the simulator under the
 //! full invariant monitor, with shrinking.
 //!
-//! Usage: `fuzz [--seeds N] [--seed S] [--shrink] [--jobs N]`
+//! Usage: `fuzz [--seeds N] [--seed S] [--shrink] [--fleet] [--jobs N]`
 //!
 //! Generates `--seeds N` cases (default 25) from campaign seed `--seed S`
 //! (default 1), runs each under `DEPBURST_INVARIANTS=full`, and — with
 //! `--shrink` — reduces every violating case to a minimal reproducer.
 //! Campaigns are byte-for-byte reproducible: same seed, same cases, same
 //! findings, same reproducers.
+//!
+//! `--fleet` switches to the fleet tier: cases are whole fleet rounds on
+//! synthetic machines — governance topology, chaos schedules (including
+//! brownout / aggregator-crash / stuck-sensor), and the thermal layer —
+//! checked against the fleet invariants (thermal ceiling, throttle
+//! monotonicity, hierarchy budget conservation, rejoin monotonicity, …)
+//! and shrunk with topology-aware transforms.
 //!
 //! Violations are recorded as point failures (`results/fuzz_failures.json`,
 //! exit code 2), with the shrunk reproducer's JSON in the detail.
@@ -25,14 +32,18 @@ use harness::resilience::{FailureCause, PointFailure};
 use harness::ExecCtx;
 
 fn main() -> ExitCode {
-    cli::main_with_flags("fuzz", &["--seeds", "--seed", "--shrink"], body)
+    cli::main_with_flags("fuzz", &["--seeds", "--seed", "--shrink", "--fleet"], body)
 }
 
 fn body(ctx: &ExecCtx, args: &[String]) -> CliResult {
     let (seeds, args) = cli::split_flag(args, "--seeds")?;
     let (seed, args) = cli::split_flag(&args, "--seed")?;
     let shrink = args.iter().any(|a| a == "--shrink");
-    let rest: Vec<&String> = args.iter().filter(|a| *a != "--shrink").collect();
+    let fleet_tier = args.iter().any(|a| a == "--fleet");
+    let rest: Vec<&String> = args
+        .iter()
+        .filter(|a| *a != "--shrink" && *a != "--fleet")
+        .collect();
     if !rest.is_empty() {
         return Err(format!("unexpected arguments: {rest:?}").into());
     }
@@ -48,22 +59,17 @@ fn body(ctx: &ExecCtx, args: &[String]) -> CliResult {
             .parse()
             .map_err(|_| format!("invalid --seed value {v:?} (want an integer seed)"))?,
     };
-    let sabotage = match std::env::var("DEPBURST_BREAK_INVARIANT") {
-        Err(_) => None,
-        Ok(name) => match simx::Invariant::from_name(name.trim()) {
-            Some(inv) => Some(inv),
-            None => {
-                return Err(format!(
-                    "DEPBURST_BREAK_INVARIANT={name:?} names no invariant (see simx::invariants)"
-                )
-                .into())
-            }
-        },
-    };
+    let sabotage = cli::sabotage_from_env()?;
 
-    println!("fuzz campaign: seed {campaign_seed}, {cases} case(s), shrink={shrink}");
+    println!(
+        "fuzz campaign: seed {campaign_seed}, {cases} case(s), shrink={shrink}, tier={}",
+        if fleet_tier { "fleet" } else { "point" }
+    );
     if let Some(inv) = sabotage {
         println!("sabotage hook armed: {} deliberately weakened", inv.name());
+    }
+    if fleet_tier {
+        return fleet_body(ctx, campaign_seed, cases, shrink, sabotage);
     }
     let findings = fuzz::run_campaign(campaign_seed, cases, shrink, sabotage);
     let mut violations = 0usize;
@@ -89,6 +95,61 @@ fn body(ctx: &ExecCtx, args: &[String]) -> CliResult {
                 }
                 ctx.record_failure(PointFailure {
                     label: format!("fuzz case {} (campaign seed {campaign_seed})", finding.index),
+                    cause: FailureCause::Invariant,
+                    attempts: 1,
+                    detail,
+                });
+            }
+        }
+    }
+    println!(
+        "fuzz campaign done: {} case(s), {violations} violation(s)",
+        findings.len()
+    );
+    Ok(())
+}
+
+fn fleet_body(
+    ctx: &ExecCtx,
+    campaign_seed: u64,
+    cases: u64,
+    shrink: bool,
+    sabotage: Option<simx::Invariant>,
+) -> CliResult {
+    let findings = fuzz::run_fleet_campaign(campaign_seed, cases, shrink, sabotage);
+    let mut violations = 0usize;
+    for finding in &findings {
+        let c = &finding.case;
+        match &finding.violation {
+            None => println!(
+                "case {:>3}: ok       {}m/{}r {} {} chaos {}/{}/{}/{}",
+                finding.index,
+                c.machines,
+                c.regions,
+                if c.hierarchy { "hier" } else { "flat" },
+                if c.thermal { "thermal" } else { "cold" },
+                c.chaos_milli,
+                c.brownout_milli,
+                c.aggregator_milli,
+                c.sensor_milli,
+            ),
+            Some(v) => {
+                violations += 1;
+                println!(
+                    "case {:>3}: VIOLATION [{}] {}",
+                    finding.index, v.invariant, v.detail
+                );
+                let mut detail = format!("[{}] {}", v.invariant, v.detail);
+                if let Some(minimal) = &finding.shrunk {
+                    let json = serde_json::to_string(minimal)?;
+                    println!("          shrunk reproducer: {json}");
+                    detail.push_str(&format!("; shrunk reproducer: {json}"));
+                }
+                ctx.record_failure(PointFailure {
+                    label: format!(
+                        "fleet fuzz case {} (campaign seed {campaign_seed})",
+                        finding.index
+                    ),
                     cause: FailureCause::Invariant,
                     attempts: 1,
                     detail,

@@ -128,6 +128,25 @@ pub fn split_flag(args: &[String], name: &str) -> Result<(Option<String>, Vec<St
     Ok((value, rest))
 }
 
+/// Reads the test-only `DEPBURST_BREAK_INVARIANT` sabotage hook: CI sets
+/// it to an invariant name to deliberately weaken that check and prove
+/// the detector (and its reporting path) actually fires. Unset in every
+/// real run.
+///
+/// # Errors
+/// Returns a usage error when the value names no invariant.
+pub fn sabotage_from_env() -> Result<Option<simx::Invariant>, String> {
+    match std::env::var("DEPBURST_BREAK_INVARIANT") {
+        Err(_) => Ok(None),
+        Ok(name) => match simx::Invariant::from_name(name.trim()) {
+            Some(inv) => Ok(Some(inv)),
+            None => Err(format!(
+                "DEPBURST_BREAK_INVARIANT={name:?} names no invariant (see simx::invariants)"
+            )),
+        },
+    }
+}
+
 fn parse_jobs(v: &str) -> Result<usize, String> {
     match v.parse::<usize>() {
         Ok(n) if n >= 1 => Ok(n),

@@ -33,6 +33,27 @@
 //! Crashed rounds are *partial by design*: the machine sheds its traffic
 //! and its row says so — the sweep itself never loses a point.
 //!
+//! # Thermal and power integrity
+//!
+//! With [`FleetConfig::thermal`] enabled, every machine carries a
+//! deterministic RC [`ThermalModel`] (power → temperature with leakage
+//! feedback, seeded sensor noise) and a [`ThrottleLadder`]:
+//! proactive throttle below the power cap, emergency throttle with a
+//! forced V/f floor at T_crit, thermal shutdown plus staggered
+//! black-start past T_shutdown. A thermal emergency blocks the
+//! degradation ladder's *rejoin* streak but never demotes — heat is not
+//! a reachability failure. At the feed, an [`OvershootBreaker`] trips
+//! budget-overshooting machines to their floor with staggered release,
+//! containing brownout-induced cascades. With `regions > 1` and
+//! `hierarchy` on, a root [`HierarchicalGovernor`] splits the effective
+//! budget across region aggregators with damped, dead-banded rebalances;
+//! regions whose aggregator is up keep allocating autonomously when the
+//! root is down, whereas the flat topology loses every machine with it.
+//!
+//! All of it is pay-for-what-you-use: thermal disabled (the default)
+//! draws no randomness, touches no accumulators, and reproduces the
+//! pre-thermal fleet byte-for-byte.
+//!
 //! At zero chaos intensity a fleet of one lusearch machine reproduces the
 //! single-machine golden byte-for-byte (the characterization points are
 //! the golden points), which is what pins this whole subsystem to the
@@ -46,13 +67,18 @@ use std::sync::Arc;
 use dacapo_sim::{all_benchmarks, Benchmark};
 use dvfs_trace::{Freq, FreqLadder};
 use energyx::{
-    CentralGovernor, DegradationConfig, DegradationLadder, GovernorMode, GovernorPolicy,
-    LocalGovernor, MachineView, PowerModel,
+    BreakerConfig, CentralGovernor, DegradationConfig, DegradationLadder, GovernorMode,
+    GovernorPolicy, HierarchicalGovernor, LocalGovernor, MachineView, OvershootBreaker,
+    PowerModel,
 };
 use serde::Serialize;
 use simx::faults::SplitMix64;
-use simx::fleet::{ChaosConfig, ChaosSchedule, ChaosState, FleetTopology};
-use simx::{Invariant, InvariantViolation};
+use simx::fleet::{region_of, ChaosConfig, ChaosSchedule, ChaosState, FleetTopology};
+use simx::thermal::{CEILING_MARGIN_MC, CEILING_SETTLE_ROUNDS};
+use simx::{
+    Invariant, InvariantViolation, ThermalConfig, ThermalModel, ThrottleConfig, ThrottleLadder,
+    ThrottleStage, ThrottleTransition,
+};
 
 use crate::report::TextTable;
 use crate::run::{ExecCtx, RunSummary, SimPoint, SweepPlan};
@@ -100,13 +126,33 @@ pub struct FleetConfig {
     pub local_slowdown: f64,
     /// Degradation-ladder thresholds.
     pub degradation: DegradationConfig,
+    /// Region aggregators the machines are tiled across (contiguously,
+    /// like shards). One region ≡ the pre-hierarchy fleet.
+    pub regions: usize,
+    /// Hierarchical governance: the root splits the budget across region
+    /// aggregators and each region allocates its own machines. Off =
+    /// one flat central governor whose reachability depends on the root
+    /// *and* the machine's region aggregator (single point of failure).
+    pub hierarchy: bool,
+    /// Per-machine thermal model. [`ThermalConfig::disabled`] (the
+    /// default) draws nothing and reproduces the pre-thermal fleet
+    /// byte-for-byte.
+    pub thermal: ThermalConfig,
+    /// Throttle-ladder thresholds (only consulted when thermal is on).
+    pub throttle: ThrottleConfig,
+    /// Overshoot-breaker thresholds (armed only when thermal is on).
+    pub breaker: BreakerConfig,
+    /// CI sabotage hook: deliberately break this invariant so the gate
+    /// can prove the detector fires. Never set in real runs.
+    pub sabotage: Option<Invariant>,
     /// Benchmark pool; machine `i` runs `benches[i % benches.len()]`.
     pub benches: Vec<&'static Benchmark>,
 }
 
 impl FleetConfig {
     /// A fleet with the default knobs: every benchmark in rotation, no
-    /// chaos, oracle policy, a budget of 60 W per machine.
+    /// chaos, oracle policy, a budget of 60 W per machine, one region,
+    /// flat governance, thermal disabled.
     #[must_use]
     pub fn new(machines: usize, shards: usize, rounds: usize, scale: f64, seed: u64) -> Self {
         FleetConfig {
@@ -121,8 +167,27 @@ impl FleetConfig {
             slo_factor: 2.0,
             local_slowdown: 0.10,
             degradation: DegradationConfig::default(),
+            regions: 1,
+            hierarchy: false,
+            thermal: ThermalConfig::disabled(),
+            throttle: ThrottleConfig::default(),
+            breaker: BreakerConfig::default(),
+            sabotage: None,
             benches: all_benchmarks().iter().collect(),
         }
+    }
+
+    /// True when this config exercises any of the thermal/hierarchy
+    /// extensions — gates the optional report fields so legacy runs
+    /// serialize byte-identically.
+    #[must_use]
+    pub fn extended(&self) -> bool {
+        self.thermal.enabled
+            || self.hierarchy
+            || self.regions > 1
+            || self.chaos.sensor_stuck > 0.0
+            || self.chaos.aggregator_crash > 0.0
+            || self.chaos.brownout > 0.0
     }
 }
 
@@ -152,8 +217,10 @@ pub struct CharactPoint {
     pub summary: Arc<RunSummary>,
 }
 
-/// Per-machine fleet outcome.
-#[derive(Debug, Clone, Serialize)]
+/// Per-machine fleet outcome. `Serialize` is hand-written: the thermal
+/// fields are emitted only on thermal runs, so legacy reports stay
+/// byte-identical (the vendored serde shim has no `skip_serializing_if`).
+#[derive(Debug, Clone)]
 pub struct MachineRow {
     /// Fleet-wide machine id.
     pub machine: usize,
@@ -167,7 +234,7 @@ pub struct MachineRow {
     pub rounds_local: u32,
     /// Rounds pinned at the hardened fallback maximum.
     pub rounds_fallback: u32,
-    /// Rounds down (crashed) — partial by design.
+    /// Rounds down (crashed or thermally shut down) — partial by design.
     pub rounds_down: u32,
     /// Crash outages the chaos schedule dealt this machine.
     pub crashes: u32,
@@ -183,10 +250,17 @@ pub struct MachineRow {
     pub energy_j: f64,
     /// Every degradation-ladder transition, rendered.
     pub transitions: Vec<String>,
+    /// Peak true die temperature over the run, milli-°C (thermal runs).
+    pub peak_temp_mc: Option<i64>,
+    /// Up-rounds spent above the Normal throttle stage (thermal runs).
+    pub throttle_rounds: Option<u32>,
+    /// Every throttle-ladder transition, rendered (thermal runs).
+    pub thermal_transitions: Vec<String>,
 }
 
-/// Fleet-level aggregates.
-#[derive(Debug, Clone, Serialize)]
+/// Fleet-level aggregates. `Serialize` is hand-written like
+/// [`MachineRow`]'s: the `Option` fields appear only on extended runs.
+#[derive(Debug, Clone)]
 pub struct FleetSummary {
     /// Machines simulated.
     pub machines: usize,
@@ -204,8 +278,8 @@ pub struct FleetSummary {
     pub partition_events: usize,
     /// Global power budget, watts.
     pub budget_w: f64,
-    /// Rounds where actual fleet power exceeded the budget (plus
-    /// tolerance) — the naive policy's signature failure.
+    /// Rounds where actual fleet power exceeded the effective budget
+    /// (plus tolerance) — the naive policy's signature failure.
     pub overshoot_rounds: usize,
     /// Total requests served.
     pub served: f64,
@@ -213,11 +287,120 @@ pub struct FleetSummary {
     pub shed: f64,
     /// Served-weighted mean SLO attainment over machines.
     pub slo_attainment: f64,
+    /// Strict SLO attainment over *all* machine-rounds (extended runs):
+    /// a crashed or thermally-shut-down round serves nobody, so it counts
+    /// as a miss instead of vanishing from the denominator. This is the
+    /// lens that makes budget-oblivious "run hot, crash, restart empty"
+    /// behaviour cost what it should.
+    pub strict_slo_attainment: Option<f64>,
     /// Fleet energy, joules.
     pub energy_j: f64,
     /// Machine-rounds spent below central control (local + fallback +
     /// down).
     pub degraded_machine_rounds: u64,
+    /// Region aggregators (extended runs).
+    pub regions: Option<usize>,
+    /// Hierarchical governance on (extended runs).
+    pub hierarchy: Option<bool>,
+    /// Rounds spent under a brownout (extended runs).
+    pub brownout_rounds: Option<usize>,
+    /// Aggregator + root outage windows (extended runs).
+    pub aggregator_events: Option<usize>,
+    /// Emergency-throttle engagements fleet-wide (thermal runs).
+    pub emergency_throttles: Option<u64>,
+    /// Thermal shutdowns fleet-wide (thermal runs).
+    pub thermal_shutdowns: Option<u64>,
+    /// Staggered black-start recoveries fleet-wide (thermal runs).
+    pub black_starts: Option<u64>,
+    /// Overshoot-breaker trips fleet-wide (thermal runs).
+    pub breaker_trips: Option<u64>,
+    /// Hottest true die temperature any machine reached, milli-°C
+    /// (thermal runs).
+    pub peak_temp_mc: Option<i64>,
+    /// Mean effective (browned-out) budget over the run, watts
+    /// (extended runs).
+    pub mean_effective_budget_w: Option<f64>,
+}
+
+impl Serialize for MachineRow {
+    fn to_value(&self) -> serde::Value {
+        let mut map = vec![
+            ("machine".to_owned(), self.machine.to_value()),
+            ("shard".to_owned(), self.shard.to_value()),
+            ("benchmark".to_owned(), self.benchmark.to_value()),
+            ("rounds_central".to_owned(), self.rounds_central.to_value()),
+            ("rounds_local".to_owned(), self.rounds_local.to_value()),
+            ("rounds_fallback".to_owned(), self.rounds_fallback.to_value()),
+            ("rounds_down".to_owned(), self.rounds_down.to_value()),
+            ("crashes".to_owned(), self.crashes.to_value()),
+            ("served".to_owned(), self.served.to_value()),
+            ("shed".to_owned(), self.shed.to_value()),
+            ("slo_attainment".to_owned(), self.slo_attainment.to_value()),
+            ("mean_latency_s".to_owned(), self.mean_latency_s.to_value()),
+            ("energy_j".to_owned(), self.energy_j.to_value()),
+            ("transitions".to_owned(), self.transitions.to_value()),
+        ];
+        if let Some(v) = self.peak_temp_mc {
+            map.push(("peak_temp_mc".to_owned(), v.to_value()));
+        }
+        if let Some(v) = self.throttle_rounds {
+            map.push(("throttle_rounds".to_owned(), v.to_value()));
+        }
+        if !self.thermal_transitions.is_empty() {
+            map.push((
+                "thermal_transitions".to_owned(),
+                self.thermal_transitions.to_value(),
+            ));
+        }
+        serde::Value::Map(map)
+    }
+}
+
+impl Serialize for FleetSummary {
+    fn to_value(&self) -> serde::Value {
+        let mut map = vec![
+            ("machines".to_owned(), self.machines.to_value()),
+            ("shards".to_owned(), self.shards.to_value()),
+            ("rounds".to_owned(), self.rounds.to_value()),
+            ("policy".to_owned(), self.policy.to_value()),
+            ("chaos_seed".to_owned(), self.chaos_seed.to_value()),
+            ("crash_events".to_owned(), self.crash_events.to_value()),
+            ("partition_events".to_owned(), self.partition_events.to_value()),
+            ("budget_w".to_owned(), self.budget_w.to_value()),
+            ("overshoot_rounds".to_owned(), self.overshoot_rounds.to_value()),
+            ("served".to_owned(), self.served.to_value()),
+            ("shed".to_owned(), self.shed.to_value()),
+            ("slo_attainment".to_owned(), self.slo_attainment.to_value()),
+            ("energy_j".to_owned(), self.energy_j.to_value()),
+            (
+                "degraded_machine_rounds".to_owned(),
+                self.degraded_machine_rounds.to_value(),
+            ),
+        ];
+        let mut opt = |key: &str, v: Option<serde::Value>| {
+            if let Some(v) = v {
+                map.push((key.to_owned(), v));
+            }
+        };
+        opt(
+            "strict_slo_attainment",
+            self.strict_slo_attainment.map(|v| v.to_value()),
+        );
+        opt("regions", self.regions.map(|v| v.to_value()));
+        opt("hierarchy", self.hierarchy.map(|v| v.to_value()));
+        opt("brownout_rounds", self.brownout_rounds.map(|v| v.to_value()));
+        opt("aggregator_events", self.aggregator_events.map(|v| v.to_value()));
+        opt("emergency_throttles", self.emergency_throttles.map(|v| v.to_value()));
+        opt("thermal_shutdowns", self.thermal_shutdowns.map(|v| v.to_value()));
+        opt("black_starts", self.black_starts.map(|v| v.to_value()));
+        opt("breaker_trips", self.breaker_trips.map(|v| v.to_value()));
+        opt("peak_temp_mc", self.peak_temp_mc.map(|v| v.to_value()));
+        opt(
+            "mean_effective_budget_w",
+            self.mean_effective_budget_w.map(|v| v.to_value()),
+        );
+        serde::Value::Map(map)
+    }
 }
 
 /// The serializable fleet report.
@@ -239,12 +422,30 @@ pub struct FleetOutcome {
     pub charact: Vec<CharactPoint>,
 }
 
+/// Synthetic per-machine characterization: what the fleet fuzzer feeds
+/// [`run_synthetic`] in place of real simulator runs. All times at
+/// request granularity, like the fitted values.
+#[derive(Debug, Clone, Copy)]
+pub struct SyntheticMachine {
+    /// Frequency-scaling service seconds per request (the `A/f` part).
+    pub scaling_s: f64,
+    /// Fixed service seconds per request (the `B` part).
+    pub fixed_s: f64,
+    /// Bytes allocated per request.
+    pub alloc_per_req: f64,
+    /// Bytes per collection (0 = never collects).
+    pub bytes_per_gc: f64,
+    /// Seconds per collection pause.
+    pub gc_pause_s: f64,
+}
+
 /// Static per-machine parameters plus mutable round state; owned by the
 /// machine's shard and moved through the pool every round.
 #[derive(Debug, Clone)]
 struct MachineState {
     id: usize,
     shard: usize,
+    region: usize,
     bench: &'static str,
     ladder: FreqLadder,
     scaling_s: f64,
@@ -257,13 +458,22 @@ struct MachineState {
     gc_pause_s: f64,
     traffic_seed: u64,
     local: LocalGovernor,
+    /// Largest ladder frequency the Proactive stage permits (mid-ladder).
+    proactive_cap: Freq,
+    sabotage_ceiling: bool,
     // Mutable round state.
     ladder_state: DegradationLadder,
+    thermal: ThermalModel,
+    throttle: ThrottleLadder,
     freq: Freq,
     backlog: f64,
     alloc_acc: f64,
     pending_gc_s: f64,
     was_crashed: bool,
+    /// Post-emergency ceiling bound (armed while at/above Emergency).
+    ceiling_bound_mc: Option<i64>,
+    /// Round the ceiling bound engaged.
+    ceiling_since: u64,
     // Accumulators.
     rounds_central: u32,
     rounds_local: u32,
@@ -276,6 +486,57 @@ struct MachineState {
     lat_rounds: u32,
     slo_ok: u32,
     energy_j: f64,
+    peak_temp_mc: i64,
+    throttle_rounds: u32,
+}
+
+impl MachineState {
+    /// Advances the thermal/throttle state one round at `p_w` watts of
+    /// electrical draw. Returns the leakage-corrected power and whether
+    /// the post-emergency ceiling was breached. Thermal-disabled states
+    /// never call this.
+    fn thermal_round(&mut self, round: usize, p_w: f64, stuck: bool) -> (f64, bool) {
+        let tcfg = *self.thermal.config();
+        let prev_sev = self.throttle.stage().severity();
+        let p_mw = (p_w * 1e3).round() as i64;
+        let eff_mw = self.thermal.update(p_mw);
+        let sensor = self.thermal.read_sensor(stuck);
+        let stage = self
+            .throttle
+            .observe(round as u64, sensor, self.thermal.true_mc(), &tcfg);
+        self.peak_temp_mc = self.peak_temp_mc.max(self.thermal.true_mc());
+        // The sabotage hook arms at any throttle engagement (not just
+        // Emergency) so fleets that never heat past T_crit — e.g. the
+        // fuzzer's synthetic machines — still prove the detector fires.
+        let emergency = if self.sabotage_ceiling {
+            ThrottleStage::Proactive.severity()
+        } else {
+            ThrottleStage::Emergency.severity()
+        };
+        if stage.severity() >= emergency && prev_sev < emergency {
+            // Emergency just engaged: the forced floor must turn the RC
+            // around — the truth may coast a margin past the entry
+            // point, never further.
+            let entry = self.thermal.true_mc().max(tcfg.t_crit_mc);
+            self.ceiling_bound_mc = Some(if self.sabotage_ceiling {
+                tcfg.ambient_mc
+            } else {
+                entry + CEILING_MARGIN_MC
+            });
+            self.ceiling_since = round as u64;
+        } else if stage.severity() < emergency {
+            self.ceiling_bound_mc = None;
+        }
+        let settle = if self.sabotage_ceiling {
+            0
+        } else {
+            CEILING_SETTLE_ROUNDS
+        };
+        let breach = self.ceiling_bound_mc.is_some_and(|bound| {
+            round as u64 >= self.ceiling_since + settle && self.thermal.true_mc() > bound
+        });
+        (eff_mw as f64 * 1e-3, breach)
+    }
 }
 
 /// What one machine reports after a round (the telemetry payload plus
@@ -291,11 +552,17 @@ struct RoundOut {
     freq: Freq,
     /// Energy spent this round, joules.
     energy: f64,
+    /// The post-emergency thermal ceiling was violated this round.
+    ceiling_breach: bool,
 }
 
+/// One machine's step input: chaos state, central assignment, breaker
+/// trip flag.
+type StepIn = (ChaosState, Option<Freq>, bool);
+
 /// One shard's step input: its machine states plus each machine's
-/// per-round (chaos, central assignment) pair.
-type ShardStep = (Vec<MachineState>, Vec<(ChaosState, Option<Freq>)>);
+/// per-round inputs.
+type ShardStep = (Vec<MachineState>, Vec<StepIn>);
 
 /// A delayed telemetry datagram on the governor's ingest queue.
 #[derive(Debug, Clone, Copy)]
@@ -336,17 +603,25 @@ fn arrivals(state: &MachineState, round: usize) -> f64 {
 }
 
 /// Steps one machine through one round: degradation-ladder observation,
-/// frequency selection, request service with GC debt, and metric
-/// accumulation. Pure in (state, round, chaos, central assignment).
+/// frequency selection under the throttle/breaker caps, request service
+/// with GC debt, thermal update, and metric accumulation. Pure in
+/// (state, round, chaos, central assignment, trip flag).
 fn step_machine(
     state: &mut MachineState,
     round: usize,
     chaos: ChaosState,
     central: Option<Freq>,
+    tripped: bool,
     model: &PowerModel,
 ) -> RoundOut {
-    if chaos.crashed {
-        if !state.was_crashed {
+    let thermal_on = state.thermal.config().enabled;
+    // The stage that actuates this round is last round's observation —
+    // the control loop has a one-round actuation delay, like real
+    // closed-loop DVFS.
+    let stage = state.throttle.stage();
+
+    if chaos.crashed || (thermal_on && stage == ThrottleStage::Shutdown) {
+        if chaos.crashed && !state.was_crashed {
             state.crashes += 1;
             // A restart reboots into the hardened fallback whatever the
             // mode was; re-earning central control takes full healthy
@@ -354,25 +629,39 @@ fn step_machine(
             state.ladder_state.force_fallback(round as u64, "crash-restart");
             state.freq = state.ladder.max();
         }
-        state.was_crashed = true;
+        state.was_crashed = chaos.crashed;
         state.shed += state.backlog + arrivals(state, round);
         state.backlog = 0.0;
         state.alloc_acc = 0.0;
         state.pending_gc_s = 0.0;
         state.rounds_down += 1;
+        let mut breach = false;
+        if thermal_on {
+            // The package is off: zero electrical power, the RC cools,
+            // the shutdown hold counts down toward its black-start.
+            let (_, b) = state.thermal_round(round, 0.0, chaos.sensor_stuck);
+            breach = b;
+        }
         return RoundOut {
             machine: state.id,
             mode: None,
             backlog: 0.0,
             freq: state.ladder.max(),
             energy: 0.0,
+            ceiling_breach: breach,
         };
     }
     state.was_crashed = false;
 
-    let mode = state
-        .ladder_state
-        .observe(round as u64, !chaos.partitioned, !chaos.telemetry_lost);
+    // A thermal emergency blocks the rejoin streak but never demotes:
+    // heat is a local actuation problem, not a reachability failure.
+    let thermal_ok = !thermal_on || stage.severity() < ThrottleStage::Emergency.severity();
+    let mode = state.ladder_state.observe_health(
+        round as u64,
+        !chaos.partitioned,
+        !chaos.telemetry_lost,
+        thermal_ok,
+    );
     let view = MachineView {
         id: state.id,
         ladder: &state.ladder,
@@ -380,7 +669,7 @@ fn step_machine(
         fixed_s: state.fixed_s,
         cores: state.cores,
     };
-    let freq = match mode {
+    let mut freq = match mode {
         GovernorMode::Central => {
             // A fresh assignment only lands when the control link is up;
             // otherwise the machine holds its last allocated frequency.
@@ -394,6 +683,26 @@ fn step_machine(
         GovernorMode::LocalDepBurst => state.local.choose(&view),
         GovernorMode::FallbackMax => state.ladder.max(),
     };
+    if thermal_on {
+        // Power-integrity caps override every governor, strongest last.
+        freq = match stage {
+            ThrottleStage::Normal => freq,
+            ThrottleStage::Proactive => {
+                if freq > state.proactive_cap {
+                    state.proactive_cap
+                } else {
+                    freq
+                }
+            }
+            ThrottleStage::Emergency | ThrottleStage::Shutdown => state.ladder.min(),
+        };
+        if tripped {
+            freq = state.ladder.min();
+        }
+        if stage != ThrottleStage::Normal {
+            state.throttle_rounds += 1;
+        }
+    }
     state.freq = freq;
     match mode {
         GovernorMode::Central => state.rounds_central += 1,
@@ -425,7 +734,12 @@ fn step_machine(
     let latency = service_s * (1.0 + state.backlog / mu.max(1e-12));
     let util = (served / mu.max(1e-12)).min(1.0);
     let power = model.power(freq, &vec![util; state.cores]).total();
-    let energy = power * ROUND_SECS;
+    let (energy, breach) = if thermal_on {
+        let (eff_w, breach) = state.thermal_round(round, power, chaos.sensor_stuck);
+        (eff_w * ROUND_SECS, breach)
+    } else {
+        (power * ROUND_SECS, false)
+    };
 
     state.served += served;
     state.lat_sum += latency;
@@ -439,7 +753,523 @@ fn step_machine(
         backlog: state.backlog,
         freq,
         energy,
+        ceiling_breach: breach,
     }
+}
+
+/// Builds the per-shard machine states from fitted (or synthetic)
+/// per-machine parameters, looked up by machine id.
+fn build_states(
+    config: &FleetConfig,
+    topo: &FleetTopology,
+    bench_name: &dyn Fn(usize) -> &'static str,
+    params: &dyn Fn(usize) -> SyntheticMachine,
+    cores: usize,
+) -> Vec<Vec<MachineState>> {
+    (0..topo.shards)
+        .map(|shard| {
+            topo.machines_in(shard)
+                .map(|m| {
+                    let p = params(m);
+                    let ladder = machine_ladder(m);
+                    let s_max = p.scaling_s / ladder.max().ghz() + p.fixed_s;
+                    let mid_mhz = (ladder.min().mhz() + ladder.max().mhz()) / 2;
+                    let proactive_cap = ladder.floor(Freq::from_mhz(mid_mhz));
+                    MachineState {
+                        id: m,
+                        shard,
+                        region: region_of(config.machines, config.regions, m),
+                        bench: bench_name(m),
+                        scaling_s: p.scaling_s,
+                        fixed_s: p.fixed_s,
+                        cores,
+                        slo_s: config.slo_factor * s_max,
+                        cap_max: ROUND_SECS / s_max,
+                        alloc_per_req: p.alloc_per_req,
+                        bytes_per_gc: p.bytes_per_gc,
+                        gc_pause_s: p.gc_pause_s,
+                        traffic_seed: topo.machine_seed(m) ^ TRAFFIC_SALT,
+                        local: LocalGovernor::new(config.local_slowdown),
+                        proactive_cap,
+                        sabotage_ceiling: config.sabotage == Some(Invariant::ThermalCeiling),
+                        ladder_state: DegradationLadder::new(config.degradation),
+                        thermal: ThermalModel::new(config.thermal, m),
+                        throttle: ThrottleLadder::new(config.throttle, m),
+                        freq: ladder.max(),
+                        ladder,
+                        backlog: 0.0,
+                        alloc_acc: 0.0,
+                        pending_gc_s: 0.0,
+                        was_crashed: false,
+                        ceiling_bound_mc: None,
+                        ceiling_since: 0,
+                        rounds_central: 0,
+                        rounds_local: 0,
+                        rounds_fallback: 0,
+                        rounds_down: 0,
+                        crashes: 0,
+                        served: 0.0,
+                        shed: 0.0,
+                        lat_sum: 0.0,
+                        lat_rounds: 0,
+                        slo_ok: 0,
+                        energy_j: 0.0,
+                        peak_temp_mc: i64::MIN,
+                        throttle_rounds: 0,
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Runs the round loop over prepared shard states and assembles the
+/// report. The heart of the fleet — shared by the simulator-backed
+/// [`run_with`] and the fuzzer's [`run_synthetic`].
+fn run_rounds(
+    ctx: &ExecCtx,
+    config: &FleetConfig,
+    topo: &FleetTopology,
+    mut shards: Vec<Vec<MachineState>>,
+) -> depburst_core::Result<FleetReport> {
+    let machines = topo.machines;
+    let model = PowerModel::haswell_22nm();
+    let schedule =
+        ChaosSchedule::generate_with_regions(&config.chaos, machines, config.rounds, config.regions);
+    let regions = schedule.regions();
+    let region_size: Vec<usize> = (0..regions)
+        .map(|r| (0..machines).filter(|&m| schedule.region_of(m) == r).count())
+        .collect();
+
+    let mut hier = HierarchicalGovernor::new(regions);
+    let mut breaker = OvershootBreaker::new(machines, config.breaker);
+    let breaker_on = config.thermal.enabled;
+    let sabotage_hierarchy = config.sabotage == Some(Invariant::HierarchyBudgetConservation);
+
+    // The governor's delayed-telemetry ingest (DepBurst policy): what it
+    // currently believes, and the in-flight datagrams.
+    let mut known: Vec<Known> = (0..machines)
+        .map(|_| Known {
+            backlog: 0.0,
+            mode: GovernorMode::Central,
+        })
+        .collect();
+    let mut inflight: Vec<VecDeque<Telemetry>> = vec![VecDeque::new(); machines];
+    let mut prev_backlog: Vec<f64> = vec![0.0; machines];
+    let mut overshoot_rounds = 0usize;
+    let mut eff_budget_sum = 0.0f64;
+
+    for round in 0..config.rounds {
+        // Deliver due telemetry.
+        for (m, queue) in inflight.iter_mut().enumerate() {
+            while queue.front().is_some_and(|t| t.due <= round) {
+                let t = queue.pop_front().expect("front checked");
+                known[m] = Known {
+                    backlog: t.backlog,
+                    mode: t.mode,
+                };
+            }
+        }
+
+        // The effective (browned-out) budget every allocator sees.
+        let eff_w = config.budget_w * f64::from(schedule.budget_milli(round)) / 1000.0;
+        eff_budget_sum += eff_w;
+        let root_down = schedule.root_down(round);
+
+        // Can machine m reach its central allocator this round? Flat
+        // topology has no aggregator tier — every machine talks to the
+        // root, so a root outage orphans the *whole fleet at once*. The
+        // hierarchy answers from the machine's own region aggregator: a
+        // root outage merely freezes cross-region rebalancing, and an
+        // aggregator outage orphans one region, never the fleet.
+        let unreachable = |m: usize| {
+            if config.hierarchy {
+                schedule.aggregator_down(round, schedule.region_of(m))
+            } else {
+                root_down
+            }
+        };
+
+        // Central allocation for this round's batch.
+        let mut assigned: Vec<Option<Freq>> = vec![None; machines];
+        match config.policy {
+            GovernorPolicy::NaiveStatic => {
+                // No budget awareness: central says "maximum" to every
+                // reachable machine.
+                for states in &shards {
+                    for s in states {
+                        assigned[s.id] = Some(s.ladder.max());
+                    }
+                }
+            }
+            GovernorPolicy::Oracle | GovernorPolicy::DepBurst => {
+                // Candidates: machines the governor believes are under
+                // central control and can reach right now. The oracle
+                // reads true state; DepBurst trusts its (possibly stale,
+                // lossy, delayed) telemetry.
+                let mut cands: Vec<(&MachineState, f64)> = Vec::new();
+                for states in &shards {
+                    for s in states {
+                        let chaos = schedule.state(round, s.id);
+                        if chaos.crashed || chaos.partitioned || unreachable(s.id) {
+                            continue;
+                        }
+                        let (mode, backlog) = match config.policy {
+                            GovernorPolicy::Oracle => (s.ladder_state.mode(), s.backlog),
+                            _ => (known[s.id].mode, known[s.id].backlog),
+                        };
+                        if mode == GovernorMode::Central {
+                            cands.push((s, backlog));
+                        }
+                    }
+                }
+                // Load-weighted demand views: queued machines look
+                // slower, so the latency-levelling allocator feeds them
+                // first.
+                fn view_of<'a>(s: &'a MachineState, backlog: f64) -> MachineView<'a> {
+                    MachineView {
+                        id: s.id,
+                        ladder: &s.ladder,
+                        scaling_s: s.scaling_s * (1.0 + backlog / s.cap_max),
+                        fixed_s: s.fixed_s,
+                        cores: s.cores,
+                    }
+                }
+                // Thermal-aware derating: the allocator plans in raw
+                // electrical watts, but hot silicon draws `leak ×
+                // planned` from the feed. A governor that ignores this
+                // allocates "within budget" and still overshoots —
+                // and the breaker then punishes machines that obeyed
+                // every order. Divide each slice's budget by its
+                // members' mean reported leak factor so the *effective*
+                // draw is what fits the slice.
+                let leak_of = |pred: &dyn Fn(&MachineState) -> bool| -> f64 {
+                    if !config.thermal.enabled {
+                        return 1.0;
+                    }
+                    let (mut sum, mut n) = (0.0f64, 0u32);
+                    for (s, _) in &cands {
+                        if pred(s) {
+                            sum += s.thermal.leak_factor();
+                            n += 1;
+                        }
+                    }
+                    if n == 0 { 1.0 } else { (sum / f64::from(n)).max(1.0) }
+                };
+                let mut slices: Vec<(Vec<usize>, Vec<MachineView<'_>>, f64, usize)> = Vec::new();
+                if config.hierarchy {
+                    // Root tier: damped, dead-banded share rebalance
+                    // toward per-region demand; frozen while the root
+                    // itself is down (the regions run autonomously).
+                    let mut demand = vec![0.0f64; regions];
+                    for (s, backlog) in &cands {
+                        demand[s.region] += 1.0 + backlog / s.cap_max;
+                    }
+                    // Orphaned regions (aggregator down) report silence,
+                    // not zero demand: freeze their shares so the outage
+                    // cannot cascade into sibling windfalls and a starved
+                    // rejoin.
+                    let orphaned: Vec<bool> = (0..regions)
+                        .map(|r| schedule.aggregator_down(round, r))
+                        .collect();
+                    hier.rebalance_masked(&demand, &orphaned, root_down);
+                    let mut region_w: Vec<f64> =
+                        (0..regions).map(|r| hier.region_budget(r, eff_w)).collect();
+                    if sabotage_hierarchy {
+                        region_w[0] *= 1.10;
+                    }
+                    let total: f64 = region_w.iter().sum();
+                    if total > eff_w * (1.0 + 1e-9) + 1e-9 {
+                        return Err(violation(
+                            Invariant::HierarchyBudgetConservation,
+                            round,
+                            format!(
+                                "region budgets sum to {total:.2} W over an effective \
+                                 {eff_w:.2} W"
+                            ),
+                        ));
+                    }
+                    for r in 0..regions {
+                        let ids: Vec<usize> = cands
+                            .iter()
+                            .filter(|(s, _)| s.region == r)
+                            .map(|(s, _)| s.id)
+                            .collect();
+                        let views: Vec<MachineView<'_>> = cands
+                            .iter()
+                            .filter(|(s, _)| s.region == r)
+                            .map(|(s, backlog)| view_of(s, *backlog))
+                            .collect();
+                        if !views.is_empty() {
+                            let leak = leak_of(&|s: &MachineState| s.region == r);
+                            slices.push((ids, views, region_w[r] / leak, region_size[r]));
+                        }
+                    }
+                } else {
+                    let ids: Vec<usize> = cands.iter().map(|(s, _)| s.id).collect();
+                    let views: Vec<MachineView<'_>> = cands
+                        .iter()
+                        .map(|(s, backlog)| view_of(s, *backlog))
+                        .collect();
+                    if !views.is_empty() {
+                        let leak = leak_of(&|_| true);
+                        slices.push((ids, views, eff_w / leak, machines));
+                    }
+                }
+                for (ids, views, budget, fleet) in slices {
+                    let alloc = CentralGovernor::new(budget).allocate(&model, &views, fleet);
+                    for (id, freq) in ids.iter().zip(&alloc.freqs) {
+                        assigned[*id] = Some(*freq);
+                    }
+                    // The water-filling cannot descend below the ladder
+                    // minimum, so a browned-out or starved-share slice
+                    // smaller than the mandatory floor is not a violation;
+                    // only allocating *above* both the slice and the floor
+                    // means the governor spent budget it did not have.
+                    let bound = alloc.available_w.max(alloc.floor_w);
+                    if alloc.power_w > bound * (1.0 + 1e-9) + 1e-9 {
+                        return Err(violation(
+                            Invariant::PowerBudgetConservation,
+                            round,
+                            format!(
+                                "central allocation estimates {:.1} W over a {:.1} W slice \
+                                 (floor {:.1} W)",
+                                alloc.power_w, alloc.available_w, alloc.floor_w
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+
+        // Parallel shard step: pure per-machine functions, plan order.
+        let inputs: Vec<ShardStep> = shards
+            .drain(..)
+            .map(|states| {
+                let ins = states
+                    .iter()
+                    .map(|s| {
+                        let mut chaos = schedule.state(round, s.id);
+                        // Aggregator/root outages read as partitions at
+                        // the machine: no fresh assignment, no rejoin
+                        // credit.
+                        chaos.partitioned = chaos.partitioned || unreachable(s.id);
+                        let tripped = breaker_on && breaker.is_tripped(round as u64, s.id);
+                        (chaos, assigned[s.id], tripped)
+                    })
+                    .collect();
+                (states, ins)
+            })
+            .collect();
+        let stepped: Vec<(Vec<MachineState>, Vec<RoundOut>)> =
+            ctx.map(inputs, |(mut states, ins)| {
+                let outs = states
+                    .iter_mut()
+                    .zip(&ins)
+                    .map(|(state, &(chaos, central, tripped))| {
+                        step_machine(state, round, chaos, central, tripped, &model)
+                    })
+                    .collect();
+                (states, outs)
+            });
+
+        // Gather: ladder membership, thermal ceiling, power accounting,
+        // telemetry batch.
+        let mut round_power = 0.0;
+        let mut powers = vec![0.0f64; machines];
+        for (states, outs) in &stepped {
+            for (state, out) in states.iter().zip(outs) {
+                if !state.ladder.contains(out.freq) {
+                    return Err(violation(
+                        Invariant::LadderMembership,
+                        round,
+                        format!("machine {} ran off-ladder at {}", out.machine, out.freq),
+                    ));
+                }
+                if out.ceiling_breach {
+                    return Err(violation(
+                        Invariant::ThermalCeiling,
+                        round,
+                        format!(
+                            "machine {} coasted past its post-emergency ceiling at {} m°C",
+                            out.machine,
+                            state.thermal.true_mc()
+                        ),
+                    ));
+                }
+                round_power += out.energy / ROUND_SECS;
+                powers[out.machine] = out.energy / ROUND_SECS;
+                let chaos = schedule.state(round, out.machine);
+                if let Some(mode) = out.mode {
+                    if !chaos.telemetry_lost {
+                        // Stale harvests deliver the previous round's
+                        // value; slow links arrive late; both on
+                        // time-ordered queues so delivery order is
+                        // deterministic.
+                        let content = if chaos.stale {
+                            prev_backlog[out.machine]
+                        } else {
+                            out.backlog
+                        };
+                        inflight[out.machine].push_back(Telemetry {
+                            due: round + 1 + chaos.link_delay as usize,
+                            backlog: content,
+                            mode,
+                        });
+                    }
+                }
+                prev_backlog[out.machine] = out.backlog;
+            }
+        }
+        if round_power > eff_w * (1.0 + OVERSHOOT_REL_TOL) {
+            overshoot_rounds += 1;
+        }
+        if breaker_on {
+            // The feed's anti-cascade backstop: trip the heaviest
+            // overshooters to the floor, release them staggered.
+            breaker.observe(round as u64, eff_w, &powers);
+        }
+        shards = stepped.into_iter().map(|(states, _)| states).collect();
+    }
+
+    // Post-run invariants and report assembly.
+    let thermal_on = config.thermal.enabled;
+    let sabotage_throttle = config.sabotage == Some(Invariant::ThrottleMonotonicity);
+    let mut rows = Vec::with_capacity(machines);
+    for states in &mut shards {
+        for s in states.iter_mut() {
+            if let Some(issue) = s.ladder_state.monotonicity_issue() {
+                return Err(violation(
+                    Invariant::RejoinMonotonicity,
+                    config.rounds,
+                    format!("machine {}: {issue}", s.id),
+                ));
+            }
+            if thermal_on {
+                if sabotage_throttle && s.id == 0 {
+                    s.throttle.forge_transition(ThrottleTransition {
+                        round: config.rounds as u64,
+                        from: ThrottleStage::Emergency,
+                        to: ThrottleStage::Normal,
+                        reason: "sabotage",
+                    });
+                }
+                if let Some(issue) = s.throttle.monotonicity_issue() {
+                    return Err(violation(
+                        Invariant::ThrottleMonotonicity,
+                        config.rounds,
+                        format!("machine {}: {issue}", s.id),
+                    ));
+                }
+            }
+            rows.push(MachineRow {
+                machine: s.id,
+                shard: s.shard,
+                benchmark: s.bench.to_owned(),
+                rounds_central: s.rounds_central,
+                rounds_local: s.rounds_local,
+                rounds_fallback: s.rounds_fallback,
+                rounds_down: s.rounds_down,
+                crashes: s.crashes,
+                served: s.served,
+                shed: s.shed,
+                slo_attainment: if s.lat_rounds > 0 {
+                    f64::from(s.slo_ok) / f64::from(s.lat_rounds)
+                } else {
+                    0.0
+                },
+                mean_latency_s: if s.lat_rounds > 0 {
+                    s.lat_sum / f64::from(s.lat_rounds)
+                } else {
+                    0.0
+                },
+                energy_j: s.energy_j,
+                transitions: s
+                    .ladder_state
+                    .transitions()
+                    .iter()
+                    .map(|t| t.to_string())
+                    .collect(),
+                peak_temp_mc: if thermal_on { Some(s.peak_temp_mc) } else { None },
+                throttle_rounds: if thermal_on { Some(s.throttle_rounds) } else { None },
+                thermal_transitions: if thermal_on {
+                    s.throttle.transitions().iter().map(|t| t.to_string()).collect()
+                } else {
+                    Vec::new()
+                },
+            });
+        }
+    }
+    rows.sort_by_key(|r| r.machine);
+
+    let served: f64 = rows.iter().map(|r| r.served).sum();
+    let shed: f64 = rows.iter().map(|r| r.shed).sum();
+    let energy_j: f64 = rows.iter().map(|r| r.energy_j).sum();
+    let slo = if served > 0.0 {
+        rows.iter().map(|r| r.slo_attainment * r.served).sum::<f64>() / served
+    } else {
+        0.0
+    };
+    let degraded: u64 = rows
+        .iter()
+        .map(|r| u64::from(r.rounds_local + r.rounds_fallback + r.rounds_down))
+        .sum();
+    let slo_ok_total: u64 = shards.iter().flatten().map(|s| u64::from(s.slo_ok)).sum();
+    let machine_rounds = (machines * config.rounds).max(1) as f64;
+    let extended = config.extended();
+    let throttle_reason_count = |reason: &str| -> u64 {
+        shards
+            .iter()
+            .flatten()
+            .map(|s| {
+                s.throttle
+                    .transitions()
+                    .iter()
+                    .filter(|t| t.reason == reason)
+                    .count() as u64
+            })
+            .sum()
+    };
+
+    let summary = FleetSummary {
+        machines,
+        shards: topo.shards,
+        rounds: config.rounds,
+        policy: config.policy.name().to_owned(),
+        chaos_seed: config.chaos.seed,
+        crash_events: schedule.crash_events(),
+        partition_events: schedule.partition_events(),
+        budget_w: config.budget_w,
+        overshoot_rounds,
+        served,
+        shed,
+        slo_attainment: slo,
+        strict_slo_attainment: extended.then(|| slo_ok_total as f64 / machine_rounds),
+        energy_j,
+        degraded_machine_rounds: degraded,
+        regions: extended.then_some(regions),
+        hierarchy: extended.then_some(config.hierarchy),
+        brownout_rounds: extended.then_some(schedule.brownout_rounds()),
+        aggregator_events: extended.then_some(schedule.aggregator_events()),
+        emergency_throttles: thermal_on.then(|| throttle_reason_count("emergency-throttle")),
+        thermal_shutdowns: thermal_on.then(|| throttle_reason_count("thermal-shutdown")),
+        black_starts: thermal_on.then(|| throttle_reason_count("black-start")),
+        breaker_trips: thermal_on.then(|| breaker.trips()),
+        peak_temp_mc: thermal_on.then(|| {
+            shards
+                .iter()
+                .flatten()
+                .map(|s| s.peak_temp_mc)
+                .max()
+                .unwrap_or(0)
+        }),
+        mean_effective_budget_w: extended
+            .then(|| eff_budget_sum / (config.rounds.max(1)) as f64),
+    };
+    Ok(FleetReport {
+        machines: rows,
+        summary,
+    })
 }
 
 /// Runs the fleet on `ctx`: characterization through the memoized,
@@ -449,8 +1279,8 @@ fn step_machine(
 ///
 /// # Errors
 /// Characterization failures propagate as the usual sweep errors; a
-/// power-budget or rejoin-monotonicity violation surfaces as
-/// `DepburstError::InvariantViolation`.
+/// power-budget, thermal, hierarchy, or rejoin-monotonicity violation
+/// surfaces as `DepburstError::InvariantViolation`.
 pub fn run_with(ctx: &ExecCtx, config: &FleetConfig) -> depburst_core::Result<FleetOutcome> {
     let topo = FleetTopology::new(config.machines, config.shards, config.seed);
     let machines = topo.machines;
@@ -500,312 +1330,62 @@ pub fn run_with(ctx: &ExecCtx, config: &FleetConfig) -> depburst_core::Result<Fl
         }
     }
 
-    let model = PowerModel::haswell_22nm();
     let cores = simx::MachineConfig::haswell_quad().cores;
-    let schedule = ChaosSchedule::generate(&config.chaos, machines, config.rounds);
-
-    // Per-shard machine state.
-    let mut shards: Vec<Vec<MachineState>> = (0..topo.shards)
-        .map(|shard| {
-            topo.machines_in(shard)
-                .map(|m| {
-                    let bench = bench_of[m];
-                    let (t1, t4) = &fit[bench.name];
-                    let (t1, t4) = (t1.exec.as_secs(), t4.exec.as_secs());
-                    // Two-point DEP+BURST fit: T(f) = A / f_ghz + B.
-                    let a = ((t1 - t4) * 4.0 / 3.0).max(0.0);
-                    let b = (t4 - a / 4.0).max(t4 * 0.01).max(1e-9);
-                    let ladder = machine_ladder(m);
-                    let scaling_s = a / REQS;
-                    let fixed_s = b / REQS;
-                    let s_max = scaling_s / ladder.max().ghz() + fixed_s;
-                    let summary4 = &fit[bench.name].1;
-                    let gc_count = summary4.gc_count as f64;
-                    MachineState {
-                        id: m,
-                        shard,
-                        bench: bench.name,
-                        scaling_s,
-                        fixed_s,
-                        cores,
-                        slo_s: config.slo_factor * s_max,
-                        cap_max: ROUND_SECS / s_max,
-                        alloc_per_req: summary4.allocated as f64 / REQS,
-                        bytes_per_gc: if gc_count > 0.0 {
-                            summary4.allocated as f64 / gc_count
-                        } else {
-                            0.0
-                        },
-                        gc_pause_s: if gc_count > 0.0 {
-                            summary4.gc_time.as_secs() / gc_count
-                        } else {
-                            0.0
-                        },
-                        traffic_seed: topo.machine_seed(m) ^ TRAFFIC_SALT,
-                        local: LocalGovernor::new(config.local_slowdown),
-                        ladder_state: DegradationLadder::new(config.degradation),
-                        freq: ladder.max(),
-                        ladder,
-                        backlog: 0.0,
-                        alloc_acc: 0.0,
-                        pending_gc_s: 0.0,
-                        was_crashed: false,
-                        rounds_central: 0,
-                        rounds_local: 0,
-                        rounds_fallback: 0,
-                        rounds_down: 0,
-                        crashes: 0,
-                        served: 0.0,
-                        shed: 0.0,
-                        lat_sum: 0.0,
-                        lat_rounds: 0,
-                        slo_ok: 0,
-                        energy_j: 0.0,
-                    }
-                })
-                .collect()
-        })
-        .collect();
-
-    let governor = CentralGovernor::new(config.budget_w);
-    // The governor's delayed-telemetry ingest (DepBurst policy): what it
-    // currently believes, and the in-flight datagrams.
-    let mut known: Vec<Known> = (0..machines)
-        .map(|_| Known {
-            backlog: 0.0,
-            mode: GovernorMode::Central,
-        })
-        .collect();
-    let mut inflight: Vec<VecDeque<Telemetry>> = vec![VecDeque::new(); machines];
-    let mut prev_backlog: Vec<f64> = vec![0.0; machines];
-    let mut overshoot_rounds = 0usize;
-
-    for round in 0..config.rounds {
-        // Deliver due telemetry.
-        for (m, queue) in inflight.iter_mut().enumerate() {
-            while queue.front().is_some_and(|t| t.due <= round) {
-                let t = queue.pop_front().expect("front checked");
-                known[m] = Known {
-                    backlog: t.backlog,
-                    mode: t.mode,
-                };
-            }
+    let params = |m: usize| {
+        let bench = bench_of[m];
+        let (t1, t4) = &fit[bench.name];
+        let (t1, t4) = (t1.exec.as_secs(), t4.exec.as_secs());
+        // Two-point DEP+BURST fit: T(f) = A / f_ghz + B.
+        let a = ((t1 - t4) * 4.0 / 3.0).max(0.0);
+        let b = (t4 - a / 4.0).max(t4 * 0.01).max(1e-9);
+        let summary4 = &fit[bench.name].1;
+        let gc_count = summary4.gc_count as f64;
+        SyntheticMachine {
+            scaling_s: a / REQS,
+            fixed_s: b / REQS,
+            alloc_per_req: summary4.allocated as f64 / REQS,
+            bytes_per_gc: if gc_count > 0.0 {
+                summary4.allocated as f64 / gc_count
+            } else {
+                0.0
+            },
+            gc_pause_s: if gc_count > 0.0 {
+                summary4.gc_time.as_secs() / gc_count
+            } else {
+                0.0
+            },
         }
-
-        // Central allocation for this round's batch.
-        let mut assigned: Vec<Option<Freq>> = vec![None; machines];
-        let mut alloc_check: Option<(f64, f64)> = None;
-        match config.policy {
-            GovernorPolicy::NaiveStatic => {
-                // No budget awareness: central says "maximum" to every
-                // reachable machine.
-                for states in &shards {
-                    for s in states {
-                        assigned[s.id] = Some(s.ladder.max());
-                    }
-                }
-            }
-            GovernorPolicy::Oracle | GovernorPolicy::DepBurst => {
-                // Candidates: machines the governor believes are under
-                // central control and can reach right now. The oracle
-                // reads true state; DepBurst trusts its (possibly stale,
-                // lossy, delayed) telemetry.
-                let mut ids = Vec::new();
-                let mut loads = Vec::new();
-                for states in &shards {
-                    for s in states {
-                        let chaos = schedule.state(round, s.id);
-                        if chaos.crashed || chaos.partitioned {
-                            continue;
-                        }
-                        let (mode, backlog) = match config.policy {
-                            GovernorPolicy::Oracle => (s.ladder_state.mode(), s.backlog),
-                            _ => (known[s.id].mode, known[s.id].backlog),
-                        };
-                        if mode == GovernorMode::Central {
-                            ids.push(s.id);
-                            loads.push((s, backlog));
-                        }
-                    }
-                }
-                let views: Vec<MachineView<'_>> = loads
-                    .iter()
-                    .map(|(s, backlog)| MachineView {
-                        id: s.id,
-                        ladder: &s.ladder,
-                        // Load-weighted demand: queued machines look
-                        // slower, so the latency-levelling allocator
-                        // feeds them first.
-                        scaling_s: s.scaling_s * (1.0 + backlog / s.cap_max),
-                        fixed_s: s.fixed_s,
-                        cores: s.cores,
-                    })
-                    .collect();
-                if !views.is_empty() {
-                    let alloc = governor.allocate(&model, &views, machines);
-                    for (id, freq) in ids.iter().zip(&alloc.freqs) {
-                        assigned[*id] = Some(*freq);
-                    }
-                    alloc_check = Some((alloc.power_w, alloc.available_w));
-                }
-            }
-        }
-        if let Some((power_w, available_w)) = alloc_check {
-            if power_w > available_w * (1.0 + 1e-9) + 1e-9 {
-                return Err(violation(
-                    Invariant::PowerBudgetConservation,
-                    round,
-                    format!(
-                        "central allocation estimates {power_w:.1} W over a \
-                         {available_w:.1} W slice"
-                    ),
-                ));
-            }
-        }
-
-        // Parallel shard step: pure per-machine functions, plan order.
-        let inputs: Vec<ShardStep> = shards
-            .drain(..)
-            .map(|states| {
-                let ins = states
-                    .iter()
-                    .map(|s| (schedule.state(round, s.id), assigned[s.id]))
-                    .collect();
-                (states, ins)
-            })
-            .collect();
-        let stepped: Vec<(Vec<MachineState>, Vec<RoundOut>)> =
-            ctx.map(inputs, |(mut states, ins)| {
-                let outs = states
-                    .iter_mut()
-                    .zip(&ins)
-                    .map(|(state, &(chaos, central))| {
-                        step_machine(state, round, chaos, central, &model)
-                    })
-                    .collect();
-                (states, outs)
-            });
-
-        // Gather: ladder membership, power accounting, telemetry batch.
-        let mut round_power = 0.0;
-        for (states, outs) in &stepped {
-            for (state, out) in states.iter().zip(outs) {
-                if !state.ladder.contains(out.freq) {
-                    return Err(violation(
-                        Invariant::LadderMembership,
-                        round,
-                        format!("machine {} ran off-ladder at {}", out.machine, out.freq),
-                    ));
-                }
-                round_power += out.energy / ROUND_SECS;
-                let chaos = schedule.state(round, out.machine);
-                if let Some(mode) = out.mode {
-                    if !chaos.telemetry_lost {
-                        // Stale harvests deliver the previous round's
-                        // value; slow links arrive late; both on
-                        // time-ordered queues so delivery order is
-                        // deterministic.
-                        let content = if chaos.stale {
-                            prev_backlog[out.machine]
-                        } else {
-                            out.backlog
-                        };
-                        inflight[out.machine].push_back(Telemetry {
-                            due: round + 1 + chaos.link_delay as usize,
-                            backlog: content,
-                            mode,
-                        });
-                    }
-                }
-                prev_backlog[out.machine] = out.backlog;
-            }
-        }
-        if round_power > config.budget_w * (1.0 + OVERSHOOT_REL_TOL) {
-            overshoot_rounds += 1;
-        }
-        shards = stepped.into_iter().map(|(states, _)| states).collect();
-    }
-
-    // Post-run invariants and report assembly.
-    let mut rows = Vec::with_capacity(machines);
-    for states in &shards {
-        for s in states {
-            if let Some(issue) = s.ladder_state.monotonicity_issue() {
-                return Err(violation(
-                    Invariant::RejoinMonotonicity,
-                    config.rounds,
-                    format!("machine {}: {issue}", s.id),
-                ));
-            }
-            rows.push(MachineRow {
-                machine: s.id,
-                shard: s.shard,
-                benchmark: s.bench.to_owned(),
-                rounds_central: s.rounds_central,
-                rounds_local: s.rounds_local,
-                rounds_fallback: s.rounds_fallback,
-                rounds_down: s.rounds_down,
-                crashes: s.crashes,
-                served: s.served,
-                shed: s.shed,
-                slo_attainment: if s.lat_rounds > 0 {
-                    f64::from(s.slo_ok) / f64::from(s.lat_rounds)
-                } else {
-                    0.0
-                },
-                mean_latency_s: if s.lat_rounds > 0 {
-                    s.lat_sum / f64::from(s.lat_rounds)
-                } else {
-                    0.0
-                },
-                energy_j: s.energy_j,
-                transitions: s
-                    .ladder_state
-                    .transitions()
-                    .iter()
-                    .map(|t| t.to_string())
-                    .collect(),
-            });
-        }
-    }
-    rows.sort_by_key(|r| r.machine);
-
-    let served: f64 = rows.iter().map(|r| r.served).sum();
-    let shed: f64 = rows.iter().map(|r| r.shed).sum();
-    let energy_j: f64 = rows.iter().map(|r| r.energy_j).sum();
-    let slo = if served > 0.0 {
-        rows.iter().map(|r| r.slo_attainment * r.served).sum::<f64>() / served
-    } else {
-        0.0
     };
-    let degraded: u64 = rows
-        .iter()
-        .map(|r| u64::from(r.rounds_local + r.rounds_fallback + r.rounds_down))
-        .sum();
+    let shards = build_states(config, &topo, &|m| bench_of[m].name, &params, cores);
+    let report = run_rounds(ctx, config, &topo, shards)?;
+    Ok(FleetOutcome { report, charact })
+}
 
-    let summary = FleetSummary {
-        machines,
-        shards: topo.shards,
-        rounds: config.rounds,
-        policy: config.policy.name().to_owned(),
-        chaos_seed: config.chaos.seed,
-        crash_events: schedule.crash_events(),
-        partition_events: schedule.partition_events(),
-        budget_w: config.budget_w,
-        overshoot_rounds,
-        served,
-        shed,
-        slo_attainment: slo,
-        energy_j,
-        degraded_machine_rounds: degraded,
-    };
-    Ok(FleetOutcome {
-        report: FleetReport {
-            machines: rows,
-            summary,
-        },
-        charact,
-    })
+/// Runs the round loop over *synthetic* machine characterizations —
+/// no simulator in the loop, so a whole fleet run costs microseconds.
+/// This is the fleet fuzzer's entry point: every chaos class, the
+/// thermal/throttle/breaker stack, the hierarchy, and all the fleet
+/// invariants run exactly as in [`run_with`]. Machine `m` takes
+/// `params[m % params.len()]`.
+///
+/// # Errors
+/// An invariant violation surfaces as
+/// `DepburstError::InvariantViolation`, exactly as in [`run_with`].
+pub fn run_synthetic(
+    config: &FleetConfig,
+    params: &[SyntheticMachine],
+) -> depburst_core::Result<FleetReport> {
+    assert!(!params.is_empty(), "synthetic fleet needs at least one machine profile");
+    let topo = FleetTopology::new(config.machines, config.shards, config.seed);
+    let cores = simx::MachineConfig::haswell_quad().cores;
+    let shards = build_states(
+        config,
+        &topo,
+        &|_| "synthetic",
+        &|m| params[m % params.len()],
+        cores,
+    );
+    run_rounds(&ExecCtx::sequential(), config, &topo, shards)
 }
 
 /// Renders the fleet report as the experiment's text table plus the
@@ -833,7 +1413,7 @@ pub fn render(report: &FleetReport) -> String {
         ]);
     }
     let s = &report.summary;
-    format!(
+    let mut out = format!(
         "{}\nfleet: {} machines / {} shards, {} rounds, policy {} \
          (chaos seed {})\n\
          outages: {} crashes, {} partitions; degraded machine-rounds: {}\n\
@@ -854,7 +1434,30 @@ pub fn render(report: &FleetReport) -> String {
         s.shed,
         s.slo_attainment * 100.0,
         s.energy_j,
-    )
+    );
+    if let (Some(regions), Some(hierarchy)) = (s.regions, s.hierarchy) {
+        out.push_str(&format!(
+            "governance: {} regions, {}; brownout rounds: {}, aggregator outages: {}, \
+             mean effective budget {:.1} W\n",
+            regions,
+            if hierarchy { "hierarchical" } else { "flat-central" },
+            s.brownout_rounds.unwrap_or(0),
+            s.aggregator_events.unwrap_or(0),
+            s.mean_effective_budget_w.unwrap_or(0.0),
+        ));
+    }
+    if let Some(peak) = s.peak_temp_mc {
+        out.push_str(&format!(
+            "thermal: peak {:.1} °C; emergency-throttle: {}, thermal-shutdown: {}, \
+             black-start: {}, breaker trips: {}\n",
+            peak as f64 / 1000.0,
+            s.emergency_throttles.unwrap_or(0),
+            s.thermal_shutdowns.unwrap_or(0),
+            s.black_starts.unwrap_or(0),
+            s.breaker_trips.unwrap_or(0),
+        ));
+    }
+    out
 }
 
 /// Runs a fleet sequentially (tests and quick scripts).

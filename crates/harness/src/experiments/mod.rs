@@ -13,6 +13,7 @@ pub mod percore;
 
 pub mod faults;
 pub mod fleet;
+pub mod thermal;
 
 pub mod sampling_error;
 

@@ -1,0 +1,274 @@
+//! Thermal & power-integrity experiment: hierarchical vs flat-central
+//! fleet governance under combined brownout, region-aggregator, and
+//! stuck-sensor chaos, with the per-machine RC thermal model armed.
+//!
+//! The experiment runs one fleet four ways — a 2×2 of governance
+//! topology (flat-central vs hierarchical) × chaos weather (calm vs
+//! storm) — with identical machines, identical thermal physics, and the
+//! same chaos seed. The characterization points are shared through the
+//! memo cache, so the whole matrix costs one characterization sweep.
+//!
+//! The headline metric is **SLO retention**: each topology's storm SLO
+//! attainment over its own calm SLO attainment. The hierarchy's claim is
+//! that regions run autonomously when the root or a sibling aggregator
+//! is down, so a brownout + region-crash storm costs it a few percent;
+//! the flat topology funnels every allocation through one root, so the
+//! same storm demotes whole swaths to budget-oblivious local control,
+//! trips the overshoot breaker, and bleeds SLO. The committed
+//! `results/thermal.json` pins both numbers and the `retention_gate`
+//! verdict that CI greps.
+//!
+//! Every run here must also finish with **zero post-emergency ceiling
+//! violations** — a run that overheats past its forced-floor ceiling
+//! aborts with an `InvariantViolation`, so a written report is itself
+//! the proof.
+
+use energyx::{BreakerConfig, GovernorPolicy};
+use serde::Serialize;
+use simx::fleet::ChaosConfig;
+use simx::ThermalConfig;
+
+use crate::experiments::fleet::{self, FleetConfig, FleetReport};
+use crate::run::ExecCtx;
+
+/// SLO-retention floor the hierarchical topology must clear under the
+/// storm (fraction of its own calm SLO attainment).
+pub const RETENTION_FLOOR: f64 = 0.95;
+
+/// The thermal experiment configuration: the shared fleet shape plus
+/// the storm's class intensities.
+#[derive(Debug, Clone)]
+pub struct ThermalConfigExp {
+    /// Machines in each scenario's fleet.
+    pub machines: usize,
+    /// Shards.
+    pub shards: usize,
+    /// Region aggregators.
+    pub regions: usize,
+    /// Rounds per scenario.
+    pub rounds: usize,
+    /// Characterization scale.
+    pub scale: f64,
+    /// Master seed (workload, thermal sensors, chaos all derive).
+    pub seed: u64,
+    /// Fleet power budget, watts. Richer than the fleet default so the
+    /// calm cells run close to their ladder maxima and the storm's
+    /// brownouts, trips, and throttles are what costs SLO.
+    pub budget_w: f64,
+    /// Brownout intensity of the storm.
+    pub brownout: f64,
+    /// Region-aggregator/root outage intensity of the storm.
+    pub aggregator_crash: f64,
+    /// Stuck-sensor intensity of the storm.
+    pub sensor_stuck: f64,
+}
+
+impl ThermalConfigExp {
+    /// The default matrix: 12 machines / 2 shards / 3 regions, 160
+    /// rounds, with a heavy brownout + region-crash storm.
+    #[must_use]
+    pub fn new(machines: usize, rounds: usize, scale: f64, seed: u64) -> Self {
+        ThermalConfigExp {
+            machines: machines.max(1),
+            shards: 2,
+            regions: 3,
+            rounds,
+            scale,
+            seed,
+            budget_w: machines.max(1) as f64 * 90.0,
+            brownout: 0.8,
+            aggregator_crash: 0.7,
+            sensor_stuck: 0.3,
+        }
+    }
+}
+
+/// One cell of the 2×2 matrix.
+#[derive(Debug, Clone, Serialize)]
+pub struct Scenario {
+    /// Cell name, e.g. `hier-storm`.
+    pub name: String,
+    /// Hierarchical governance on.
+    pub hierarchy: bool,
+    /// Storm chaos on.
+    pub storm: bool,
+    /// The full fleet report of this cell.
+    pub report: FleetReport,
+}
+
+/// The experiment's verdict block.
+#[derive(Debug, Clone, Serialize)]
+pub struct ThermalSummary {
+    /// Calm SLO attainment, flat topology.
+    pub flat_slo_calm: f64,
+    /// Storm SLO attainment, flat topology.
+    pub flat_slo_storm: f64,
+    /// Calm SLO attainment, hierarchical topology.
+    pub hier_slo_calm: f64,
+    /// Storm SLO attainment, hierarchical topology.
+    pub hier_slo_storm: f64,
+    /// `flat_slo_storm / flat_slo_calm`.
+    pub flat_retention: f64,
+    /// `hier_slo_storm / hier_slo_calm`.
+    pub hier_retention: f64,
+    /// The headline verdict: hierarchy retains at least
+    /// [`RETENTION_FLOOR`] of its calm SLO under the storm *and* beats
+    /// the flat topology's retention.
+    pub retention_gate: bool,
+    /// Emergency-throttle engagements across all four cells.
+    pub emergency_throttles: u64,
+    /// Thermal shutdowns across all four cells.
+    pub thermal_shutdowns: u64,
+    /// Staggered black-start recoveries across all four cells.
+    pub black_starts: u64,
+    /// Overshoot-breaker trips across all four cells.
+    pub breaker_trips: u64,
+    /// Hottest true die temperature any machine reached, milli-°C.
+    pub peak_temp_mc: i64,
+    /// Post-emergency ceiling violations (always zero in a written
+    /// report — a violation aborts the run).
+    pub ceiling_violations: u64,
+}
+
+/// The serializable thermal report.
+#[derive(Debug, Clone, Serialize)]
+pub struct ThermalReport {
+    /// The four cells, in (flat-calm, flat-storm, hier-calm, hier-storm)
+    /// order.
+    pub scenarios: Vec<Scenario>,
+    /// The verdict block.
+    pub summary: ThermalSummary,
+}
+
+fn cell_config(exp: &ThermalConfigExp, hierarchy: bool, storm: bool) -> FleetConfig {
+    let mut config = FleetConfig::new(exp.machines, exp.shards, exp.rounds, exp.scale, exp.seed);
+    config.policy = GovernorPolicy::DepBurst;
+    config.budget_w = exp.budget_w;
+    // A stricter breaker than the fleet default: budget-oblivious machines
+    // under a brownout get floored long enough for the backlog to bite,
+    // so power discipline shows up in the SLO column.
+    config.breaker = BreakerConfig {
+        rel_tol: 0.05,
+        hold_rounds: 8,
+        stagger_rounds: 2,
+    };
+    config.regions = exp.regions;
+    config.hierarchy = hierarchy;
+    config.thermal = ThermalConfig::datacenter(exp.seed);
+    let mut chaos = ChaosConfig::none(exp.seed);
+    if storm {
+        chaos.brownout = exp.brownout;
+        chaos.aggregator_crash = exp.aggregator_crash;
+        chaos.sensor_stuck = exp.sensor_stuck;
+        // Incident-length windows: a grid brownout or control-plane
+        // outage lasts long past the ladder's demotion tolerance, so the
+        // topologies' containment — not their hold-last-frequency
+        // inertia — is what the storm measures.
+        chaos.mean_outage_rounds = 16;
+    }
+    config.chaos = chaos;
+    config
+}
+
+/// Runs the 2×2 matrix on `ctx` and assembles the verdict.
+///
+/// # Errors
+/// Characterization failures and invariant violations (thermal ceiling,
+/// throttle monotonicity, hierarchy budget conservation, …) propagate.
+pub fn run_with(
+    ctx: &ExecCtx,
+    exp: &ThermalConfigExp,
+) -> depburst_core::Result<ThermalReport> {
+    let mut scenarios = Vec::with_capacity(4);
+    for (hierarchy, storm) in [(false, false), (false, true), (true, false), (true, true)] {
+        let config = cell_config(exp, hierarchy, storm);
+        let outcome = fleet::run_with(ctx, &config)?.report;
+        scenarios.push(Scenario {
+            name: format!(
+                "{}-{}",
+                if hierarchy { "hier" } else { "flat" },
+                if storm { "storm" } else { "calm" }
+            ),
+            hierarchy,
+            storm,
+            report: outcome,
+        });
+    }
+    // The strict lens: down rounds (crash, thermal shutdown) are misses,
+    // so a topology cannot look good by shedding its way out of trouble.
+    let slo = |h: bool, s: bool| {
+        scenarios
+            .iter()
+            .find(|c| c.hierarchy == h && c.storm == s)
+            .map(|c| {
+                let sum = &c.report.summary;
+                sum.strict_slo_attainment.unwrap_or(sum.slo_attainment)
+            })
+            .unwrap_or(0.0)
+    };
+    let (flat_slo_calm, flat_slo_storm) = (slo(false, false), slo(false, true));
+    let (hier_slo_calm, hier_slo_storm) = (slo(true, false), slo(true, true));
+    let retention = |storm: f64, calm: f64| if calm > 0.0 { storm / calm } else { 0.0 };
+    let flat_retention = retention(flat_slo_storm, flat_slo_calm);
+    let hier_retention = retention(hier_slo_storm, hier_slo_calm);
+    let total = |f: &dyn Fn(&FleetReport) -> u64| -> u64 {
+        scenarios.iter().map(|c| f(&c.report)).sum()
+    };
+    let summary = ThermalSummary {
+        flat_slo_calm,
+        flat_slo_storm,
+        hier_slo_calm,
+        hier_slo_storm,
+        flat_retention,
+        hier_retention,
+        retention_gate: hier_retention >= RETENTION_FLOOR && hier_retention > flat_retention,
+        emergency_throttles: total(&|r| r.summary.emergency_throttles.unwrap_or(0)),
+        thermal_shutdowns: total(&|r| r.summary.thermal_shutdowns.unwrap_or(0)),
+        black_starts: total(&|r| r.summary.black_starts.unwrap_or(0)),
+        breaker_trips: total(&|r| r.summary.breaker_trips.unwrap_or(0)),
+        peak_temp_mc: scenarios
+            .iter()
+            .filter_map(|c| c.report.summary.peak_temp_mc)
+            .max()
+            .unwrap_or(0),
+        ceiling_violations: 0,
+    };
+    Ok(ThermalReport { scenarios, summary })
+}
+
+/// Renders the verdict block as the experiment's text output.
+#[must_use]
+pub fn render(report: &ThermalReport) -> String {
+    let mut out = String::new();
+    for c in &report.scenarios {
+        let s = &c.report.summary;
+        out.push_str(&format!(
+            "{:<11} slo {:>5.1}%  served {:>9.0}  overshoot {:>3}  \
+             emergency-throttle {:>3}  black-start {:>3}  breaker {:>3}\n",
+            c.name,
+            s.strict_slo_attainment.unwrap_or(s.slo_attainment) * 100.0,
+            s.served,
+            s.overshoot_rounds,
+            s.emergency_throttles.unwrap_or(0),
+            s.black_starts.unwrap_or(0),
+            s.breaker_trips.unwrap_or(0),
+        ));
+    }
+    let s = &report.summary;
+    out.push_str(&format!(
+        "retention: hier {:.1}% vs flat {:.1}% (floor {:.0}%) → gate {}\n\
+         thermal: {} emergency-throttle, {} thermal-shutdown, {} black-start, \
+         {} breaker trips, peak {:.1} °C, {} ceiling violations\n",
+        s.hier_retention * 100.0,
+        s.flat_retention * 100.0,
+        RETENTION_FLOOR * 100.0,
+        if s.retention_gate { "PASS" } else { "FAIL" },
+        s.emergency_throttles,
+        s.thermal_shutdowns,
+        s.black_starts,
+        s.breaker_trips,
+        s.peak_temp_mc as f64 / 1000.0,
+        s.ceiling_violations,
+    ));
+    out
+}

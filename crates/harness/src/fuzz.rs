@@ -524,6 +524,318 @@ pub fn run_campaign(
         .collect()
 }
 
+// ---------------------------------------------------------------------------
+// Fleet tier: structure-aware fuzzing of the fleet round loop — chaos
+// schedules, governor topology, and the thermal/power-integrity layer —
+// under the fleet's own invariants (power-budget and hierarchy-budget
+// conservation, ladder membership, rejoin and throttle monotonicity,
+// thermal ceiling), with the same greedy deterministic shrinking.
+// ---------------------------------------------------------------------------
+
+use crate::experiments::fleet::{self, FleetConfig, SyntheticMachine};
+use simx::fleet::ChaosConfig;
+use simx::ThermalConfig;
+
+/// Menu of fleet round counts. Small enough that a case runs in
+/// milliseconds on synthetic machines (no characterization).
+const FLEET_ROUNDS: [usize; 4] = [20, 30, 40, 60];
+/// Menu of per-machine power budgets, watts.
+const FLEET_BUDGET_W: [u32; 4] = [40, 60, 90, 120];
+/// Menu of mean outage durations, rounds: shorter than, at, and well
+/// past the thermal time constant.
+const FLEET_OUTAGE_ROUNDS: [u32; 3] = [4, 8, 16];
+
+/// The synthetic machine profile menu, index-addressable so cases stay
+/// plain data. Spans CPU-bound, GC-heavy, and fixed-cost-heavy shapes.
+#[must_use]
+pub fn fleet_profile(index: usize) -> SyntheticMachine {
+    match index % 4 {
+        0 => SyntheticMachine {
+            scaling_s: 2.4e-3,
+            fixed_s: 0.4e-3,
+            alloc_per_req: 1.5e5,
+            bytes_per_gc: 6.0e7,
+            gc_pause_s: 8e-3,
+        },
+        1 => SyntheticMachine {
+            scaling_s: 1.2e-3,
+            fixed_s: 1.4e-3,
+            alloc_per_req: 4.0e5,
+            bytes_per_gc: 2.5e7,
+            gc_pause_s: 20e-3,
+        },
+        2 => SyntheticMachine {
+            scaling_s: 3.6e-3,
+            fixed_s: 0.1e-3,
+            alloc_per_req: 0.0,
+            bytes_per_gc: 0.0,
+            gc_pause_s: 0.0,
+        },
+        _ => SyntheticMachine {
+            scaling_s: 1.8e-3,
+            fixed_s: 0.8e-3,
+            alloc_per_req: 2.5e5,
+            bytes_per_gc: 1.0e8,
+            gc_pause_s: 5e-3,
+        },
+    }
+}
+
+/// One structure-aware fleet fuzz input: the fleet shape, topology, the
+/// full chaos schedule (legacy classes plus brownout / aggregator-crash
+/// / stuck-sensor), and the thermal switch. Plain data, like
+/// [`FuzzCase`].
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct FleetFuzzCase {
+    /// Machines (2..=8).
+    pub machines: usize,
+    /// Shards (1..=2, never more than machines).
+    pub shards: usize,
+    /// Region aggregators (1..=3, never more than machines).
+    pub regions: usize,
+    /// Fleet rounds.
+    pub rounds: usize,
+    /// Master seed (traffic, chaos, and sensors derive from it).
+    pub seed: u64,
+    /// Hierarchical governance on.
+    pub hierarchy: bool,
+    /// Thermal model + throttle ladder + breaker armed.
+    pub thermal: bool,
+    /// Legacy chaos intensity in thousandths (crash, partition,
+    /// telemetry loss, stale telemetry, slow links).
+    pub chaos_milli: u32,
+    /// Brownout intensity, thousandths.
+    pub brownout_milli: u32,
+    /// Region-aggregator/root crash intensity, thousandths.
+    pub aggregator_milli: u32,
+    /// Stuck-sensor intensity, thousandths.
+    pub sensor_milli: u32,
+    /// Mean outage duration, rounds. Long incidents (past the thermal
+    /// time constant) are what let budget-oblivious heat run away.
+    pub outage_rounds: u32,
+    /// Per-machine power budget, watts.
+    pub budget_w_per_machine: u32,
+    /// Indices into [`fleet_profile`], cycled across machines.
+    pub profiles: Vec<usize>,
+}
+
+impl FleetFuzzCase {
+    /// The fleet configuration this case describes.
+    #[must_use]
+    pub fn config(&self) -> FleetConfig {
+        let mut config = FleetConfig::new(self.machines, self.shards, self.rounds, 0.02, self.seed);
+        // DepBurst is the interesting policy: it exercises the delayed
+        // telemetry ingest, demotion ladder, and rejoin paths.
+        config.policy = energyx::GovernorPolicy::DepBurst;
+        let mut chaos = ChaosConfig::uniform(f64::from(self.chaos_milli) / 1000.0, self.seed);
+        chaos.brownout = f64::from(self.brownout_milli) / 1000.0;
+        chaos.aggregator_crash = f64::from(self.aggregator_milli) / 1000.0;
+        chaos.sensor_stuck = f64::from(self.sensor_milli) / 1000.0;
+        chaos.mean_outage_rounds = self.outage_rounds.max(1);
+        config.chaos = chaos;
+        config.regions = self.regions;
+        config.hierarchy = self.hierarchy;
+        if self.thermal {
+            config.thermal = ThermalConfig::datacenter(self.seed);
+        }
+        config.budget_w = f64::from(self.budget_w_per_machine) * self.machines as f64;
+        config
+    }
+
+    /// The synthetic machine profiles, resolved from the menu.
+    #[must_use]
+    pub fn params(&self) -> Vec<SyntheticMachine> {
+        self.profiles.iter().map(|&ix| fleet_profile(ix)).collect()
+    }
+}
+
+/// Stream salt separating the fleet campaign from the point campaign at
+/// the same seed.
+const FLEET_CASE_SALT: u64 = 0x666C656574;
+
+/// Generates fleet case `index` of the campaign seeded by
+/// `campaign_seed`. Pure, like [`generate`].
+#[must_use]
+pub fn generate_fleet(campaign_seed: u64, index: u64) -> FleetFuzzCase {
+    let mut rng =
+        SplitMix64::new(campaign_seed ^ FLEET_CASE_SALT ^ index.wrapping_mul(CASE_STRIDE));
+    let machines = 2 + (rng.next_u64() % 7) as usize; // 2..=8
+    let shards = 1 + (rng.next_u64() % 2) as usize;
+    let shards = shards.min(machines);
+    let regions = (1 + (rng.next_u64() % 3) as usize).min(machines);
+    let intensity = |rng: &mut SplitMix64| -> u32 {
+        if rng.chance(0.5) {
+            0
+        } else {
+            100 + (rng.next_u64() % 701) as u32 // 100..=800
+        }
+    };
+    let chaos_milli = intensity(&mut rng);
+    let brownout_milli = intensity(&mut rng);
+    let aggregator_milli = intensity(&mut rng);
+    let sensor_milli = intensity(&mut rng);
+    let profile_count = 1 + (rng.next_u64() % 3) as usize;
+    let profiles = (0..profile_count)
+        .map(|_| (rng.next_u64() % 4) as usize)
+        .collect();
+    FleetFuzzCase {
+        machines,
+        shards,
+        regions,
+        rounds: pick(&mut rng, &FLEET_ROUNDS),
+        seed: 1 + rng.next_u64() % 1000,
+        hierarchy: rng.chance(0.5),
+        thermal: rng.chance(0.6),
+        chaos_milli,
+        brownout_milli,
+        aggregator_milli,
+        sensor_milli,
+        outage_rounds: pick(&mut rng, &FLEET_OUTAGE_ROUNDS),
+        budget_w_per_machine: pick(&mut rng, &FLEET_BUDGET_W),
+        profiles,
+    }
+}
+
+/// Runs one fleet case under the full fleet invariant set (plus the
+/// optional sabotage hook) and returns its violation, if any. Chaos is
+/// *weather*, not failure: a clean run under any schedule returns
+/// `None`; only an invariant violation (or an outright error) reports.
+#[must_use]
+pub fn run_fleet_case(case: &FleetFuzzCase, sabotage: Option<Invariant>) -> Option<CaseViolation> {
+    let mut config = case.config();
+    config.sabotage = sabotage;
+    match fleet::run_synthetic(&config, &case.params()) {
+        Ok(_) => None,
+        Err(err) => Some(violation_of(err)),
+    }
+}
+
+/// One named shrinking transform over a fleet case.
+type FleetTransform = (&'static str, fn(&FleetFuzzCase) -> FleetFuzzCase);
+
+/// The fixed, ordered fleet shrinking transforms. Transforms that would
+/// remove a violation's trigger (calm weather for a chaos-dependent
+/// finding, thermal-off for a ceiling breach) are naturally rejected by
+/// the same-invariant rule, so the reproducer keeps exactly the
+/// machinery the bug needs.
+fn fleet_transforms() -> Vec<FleetTransform> {
+    vec![
+        ("calm-weather", |c| FleetFuzzCase {
+            chaos_milli: 0,
+            brownout_milli: 0,
+            aggregator_milli: 0,
+            sensor_milli: 0,
+            ..c.clone()
+        }),
+        ("thermal-off", |c| FleetFuzzCase {
+            thermal: false,
+            ..c.clone()
+        }),
+        ("short-outages", |c| FleetFuzzCase {
+            outage_rounds: FLEET_OUTAGE_ROUNDS[0],
+            ..c.clone()
+        }),
+        ("flat-topology", |c| FleetFuzzCase {
+            hierarchy: false,
+            ..c.clone()
+        }),
+        ("one-region", |c| FleetFuzzCase {
+            regions: 1,
+            ..c.clone()
+        }),
+        ("short-run", |c| FleetFuzzCase {
+            rounds: FLEET_ROUNDS[0],
+            ..c.clone()
+        }),
+        ("small-fleet", |c| {
+            let machines = 2.max(c.regions);
+            FleetFuzzCase {
+                machines,
+                shards: 1,
+                ..c.clone()
+            }
+        }),
+        ("seed-one", |c| FleetFuzzCase {
+            seed: 1,
+            ..c.clone()
+        }),
+        ("one-profile", |c| FleetFuzzCase {
+            profiles: vec![c.profiles[0]],
+            ..c.clone()
+        }),
+    ]
+}
+
+/// Greedily shrinks a violating fleet case to a minimal reproducer,
+/// with the same accept-only-same-invariant contract as [`shrink`].
+#[must_use]
+pub fn shrink_fleet(
+    case: &FleetFuzzCase,
+    violation: &CaseViolation,
+    sabotage: Option<Invariant>,
+) -> FleetFuzzCase {
+    let mut current = case.clone();
+    for _ in 0..4 {
+        let mut changed = false;
+        for (_, transform) in fleet_transforms() {
+            let candidate = transform(&current);
+            if candidate == current {
+                continue;
+            }
+            if let Some(v) = run_fleet_case(&candidate, sabotage) {
+                if v.invariant == violation.invariant {
+                    current = candidate;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    current
+}
+
+/// One fleet campaign case's outcome.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct FleetFinding {
+    /// The case's index within the campaign.
+    pub index: u64,
+    /// The generated input.
+    pub case: FleetFuzzCase,
+    /// The violation, if the case provoked one.
+    pub violation: Option<CaseViolation>,
+    /// The shrunk minimal reproducer (when violating and requested).
+    pub shrunk: Option<FleetFuzzCase>,
+}
+
+/// Runs a fleet campaign of `cases` from `campaign_seed`, in order,
+/// optionally shrinking each violating case. Sequential and pure.
+#[must_use]
+pub fn run_fleet_campaign(
+    campaign_seed: u64,
+    cases: u64,
+    shrink_violations: bool,
+    sabotage: Option<Invariant>,
+) -> Vec<FleetFinding> {
+    (0..cases)
+        .map(|index| {
+            let case = generate_fleet(campaign_seed, index);
+            let violation = run_fleet_case(&case, sabotage);
+            let shrunk = match (&violation, shrink_violations) {
+                (Some(v), true) => Some(shrink_fleet(&case, v, sabotage)),
+                _ => None,
+            };
+            FleetFinding {
+                index,
+                case,
+                violation,
+                shrunk,
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -580,5 +892,111 @@ mod tests {
         assert_eq!(minimal.scale_milli, SCALE_MILLI[0]);
         assert_eq!(minimal.cores, 1);
         assert_eq!(minimal.ladder_points, 2);
+    }
+
+    // --- fleet tier ---
+
+    /// A fleet case that exercises every extension at once: hierarchy,
+    /// thermal, and a heavy mixed-class storm. Anchors the sabotage
+    /// tests so they do not depend on what `generate_fleet` happens to
+    /// draw.
+    fn stormy_fleet_case() -> FleetFuzzCase {
+        FleetFuzzCase {
+            machines: 6,
+            shards: 2,
+            regions: 3,
+            rounds: 60,
+            seed: 1,
+            hierarchy: true,
+            thermal: true,
+            chaos_milli: 400,
+            brownout_milli: 600,
+            aggregator_milli: 600,
+            sensor_milli: 300,
+            outage_rounds: 16,
+            budget_w_per_machine: 60,
+            profiles: vec![0, 1],
+        }
+    }
+
+    #[test]
+    fn fleet_generation_is_deterministic_and_valid() {
+        for index in 0..64 {
+            let case = generate_fleet(42, index);
+            assert_eq!(case, generate_fleet(42, index), "same inputs, same case");
+            assert!((2..=8).contains(&case.machines));
+            assert!(case.shards >= 1 && case.shards <= case.machines);
+            assert!(case.regions >= 1 && case.regions <= case.machines);
+            assert!(FLEET_ROUNDS.contains(&case.rounds));
+            assert!(FLEET_OUTAGE_ROUNDS.contains(&case.outage_rounds));
+            assert!(FLEET_BUDGET_W.contains(&case.budget_w_per_machine));
+            assert!(!case.profiles.is_empty() && case.profiles.len() <= 3);
+            for milli in [
+                case.chaos_milli,
+                case.brownout_milli,
+                case.aggregator_milli,
+                case.sensor_milli,
+            ] {
+                assert!(milli == 0 || (100..=800).contains(&milli));
+            }
+        }
+        assert_ne!(generate_fleet(1, 0), generate_fleet(2, 0));
+        // The fleet stream must not mirror the point stream's draws.
+        assert_ne!(generate_fleet(7, 0), generate_fleet(7, 1));
+    }
+
+    #[test]
+    fn a_clean_fleet_case_runs_without_violations() {
+        assert_eq!(run_fleet_case(&stormy_fleet_case(), None), None);
+    }
+
+    #[test]
+    fn fleet_sabotage_throttle_monotonicity_is_caught_and_shrunk() {
+        let case = stormy_fleet_case();
+        let sabotage = Some(Invariant::ThrottleMonotonicity);
+        let violation = run_fleet_case(&case, sabotage).expect("forged transition must fire");
+        assert_eq!(violation.invariant, "throttle-monotonicity");
+        let minimal = shrink_fleet(&case, &violation, sabotage);
+        assert_eq!(
+            run_fleet_case(&minimal, sabotage).expect("reproducer still fires").invariant,
+            violation.invariant
+        );
+        // The forge only runs with thermal armed, so the shrinker must
+        // keep the thermal layer while dropping everything else it can.
+        assert!(minimal.thermal, "thermal-off would remove the trigger");
+        assert!(!minimal.hierarchy);
+        assert_eq!(minimal.rounds, FLEET_ROUNDS[0]);
+        assert_eq!(minimal.profiles.len(), 1);
+    }
+
+    #[test]
+    fn fleet_sabotage_hierarchy_budget_is_caught_and_shrunk() {
+        let case = stormy_fleet_case();
+        let sabotage = Some(Invariant::HierarchyBudgetConservation);
+        let violation = run_fleet_case(&case, sabotage).expect("inflated region must fire");
+        assert_eq!(violation.invariant, "hierarchy-budget-conservation");
+        let minimal = shrink_fleet(&case, &violation, sabotage);
+        assert_eq!(
+            run_fleet_case(&minimal, sabotage).expect("reproducer still fires").invariant,
+            violation.invariant
+        );
+        // The inflation lives in the hierarchical branch.
+        assert!(minimal.hierarchy, "flat-topology would remove the trigger");
+    }
+
+    #[test]
+    fn fleet_sabotage_thermal_ceiling_is_caught() {
+        // The weakened ceiling only arms when a machine actually reaches
+        // Emergency, which needs chaos-driven budget-oblivious heat.
+        let case = stormy_fleet_case();
+        let sabotage = Some(Invariant::ThermalCeiling);
+        let violation = run_fleet_case(&case, sabotage).expect("weakened ceiling must fire");
+        assert_eq!(violation.invariant, "thermal-ceiling");
+        let minimal = shrink_fleet(&case, &violation, sabotage);
+        assert_eq!(
+            run_fleet_case(&minimal, sabotage).expect("reproducer still fires").invariant,
+            violation.invariant
+        );
+        assert!(minimal.thermal, "the ceiling needs the thermal layer");
     }
 }

@@ -5,12 +5,13 @@
 //! reproduces the existing single-machine golden byte-for-byte.
 
 use dvfs_trace::Freq;
+use energyx::{DegradationConfig, DegradationLadder};
 use harness::experiments::fleet::{self, machine_ladder, FleetConfig};
 use harness::run::{ExecCtx, SimPoint, SweepPlan};
 use harness::{sim_key, Journal, SimKey};
 use proptest::prelude::*;
 use simx::fleet::ChaosConfig;
-use simx::MachineConfig;
+use simx::{MachineConfig, ThermalConfig};
 
 /// The golden grid's parameters (see `tests/golden.rs`).
 const SCALE: f64 = 0.05;
@@ -212,6 +213,93 @@ proptest! {
             serde_json::to_string(&a.report).expect("a"),
             serde_json::to_string(&b.report).expect("b")
         );
+    }
+
+    /// Satellite: the ladder's rejoin hysteresis stays monotone under
+    /// arbitrary interleavings of chaos (partition, telemetry loss,
+    /// crash-restart) and thermal-emergency rounds. Each command byte
+    /// encodes one round's health triple (reachable / telemetry /
+    /// thermal-ok) or a crash restart; the test replays the sequence
+    /// against its own streak bookkeeping and requires every upward move
+    /// to follow a full fully-healthy rejoin window — thermally pinned
+    /// rounds must neither demote the ladder nor count toward rejoin.
+    #[test]
+    fn rejoin_hysteresis_is_monotone_under_interleaved_chaos_and_thermal(
+        commands in proptest::collection::vec(0u8..=8, 1..200),
+    ) {
+        let config = DegradationConfig::default();
+        let mut ladder = DegradationLadder::new(config);
+        let mut healthy = 0u32;
+        for (round, &cmd) in commands.iter().enumerate() {
+            let round = round as u64;
+            if cmd == 8 {
+                ladder.force_fallback(round, "crash-restart");
+                healthy = 0;
+                continue;
+            }
+            let reachable = cmd & 1 != 0;
+            let telemetry = cmd & 2 != 0;
+            let thermal_ok = cmd & 4 != 0;
+            let before = ladder.mode();
+            let after = ladder.observe_health(round, reachable, telemetry, thermal_ok);
+            if reachable && telemetry && thermal_ok {
+                healthy += 1;
+            } else {
+                healthy = 0;
+            }
+            if after.rung() > before.rung() {
+                // A promotion spent the whole hysteresis window, all of
+                // it fully healthy — so never on a thermally pinned or
+                // chaos-afflicted round.
+                prop_assert!(reachable && telemetry && thermal_ok);
+                prop_assert!(healthy >= config.rejoin_threshold);
+                prop_assert_eq!(after.rung(), before.rung() + 1, "one rung per window");
+                healthy = 0;
+            }
+            // Thermal pinning alone never demotes: authority over a
+            // throttled machine belongs to the throttle ladder, not the
+            // degradation ladder.
+            if reachable && telemetry && !thermal_ok {
+                prop_assert!(after.rung() >= before.rung());
+            }
+        }
+        prop_assert!(ladder.monotonicity_issue().is_none(),
+            "{:?}", ladder.monotonicity_issue());
+    }
+}
+
+#[test]
+fn zero_thermal_fleet_is_byte_identical_to_the_legacy_config() {
+    // Satellite regression pin: the thermal/hierarchy layer must be
+    // invisible when disabled. A legacy config (all defaults) and one
+    // that *explicitly* disables every extension must serialize
+    // byte-identical reports — i.e. the disabled thermal model draws no
+    // randomness and the extended summary fields stay absent — so the
+    // committed pre-thermal results/fleet.json remains reproducible.
+    let legacy = tiny_config(4, 2, 0.6, 7);
+    let mut explicit = tiny_config(4, 2, 0.6, 7);
+    explicit.thermal = ThermalConfig::disabled();
+    explicit.regions = 1;
+    explicit.hierarchy = false;
+    assert!(!legacy.extended(), "legacy config must not opt in");
+    assert!(!explicit.extended(), "explicitly-disabled config must not opt in");
+
+    let ctx = ExecCtx::sequential();
+    let a = report_json(&ctx, &legacy);
+    let b = report_json(&ctx, &explicit);
+    assert_eq!(a, b, "disabled thermal layer perturbed the legacy report");
+    // The extended keys must not leak into legacy serializations: their
+    // absence is what keeps old reports byte-stable.
+    for key in [
+        "strict_slo_attainment",
+        "peak_temp_mc",
+        "emergency_throttles",
+        "thermal_shutdowns",
+        "black_starts",
+        "breaker_trips",
+        "brownout_rounds",
+    ] {
+        assert!(!a.contains(key), "legacy report leaked extended key {key}");
     }
 }
 

@@ -88,6 +88,21 @@ pub enum FaultClass {
     /// Fleet chaos: the telemetry link slows down, delaying a machine's
     /// report by one to three rounds. Not in [`ALL`].
     SlowLink,
+    /// Fleet chaos: a machine's thermal sensor sticks at its last reading
+    /// for a window, blinding the software throttle ladder while the true
+    /// temperature keeps moving (the hardware trip still works). Not in
+    /// [`ALL`].
+    ThermalSensorStuck,
+    /// Fleet chaos: a region aggregator (or, on its own stream, the root
+    /// governor) crashes for a window. Under the hierarchical governor a
+    /// root outage freezes region budgets while regions run autonomously;
+    /// under a flat central governor it partitions every machine at once.
+    /// Not in [`ALL`].
+    RegionAggregatorCrash,
+    /// Fleet chaos: a power brownout — the global budget drops to a drawn
+    /// fraction for a window, forcing the governors to reallocate without
+    /// oscillating the fleet. Not in [`ALL`].
+    Brownout,
 }
 
 impl FaultClass {
@@ -108,12 +123,15 @@ impl FaultClass {
     /// [`crate::fleet::ChaosSchedule`] rather than a [`FaultInjector`].
     /// Deliberately disjoint from [`ALL`](Self::ALL) so their existence
     /// cannot perturb any single-machine sweep or cache key.
-    pub const CHAOS: [FaultClass; 5] = [
+    pub const CHAOS: [FaultClass; 8] = [
         FaultClass::MachineCrash,
         FaultClass::TelemetryLoss,
         FaultClass::StaleTelemetry,
         FaultClass::GovernorPartition,
         FaultClass::SlowLink,
+        FaultClass::ThermalSensorStuck,
+        FaultClass::RegionAggregatorCrash,
+        FaultClass::Brownout,
     ];
 
     /// Parses a [`name`](Self::name) back to its class (`None` for
@@ -145,6 +163,9 @@ impl FaultClass {
             FaultClass::StaleTelemetry => "stale-telemetry",
             FaultClass::GovernorPartition => "governor-partition",
             FaultClass::SlowLink => "slow-link",
+            FaultClass::ThermalSensorStuck => "thermal-sensor-stuck",
+            FaultClass::RegionAggregatorCrash => "region-aggregator-crash",
+            FaultClass::Brownout => "brownout",
         }
     }
 }
@@ -219,7 +240,10 @@ impl FaultConfig {
             | FaultClass::TelemetryLoss
             | FaultClass::StaleTelemetry
             | FaultClass::GovernorPartition
-            | FaultClass::SlowLink => None,
+            | FaultClass::SlowLink
+            | FaultClass::ThermalSensorStuck
+            | FaultClass::RegionAggregatorCrash
+            | FaultClass::Brownout => None,
         };
         if let Some(slot) = slot {
             *slot = intensity.clamp(0.0, 1.0);

@@ -84,6 +84,25 @@ impl FleetTopology {
     }
 }
 
+/// The region owning `machine` when `machines` machines tile `regions`
+/// contiguous regions (the first `machines % regions` regions holding
+/// one extra — the same tiling as [`FleetTopology::shard_of`]). Regions
+/// are the governor hierarchy's granularity; shards remain the parallel
+/// stepping granularity, and the two tilings are independent.
+#[must_use]
+pub fn region_of(machines: usize, regions: usize, machine: usize) -> usize {
+    let machines = machines.max(1);
+    let regions = regions.clamp(1, machines);
+    let base = machines / regions;
+    let extra = machines % regions;
+    let boundary = extra * (base + 1);
+    if machine < boundary {
+        machine / (base + 1)
+    } else {
+        (extra + (machine - boundary) / base).min(regions - 1)
+    }
+}
+
 /// Per-class chaos intensities (each in `[0, 1]`; zero disables the
 /// class) plus the seed every chaos stream derives from. The fleet
 /// counterpart of [`crate::FaultConfig`].
@@ -101,6 +120,15 @@ pub struct ChaosConfig {
     pub partition: f64,
     /// Per-round slow-link telemetry delay.
     pub slow_link: f64,
+    /// Thermal-sensor-stuck windows (the software throttle ladder goes
+    /// blind; the hardware trip still reads the true temperature).
+    pub sensor_stuck: f64,
+    /// Region-aggregator (and, on its own stream, root-governor) crash
+    /// outages.
+    pub aggregator_crash: f64,
+    /// Power-brownout windows: the global budget drops to a drawn
+    /// fraction for the window's duration.
+    pub brownout: f64,
     /// Mean duration, in rounds, of crash and partition outages.
     pub mean_outage_rounds: u32,
 }
@@ -116,12 +144,19 @@ impl ChaosConfig {
             stale_telemetry: 0.0,
             partition: 0.0,
             slow_link: 0.0,
+            sensor_stuck: 0.0,
+            aggregator_crash: 0.0,
+            brownout: 0.0,
             mean_outage_rounds: 6,
         }
     }
 
-    /// Every class at the same intensity (the fleet binary's single
-    /// `--chaos` knob).
+    /// Every *legacy* class at the same intensity (the fleet binary's
+    /// single `--chaos` knob). The thermal/hierarchy classes
+    /// (sensor-stuck, aggregator-crash, brownout) stay at zero: they are
+    /// opt-in knobs, and keeping them out of `uniform` pins every
+    /// pre-thermal chaos run — including the committed fleet goldens —
+    /// byte-identical.
     #[must_use]
     pub fn uniform(intensity: f64, seed: u64) -> Self {
         let i = intensity.clamp(0.0, 1.0);
@@ -145,6 +180,9 @@ impl ChaosConfig {
             FaultClass::StaleTelemetry => Some(self.stale_telemetry),
             FaultClass::GovernorPartition => Some(self.partition),
             FaultClass::SlowLink => Some(self.slow_link),
+            FaultClass::ThermalSensorStuck => Some(self.sensor_stuck),
+            FaultClass::RegionAggregatorCrash => Some(self.aggregator_crash),
+            FaultClass::Brownout => Some(self.brownout),
             _ => None,
         }
     }
@@ -157,6 +195,9 @@ impl ChaosConfig {
             && self.stale_telemetry <= 0.0
             && self.partition <= 0.0
             && self.slow_link <= 0.0
+            && self.sensor_stuck <= 0.0
+            && self.aggregator_crash <= 0.0
+            && self.brownout <= 0.0
     }
 }
 
@@ -174,6 +215,8 @@ pub struct ChaosState {
     /// Rounds this round's telemetry is delayed by the slow link
     /// (0 = on time).
     pub link_delay: u8,
+    /// The machine's thermal sensor is stuck at its last reading.
+    pub sensor_stuck: bool,
 }
 
 impl ChaosState {
@@ -190,6 +233,11 @@ const LOSS_SALT: u64 = 0x6C6F_7373;
 const STALE_SALT: u64 = 0x0073_7461_6C65;
 const PARTITION_SALT: u64 = 0x7061_7274;
 const LINK_SALT: u64 = 0x6C69_6E6B;
+const STUCK_SALT: u64 = 0x0073_7475_636B;
+const REGION_SALT: u64 = 0x7265_6769_6F6E;
+const ROOT_SALT: u64 = 0x726F_6F74;
+const BROWNOUT_SALT: u64 = 0x62726F776E;
+const BROWNOUT_DEPTH_SALT: u64 = 0x6465707468;
 
 /// Per-round event probability at intensity 1.0 for the Bernoulli
 /// classes (dropout, staleness, slow link).
@@ -207,16 +255,41 @@ const OUTAGE_RATE: f64 = 0.08;
 pub struct ChaosSchedule {
     machines: usize,
     rounds: usize,
+    regions: usize,
     /// Round-major: `states[round * machines + machine]`.
     states: Vec<ChaosState>,
+    /// Round-major: `aggregator_down[round * regions + region]`.
+    aggregator_down: Vec<bool>,
+    /// Per round: the root governor is down.
+    root_down: Vec<bool>,
+    /// Per round: the global-budget multiplier in thousandths
+    /// (1000 = full budget; a brownout window holds a drawn fraction).
+    budget_milli: Vec<u16>,
 }
 
 impl ChaosSchedule {
-    /// Generates the schedule. Each (class, machine) pair draws from its
-    /// own salted stream, walked over the rounds in order; disabled
-    /// classes consume no randomness at all.
+    /// Generates a single-region schedule. Each (class, machine) pair
+    /// draws from its own salted stream, walked over the rounds in order;
+    /// disabled classes consume no randomness at all.
     #[must_use]
     pub fn generate(config: &ChaosConfig, machines: usize, rounds: usize) -> Self {
+        Self::generate_with_regions(config, machines, rounds, 1)
+    }
+
+    /// Generates the schedule for a fleet of `regions` regions: the
+    /// per-machine classes as in [`ChaosSchedule::generate`], plus one
+    /// aggregator-outage stream per region, one root-outage stream, and
+    /// the global brownout stream. The region count only adds streams —
+    /// it never shifts the per-machine draws, so a one-region schedule's
+    /// machine states equal an N-region schedule's.
+    #[must_use]
+    pub fn generate_with_regions(
+        config: &ChaosConfig,
+        machines: usize,
+        rounds: usize,
+        regions: usize,
+    ) -> Self {
+        let regions = regions.clamp(1, machines.max(1));
         let mut states = vec![ChaosState::default(); rounds * machines];
         for machine in 0..machines {
             let msalt = (machine as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
@@ -230,6 +303,11 @@ impl ChaosSchedule {
                 config.partition,
                 config.mean_outage_rounds,
             );
+            let mut stuck = OutageWalk::new(
+                SplitMix64::new(config.seed ^ STUCK_SALT ^ msalt),
+                config.sensor_stuck,
+                config.mean_outage_rounds,
+            );
             let mut loss = SplitMix64::new(config.seed ^ LOSS_SALT ^ msalt);
             let mut stale = SplitMix64::new(config.seed ^ STALE_SALT ^ msalt);
             let mut link = SplitMix64::new(config.seed ^ LINK_SALT ^ msalt);
@@ -237,6 +315,7 @@ impl ChaosSchedule {
                 let state = &mut states[round * machines + machine];
                 state.crashed = crash.step();
                 state.partitioned = partition.step();
+                state.sensor_stuck = stuck.step();
                 state.telemetry_lost = loss.chance(config.telemetry_loss * BERNOULLI_RATE);
                 state.stale = stale.chance(config.stale_telemetry * BERNOULLI_RATE);
                 if link.chance(config.slow_link * BERNOULLI_RATE) {
@@ -247,11 +326,125 @@ impl ChaosSchedule {
                 }
             }
         }
+
+        // Governor-tier outages: one windowed walk per region aggregator
+        // plus one for the root, all on the aggregator-crash intensity.
+        let mut aggregator_down = vec![false; rounds * regions];
+        for region in 0..regions {
+            let rsalt = (region as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let mut walk = OutageWalk::new(
+                SplitMix64::new(config.seed ^ REGION_SALT ^ rsalt),
+                config.aggregator_crash,
+                config.mean_outage_rounds,
+            );
+            for round in 0..rounds {
+                aggregator_down[round * regions + region] = walk.step();
+            }
+        }
+        let mut root_walk = OutageWalk::new(
+            SplitMix64::new(config.seed ^ ROOT_SALT),
+            config.aggregator_crash,
+            config.mean_outage_rounds,
+        );
+        let root_down: Vec<bool> = (0..rounds).map(|_| root_walk.step()).collect();
+
+        // Brownouts: a windowed walk; the budget fraction of each window
+        // is drawn once, from its own stream, only when a window starts.
+        let mut brown_walk = OutageWalk::new(
+            SplitMix64::new(config.seed ^ BROWNOUT_SALT),
+            config.brownout,
+            config.mean_outage_rounds,
+        );
+        let mut depth_rng = SplitMix64::new(config.seed ^ BROWNOUT_SALT ^ BROWNOUT_DEPTH_SALT);
+        let mut budget_milli = vec![1000u16; rounds];
+        let mut prev = false;
+        let mut depth = 1000u16;
+        for slot in &mut budget_milli {
+            let down = brown_walk.step();
+            if down && !prev {
+                // Uniform in [550, 850] thousandths: a 15–45% budget cut.
+                depth = 550 + (depth_rng.next_u64() % 301) as u16;
+            }
+            if down {
+                *slot = depth;
+            }
+            prev = down;
+        }
+
         ChaosSchedule {
             machines,
             rounds,
+            regions,
             states,
+            aggregator_down,
+            root_down,
+            budget_milli,
         }
+    }
+
+    /// Number of regions the governor-tier streams were generated for.
+    #[must_use]
+    pub fn regions(&self) -> usize {
+        self.regions
+    }
+
+    /// The region owning `machine` (contiguous blocks, the first
+    /// `machines % regions` regions holding one extra — the same tiling
+    /// as [`FleetTopology::shard_of`]).
+    #[must_use]
+    pub fn region_of(&self, machine: usize) -> usize {
+        region_of(self.machines, self.regions, machine)
+    }
+
+    /// True if `region`'s aggregator is down in `round`. Out-of-range
+    /// queries are healthy.
+    #[must_use]
+    pub fn aggregator_down(&self, round: usize, region: usize) -> bool {
+        if round >= self.rounds || region >= self.regions {
+            return false;
+        }
+        self.aggregator_down[round * self.regions + region]
+    }
+
+    /// True if the root governor is down in `round`.
+    #[must_use]
+    pub fn root_down(&self, round: usize) -> bool {
+        self.root_down.get(round).copied().unwrap_or(false)
+    }
+
+    /// The global-budget multiplier of `round`, in thousandths
+    /// (1000 = no brownout; out-of-range queries are full budget).
+    #[must_use]
+    pub fn budget_milli(&self, round: usize) -> u16 {
+        self.budget_milli.get(round).copied().unwrap_or(1000)
+    }
+
+    /// Rounds spent in a brownout window.
+    #[must_use]
+    pub fn brownout_rounds(&self) -> usize {
+        self.budget_milli.iter().filter(|&&m| m < 1000).count()
+    }
+
+    /// Distinct governor-tier outages (region-aggregator plus root
+    /// down-transitions).
+    #[must_use]
+    pub fn aggregator_events(&self) -> usize {
+        let mut events = 0;
+        for region in 0..self.regions {
+            let mut prev = false;
+            for round in 0..self.rounds {
+                let now = self.aggregator_down[round * self.regions + region];
+                events += usize::from(now && !prev);
+                prev = now;
+            }
+        }
+        let mut prev = false;
+        for round in 0..self.rounds {
+            let now = self.root_down[round];
+            events += usize::from(now && !prev);
+            prev = now;
+        }
+        events
     }
 
     /// The chaos on `machine` in `round`. Out-of-range queries (a fleet
@@ -270,10 +463,14 @@ impl ChaosSchedule {
         self.rounds
     }
 
-    /// True if no `(round, machine)` cell carries any chaos.
+    /// True if no `(round, machine)` cell, governor-tier stream, or
+    /// brownout window carries any chaos.
     #[must_use]
     pub fn is_clear(&self) -> bool {
         self.states.iter().all(ChaosState::is_clear)
+            && !self.aggregator_down.iter().any(|&d| d)
+            && !self.root_down.iter().any(|&d| d)
+            && self.budget_milli.iter().all(|&m| m == 1000)
     }
 
     /// How many distinct crash outages (down-transitions) the schedule
@@ -474,9 +671,105 @@ mod tests {
     fn intensity_maps_chaos_classes_only() {
         let config = ChaosConfig::uniform(0.4, 1);
         for class in FaultClass::CHAOS {
-            assert_eq!(config.intensity(class), Some(0.4));
+            let expected = match class {
+                // The thermal/hierarchy classes are opt-in: `uniform`
+                // must leave them inert so pre-thermal runs stay
+                // byte-identical.
+                FaultClass::ThermalSensorStuck
+                | FaultClass::RegionAggregatorCrash
+                | FaultClass::Brownout => 0.0,
+                _ => 0.4,
+            };
+            assert_eq!(config.intensity(class), Some(expected), "{class}");
         }
         assert_eq!(config.intensity(FaultClass::CounterNoise), None);
         assert_eq!(config.intensity(FaultClass::PanicPoint), None);
+    }
+
+    fn storm(seed: u64) -> ChaosConfig {
+        ChaosConfig {
+            sensor_stuck: 0.8,
+            aggregator_crash: 0.8,
+            brownout: 0.8,
+            ..ChaosConfig::none(seed)
+        }
+    }
+
+    #[test]
+    fn regions_tile_the_machines_contiguously() {
+        for (machines, regions) in [(1, 1), (9, 3), (10, 3), (7, 7), (5, 9)] {
+            let mut covered = Vec::new();
+            let r = regions.clamp(1, machines);
+            for region in 0..r {
+                for m in 0..machines {
+                    if region_of(machines, regions, m) == region {
+                        covered.push(m);
+                    }
+                }
+            }
+            covered.sort_unstable();
+            assert_eq!(covered, (0..machines).collect::<Vec<_>>());
+            // Contiguity: region index is non-decreasing in machine id.
+            let ids: Vec<usize> = (0..machines).map(|m| region_of(machines, regions, m)).collect();
+            assert!(ids.windows(2).all(|w| w[0] <= w[1]), "{ids:?}");
+        }
+    }
+
+    #[test]
+    fn new_classes_are_windowed_bounded_and_deterministic() {
+        let schedule = ChaosSchedule::generate_with_regions(&storm(13), 6, 200, 3);
+        assert_eq!(schedule, ChaosSchedule::generate_with_regions(&storm(13), 6, 200, 3));
+        assert!(schedule.aggregator_events() > 0, "aggregators must crash");
+        assert!(schedule.brownout_rounds() > 0, "brownouts must occur");
+        let mut stuck_rounds = 0;
+        for round in 0..200 {
+            let milli = schedule.budget_milli(round);
+            assert!(milli == 1000 || (550..=850).contains(&milli), "depth {milli}");
+            for m in 0..6 {
+                stuck_rounds += usize::from(schedule.state(round, m).sensor_stuck);
+            }
+        }
+        assert!(stuck_rounds > 0, "sensors must stick");
+        // Out-of-range queries are healthy.
+        assert!(!schedule.aggregator_down(200, 0));
+        assert!(!schedule.aggregator_down(0, 3));
+        assert!(!schedule.root_down(200));
+        assert_eq!(schedule.budget_milli(200), 1000);
+    }
+
+    #[test]
+    fn region_count_never_shifts_per_machine_draws() {
+        let config = ChaosConfig {
+            sensor_stuck: 0.6,
+            ..ChaosConfig::uniform(0.7, 21)
+        };
+        let one = ChaosSchedule::generate_with_regions(&config, 5, 80, 1);
+        let four = ChaosSchedule::generate_with_regions(&config, 5, 80, 4);
+        for round in 0..80 {
+            for m in 0..5 {
+                assert_eq!(one.state(round, m), four.state(round, m));
+            }
+        }
+    }
+
+    #[test]
+    fn inert_new_classes_draw_nothing_and_clear_schedules_stay_clear() {
+        // Legacy-only chaos: the governor-tier and brownout streams must
+        // be all-healthy, and the machine states must equal a schedule
+        // generated before those streams existed (same seeds, same
+        // draws).
+        let legacy = ChaosSchedule::generate_with_regions(&ChaosConfig::uniform(0.5, 7), 4, 60, 3);
+        for round in 0..60 {
+            assert!(!legacy.root_down(round));
+            assert_eq!(legacy.budget_milli(round), 1000);
+            for r in 0..3 {
+                assert!(!legacy.aggregator_down(round, r));
+            }
+            for m in 0..4 {
+                assert!(!legacy.state(round, m).sensor_stuck);
+            }
+        }
+        assert!(ChaosSchedule::generate_with_regions(&ChaosConfig::none(5), 4, 60, 3).is_clear());
+        assert!(!ChaosSchedule::generate_with_regions(&storm(5), 4, 200, 2).is_clear());
     }
 }

@@ -128,11 +128,24 @@ pub enum Invariant {
     /// degradation ladder exactly one rung per confirmed-healthy window —
     /// never jumping from fallback-to-max straight to central control.
     RejoinMonotonicity,
+    /// Thermal: once an emergency throttle engages, the machine's true
+    /// temperature must settle under `max(entry, T_crit)` plus the
+    /// ceiling margin within the settle window — the forced V/f floor
+    /// actually bends the trajectory.
+    ThermalCeiling,
+    /// Thermal: the throttle ladder de-escalates exactly one rung per
+    /// confirmed-cool window and every shutdown exit black-starts into
+    /// the emergency floor (see `thermal::ThrottleLadder`).
+    ThrottleMonotonicity,
+    /// Fleet hierarchy: the region budgets the root hands out sum to the
+    /// effective global budget every round — damping and brownout shocks
+    /// redistribute watts, never mint or burn them.
+    HierarchyBudgetConservation,
 }
 
 impl Invariant {
     /// Every invariant, in catalog order.
-    pub const ALL: [Invariant; 12] = [
+    pub const ALL: [Invariant; 15] = [
         Invariant::EventMonotonicity,
         Invariant::CounterConservation,
         Invariant::CacheSanity,
@@ -145,6 +158,9 @@ impl Invariant {
         Invariant::PredictorBounds,
         Invariant::PowerBudgetConservation,
         Invariant::RejoinMonotonicity,
+        Invariant::ThermalCeiling,
+        Invariant::ThrottleMonotonicity,
+        Invariant::HierarchyBudgetConservation,
     ];
 
     /// The stable kebab-case name used in reports, skip lists and the
@@ -164,6 +180,9 @@ impl Invariant {
             Invariant::PredictorBounds => "predictor-bounds",
             Invariant::PowerBudgetConservation => "power-budget-conservation",
             Invariant::RejoinMonotonicity => "rejoin-monotonicity",
+            Invariant::ThermalCeiling => "thermal-ceiling",
+            Invariant::ThrottleMonotonicity => "throttle-monotonicity",
+            Invariant::HierarchyBudgetConservation => "hierarchy-budget-conservation",
         }
     }
 
@@ -183,7 +202,10 @@ impl Invariant {
             | Invariant::LadderMembership
             | Invariant::VfMonotonicity
             | Invariant::PowerBudgetConservation
-            | Invariant::RejoinMonotonicity => InvariantMode::Cheap,
+            | Invariant::RejoinMonotonicity
+            | Invariant::ThermalCeiling
+            | Invariant::ThrottleMonotonicity
+            | Invariant::HierarchyBudgetConservation => InvariantMode::Cheap,
             Invariant::CacheSanity
             | Invariant::StoreQueueOccupancy
             | Invariant::MetamorphicNonScaling

@@ -37,6 +37,7 @@ pub mod mem;
 pub mod os;
 pub mod program;
 pub mod sampling;
+pub mod thermal;
 pub mod watchdog;
 
 mod machine;
@@ -53,6 +54,10 @@ pub use program::{
 };
 pub use sampling::{Extrapolation, RegionMeasurement, RegionSchedule, SamplingConfig};
 pub use stats::RunStats;
+pub use thermal::{
+    ThermalConfig, ThermalModel, ThrottleConfig, ThrottleLadder, ThrottleStage,
+    ThrottleTransition,
+};
 
 #[cfg(test)]
 mod send_tests {

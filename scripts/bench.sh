@@ -10,7 +10,10 @@
 #                     exact and on the sampled tier (`--sampling on`).
 #   BENCH_fleet.json  the fleet pipeline (64 machines, 4 shards, 200
 #                     rounds, chaos 0.5, seed 1): wall seconds and
-#                     machine-rounds/second.
+#                     machine-rounds/second, plus the same fleet with
+#                     the thermal/power-integrity layer armed (RC model,
+#                     throttle ladder, breaker, hierarchical governor,
+#                     brownout chaos) and the measured overhead percent.
 #
 # Workloads are fixed so snapshots compare across commits; wall time
 # excludes the build. Every benchmark process must exit 0 — a nonzero
@@ -120,10 +123,26 @@ target/release/fleet "$MACHINES" "$ROUNDS" "$SCALE" 1 \
     --jobs "$JOBS" > /dev/null \
     || fail "fleet benchmark exited nonzero"
 t1=$(now)
+fleet_secs=$(elapsed "$t0" "$t1")
 
-awk -v a="$t0" -v b="$t1" -v m="$MACHINES" -v r="$ROUNDS" \
-    -v sh="$SHARDS" -v j="$JOBS" -v sc="$SCALE" 'BEGIN {
-    secs = b - a
+# The same fleet with the thermal/power-integrity layer fully armed:
+# per-machine RC thermal model + throttle ladder + overshoot breaker,
+# hierarchical governance over 4 regions, and the brownout /
+# aggregator-crash / stuck-sensor chaos classes on top of the legacy
+# schedule. The characterization points are shared with the run above
+# through the memo cache, so the delta is the round loop's thermal cost.
+t0=$(now)
+target/release/fleet "$MACHINES" "$ROUNDS" "$SCALE" 1 \
+    --shards "$SHARDS" --chaos 0.5 --chaos-seed 7 --policy depburst \
+    --regions 4 --hierarchy on --thermal on \
+    --brownout 0.3 --region-crash 0.2 --sensor-stuck 0.2 \
+    --jobs "$JOBS" > /dev/null \
+    || fail "thermal fleet benchmark exited nonzero"
+t1=$(now)
+thermal_secs=$(elapsed "$t0" "$t1")
+
+awk -v secs="$fleet_secs" -v tsecs="$thermal_secs" -v m="$MACHINES" \
+    -v r="$ROUNDS" -v sh="$SHARDS" -v j="$JOBS" -v sc="$SCALE" 'BEGIN {
     printf "{\n"
     printf "  \"benchmark\": \"fleet\",\n"
     printf "  \"machines\": %d,\n", m
@@ -132,7 +151,15 @@ awk -v a="$t0" -v b="$t1" -v m="$MACHINES" -v r="$ROUNDS" \
     printf "  \"scale\": %s,\n", sc
     printf "  \"jobs\": %d,\n", j
     printf "  \"wall_seconds\": %.3f,\n", secs
-    printf "  \"machine_rounds_per_second\": %.0f\n", m * r / secs
+    printf "  \"machine_rounds_per_second\": %.0f,\n", m * r / secs
+    printf "  \"thermal\": {\n"
+    printf "    \"regions\": 4,\n"
+    printf "    \"hierarchy\": true,\n"
+    printf "    \"chaos\": \"legacy 0.5 + brownout 0.3 + region-crash 0.2 + sensor-stuck 0.2\",\n"
+    printf "    \"wall_seconds\": %.3f,\n", tsecs
+    printf "    \"machine_rounds_per_second\": %.0f,\n", m * r / tsecs
+    printf "    \"overhead_pct\": %.1f\n", (tsecs / secs - 1) * 100
+    printf "  }\n"
     printf "}\n"
 }' > BENCH_fleet.json
 
